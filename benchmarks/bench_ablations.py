@@ -1,0 +1,121 @@
+"""Ablation benchmarks for design choices discussed in the paper's text.
+
+* Creation schedule (Section VIII-C): cascaded vs. alternating for JQuick.
+* Pivot selection (Section VIII-A): sampled median vs. single random element.
+* Greedy assignment (Section VII): receive-message bound Θ(min(p, n/p)).
+* Sorter comparison (Section IV): JQuick vs. hypercube quicksort vs. single-
+  and multi-level sample sort — running time and load balance.
+* Collective algorithm selection (Section V-D): binomial trees vs. the
+  large-input algorithms across payload sizes.
+"""
+
+import pytest
+
+from repro.bench import ablations
+
+
+def test_schedule_ablation(benchmark, scale):
+    p, npp = (32, 4) if scale == "tiny" else (128, 4)
+    table = benchmark.pedantic(ablations.schedule_ablation,
+                               kwargs=dict(p=p, n_per_proc=npp),
+                               rounds=1, iterations=1)
+    table.save("ablation_schedule")
+
+    rbc_alt = table.lookup("time_ms", backend="rbc", schedule="alternating")
+    rbc_casc = table.lookup("time_ms", backend="rbc", schedule="cascaded")
+    mpi_alt = table.lookup("time_ms", backend="mpi", schedule="alternating")
+    mpi_casc = table.lookup("time_ms", backend="mpi", schedule="cascaded")
+
+    # With RBC the schedule makes (almost) no difference; with native MPI the
+    # cascaded schedule is slower; RBC beats native MPI with either schedule.
+    assert abs(rbc_alt - rbc_casc) <= 0.5 * max(rbc_alt, rbc_casc)
+    assert mpi_casc >= mpi_alt * 0.95
+    assert mpi_alt > rbc_alt
+    assert mpi_casc > rbc_casc
+
+
+def test_pivot_ablation(benchmark, scale):
+    p, npp = (32, 8) if scale == "tiny" else (128, 16)
+    table = benchmark.pedantic(ablations.pivot_ablation,
+                               kwargs=dict(p=p, n_per_proc=npp),
+                               rounds=1, iterations=1)
+    table.save("ablation_pivot")
+
+    median_levels = table.lookup("levels", strategy="sampled_median")
+    random_levels = table.lookup("levels", strategy="random_element")
+    import math
+    # Sampled medians keep the recursion depth close to log2(p); random pivots
+    # may not be worse on every seed, but both must stay within the O(log p)
+    # regime proven in Section VII.
+    assert median_levels <= 3 * math.log2(p) + 2
+    assert random_levels <= 20 * math.log2(p)
+    assert median_levels <= random_levels * 1.5
+
+
+def test_assignment_stats(benchmark, scale):
+    p = 32 if scale == "tiny" else 128
+    table = benchmark.pedantic(ablations.assignment_stats, kwargs=dict(p=p),
+                               rounds=1, iterations=1)
+    table.save("ablation_assignment")
+
+    for row in table.rows:
+        # The greedy assignment receives at most about min(p, n/p) messages
+        # per exchange step (Section VII).
+        assert row["max_messages_per_step"] <= row["bound_min_p_nproc"]
+
+
+def test_sorter_comparison(benchmark, scale):
+    p, npp = (16, 32) if scale == "tiny" else (64, 64)
+    table = benchmark.pedantic(ablations.sorter_comparison,
+                               kwargs=dict(p=p, n_per_proc=npp),
+                               rounds=1, iterations=1)
+    table.save("ablation_sorters")
+
+    jquick_row = table.filter(algorithm="jquick").rows[0]
+    assert jquick_row["perfectly_balanced"], "JQuick must be perfectly balanced"
+    assert abs(jquick_row["imbalance"] - 1.0) < 1e-9
+
+    # The baselines have no balance guarantee; their imbalance is >= JQuick's.
+    for algorithm in ("hypercube", "samplesort", "multilevel"):
+        row = table.filter(algorithm=algorithm).rows[0]
+        assert row["imbalance"] >= jquick_row["imbalance"] - 1e-9
+
+
+def test_collective_algorithm_ablation(benchmark, scale):
+    p = 32 if scale == "tiny" else 128
+    exponents = (2, 10, 16) if scale == "tiny" else (2, 6, 10, 14, 17)
+    table = benchmark.pedantic(ablations.collective_algorithm_ablation,
+                               kwargs=dict(p=p, exponents=exponents),
+                               rounds=1, iterations=1)
+    table.save("ablation_collectives")
+
+    words_values = sorted({row["words"] for row in table.rows})
+    small, large = words_values[0], words_values[-1]
+
+    def time_of(operation, algorithm, words):
+        return table.lookup("time_ms", operation=operation,
+                            algorithm=algorithm, words=words)
+
+    # Small payloads: the binomial-tree algorithms win (startup-dominated).
+    assert time_of("bcast", "binomial", small) <= time_of("bcast", "scatter_allgather", small)
+    assert time_of("allreduce", "reduce_bcast", small) <= time_of("allreduce", "ring", small)
+    # Long vectors: the bandwidth-optimal algorithms win.  (The pipelined chain
+    # needs n >> p * alpha / beta to pay off and is covered by the unit tests
+    # at smaller p; here we only record its numbers.)
+    assert time_of("bcast", "scatter_allgather", large) < time_of("bcast", "binomial", large)
+    assert time_of("allreduce", "ring", large) < time_of("allreduce", "reduce_bcast", large)
+
+
+def test_tiebreak_ablation(benchmark, scale):
+    p, npp = (16, 8) if scale == "tiny" else (64, 16)
+    table = benchmark.pedantic(ablations.tiebreak_ablation,
+                               kwargs=dict(p=p, n_per_proc=npp),
+                               rounds=1, iterations=1)
+    table.save("ablation_tiebreak")
+
+    # With tie-breaking every workload completes, including few-distinct keys.
+    for row in table.filter(tie_breaking=True).rows:
+        assert row["completed"], f"tie-breaking run failed on {row['workload']}"
+    # Without tie-breaking the few-distinct workload cannot make progress.
+    row = table.filter(tie_breaking=False, workload="few_distinct").rows[0]
+    assert not row["completed"]

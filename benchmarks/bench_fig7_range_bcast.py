@@ -1,0 +1,41 @@
+"""Figure 7 — broadcast on a sub-range of processes (MPI/RBC ratio).
+
+Asserts the observations of Section VIII-B ("Range-based collective"): the
+ratio is large for moderate n with a single broadcast, smaller when 50
+broadcasts amortise the communicator creation, and shrinks as n grows.
+"""
+
+import pytest
+
+from repro.bench import fig7_range_bcast
+
+
+def test_fig7_range_bcast(benchmark, scale):
+    table = benchmark.pedantic(fig7_range_bcast.run, args=(scale,),
+                               rounds=1, iterations=1)
+    table.save("fig7_range_bcast")
+
+    sizes = sorted({row["n"] for row in table.rows})
+    counts = sorted({row["bcasts"] for row in table.rows})
+    single, many = counts[0], counts[-1]
+    smallest, largest = sizes[0], sizes[-1]
+
+    for curve in sorted({row["curve"] for row in table.rows}):
+        # MPI (creation + broadcast) never beats RBC.
+        ratios = table.filter(curve=curve).column("ratio")
+        assert all(r > 0.9 for r in ratios), f"{curve}: RBC should not lose"
+
+        ratio_single_small = table.lookup("ratio", curve=curve, bcasts=single, n=smallest)
+        ratio_many_small = table.lookup("ratio", curve=curve, bcasts=many, n=smallest)
+        ratio_single_large = table.lookup("ratio", curve=curve, bcasts=single, n=largest)
+
+        # A single broadcast on a moderate payload: creation dominates, large ratio.
+        assert ratio_single_small > 3
+        # Amortising over many broadcasts shrinks the ratio.
+        assert ratio_many_small < ratio_single_small
+        # Large payloads shrink the ratio as the broadcast itself dominates.
+        # The paper observes this convergence for IBM MPI, while Intel MPI
+        # "fluctuates for large n" — so the monotonicity claim is only checked
+        # on the IBM curve.
+        if curve.startswith("IBM"):
+            assert ratio_single_large < ratio_single_small

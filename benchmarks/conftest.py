@@ -1,0 +1,26 @@
+"""Shared configuration of the benchmark suite.
+
+Every benchmark regenerates one table/figure of the paper at a configurable
+scale and archives the resulting table under ``bench_results/``.  The scale is
+chosen with the ``REPRO_BENCH_SCALE`` environment variable:
+
+* ``tiny``  — a few seconds in total (sanity checking),
+* ``small`` — the default; qualitative claims of the paper are asserted,
+* ``paper`` — closest to the paper's parameters the simulator can afford.
+"""
+
+import os
+
+import pytest
+
+
+def bench_scale() -> str:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "small")
+    if scale not in ("tiny", "small", "paper"):
+        raise ValueError(f"REPRO_BENCH_SCALE must be tiny/small/paper, got {scale!r}")
+    return scale
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return bench_scale()

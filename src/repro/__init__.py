@@ -1,0 +1,23 @@
+"""Reproduction of "Lightweight MPI Communicators with Applications to
+Perfectly Balanced Quicksort" (Axtmann, Wiebigke, Sanders — IPDPS 2018).
+
+Package layout
+--------------
+
+* :mod:`repro.simulator` — discrete-event single-ported alpha-beta machine
+  model (the hardware substrate replacing SuperMUC).
+* :mod:`repro.mpi` — simulated MPI-3 layer with vendor cost models (the
+  "native MPI" baselines: Intel MPI, IBM MPI).
+* :mod:`repro.collectives` — generic binomial-tree / dissemination collective
+  algorithms shared by the MPI layer and RBC.
+* :mod:`repro.rbc` (re-exported as :mod:`repro.core`) — the RBC library:
+  range-based communicators created locally in constant time, plus the
+  Section VI ``MPI_Icomm_create_group`` proposal.
+* :mod:`repro.sorting` — Janus Quicksort (JQuick) and the baseline sorters.
+* :mod:`repro.bench` — the benchmark harness reproducing every figure of the
+  paper's evaluation.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

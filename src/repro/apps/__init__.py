@@ -1,0 +1,23 @@
+"""Further divide-and-conquer applications built on RBC.
+
+The paper's conclusion names QuickHull and Delaunay triangulation as natural
+next applications of lightweight range-based communicators ("It would be
+interesting to apply RBC to other divide-and-conquer algorithms such as
+QuickHull ...").  This package demonstrates the pattern on distributed
+QuickHull: every level of the recursion splits the process group with a local
+``rbc::Split_RBC_Comm`` — no blocking communicator creation anywhere.
+"""
+
+from .quickhull import (
+    QuickHullConfig,
+    QuickHullStats,
+    convex_hull_sequential,
+    distributed_quickhull,
+)
+
+__all__ = [
+    "QuickHullConfig",
+    "QuickHullStats",
+    "convex_hull_sequential",
+    "distributed_quickhull",
+]

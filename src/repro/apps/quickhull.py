@@ -1,0 +1,340 @@
+"""Distributed QuickHull on RBC communicators (the paper's future-work example).
+
+QuickHull computes the convex hull of a planar point set by divide and
+conquer: pick the extreme points ``A`` (leftmost) and ``B`` (rightmost), split
+the points into those above and below the segment ``A-B``, and for each side
+recursively pick the point farthest from the current segment, discard the
+points inside the triangle and recurse on the two new segments.
+
+The distributed variant maps the *segment* recursion onto the *process group*
+recursion the same way JQuick maps sorting subtasks onto groups:
+
+1. all processes agree on the global anchor points with small allreduce-style
+   collectives (MAXLOC over ``(distance, point)`` tuples),
+2. the group splits into two halves with ``rbc::Split_RBC_Comm`` — a local,
+   constant-time operation — one half per sub-segment,
+3. each process partitions its local points by sub-segment and the group
+   redistributes them with one ``alltoallv`` (round-robin over the target
+   half, so the point load stays spread out),
+4. a group of one process finishes its segment with the sequential QuickHull.
+
+The recursion depth is ``log2 p`` regardless of the point distribution, so a
+native-MPI variant would create ``Θ(p)`` communicators with blocking calls —
+exactly the pattern RBC makes cheap.
+
+Coordinates are ``float64``; a point set is an ``(m, 2)`` NumPy array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..rbc import collectives as rbc_collectives
+from ..rbc.comm import RbcComm
+from ..simulator.process import RankEnv
+
+__all__ = [
+    "QuickHullConfig",
+    "QuickHullStats",
+    "convex_hull_sequential",
+    "distributed_quickhull",
+]
+
+_TAG_BASE = 5_000_000
+_TAGS_PER_LEVEL = 4
+
+#: Points closer to a segment than this are treated as lying on it.
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class QuickHullConfig:
+    """Parameters of distributed QuickHull."""
+
+    #: Charge simulated time for the local geometric predicates.
+    charge_local_work: bool = True
+    #: Safety bound on the group-recursion depth.
+    max_levels: int = 64
+
+
+@dataclass
+class QuickHullStats:
+    """Per-process execution statistics of one distributed QuickHull run."""
+
+    levels: int = 0
+    comm_splits: int = 0
+    points_discarded: int = 0
+    hull_points_local: int = 0
+    history_local_points: List[int] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Geometry helpers (shared by the sequential and the distributed algorithm).
+# ---------------------------------------------------------------------------
+
+def _as_points(points) -> np.ndarray:
+    array = np.asarray(points, dtype=np.float64)
+    if array.size == 0:
+        return array.reshape(0, 2)
+    if array.ndim != 2 or array.shape[1] != 2:
+        raise ValueError(f"expected an (m, 2) point array, got shape {array.shape}")
+    return array
+
+
+def _cross(origin: np.ndarray, towards: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Signed parallelogram area of (towards - origin) x (points - origin).
+
+    Positive for points strictly to the *left* of the directed segment
+    origin -> towards.
+    """
+    direction = towards - origin
+    relative = points - origin
+    return direction[0] * relative[:, 1] - direction[1] * relative[:, 0]
+
+
+def convex_hull_sequential(points) -> np.ndarray:
+    """Convex hull of a planar point set (Andrew's monotone chain, O(m log m)).
+
+    Returns the hull vertices in counter-clockwise order starting from the
+    lexicographically smallest point, without repeating the first vertex.
+    Degenerate inputs (fewer than three distinct points, collinear points)
+    return the distinct extreme points.
+    """
+    array = _as_points(points)
+    if array.shape[0] == 0:
+        return array
+    distinct = np.unique(array, axis=0)
+    if distinct.shape[0] <= 2:
+        return distinct
+    ordered = distinct[np.lexsort((distinct[:, 1], distinct[:, 0]))]
+
+    def half_hull(pts: np.ndarray) -> list[np.ndarray]:
+        chain: list[np.ndarray] = []
+        for point in pts:
+            while len(chain) >= 2:
+                area = _cross(chain[-2], chain[-1], point[np.newaxis, :])[0]
+                if area <= _EPS:
+                    chain.pop()
+                else:
+                    break
+            chain.append(point)
+        return chain
+
+    lower = half_hull(ordered)
+    upper = half_hull(ordered[::-1])
+    hull = lower[:-1] + upper[:-1]
+    if not hull:  # all points collinear
+        hull = [ordered[0], ordered[-1]]
+    return np.array(hull)
+
+
+def _quickhull_interior(points: np.ndarray, anchor_a: np.ndarray,
+                        anchor_b: np.ndarray) -> list[np.ndarray]:
+    """Sequential QuickHull step: hull vertices strictly left of a -> b, in order."""
+    if points.shape[0] == 0:
+        return []
+    distances = _cross(anchor_a, anchor_b, points)
+    keep = distances > _EPS
+    points = points[keep]
+    distances = distances[keep]
+    if points.shape[0] == 0:
+        return []
+    farthest = points[int(np.argmax(distances))]
+    left = _quickhull_interior(points, anchor_a, farthest)
+    right = _quickhull_interior(points, farthest, anchor_b)
+    return left + [farthest] + right
+
+
+# ---------------------------------------------------------------------------
+# Distributed algorithm.
+# ---------------------------------------------------------------------------
+
+def _argmax_pair(a, b):
+    """Reduction operator: keep the (value, point) pair with the larger value."""
+    return a if a[0] >= b[0] else b
+
+
+def _extreme_op(a, b):
+    """Reduction operator: (leftmost point, rightmost point) of two candidates."""
+    (a_min, a_max), (b_min, b_max) = a, b
+    best_min = a_min if (a_min[0], a_min[1]) <= (b_min[0], b_min[1]) else b_min
+    best_max = a_max if (a_max[0], a_max[1]) >= (b_max[0], b_max[1]) else b_max
+    return best_min, best_max
+
+
+def distributed_quickhull(env: RankEnv, comm: RbcComm, local_points,
+                          config: Optional[QuickHullConfig] = None):
+    """Convex hull of the union of all processes' points (env-level generator).
+
+    Every process passes its local ``(m, 2)`` array (``m`` may be zero and may
+    differ between processes).  Returns ``(hull, stats)`` where ``hull`` is the
+    full hull — identical on every process, counter-clockwise, starting at the
+    leftmost point — and ``stats`` is a :class:`QuickHullStats`.
+    """
+    config = config or QuickHullConfig()
+    stats = QuickHullStats()
+    points = _as_points(local_points)
+
+    # ----- global anchors: leftmost and rightmost point ----------------------
+    if points.shape[0]:
+        order = np.lexsort((points[:, 1], points[:, 0]))
+        local_extremes = (tuple(points[order[0]]), tuple(points[order[-1]]))
+    else:
+        local_extremes = ((np.inf, np.inf), (-np.inf, -np.inf))
+    if config.charge_local_work:
+        yield from env.compute(points.shape[0])
+    extremes = yield from rbc_collectives.allreduce(
+        comm, local_extremes, _extreme_op, tag=_TAG_BASE - 2)
+    leftmost = np.asarray(extremes[0], dtype=np.float64)
+    rightmost = np.asarray(extremes[1], dtype=np.float64)
+
+    if not np.isfinite(leftmost).all():
+        # Globally empty input — every rank saw the same allreduce result, so
+        # all of them return here together.
+        return np.empty((0, 2)), stats
+
+    if np.allclose(leftmost, rightmost):
+        # All points identical: the hull is that single point.
+        return leftmost.reshape(1, 2), stats
+
+    # ----- split into the upper and the lower side of the anchor segment -----
+    # The upper side (points left of leftmost -> rightmost) is handled by the
+    # lower half of the ranks, the lower side by the upper half; inside each
+    # side the recursion keeps splitting the group in two.
+    upper_interior = yield from _solve_side(
+        env, comm, points, leftmost, rightmost, which="upper",
+        config=config, stats=stats)
+    lower_interior = yield from _solve_side(
+        env, comm, points, rightmost, leftmost, which="lower",
+        config=config, stats=stats)
+
+    # Counter-clockwise convention starting at the leftmost point: walk the
+    # lower hull left to right, then the upper hull right to left.  The side
+    # chains are ordered along their directed anchor segments (upper:
+    # leftmost -> rightmost, lower: rightmost -> leftmost), so both are
+    # reversed here.
+    hull = np.array([leftmost] + lower_interior[::-1] + [rightmost]
+                    + upper_interior[::-1])
+    stats.hull_points_local = hull.shape[0]
+    return hull, stats
+
+
+def _solve_side(env: RankEnv, comm: RbcComm, points: np.ndarray,
+                anchor_a: np.ndarray, anchor_b: np.ndarray, *, which: str,
+                config: QuickHullConfig, stats: QuickHullStats):
+    """Hull vertices strictly left of ``anchor_a -> anchor_b`` (env generator).
+
+    All processes of ``comm`` participate and all return the same list of
+    vertices, ordered from ``anchor_a`` to ``anchor_b``.
+    """
+    distances = _cross(anchor_a, anchor_b, points) if points.shape[0] else \
+        np.empty(0)
+    side_points = points[distances > _EPS] if points.shape[0] else points
+    if config.charge_local_work:
+        yield from env.compute(points.shape[0])
+
+    side_tag = _TAG_BASE + (0 if which == "upper" else 500_000)
+    interior = yield from _recurse(env, comm, side_points, anchor_a, anchor_b,
+                                   level=0, tag_base=side_tag,
+                                   config=config, stats=stats)
+    # Every leaf contributed its vertices; share the assembled chain so all
+    # processes return the same hull.
+    assembled = yield from rbc_collectives.gatherv(
+        comm, [tuple(v) for v in interior], root=0, tag=side_tag + 250_000)
+    if comm.rank == 0:
+        chain = [np.asarray(v) for contribution in assembled for v in contribution]
+    else:
+        chain = None
+    chain = yield from rbc_collectives.bcast(comm, chain, root=0,
+                                             tag=side_tag + 250_001)
+    return list(chain)
+
+
+def _recurse(env: RankEnv, comm: RbcComm, points: np.ndarray,
+             anchor_a: np.ndarray, anchor_b: np.ndarray, *, level: int,
+             tag_base: int, config: QuickHullConfig, stats: QuickHullStats):
+    """Recursive segment step on the process group ``comm`` (env generator).
+
+    Returns the list of hull vertices this *process* is responsible for, in
+    segment order; across the group the concatenation by rank is the full
+    interior chain of the segment.
+    """
+    if level > config.max_levels:
+        raise RuntimeError(f"exceeded {config.max_levels} QuickHull levels")
+    stats.levels = max(stats.levels, level)
+    stats.history_local_points.append(int(points.shape[0]))
+    tags = tag_base + level * _TAGS_PER_LEVEL
+
+    # Base case: a single process finishes its segment sequentially.
+    if comm.size == 1:
+        if config.charge_local_work and points.shape[0]:
+            yield from env.compute(
+                points.shape[0] * max(1.0, np.log2(max(2, points.shape[0]))))
+        return _quickhull_interior(points, anchor_a, anchor_b)
+
+    # 1. Farthest point from the segment (globally, MAXLOC-style allreduce).
+    if points.shape[0]:
+        distances = _cross(anchor_a, anchor_b, points)
+        best = int(np.argmax(distances))
+        candidate = (float(distances[best]), tuple(points[best]))
+    else:
+        candidate = (-np.inf, (np.nan, np.nan))
+    if config.charge_local_work:
+        yield from env.compute(points.shape[0])
+    winner = yield from rbc_collectives.allreduce(comm, candidate, _argmax_pair,
+                                                  tag=tags + 0)
+    max_distance, far_tuple = winner
+    if max_distance <= _EPS:
+        # No point strictly left of the segment: nothing to contribute, but the
+        # group must still agree — the allreduce above already synchronised it.
+        return []
+    farthest = np.asarray(far_tuple, dtype=np.float64)
+
+    # 2. Partition the local points by sub-segment; triangle interior is dropped.
+    left_mask = _cross(anchor_a, farthest, points) > _EPS if points.shape[0] \
+        else np.empty(0, dtype=bool)
+    right_mask = _cross(farthest, anchor_b, points) > _EPS if points.shape[0] \
+        else np.empty(0, dtype=bool)
+    left_points = points[left_mask]
+    right_points = points[right_mask]
+    stats.points_discarded += int(points.shape[0] - left_points.shape[0]
+                                  - right_points.shape[0])
+    if config.charge_local_work:
+        yield from env.compute(points.shape[0])
+
+    # 3. Split the group in half (local RBC split) and redistribute the points
+    #    with one alltoallv: left-segment points round-robin over the lower
+    #    half, right-segment points round-robin over the upper half.
+    size = comm.size
+    half = (size + 1) // 2          # >= 1, and size - half >= 1 because size >= 2
+    upper_width = size - half
+    payloads = [np.empty((0, 2)) for _ in range(size)]
+    payloads[comm.rank % half] = left_points
+    payloads[half + comm.rank % upper_width] = right_points
+    received = yield from rbc_collectives.alltoallv(comm, payloads, tag=tags + 1)
+    mine = [np.asarray(chunk).reshape(-1, 2) for chunk in received]
+    my_points = np.concatenate(mine) if mine else np.empty((0, 2))
+
+    in_lower = comm.rank < half
+    stats.comm_splits += 1
+    if in_lower:
+        sub = yield from comm.split(0, half - 1)
+    else:
+        sub = yield from comm.split(half, size - 1)
+
+    if in_lower:
+        interior = yield from _recurse(
+            env, sub, my_points, anchor_a, farthest, level=level + 1,
+            tag_base=tag_base, config=config, stats=stats)
+        # The last process of the lower half appends the split vertex so that
+        # the rank-ordered concatenation reads left chain, farthest, right chain.
+        if comm.rank == half - 1:
+            interior = interior + [farthest]
+        return interior
+    interior = yield from _recurse(
+        env, sub, my_points, farthest, anchor_b, level=level + 1,
+        tag_base=tag_base, config=config, stats=stats)
+    return interior

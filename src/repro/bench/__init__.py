@@ -1,0 +1,51 @@
+"""Benchmark harness: one module per table/figure of the paper's evaluation.
+
+Each ``figN_*`` module exposes ``run(scale)`` returning a
+:class:`~repro.bench.tables.Table` with the same rows/series the paper plots,
+at ``scale`` ``"tiny"`` (seconds, used by the test suite), ``"small"`` (the
+default for ``pytest benchmarks/``) or ``"paper"`` (closest to the paper's
+parameters the pure-Python simulator can afford).  The ablation studies in
+:mod:`repro.bench.ablations` cover design decisions discussed in the text.
+"""
+
+from . import (
+    ablations,
+    fig4_iscan,
+    fig5_comm_split,
+    fig6_overlapping,
+    fig7_range_bcast,
+    fig8_jquick,
+    fig9_collectives,
+)
+from .harness import (
+    COLLECTIVE_OPS,
+    Measurement,
+    collective_program,
+    ratio,
+    repeat_max_duration,
+    run_rank_durations,
+)
+from .tables import Table, results_dir
+from .workloads import WORKLOADS, generate, split_balanced, workload_names
+
+__all__ = [
+    "COLLECTIVE_OPS",
+    "Measurement",
+    "Table",
+    "WORKLOADS",
+    "ablations",
+    "collective_program",
+    "fig4_iscan",
+    "fig5_comm_split",
+    "fig6_overlapping",
+    "fig7_range_bcast",
+    "fig8_jquick",
+    "fig9_collectives",
+    "generate",
+    "ratio",
+    "repeat_max_duration",
+    "results_dir",
+    "run_rank_durations",
+    "split_balanced",
+    "workload_names",
+]

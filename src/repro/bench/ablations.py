@@ -1,0 +1,249 @@
+"""Ablation studies for the design choices discussed in the paper.
+
+These go beyond the paper's figures and quantify individual design decisions:
+
+* ``schedule_ablation`` — cascaded vs. alternating creation schedules for
+  JQuick (Section VIII-C discusses this in the text: with RBC the schedule
+  does not matter, with native MPI the cascaded schedule is much slower).
+* ``tiebreak_ablation`` — the (value, global slot) tie-breaking scheme of
+  Section II vs. plain value comparison on duplicate-heavy inputs.
+* ``pivot_ablation`` — sampled-median pivots (Section VIII-A) vs. a single
+  random element (the strategy analysed in Section VII).
+* ``assignment_stats`` — receive-message counts of the greedy assignment,
+  illustrating the Θ(min(p, n/p)) worst case quoted in Section VII.
+* ``sorter_comparison`` — JQuick vs. hypercube quicksort vs. single-level
+  sample sort vs. multi-level sample sort: running time and load imbalance
+  (Section IV's motivation).
+* ``collective_algorithm_ablation`` — the binomial-tree collectives vs. the
+  large-input algorithms (scatter-allgather / pipelined broadcast, ring
+  allreduce) across payload sizes, quantifying the "extend the library ...
+  for large input sizes" remark of Section V-D.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mpi import init_mpi
+from ..rbc import collectives as rbc_collectives
+from ..rbc import create_rbc_comm
+from ..simulator import Cluster, RankFailedError
+from ..sorting import (
+    HypercubeConfig,
+    JQuickConfig,
+    MultilevelConfig,
+    NativeMpiBackend,
+    PivotConfig,
+    RbcBackend,
+    hypercube_quicksort,
+    imbalance_factor,
+    jquick,
+    multilevel_sample_sort,
+    sample_sort,
+)
+from .harness import US_PER_MS
+from .tables import Table
+from .workloads import generate
+
+__all__ = [
+    "schedule_ablation",
+    "tiebreak_ablation",
+    "pivot_ablation",
+    "assignment_stats",
+    "sorter_comparison",
+    "collective_algorithm_ablation",
+]
+
+
+def _run_jquick(p: int, n_per_proc: int, *, backend: str = "rbc",
+                vendor: str = "generic", workload: str = "uniform",
+                config: JQuickConfig | None = None, seed: int = 7):
+    """Run one JQuick configuration; returns (time_ms, per-rank stats, outputs)."""
+    n = p * n_per_proc
+    parts = generate(workload, n, p, seed=seed)
+    config = config or JQuickConfig()
+
+    def program(env, local_data):
+        world_mpi = init_mpi(env, vendor=vendor)
+        if backend == "rbc":
+            world = yield from create_rbc_comm(world_mpi)
+            jq_backend = RbcBackend(world)
+        else:
+            jq_backend = NativeMpiBackend(world_mpi)
+        start = env.now
+        output, stats = yield from jquick(env, jq_backend, local_data, config)
+        return env.now - start, stats, output
+
+    result = Cluster(p).run(
+        program, rank_kwargs=[dict(local_data=parts[r]) for r in range(p)])
+    durations = [r[0] for r in result.results]
+    stats = [r[1] for r in result.results]
+    outputs = [r[2] for r in result.results]
+    return max(durations) / US_PER_MS, stats, outputs
+
+
+def schedule_ablation(p: int = 128, n_per_proc: int = 4) -> Table:
+    """JQuick running time for every (backend, schedule) combination."""
+    table = Table(
+        title=f"Ablation — janus creation schedule (p={p}, n/p={n_per_proc})",
+        columns=["backend", "schedule", "time_ms"],
+    )
+    for backend, vendor in (("rbc", "generic"), ("mpi", "intel")):
+        for schedule in ("alternating", "cascaded"):
+            time_ms, _, _ = _run_jquick(
+                p, n_per_proc, backend=backend, vendor=vendor,
+                config=JQuickConfig(schedule=schedule))
+            table.add_row(backend=backend, schedule=schedule, time_ms=time_ms)
+    return table
+
+
+def tiebreak_ablation(p: int = 64, n_per_proc: int = 16) -> Table:
+    """Tie-breaking on/off across duplicate-heavy workloads.
+
+    Without tie-breaking, inputs with very few distinct keys cannot make
+    progress (every split is degenerate) and the run aborts at the level
+    limit; the table records that as ``completed = no``.
+    """
+    table = Table(
+        title=f"Ablation — duplicate handling via (value, slot) tie-breaking "
+              f"(p={p}, n/p={n_per_proc})",
+        columns=["workload", "tie_breaking", "completed", "levels", "time_ms"],
+    )
+    for workload in ("uniform", "duplicates", "few_distinct"):
+        for tie_breaking in (True, False):
+            config = JQuickConfig(tie_breaking=tie_breaking, max_levels=60)
+            try:
+                time_ms, stats, _ = _run_jquick(
+                    p, n_per_proc, workload=workload, config=config)
+                levels = max(s.levels for s in stats)
+                table.add_row(workload=workload, tie_breaking=tie_breaking,
+                              completed=True, levels=levels, time_ms=time_ms)
+            except (RankFailedError, RuntimeError):
+                table.add_row(workload=workload, tie_breaking=tie_breaking,
+                              completed=False, levels=None, time_ms=None)
+    return table
+
+
+def pivot_ablation(p: int = 128, n_per_proc: int = 16) -> Table:
+    """Sampled-median pivots vs. a single random element."""
+    table = Table(
+        title=f"Ablation — pivot selection strategy (p={p}, n/p={n_per_proc})",
+        columns=["strategy", "levels", "degenerate_splits", "time_ms"],
+    )
+    for strategy in ("sampled_median", "random_element"):
+        config = JQuickConfig(pivot=PivotConfig(strategy=strategy))
+        time_ms, stats, _ = _run_jquick(p, n_per_proc, config=config)
+        table.add_row(strategy=strategy,
+                      levels=max(s.levels for s in stats),
+                      degenerate_splits=sum(s.degenerate_splits for s in stats),
+                      time_ms=time_ms)
+    return table
+
+
+def assignment_stats(p: int = 128) -> Table:
+    """Maximum exchange messages received per step vs. the min(p, n/p) bound."""
+    table = Table(
+        title=f"Ablation — greedy assignment receive counts (p={p})",
+        columns=["n_per_proc", "max_messages_per_step", "bound_min_p_nproc"],
+    )
+    for n_per_proc in (1, 4, 16, 64, 256):
+        _, stats, _ = _run_jquick(p, n_per_proc)
+        max_messages = max(s.max_exchange_messages_per_step for s in stats)
+        table.add_row(n_per_proc=n_per_proc,
+                      max_messages_per_step=max_messages,
+                      bound_min_p_nproc=min(p, n_per_proc) + 4)
+    return table
+
+
+def sorter_comparison(p: int = 64, n_per_proc: int = 64,
+                      workload: str = "uniform") -> Table:
+    """JQuick vs. hypercube quicksort vs. single- and multi-level sample sort."""
+    if p & (p - 1):
+        raise ValueError("p must be a power of two so hypercube quicksort can run")
+    n = p * n_per_proc
+    parts = generate(workload, n, p, seed=23)
+
+    table = Table(
+        title=f"Ablation — sorter comparison (p={p}, n/p={n_per_proc}, {workload})",
+        columns=["algorithm", "time_ms", "imbalance", "perfectly_balanced"],
+    )
+
+    def run(algorithm):
+        def program(env, local_data):
+            world_mpi = init_mpi(env, vendor="generic")
+            world = yield from create_rbc_comm(world_mpi)
+            start = env.now
+            if algorithm == "jquick":
+                output, _ = yield from jquick(env, RbcBackend(world), local_data,
+                                              JQuickConfig())
+            elif algorithm == "hypercube":
+                output, _ = yield from hypercube_quicksort(
+                    env, world, local_data, HypercubeConfig())
+            elif algorithm == "multilevel":
+                output, _ = yield from multilevel_sample_sort(
+                    env, world, local_data, MultilevelConfig())
+            else:
+                output, _ = yield from sample_sort(env, world, local_data)
+            return env.now - start, output
+
+        result = Cluster(p).run(
+            program, rank_kwargs=[dict(local_data=parts[r]) for r in range(p)])
+        durations = [r[0] for r in result.results]
+        outputs = [r[1] for r in result.results]
+        return max(durations) / US_PER_MS, outputs
+
+    for algorithm in ("jquick", "hypercube", "samplesort", "multilevel"):
+        time_ms, outputs = run(algorithm)
+        sizes = [np.asarray(o).size for o in outputs]
+        balanced = max(sizes) - min(sizes) <= 1
+        table.add_row(algorithm=algorithm, time_ms=time_ms,
+                      imbalance=imbalance_factor(outputs),
+                      perfectly_balanced=balanced)
+    return table
+
+
+def collective_algorithm_ablation(p: int = 128,
+                                  exponents=(2, 6, 10, 14, 17)) -> Table:
+    """Small-input binomial algorithms vs. the large-input algorithms.
+
+    For every payload size 2^e (float64 words on the root) the table records
+    the simulated time of broadcast with the binomial tree, the
+    scatter-allgather algorithm and the pipelined chain, and of allreduce with
+    reduce+bcast versus the ring algorithm.  The expected picture: the
+    binomial algorithms win while startups dominate, the bandwidth-optimal
+    algorithms win for long vectors.
+    """
+    table = Table(
+        title=f"Ablation — collective algorithm selection on p={p} simulated cores",
+        columns=["operation", "algorithm", "words", "time_ms"],
+    )
+
+    def timed_program(env, *, operation, algorithm, words):
+        world_mpi = init_mpi(env, vendor="generic")
+        world = yield from create_rbc_comm(world_mpi)
+        yield from rbc_collectives.barrier(world)
+        start = env.now
+        if operation == "bcast":
+            payload = np.zeros(words) if world.rank == 0 else None
+            yield from rbc_collectives.bcast(world, payload, root=0,
+                                             algorithm=algorithm)
+        else:
+            payload = np.zeros(words)
+            yield from rbc_collectives.allreduce(world, payload,
+                                                 algorithm=algorithm)
+        return env.now - start
+
+    sweeps = (
+        ("bcast", ("binomial", "scatter_allgather", "pipeline")),
+        ("allreduce", ("reduce_bcast", "ring")),
+    )
+    for operation, algorithms in sweeps:
+        for exponent in exponents:
+            words = 2 ** exponent
+            for algorithm in algorithms:
+                kwargs = dict(operation=operation, algorithm=algorithm, words=words)
+                result = Cluster(p).run(timed_program, rank_kwargs=[kwargs] * p)
+                table.add_row(operation=operation, algorithm=algorithm,
+                              words=words,
+                              time_ms=max(result.results) / US_PER_MS)
+    return table

@@ -1,0 +1,114 @@
+"""Figure 6: creating overlapping communicators — cascaded vs. alternating.
+
+The paper splits a communicator of p processes into overlapping communicators
+of size 4 (processes 0..3, 3..6, 6..9, ...): every third process is part of
+two communicators and must decide which one to create first.  With blocking
+native creation a *cascaded* schedule (everybody creates the left communicator
+first) serialises the creations, while an *alternating* schedule avoids the
+cascade; RBC creates both locally, so its running time is negligible and
+independent of the schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..mpi import MpiGroup, init_mpi
+from ..rbc import collectives as rbc_collectives
+from ..rbc import create_rbc_comm, split_rbc_comm
+from .harness import repeat_max_duration
+from .tables import Table
+
+__all__ = ["PRESETS", "run", "overlapping_program", "overlapping_groups"]
+
+PRESETS = {
+    "tiny": dict(proc_counts=(16, 64), repetitions=1),
+    "small": dict(proc_counts=(64, 128, 256, 512, 1024), repetitions=2),
+    "paper": dict(proc_counts=(512, 1024, 2048, 4096, 8192), repetitions=3),
+}
+
+#: (label, method, vendor, schedule) — the four curves of Fig. 6.
+CURVES = (
+    ("RBC - Cascade", "rbc", "generic", "cascaded"),
+    ("RBC - Alternating", "rbc", "generic", "alternating"),
+    ("Intel - Cascade MPI Comm create group", "create_group", "intel", "cascaded"),
+    ("Intel - Alternating MPI Comm create group", "create_group", "intel", "alternating"),
+)
+
+GROUP_SIZE = 4
+GROUP_STRIDE = 3
+
+
+def overlapping_groups(size: int) -> list[tuple[int, int]]:
+    """The overlapping size-4 ranges 0..3, 3..6, 6..9, ... of Fig. 6."""
+    groups = []
+    start = 0
+    while start < size - 1:
+        groups.append((start, min(start + GROUP_SIZE - 1, size - 1)))
+        start += GROUP_STRIDE
+    return groups
+
+
+def overlapping_program(env, *, method: str, vendor: str, schedule: str):
+    """Rank program: create every overlapping communicator this rank is in."""
+    world_mpi = init_mpi(env, vendor=vendor)
+    world_rbc = yield from create_rbc_comm(world_mpi)
+    size = world_mpi.size
+    rank = world_mpi.rank
+
+    groups = overlapping_groups(size)
+    mine = [(index, first, last) for index, (first, last) in enumerate(groups)
+            if first <= rank <= last]
+
+    if len(mine) == 2:
+        # This rank sits on a boundary and creates two communicators.  The
+        # schedule decides the order: cascaded = always the left one first;
+        # alternating = every other boundary process starts with the left one.
+        left_first = True
+        if schedule == "alternating":
+            boundary_index = rank // GROUP_STRIDE
+            left_first = boundary_index % 2 == 0
+        if not left_first:
+            mine = list(reversed(mine))
+
+    yield from rbc_collectives.barrier(world_rbc)
+    start = env.now
+
+    for index, first, last in mine:
+        if method == "rbc":
+            yield from split_rbc_comm(world_rbc, first, last)
+        elif method == "create_group":
+            group = MpiGroup.range_incl([(world_mpi.to_world(first),
+                                          world_mpi.to_world(last), 1)])
+            yield from world_mpi.create_group(group, tag=index)
+        else:
+            raise ValueError(f"unknown method {method!r}")
+    return env.now - start
+
+
+def run(scale: str = "small", *, proc_counts=None,
+        repetitions: Optional[int] = None) -> Table:
+    """Run the Fig. 6 sweep; one row per (curve, p)."""
+    preset = dict(PRESETS[scale])
+    if proc_counts is not None:
+        preset["proc_counts"] = tuple(proc_counts)
+    if repetitions is not None:
+        preset["repetitions"] = repetitions
+
+    table = Table(
+        title="Fig. 6 — overlapping size-4 communicators, cascaded vs alternating",
+        columns=["curve", "p", "time_ms"],
+    )
+    table.add_note("paper sweeps p in 2^9..2^13; IBM omitted there because its "
+                   "create_group is slower by orders of magnitude (see Fig. 5)")
+
+    for label, method, vendor, schedule in CURVES:
+        for p in preset["proc_counts"]:
+            measurement = repeat_max_duration(
+                p,
+                lambda rep: (overlapping_program, (), dict(
+                    method=method, vendor=vendor, schedule=schedule)),
+                repetitions=preset["repetitions"],
+            )
+            table.add_row(curve=label, p=p, time_ms=measurement.mean_ms)
+    return table

@@ -1,0 +1,134 @@
+"""Figure 7: broadcast on a sub-range of processes — MPI/RBC running-time ratio.
+
+The paper splits a communicator of 2^15 processes into a sub-range of 2^14
+processes and then broadcasts n elements on the sub-range, either once or 50
+times.  With native MPI the sub-communicator must first be created with a
+blocking operation (``MPI_Comm_create_group`` for Intel, ``MPI_Comm_split``
+for IBM — whichever was faster in Fig. 5); with RBC the split is local.  The
+figure reports the ratio MPI time / RBC time:
+
+* large ratios (tens to hundreds) for moderate n with a single broadcast,
+  because the communicator creation dominates;
+* smaller ratios (single digits) when the creation is amortised over 50
+  broadcasts;
+* convergence towards 1 for large n, where the broadcast itself dominates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..mpi import MpiGroup, init_mpi
+from ..rbc import collectives as rbc_collectives
+from ..rbc import create_rbc_comm, split_rbc_comm
+from .harness import ratio, repeat_max_duration
+from .tables import Table
+
+__all__ = ["PRESETS", "run", "range_bcast_program"]
+
+PRESETS = {
+    "tiny": dict(num_ranks=64, exponents=range(0, 11, 4),
+                 bcast_counts=(1, 10), repetitions=1),
+    "small": dict(num_ranks=512, exponents=range(0, 15, 2),
+                  bcast_counts=(1, 50), repetitions=1),
+    "paper": dict(num_ranks=4096, exponents=range(0, 19, 2),
+                  bcast_counts=(1, 50), repetitions=3),
+}
+
+#: (label, method, vendor) — the comparison pairs of Fig. 7.  The paper uses,
+#: per vendor, the fastest communicator-creation method found in Fig. 5.
+CURVES = (
+    ("Intel - MPI Comm create group + Ibcast", "create_group", "intel"),
+    ("IBM - MPI Comm split + Ibcast", "split", "ibm"),
+)
+
+
+def range_bcast_program(env, *, method: str, vendor: str, words: int,
+                        num_bcasts: int):
+    """Rank program: create the half-range communicator, broadcast ``num_bcasts``
+    times; returns the measured µs (None for ranks that do not take part)."""
+    world_mpi = init_mpi(env, vendor=vendor)
+    world_rbc = yield from create_rbc_comm(world_mpi)
+    size = world_mpi.size
+    rank = world_mpi.rank
+    half = size // 2
+    in_range = rank < half
+    payload = np.zeros(words, dtype=np.float64)
+
+    yield from rbc_collectives.barrier(world_rbc)
+    start = env.now
+
+    if method == "rbc":
+        if not in_range:
+            return None
+        sub = yield from split_rbc_comm(world_rbc, 0, half - 1)
+        for _ in range(num_bcasts):
+            request = rbc_collectives.ibcast(
+                sub, payload if sub.rank == 0 else None, 0)
+            yield from env.wait_until(request.test)
+        return env.now - start
+
+    if method == "create_group":
+        if not in_range:
+            return None
+        group = MpiGroup.range_incl([(world_mpi.to_world(0),
+                                      world_mpi.to_world(half - 1), 1)])
+        sub = yield from world_mpi.create_group(group, tag=5)
+    elif method == "split":
+        # MPI_Comm_split must be called by every process of the parent.
+        sub = yield from world_mpi.split(color=0 if in_range else 1, key=rank)
+        if not in_range:
+            return env.now - start
+    else:
+        raise ValueError(f"unknown method {method!r}")
+
+    for _ in range(num_bcasts):
+        request = sub.ibcast(payload if sub.rank == 0 else None, 0)
+        yield from env.wait_until(request.test)
+    return env.now - start
+
+
+def run(scale: str = "small", *, num_ranks: Optional[int] = None) -> Table:
+    """Run the Fig. 7 sweep; rows carry both times and the MPI/RBC ratio."""
+    preset = dict(PRESETS[scale])
+    if num_ranks is not None:
+        preset["num_ranks"] = num_ranks
+    p = preset["num_ranks"]
+
+    table = Table(
+        title=f"Fig. 7 — broadcast on a sub-range of p/2 of p={p} processes "
+              "(ratio MPI / RBC)",
+        columns=["curve", "bcasts", "n", "rbc_ms", "mpi_ms", "ratio"],
+    )
+    table.add_note("paper: sub-range of 2^14 processes of a 2^15-process communicator")
+
+    for num_bcasts in preset["bcast_counts"]:
+        rbc_times = {}
+        for exponent in preset["exponents"]:
+            words = 2 ** exponent
+            measurement = repeat_max_duration(
+                p,
+                lambda rep: (range_bcast_program, (), dict(
+                    method="rbc", vendor="generic", words=words,
+                    num_bcasts=num_bcasts)),
+                repetitions=preset["repetitions"],
+            )
+            rbc_times[words] = measurement.mean_ms
+
+        for label, method, vendor in CURVES:
+            for exponent in preset["exponents"]:
+                words = 2 ** exponent
+                measurement = repeat_max_duration(
+                    p,
+                    lambda rep: (range_bcast_program, (), dict(
+                        method=method, vendor=vendor, words=words,
+                        num_bcasts=num_bcasts)),
+                    repetitions=preset["repetitions"],
+                )
+                table.add_row(curve=label, bcasts=num_bcasts, n=words,
+                              rbc_ms=rbc_times[words],
+                              mpi_ms=measurement.mean_ms,
+                              ratio=ratio(measurement.mean_ms, rbc_times[words]))
+    return table

@@ -1,0 +1,71 @@
+"""Figure 9 (appendix): nonblocking collectives — RBC vs. native MPI.
+
+The paper's appendix shows broadcast, reduce, scan and gather on 2^15 cores
+for IBM MPI and Intel MPI, each against RBC, over n/p from 2^0 to 2^18 (gather
+only to 2^10).  The observation backing Section VIII-B: RBC's collectives
+perform similarly to their native counterparts, i.e. range-based communicator
+creation comes with no hidden overhead in the collective operations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .harness import collective_program, repeat_max_duration
+from .tables import Table
+
+__all__ = ["PRESETS", "run"]
+
+PRESETS = {
+    "tiny": dict(num_ranks=64, exponents=range(0, 11, 4),
+                 gather_exponents=range(0, 9, 4), repetitions=1),
+    "small": dict(num_ranks=256, exponents=range(0, 15, 2),
+                  gather_exponents=range(0, 11, 2), repetitions=1),
+    "paper": dict(num_ranks=2048, exponents=range(0, 19, 2),
+                  gather_exponents=range(0, 11, 2), repetitions=3),
+}
+
+#: (sub-figure, operation, vendor) — one per panel of Fig. 9.
+PANELS = (
+    ("9a", "bcast", "ibm"),
+    ("9b", "bcast", "intel"),
+    ("9c", "reduce", "ibm"),
+    ("9d", "reduce", "intel"),
+    ("9e", "scan", "ibm"),
+    ("9f", "scan", "intel"),
+    ("9g", "gather", "ibm"),
+    ("9h", "gather", "intel"),
+)
+
+
+def run(scale: str = "small", *, num_ranks: Optional[int] = None,
+        panels=PANELS) -> Table:
+    """Run the Fig. 9 sweep; one row per (panel, implementation, n/p)."""
+    preset = dict(PRESETS[scale])
+    if num_ranks is not None:
+        preset["num_ranks"] = num_ranks
+    p = preset["num_ranks"]
+
+    table = Table(
+        title=f"Fig. 9 — nonblocking collectives on p={p} simulated cores",
+        columns=["panel", "operation", "vendor", "impl", "n_per_proc", "time_ms"],
+    )
+    table.add_note("paper: p=2^15; gather swept only to n/p=2^10 (root memory)")
+
+    for panel, operation, vendor in panels:
+        exponents = (preset["gather_exponents"] if operation == "gather"
+                     else preset["exponents"])
+        for impl in ("mpi", "rbc"):
+            for exponent in exponents:
+                words = 2 ** exponent
+                measurement = repeat_max_duration(
+                    p,
+                    lambda rep: (collective_program, (), dict(
+                        operation=operation, impl=impl, vendor=vendor,
+                        words=words)),
+                    repetitions=preset["repetitions"],
+                )
+                table.add_row(panel=panel, operation=operation, vendor=vendor,
+                              impl="RBC" if impl == "rbc" else "MPI",
+                              n_per_proc=words, time_ms=measurement.mean_ms)
+    return table

@@ -1,0 +1,146 @@
+"""Shared measurement machinery for the benchmark harness.
+
+Timing convention (same as the paper's): every rank measures the virtual time
+spent in the operation under test (after a synchronising barrier); the
+reported running time of the operation is the *maximum* over the
+participating ranks, averaged over repetitions with different seeds.  Times
+are reported in milliseconds, like the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..mpi import init_mpi
+from ..rbc import collectives as rbc_collectives
+from ..rbc import create_rbc_comm
+from ..simulator import Cluster, ClusterResult, NetworkParams
+
+__all__ = [
+    "US_PER_MS",
+    "Measurement",
+    "run_rank_durations",
+    "repeat_max_duration",
+    "collective_program",
+    "COLLECTIVE_OPS",
+    "ratio",
+]
+
+US_PER_MS = 1000.0
+
+#: Collective operations exercised by the microbenchmarks (Fig. 4 and Fig. 9).
+COLLECTIVE_OPS = ("bcast", "reduce", "scan", "gather")
+
+
+@dataclass
+class Measurement:
+    """Aggregated timing of one experimental configuration."""
+
+    mean_ms: float
+    min_ms: float
+    max_ms: float
+    repetitions: int
+    messages: int = 0
+
+    @staticmethod
+    def from_samples(samples_us: Sequence[float], messages: int = 0) -> "Measurement":
+        samples_ms = [s / US_PER_MS for s in samples_us]
+        return Measurement(
+            mean_ms=float(np.mean(samples_ms)),
+            min_ms=float(np.min(samples_ms)),
+            max_ms=float(np.max(samples_ms)),
+            repetitions=len(samples_ms),
+            messages=messages,
+        )
+
+
+def run_rank_durations(num_ranks: int, program: Callable, *args,
+                       params: Optional[NetworkParams] = None,
+                       rank_kwargs=None, **kwargs) -> tuple[float, ClusterResult]:
+    """Run ``program`` (which returns a per-rank duration in µs); return
+    (max duration over ranks, full cluster result)."""
+    cluster = Cluster(num_ranks, params)
+    result = cluster.run(program, *args, rank_kwargs=rank_kwargs, **kwargs)
+    durations = [d for d in result.results if d is not None]
+    return (max(durations) if durations else 0.0), result
+
+
+def repeat_max_duration(num_ranks: int, make_program: Callable[[int], tuple],
+                        repetitions: int = 3,
+                        params: Optional[NetworkParams] = None) -> Measurement:
+    """Run ``repetitions`` independent simulations and aggregate their timings.
+
+    ``make_program(rep)`` must return ``(program, args, kwargs)``; the program
+    returns this rank's measured duration in microseconds (or None for ranks
+    that do not participate).
+    """
+    samples = []
+    messages = 0
+    for rep in range(repetitions):
+        program, args, kwargs = make_program(rep)
+        duration, result = run_rank_durations(num_ranks, program, *args,
+                                              params=params, **kwargs)
+        samples.append(duration)
+        messages = max(messages, result.stats.messages_sent)
+    return Measurement.from_samples(samples, messages=messages)
+
+
+def ratio(numerator: Optional[float], denominator: Optional[float]) -> Optional[float]:
+    """Safe ratio helper for table post-processing."""
+    if numerator is None or denominator in (None, 0):
+        return None
+    return numerator / denominator
+
+
+# ---------------------------------------------------------------------------
+# Collective microbenchmark program (Fig. 4 and Fig. 9).
+# ---------------------------------------------------------------------------
+
+def collective_program(env, *, operation: str, impl: str, vendor: str,
+                       words: int, repetitions: int = 1):
+    """Rank program measuring one (nonblocking) collective operation.
+
+    ``impl`` is ``"rbc"`` (the RBC library on top of the simulated MPI
+    point-to-point layer) or ``"mpi"`` (the vendor's native nonblocking
+    collective).  Returns the measured duration in microseconds.
+    """
+    if operation not in COLLECTIVE_OPS:
+        raise ValueError(f"unknown collective {operation!r}")
+    world_mpi = init_mpi(env, vendor=vendor)
+    world_rbc = yield from create_rbc_comm(world_mpi)
+    rank = world_mpi.rank
+
+    payload = np.zeros(words, dtype=np.float64) if words > 0 else np.zeros(0)
+    root = 0
+
+    # Synchronise all ranks before timing (neutral RBC barrier).
+    yield from rbc_collectives.barrier(world_rbc)
+
+    start = env.now
+    for _ in range(repetitions):
+        if impl == "rbc":
+            if operation == "bcast":
+                request = rbc_collectives.ibcast(
+                    world_rbc, payload if rank == root else None, root)
+            elif operation == "reduce":
+                request = rbc_collectives.ireduce(world_rbc, payload, root=root)
+            elif operation == "scan":
+                request = rbc_collectives.iscan(world_rbc, payload)
+            else:  # gather
+                request = rbc_collectives.igather(world_rbc, payload, root=root)
+        elif impl == "mpi":
+            if operation == "bcast":
+                request = world_mpi.ibcast(payload if rank == root else None, root)
+            elif operation == "reduce":
+                request = world_mpi.ireduce(payload, root=root)
+            elif operation == "scan":
+                request = world_mpi.iscan(payload)
+            else:  # gather
+                request = world_mpi.igather(payload, root=root)
+        else:
+            raise ValueError(f"unknown implementation {impl!r}")
+        yield from env.wait_until(request.test)
+    return env.now - start

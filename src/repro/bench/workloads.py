@@ -1,0 +1,103 @@
+"""Workload generators for the sorting and collective benchmarks.
+
+All generators return per-rank NumPy arrays laid out in the balanced global
+slot layout JQuick expects (rank ``i`` gets ``capacity(i, n, p)`` elements).
+The paper's evaluation uses 64-bit floating point elements drawn uniformly at
+random; the additional distributions exercise the duplicate handling and the
+balance guarantees.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from ..sorting.intervals import capacity
+
+__all__ = ["WORKLOADS", "generate", "split_balanced", "workload_names"]
+
+
+def split_balanced(values: np.ndarray, p: int) -> List[np.ndarray]:
+    """Split a global array into the balanced per-rank layout."""
+    values = np.asarray(values)
+    n = values.size
+    parts: List[np.ndarray] = []
+    offset = 0
+    for rank in range(p):
+        count = capacity(rank, n, p)
+        parts.append(values[offset:offset + count].copy())
+        offset += count
+    return parts
+
+
+def _uniform(n: int, rng: np.random.Generator) -> np.ndarray:
+    return rng.random(n)
+
+
+def _gaussian(n: int, rng: np.random.Generator) -> np.ndarray:
+    return rng.normal(size=n)
+
+
+def _duplicates(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Only ~sqrt(n) distinct values: stresses the tie-breaking scheme."""
+    distinct = max(2, int(np.sqrt(n)))
+    return rng.integers(0, distinct, size=n).astype(np.float64)
+
+
+def _few_distinct(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Only 4 distinct values."""
+    return rng.integers(0, 4, size=n).astype(np.float64)
+
+
+def _all_equal(n: int, rng: np.random.Generator) -> np.ndarray:
+    return np.full(n, 42.0)
+
+
+def _sorted(n: int, rng: np.random.Generator) -> np.ndarray:
+    return np.sort(rng.random(n))
+
+
+def _reverse_sorted(n: int, rng: np.random.Generator) -> np.ndarray:
+    return np.sort(rng.random(n))[::-1].copy()
+
+
+def _zipf_like(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Heavily skewed distribution (many small values, a long tail)."""
+    return rng.pareto(1.5, size=n)
+
+
+def _staggered(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Blocks of already-sorted runs in shuffled order (BlockSorted input)."""
+    values = np.sort(rng.random(n))
+    blocks = max(1, n // 64)
+    pieces = np.array_split(values, blocks)
+    rng.shuffle(pieces)
+    return np.concatenate(pieces) if pieces else values
+
+
+WORKLOADS: Dict[str, Callable[[int, np.random.Generator], np.ndarray]] = {
+    "uniform": _uniform,
+    "gaussian": _gaussian,
+    "duplicates": _duplicates,
+    "few_distinct": _few_distinct,
+    "all_equal": _all_equal,
+    "sorted": _sorted,
+    "reverse": _reverse_sorted,
+    "zipf": _zipf_like,
+    "staggered": _staggered,
+}
+
+
+def workload_names() -> List[str]:
+    return sorted(WORKLOADS)
+
+
+def generate(kind: str, n: int, p: int, seed: int = 0) -> List[np.ndarray]:
+    """Per-rank balanced input arrays of workload ``kind`` with ``n`` elements."""
+    try:
+        factory = WORKLOADS[kind]
+    except KeyError as exc:
+        raise KeyError(f"unknown workload {kind!r}; choose from {workload_names()}") from exc
+    rng = np.random.default_rng(seed)
+    return split_balanced(factory(n, rng), p)

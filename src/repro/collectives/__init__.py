@@ -1,0 +1,77 @@
+"""Generic collective-operation algorithms over point-to-point messages.
+
+The algorithms here are shared by the simulated native-MPI layer
+(:mod:`repro.mpi`) and by the RBC library (:mod:`repro.rbc`): both implement
+their collectives "with point-to-point communication" using binomial-tree /
+dissemination communication patterns, exactly as Section V-D of the paper
+describes.  What differs between the two layers is the endpoint (rank
+translation, context, tag discipline) and the vendor cost model applied to
+native MPI.
+
+* :mod:`repro.collectives.topology` — binomial-tree and dissemination helpers.
+* :mod:`repro.collectives.endpoint` — adapter binding a collective instance to
+  a communicator, a tag and a cost model.
+* :mod:`repro.collectives.machines` — the collective state machines
+  (progressed by ``test()``) and their schedules.
+* :mod:`repro.collectives.large` — large-input algorithms (scatter,
+  scatter-allgather broadcast, pipelined broadcast, ring reduce-scatter and
+  ring allreduce) plus the crossover heuristics for ``algorithm="auto"``.
+"""
+
+from .endpoint import TransportEndpoint
+from .large import (
+    allreduce_ring_schedule,
+    bcast_scatter_allgather_schedule,
+    block_bounds,
+    block_sizes,
+    choose_allreduce_algorithm,
+    choose_bcast_algorithm,
+    dispatch_bcast_schedule,
+    pipeline_bcast_schedule,
+    reduce_scatter_ring_schedule,
+    ring_allgather_schedule,
+    scatter_schedule,
+    split_blocks,
+)
+from .machines import (
+    CollectiveRequest,
+    allgather_schedule,
+    allreduce_schedule,
+    alltoallv_schedule,
+    barrier_schedule,
+    bcast_schedule,
+    exscan_schedule,
+    gather_schedule,
+    reduce_schedule,
+    scan_schedule,
+)
+from .topology import binomial_children, binomial_parent, ceil_log2
+
+__all__ = [
+    "CollectiveRequest",
+    "TransportEndpoint",
+    "allgather_schedule",
+    "allreduce_ring_schedule",
+    "allreduce_schedule",
+    "alltoallv_schedule",
+    "barrier_schedule",
+    "bcast_scatter_allgather_schedule",
+    "bcast_schedule",
+    "binomial_children",
+    "binomial_parent",
+    "block_bounds",
+    "block_sizes",
+    "ceil_log2",
+    "choose_allreduce_algorithm",
+    "choose_bcast_algorithm",
+    "dispatch_bcast_schedule",
+    "exscan_schedule",
+    "gather_schedule",
+    "pipeline_bcast_schedule",
+    "reduce_scatter_ring_schedule",
+    "reduce_schedule",
+    "ring_allgather_schedule",
+    "scan_schedule",
+    "scatter_schedule",
+    "split_blocks",
+]

@@ -1,0 +1,105 @@
+"""Endpoint adapter binding a collective instance to a communicator and a tag.
+
+A collective schedule only speaks in group-local ranks.  The endpoint
+translates these to world ranks, stamps the communicator's context and the
+collective's tag onto every message, and applies the cost model of the layer
+executing the collective (native MPI implementations may pay extra per-word
+and per-message overheads — see :mod:`repro.mpi.vendor`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..messaging import RecvRequest, SendRequest
+from ..simulator.network import Transport, payload_words
+from ..simulator.process import RankEnv
+
+__all__ = ["TransportEndpoint"]
+
+
+class TransportEndpoint:
+    """Point-to-point adapter used by collective state machines.
+
+    Parameters
+    ----------
+    env:
+        Environment of the calling rank.
+    transport:
+        Shared network transport.
+    context:
+        Context identifier stamped on every message (the underlying MPI
+        communicator's context id for both MPI and RBC collectives).
+    tag:
+        Tag used by this collective instance.
+    rank, size:
+        This process's rank and the group size *within the collective*.
+    to_world:
+        Translation from group-local rank to world rank.
+    word_cost_factor:
+        Multiplier applied to the wire size of every message (models less
+        efficient data paths inside vendor nonblocking collectives).
+    per_message_delay:
+        Extra local delay in microseconds before each message is injected
+        (models per-message software overhead of vendor collectives).
+    """
+
+    __slots__ = (
+        "env",
+        "transport",
+        "context",
+        "tag",
+        "rank",
+        "size",
+        "to_world",
+        "word_cost_factor",
+        "per_message_delay",
+    )
+
+    def __init__(self, env: RankEnv, transport: Transport, *, context, tag: int,
+                 rank: int, size: int, to_world: Callable[[int], int],
+                 word_cost_factor: float = 1.0, per_message_delay: float = 0.0):
+        self.env = env
+        self.transport = transport
+        self.context = context
+        self.tag = tag
+        self.rank = rank
+        self.size = size
+        self.to_world = to_world
+        self.word_cost_factor = word_cost_factor
+        self.per_message_delay = per_message_delay
+
+    # ------------------------------------------------------------------- p2p
+
+    def isend(self, payload, dest: int, *, local_delay: float = 0.0,
+              words: Optional[int] = None) -> SendRequest:
+        """Nonblocking send of ``payload`` to group rank ``dest``."""
+        if words is None:
+            words = payload_words(payload)
+        wire_words = int(round(words * self.word_cost_factor))
+        handle = self.transport.post_send(
+            src=self.env.rank,
+            dst=self.to_world(dest),
+            tag=self.tag,
+            context=self.context,
+            payload=payload,
+            words=wire_words,
+            local_delay=local_delay + self.per_message_delay,
+        )
+        return SendRequest(self.env, handle)
+
+    def irecv(self, source: int) -> RecvRequest:
+        """Nonblocking receive from group rank ``source`` on this collective's tag."""
+        return RecvRequest(
+            self.env,
+            self.transport,
+            context=self.context,
+            source_world=self.to_world(source),
+            tag=self.tag,
+        )
+
+    # ------------------------------------------------------------------ costs
+
+    def op_delay(self, words: int) -> float:
+        """Local time to apply a reduction operator to ``words`` words."""
+        return self.env.params.compute_cost(words)

@@ -1,0 +1,434 @@
+"""Collective algorithms for large inputs.
+
+The binomial-tree algorithms in :mod:`repro.collectives.machines` are
+"theoretically optimal for small input sizes" (Section V-D of the paper); the
+paper explicitly notes that "it is easy to extend our library by additional
+collective operations, e.g., for large input sizes".  This module provides
+those extensions:
+
+* binomial-tree **scatter** / **scatterv** (the natural dual of gather),
+* a **ring allgather(v)** that is bandwidth-optimal for large contributions,
+* the **scatter-allgather broadcast** (van de Geijn): split the vector into
+  p blocks, scatter them down a binomial tree and re-assemble with a ring
+  allgather — ``O(alpha log p + 2 beta n)`` instead of ``O((alpha + beta n) log p)``,
+* a **pipelined chain broadcast** that streams fixed-size segments down a
+  process chain — asymptotically ``O(alpha (p + k) + beta n)`` for k segments,
+* a **ring reduce-scatter** and the **ring allreduce** built from it
+  (reduce-scatter + allgather), both bandwidth-optimal,
+* :func:`choose_bcast_algorithm` / :func:`choose_allreduce_algorithm`, the
+  simple crossover heuristics the RBC layer uses for ``algorithm="auto"``.
+
+All schedules follow the same protocol as :mod:`repro.collectives.machines`:
+they are generators that yield lists of pending point-to-point requests and
+finally return the local result, so they can be driven by the same
+:class:`~repro.collectives.machines.CollectiveRequest` state machine.
+
+The vector algorithms (scatter-allgather broadcast, reduce-scatter, ring
+allreduce, pipelined broadcast) require one-dimensional NumPy array payloads;
+the generic object algorithms (scatter, ring allgather) accept any payload.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
+
+from ..messaging import Request
+from ..simulator.network import payload_words
+from .endpoint import TransportEndpoint
+from .machines import bcast_schedule
+from .topology import from_virtual, to_virtual
+
+__all__ = [
+    "DEFAULT_SEGMENT_WORDS",
+    "LARGE_BCAST_THRESHOLD_WORDS",
+    "LARGE_ALLREDUCE_THRESHOLD_WORDS",
+    "block_sizes",
+    "block_bounds",
+    "split_blocks",
+    "scatter_schedule",
+    "ring_allgather_schedule",
+    "bcast_scatter_allgather_schedule",
+    "pipeline_bcast_schedule",
+    "reduce_scatter_ring_schedule",
+    "allreduce_ring_schedule",
+    "choose_bcast_algorithm",
+    "choose_allreduce_algorithm",
+]
+
+#: Segment size (in machine words) of the pipelined chain broadcast.
+DEFAULT_SEGMENT_WORDS = 4096
+
+#: Payload size (words per process) above which ``algorithm="auto"`` switches
+#: the broadcast from the binomial tree to the scatter-allgather algorithm.
+#: The crossover of the two cost terms ``(alpha + beta n) log p`` versus
+#: ``alpha log p + 2 beta n`` lies near ``n ~ alpha log p / beta``; with the
+#: default machine parameters and p in the hundreds this is a few thousand
+#: words, so a fixed threshold in that region is a reasonable vendor-style
+#: heuristic (exact tuning is the job of the ablation benchmark).
+LARGE_BCAST_THRESHOLD_WORDS = 8192
+
+#: Same idea for allreduce (reduce+bcast versus ring).
+LARGE_ALLREDUCE_THRESHOLD_WORDS = 4096
+
+
+# ---------------------------------------------------------------------------
+# Block distribution helpers.
+# ---------------------------------------------------------------------------
+
+def block_sizes(total: int, parts: int) -> list[int]:
+    """MPI-style block distribution of ``total`` items over ``parts`` blocks.
+
+    The first ``total % parts`` blocks receive one extra item, so sizes differ
+    by at most one and sum to ``total``.
+    """
+    if parts <= 0:
+        raise ValueError("parts must be positive")
+    if total < 0:
+        raise ValueError("total must be non-negative")
+    base, extra = divmod(total, parts)
+    return [base + (1 if i < extra else 0) for i in range(parts)]
+
+
+def block_bounds(total: int, parts: int) -> list[tuple[int, int]]:
+    """``[lo, hi)`` bounds of every block of the distribution of :func:`block_sizes`."""
+    bounds = []
+    cursor = 0
+    for size in block_sizes(total, parts):
+        bounds.append((cursor, cursor + size))
+        cursor += size
+    return bounds
+
+
+def split_blocks(array: np.ndarray, parts: int) -> list[np.ndarray]:
+    """Split a 1-D array into ``parts`` contiguous blocks (views, no copies)."""
+    array = _require_vector(array, "split_blocks")
+    return [array[lo:hi] for lo, hi in block_bounds(array.shape[0], parts)]
+
+
+def _require_vector(value: Any, operation: str) -> np.ndarray:
+    array = np.asarray(value)
+    if array.ndim != 1:
+        raise ValueError(
+            f"{operation} requires a one-dimensional array payload, "
+            f"got shape {array.shape}")
+    return array
+
+
+# ---------------------------------------------------------------------------
+# Scatter / scatterv.
+# ---------------------------------------------------------------------------
+
+def scatter_schedule(ep: TransportEndpoint, values: Optional[Sequence[Any]], root: int):
+    """Binomial-tree scatter: the root distributes ``values[i]`` to rank ``i``.
+
+    ``values`` is only read on the root (its length must equal the group
+    size); every rank returns its own element.  Payloads may differ in size,
+    so the same schedule implements scatterv.  Internal nodes forward only the
+    payloads destined for their subtree, so the volume on every tree edge is
+    exactly the data below it — ``O(alpha log p + beta n)`` from the root's
+    point of view.
+    """
+    size = ep.size
+    rank = ep.rank
+    if rank == root:
+        if values is None:
+            raise ValueError("scatter root must provide one payload per rank")
+        values = list(values)
+        if len(values) != size:
+            raise ValueError(
+                f"scatter root must provide {size} payloads, got {len(values)}")
+    if size == 1:
+        return values[0]
+
+    vrank = to_virtual(rank, root, size)
+    if vrank == 0:
+        bucket = {to_virtual(dest, root, size): values[dest] for dest in range(size)}
+    else:
+        recv = ep.irecv(from_virtual(binomial_parent_of(vrank), root, size))
+        yield [recv]
+        bucket = recv.result()
+
+    my_value = bucket[vrank]
+
+    sends: list[Request] = []
+    for child, span in _binomial_subtrees(vrank, size):
+        payload = {vr: bucket[vr] for vr in range(child, min(child + span, size))}
+        sends.append(ep.isend(payload, from_virtual(child, root, size)))
+    if sends:
+        yield sends
+    return my_value
+
+
+def binomial_parent_of(vrank: int) -> int:
+    """Parent of ``vrank`` in the binomial tree (only valid for vrank > 0)."""
+    if vrank == 0:
+        raise ValueError("virtual rank 0 is the root and has no parent")
+    return vrank & (vrank - 1)
+
+
+def _binomial_subtrees(vrank: int, size: int) -> list[tuple[int, int]]:
+    """Children of ``vrank`` with the width of the subtree each one roots.
+
+    Returned largest subtree first (the order a scatter should send in).
+    """
+    subtrees = []
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            break
+        child = vrank | mask
+        if child < size:
+            subtrees.append((child, mask))
+        mask <<= 1
+    subtrees.reverse()
+    return subtrees
+
+
+# ---------------------------------------------------------------------------
+# Ring allgather.
+# ---------------------------------------------------------------------------
+
+def ring_allgather_schedule(ep: TransportEndpoint, value: Any):
+    """Ring allgather: after p-1 rounds every rank holds every contribution.
+
+    Bandwidth-optimal (every word crosses each link once) but with ``p - 1``
+    startups, so it only pays off for large contributions — exactly the
+    trade-off of Section IV.  Contributions may differ in size (allgatherv).
+    Returns the list of contributions indexed by group rank.
+    """
+    size = ep.size
+    rank = ep.rank
+    gathered: list[Any] = [None] * size
+    gathered[rank] = value
+    if size == 1:
+        return gathered
+    succ = (rank + 1) % size
+    pred = (rank - 1) % size
+    carried = (rank, value)
+    for _ in range(size - 1):
+        send = ep.isend(carried, succ)
+        recv = ep.irecv(pred)
+        yield [send, recv]
+        carried = recv.result()
+        src, payload = carried
+        gathered[src] = payload
+    return gathered
+
+
+# ---------------------------------------------------------------------------
+# Large-message broadcasts.
+# ---------------------------------------------------------------------------
+
+def bcast_scatter_allgather_schedule(ep: TransportEndpoint, value: Any, root: int):
+    """Scatter-allgather (van de Geijn) broadcast for long vectors.
+
+    The root splits the vector into p near-equal blocks, scatters them down a
+    binomial tree and the group re-assembles the vector with a ring allgather:
+    ``O(alpha (log p + p) + 2 beta n)`` versus ``O((alpha + beta n) log p)``
+    for the binomial tree, i.e. a win once ``beta n`` dominates the startups.
+    Requires a 1-D array payload on the root; every rank returns the full
+    broadcast vector.
+    """
+    size = ep.size
+    if size == 1:
+        return _require_vector(value, "scatter-allgather broadcast")
+    blocks = None
+    if ep.rank == root:
+        array = _require_vector(value, "scatter-allgather broadcast")
+        blocks = split_blocks(array, size)
+    my_block = yield from scatter_schedule(ep, blocks, root)
+    gathered = yield from ring_allgather_schedule(ep, my_block)
+    return np.concatenate([np.asarray(block) for block in gathered])
+
+
+def pipeline_bcast_schedule(ep: TransportEndpoint, value: Any, root: int,
+                            segment_words: int = DEFAULT_SEGMENT_WORDS):
+    """Pipelined chain broadcast: stream fixed-size segments down a process chain.
+
+    The processes form a chain in virtual-rank order (root first); each one
+    forwards segment ``k`` to its successor while already receiving segment
+    ``k + 1`` from its predecessor.  For n words in k segments the time is
+    ``O((p + k)(alpha + beta n / k))`` — with ``k ~ sqrt(n beta / alpha)`` this
+    approaches ``beta n`` for long vectors, at the price of a chain (not
+    logarithmic) latency term.  Requires a 1-D array payload on the root.
+    """
+    if segment_words <= 0:
+        raise ValueError("segment_words must be positive")
+    size = ep.size
+    if size == 1:
+        return _require_vector(value, "pipelined broadcast")
+
+    vrank = to_virtual(ep.rank, root, size)
+    succ = from_virtual(vrank + 1, root, size) if vrank + 1 < size else None
+    pred = from_virtual(vrank - 1, root, size) if vrank > 0 else None
+
+    if vrank == 0:
+        array = _require_vector(value, "pipelined broadcast")
+        total = array.shape[0]
+        num_segments = max(1, -(-total // segment_words))
+        pending_send: Optional[Request] = None
+        for index in range(num_segments):
+            lo = index * segment_words
+            segment = array[lo:lo + segment_words]
+            state = [] if pending_send is None else [pending_send]
+            if state:
+                yield state
+            pending_send = ep.isend((index, num_segments, segment), succ)
+        if pending_send is not None:
+            yield [pending_send]
+        return array
+
+    segments: list[np.ndarray] = []
+    num_segments: Optional[int] = None
+    pending_send = None
+    received = 0
+    while num_segments is None or received < num_segments:
+        recv = ep.irecv(pred)
+        state: list[Request] = [recv]
+        if pending_send is not None:
+            state.append(pending_send)
+            pending_send = None
+        yield state
+        index, num_segments, segment = recv.result()
+        segments.append(np.asarray(segment))
+        received += 1
+        if succ is not None:
+            pending_send = ep.isend((index, num_segments, segment), succ)
+    if pending_send is not None:
+        yield [pending_send]
+    return np.concatenate(segments) if segments else np.asarray(value)
+
+
+# ---------------------------------------------------------------------------
+# Ring reduce-scatter and ring allreduce.
+# ---------------------------------------------------------------------------
+
+def reduce_scatter_ring_schedule(ep: TransportEndpoint, value: Any,
+                                 op: Callable[[Any, Any], Any]):
+    """Ring reduce-scatter: rank ``i`` returns the reduction of block ``i``.
+
+    Every rank contributes a 1-D vector of the same length; the vector is cut
+    into p near-equal blocks (:func:`block_bounds`) and after ``p - 1`` rounds
+    rank ``i`` holds ``op``-reduction over all contributions of block ``i``.
+    Bandwidth-optimal: each rank sends and receives ``n (p-1)/p`` words in
+    total.  Assumes a commutative ``op`` (contributions are folded in ring
+    order, not rank order).
+    """
+    size = ep.size
+    rank = ep.rank
+    array = _require_vector(value, "ring reduce-scatter")
+    bounds = block_bounds(array.shape[0], size)
+    if size == 1:
+        return array.copy()
+
+    succ = (rank + 1) % size
+    pred = (rank - 1) % size
+
+    def local_block(index: int) -> np.ndarray:
+        lo, hi = bounds[index % size]
+        return array[lo:hi]
+
+    # Invariant: before step s the rank holds the partial reduction of block
+    # (rank - s - 1) mod p over the contributions of ranks (rank - s)..rank.
+    current = local_block(rank - 1).copy()
+    pending_delay = 0.0
+    for step in range(size - 1):
+        send = ep.isend(current, succ, local_delay=pending_delay)
+        recv = ep.irecv(pred)
+        yield [send, recv]
+        incoming = recv.result()
+        mine = local_block(rank - step - 2)
+        pending_delay = ep.op_delay(payload_words(incoming))
+        current = op(incoming, mine)
+    return current
+
+
+def allreduce_ring_schedule(ep: TransportEndpoint, value: Any,
+                            op: Callable[[Any, Any], Any]):
+    """Ring allreduce = ring reduce-scatter followed by a ring allgather.
+
+    ``O(alpha p + 2 beta n)`` — bandwidth-optimal and the standard choice for
+    long vectors; the small-input alternative (binomial reduce + broadcast)
+    lives in :func:`repro.collectives.machines.allreduce_schedule`.
+    """
+    size = ep.size
+    array = _require_vector(value, "ring allreduce")
+    my_block = yield from reduce_scatter_ring_schedule(ep, array, op)
+    if size == 1:
+        return my_block
+    gathered = yield from ring_allgather_schedule(ep, my_block)
+    return np.concatenate([np.asarray(block) for block in gathered])
+
+
+# ---------------------------------------------------------------------------
+# Algorithm selection for ``algorithm="auto"``.
+# ---------------------------------------------------------------------------
+
+def choose_bcast_algorithm(words: int, size: int,
+                           payload: Any = None) -> str:
+    """Pick a broadcast algorithm for a payload of ``words`` machine words.
+
+    Vector payloads above :data:`LARGE_BCAST_THRESHOLD_WORDS` on more than two
+    processes use the scatter-allgather algorithm, everything else the
+    binomial tree.  Non-array payloads always use the binomial tree because
+    they cannot be split into blocks.
+    """
+    if payload is not None and not isinstance(payload, np.ndarray):
+        return "binomial"
+    if payload is not None and np.asarray(payload).ndim != 1:
+        return "binomial"
+    if size > 2 and words >= LARGE_BCAST_THRESHOLD_WORDS:
+        return "scatter_allgather"
+    return "binomial"
+
+
+def choose_allreduce_algorithm(words: int, size: int,
+                               payload: Any = None) -> str:
+    """Pick an allreduce algorithm (``"reduce_bcast"`` or ``"ring"``)."""
+    if payload is not None and not isinstance(payload, np.ndarray):
+        return "reduce_bcast"
+    if payload is not None and np.asarray(payload).ndim != 1:
+        return "reduce_bcast"
+    if size > 2 and words >= LARGE_ALLREDUCE_THRESHOLD_WORDS:
+        return "ring"
+    return "reduce_bcast"
+
+
+# ---------------------------------------------------------------------------
+# Dispatching broadcast used by the RBC layer.
+# ---------------------------------------------------------------------------
+
+def dispatch_bcast_schedule(ep: TransportEndpoint, value: Any, root: int,
+                            algorithm: str = "binomial",
+                            segment_words: int = DEFAULT_SEGMENT_WORDS):
+    """Return the schedule implementing ``algorithm`` for a broadcast.
+
+    ``algorithm`` is one of ``"binomial"``, ``"scatter_allgather"``,
+    ``"pipeline"`` or ``"auto"``.  Only the root knows the payload, so under
+    ``"auto"`` the root picks the algorithm and broadcasts its one-word choice
+    down the binomial tree first (the cost of that step is a single
+    ``alpha log p`` term, negligible for the large payloads "auto" is about).
+    """
+    if algorithm == "auto":
+        return _auto_bcast_schedule(ep, value, root, segment_words)
+    if algorithm == "binomial":
+        return bcast_schedule(ep, value, root)
+    if algorithm == "scatter_allgather":
+        return bcast_scatter_allgather_schedule(ep, value, root)
+    if algorithm == "pipeline":
+        return pipeline_bcast_schedule(ep, value, root, segment_words)
+    raise ValueError(
+        f"unknown broadcast algorithm {algorithm!r}; expected one of "
+        "'auto', 'binomial', 'scatter_allgather', 'pipeline'")
+
+
+def _auto_bcast_schedule(ep: TransportEndpoint, value: Any, root: int,
+                         segment_words: int):
+    choice = None
+    if ep.rank == root:
+        choice = choose_bcast_algorithm(payload_words(value), ep.size, value)
+    choice = yield from bcast_schedule(ep, choice, root)
+    result = yield from dispatch_bcast_schedule(ep, value, root, choice, segment_words)
+    return result

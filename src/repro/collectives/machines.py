@@ -1,0 +1,274 @@
+"""Collective-operation state machines.
+
+Every collective algorithm is written as a *schedule*: a Python generator that
+yields lists of pending point-to-point requests ("this state's data
+dependencies") and finally returns the collective's local result.  A
+:class:`CollectiveRequest` wraps a schedule and advances it whenever
+``test()`` is called and all requests of the current state have completed —
+this is precisely the progression-by-``Test`` model of Section V-D of the
+paper (and of Hoefler & Lumsdaine's NBC library).
+
+All rooted algorithms use binomial trees; scan uses a dissemination
+(Hillis-Steele) pattern; barrier uses the dissemination algorithm.  These
+patterns are "generic, not optimized for a specific network, but theoretically
+optimal for small input sizes" — the same design choice as RBC.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+from ..messaging import Request, test_all
+from ..simulator.network import payload_words
+from .endpoint import TransportEndpoint
+from .topology import (
+    binomial_children,
+    binomial_parent,
+    dissemination_rounds,
+    from_virtual,
+    to_virtual,
+)
+
+__all__ = [
+    "CollectiveRequest",
+    "bcast_schedule",
+    "reduce_schedule",
+    "scan_schedule",
+    "exscan_schedule",
+    "gather_schedule",
+    "barrier_schedule",
+    "allgather_schedule",
+    "allreduce_schedule",
+    "alltoallv_schedule",
+]
+
+
+class CollectiveRequest(Request):
+    """Drives a collective schedule; completes when the schedule returns.
+
+    The first state is executed eagerly on construction (the paper: "RBC
+    creates a request object which contains a local state machine, executes
+    its first state, and returns the request").  Subsequent states execute
+    whenever ``test()`` finds all current data dependencies satisfied.
+    """
+
+    def __init__(self, env, schedule):
+        self.env = env
+        self._gen = schedule
+        self._pending: list[Request] = []
+        self._done = False
+        self._value: Any = None
+        # Execute the first state eagerly so communication starts immediately.
+        self.test()
+
+    def test(self) -> bool:
+        if self._done:
+            return True
+        while True:
+            if self._pending and not test_all(self._pending):
+                return False
+            try:
+                nxt = self._gen.send(None)
+            except StopIteration as stop:
+                self._value = stop.value
+                self._done = True
+                return True
+            self._pending = list(nxt) if nxt else []
+
+    def result(self) -> Any:
+        return self._value
+
+
+# ---------------------------------------------------------------------------
+# Rooted collectives: broadcast, reduce, gather.
+# ---------------------------------------------------------------------------
+
+def bcast_schedule(ep: TransportEndpoint, value: Any, root: int):
+    """Binomial-tree broadcast; every rank returns the broadcast value."""
+    size = ep.size
+    if size == 1:
+        return value
+    vrank = to_virtual(ep.rank, root, size)
+    parent = binomial_parent(vrank)
+    if parent is not None:
+        recv = ep.irecv(from_virtual(parent, root, size))
+        yield [recv]
+        value = recv.result()
+    sends = []
+    for child in binomial_children(vrank, size):
+        sends.append(ep.isend(value, from_virtual(child, root, size)))
+    if sends:
+        yield sends
+    return value
+
+
+def reduce_schedule(ep: TransportEndpoint, value: Any, op: Callable[[Any, Any], Any],
+                    root: int):
+    """Binomial-tree reduction; the root returns the result, others None."""
+    size = ep.size
+    if size == 1:
+        return value
+    vrank = to_virtual(ep.rank, root, size)
+    children = binomial_children(vrank, size)
+    combine_delay = 0.0
+    if children:
+        recvs = [ep.irecv(from_virtual(child, root, size)) for child in children]
+        yield recvs
+        for recv in recvs:
+            contribution = recv.result()
+            combine_delay += ep.op_delay(payload_words(contribution))
+            value = op(value, contribution)
+    parent = binomial_parent(vrank)
+    if parent is not None:
+        send = ep.isend(value, from_virtual(parent, root, size),
+                        local_delay=combine_delay)
+        yield [send]
+        return None
+    return value
+
+
+def gather_schedule(ep: TransportEndpoint, value: Any, root: int):
+    """Binomial-tree gather; the root returns ``[value_0, ..., value_{p-1}]``.
+
+    Values may have different sizes, so this doubles as gatherv.
+    """
+    size = ep.size
+    if size == 1:
+        return [value]
+    vrank = to_virtual(ep.rank, root, size)
+    collected: list[tuple[int, Any]] = [(ep.rank, value)]
+    children = binomial_children(vrank, size)
+    if children:
+        recvs = [ep.irecv(from_virtual(child, root, size)) for child in children]
+        yield recvs
+        for recv in recvs:
+            collected.extend(recv.result())
+    parent = binomial_parent(vrank)
+    if parent is not None:
+        send = ep.isend(collected, from_virtual(parent, root, size))
+        yield [send]
+        return None
+    collected.sort(key=lambda pair: pair[0])
+    return [item for _, item in collected]
+
+
+# ---------------------------------------------------------------------------
+# Prefix operations.
+# ---------------------------------------------------------------------------
+
+def scan_schedule(ep: TransportEndpoint, value: Any, op: Callable[[Any, Any], Any]):
+    """Inclusive prefix reduction (dissemination / Hillis-Steele pattern).
+
+    Rank i returns ``op(x_0, ..., x_i)``.  O(alpha log p + beta l log p).
+    """
+    size = ep.size
+    rank = ep.rank
+    acc = value
+    pending_delay = 0.0
+    for distance in dissemination_rounds(size):
+        state: list[Request] = []
+        recv = None
+        if rank + distance < size:
+            state.append(ep.isend(acc, rank + distance, local_delay=pending_delay))
+        if rank - distance >= 0:
+            recv = ep.irecv(rank - distance)
+            state.append(recv)
+        pending_delay = 0.0
+        if state:
+            yield state
+        if recv is not None:
+            contribution = recv.result()
+            pending_delay = ep.op_delay(payload_words(contribution))
+            acc = op(contribution, acc)
+    return acc
+
+
+def exscan_schedule(ep: TransportEndpoint, value: Any, op: Callable[[Any, Any], Any]):
+    """Exclusive prefix reduction: rank 0 returns None, rank i>0 returns
+    ``op(x_0, ..., x_{i-1})``.
+
+    Implemented as an inclusive scan followed by a shift by one rank, which
+    keeps the algorithm correct for non-invertible operators.
+    """
+    size = ep.size
+    rank = ep.rank
+    inclusive = yield from scan_schedule(ep, value, op)
+    state: list[Request] = []
+    recv = None
+    if rank + 1 < size:
+        state.append(ep.isend(inclusive, rank + 1))
+    if rank > 0:
+        recv = ep.irecv(rank - 1)
+        state.append(recv)
+    if state:
+        yield state
+    if recv is None:
+        return None
+    return recv.result()
+
+
+# ---------------------------------------------------------------------------
+# Barrier.
+# ---------------------------------------------------------------------------
+
+def barrier_schedule(ep: TransportEndpoint):
+    """Dissemination barrier: log2(p) rounds of zero-payload token exchange."""
+    size = ep.size
+    rank = ep.rank
+    if size == 1:
+        return None
+    for distance in dissemination_rounds(size):
+        send = ep.isend(None, (rank + distance) % size)
+        recv = ep.irecv((rank - distance) % size)
+        yield [send, recv]
+    return None
+
+
+# ---------------------------------------------------------------------------
+# All-to-all style operations (built from the primitives above).
+# ---------------------------------------------------------------------------
+
+def allgather_schedule(ep: TransportEndpoint, value: Any):
+    """Allgather = gather to rank 0 followed by a broadcast of the list."""
+    gathered = yield from gather_schedule(ep, value, root=0)
+    result = yield from bcast_schedule(ep, gathered, root=0)
+    return result
+
+
+def allreduce_schedule(ep: TransportEndpoint, value: Any,
+                       op: Callable[[Any, Any], Any]):
+    """Allreduce = reduce to rank 0 followed by a broadcast of the result."""
+    reduced = yield from reduce_schedule(ep, value, op, root=0)
+    result = yield from bcast_schedule(ep, reduced, root=0)
+    return result
+
+
+def alltoallv_schedule(ep: TransportEndpoint, payloads: Sequence[Any]):
+    """Direct all-to-all exchange of per-destination payloads.
+
+    ``payloads[j]`` is delivered to rank ``j``; the call returns a list where
+    entry ``i`` is the payload received from rank ``i``.  Every rank sends to
+    every other rank (possibly an empty payload), i.e. p - 1 message startups
+    per rank — the behaviour the paper attributes to single-level sample sort.
+    """
+    size = ep.size
+    rank = ep.rank
+    if len(payloads) != size:
+        raise ValueError(f"expected {size} payloads, got {len(payloads)}")
+    received: list[Any] = [None] * size
+    received[rank] = payloads[rank]
+    if size == 1:
+        return received
+    state: list[Request] = []
+    recvs: list[tuple[int, Request]] = []
+    for offset in range(1, size):
+        dest = (rank + offset) % size
+        src = (rank - offset) % size
+        state.append(ep.isend(payloads[dest], dest))
+        recv = ep.irecv(src)
+        recvs.append((src, recv))
+        state.append(recv)
+    yield state
+    for src, recv in recvs:
+        received[src] = recv.result()
+    return received

@@ -1,0 +1,74 @@
+"""Communication topology helpers: binomial trees and dissemination patterns.
+
+All helpers work on *virtual ranks*: the root of a rooted collective is mapped
+to virtual rank 0 via ``vrank = (rank - root) mod size`` and back via
+``rank = (vrank + root) mod size``.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ceil_log2",
+    "binomial_parent",
+    "binomial_children",
+    "dissemination_rounds",
+    "to_virtual",
+    "from_virtual",
+]
+
+
+def ceil_log2(n: int) -> int:
+    """Smallest k with 2**k >= n (0 for n <= 1)."""
+    if n <= 1:
+        return 0
+    return (n - 1).bit_length()
+
+
+def to_virtual(rank: int, root: int, size: int) -> int:
+    """Map a group rank to its virtual rank with the root at 0."""
+    return (rank - root) % size
+
+
+def from_virtual(vrank: int, root: int, size: int) -> int:
+    """Inverse of :func:`to_virtual`."""
+    return (vrank + root) % size
+
+
+def binomial_parent(vrank: int) -> int | None:
+    """Parent of ``vrank`` in the binomial broadcast tree (None for the root)."""
+    if vrank == 0:
+        return None
+    return vrank & (vrank - 1)
+
+
+def binomial_children(vrank: int, size: int) -> list[int]:
+    """Children of ``vrank`` in the binomial broadcast tree over ``size`` ranks.
+
+    The children are returned in *decreasing subtree size* order, which is the
+    order a broadcast should send in (largest subtree first) so the critical
+    path stays logarithmic.
+    """
+    children = []
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            break
+        child = vrank | mask
+        if child < size:
+            children.append(child)
+        mask <<= 1
+    children.reverse()
+    return children
+
+
+def dissemination_rounds(size: int) -> list[int]:
+    """Distances used by dissemination-style algorithms (barrier, scan).
+
+    Returns ``[1, 2, 4, ...]`` up to the largest power of two below ``size``.
+    """
+    rounds = []
+    distance = 1
+    while distance < size:
+        rounds.append(distance)
+        distance <<= 1
+    return rounds

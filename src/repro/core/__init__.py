@@ -1,0 +1,13 @@
+"""Core public API: the paper's primary contribution.
+
+``repro.core`` re-exports the RBC library (:mod:`repro.rbc`) and the
+Section VI nonblocking communicator-creation proposal, which together form
+the contribution of the paper.  Substrates (the simulator and the simulated
+native MPI layer) and applications (the sorting algorithms) live in their own
+packages.
+"""
+
+from ..rbc import *  # noqa: F401,F403 - deliberate re-export of the public API
+from ..rbc import __all__ as _rbc_all
+
+__all__ = list(_rbc_all)

@@ -1,0 +1,223 @@
+"""Message-envelope status and request objects for nonblocking operations.
+
+This module sits directly on top of the simulator transport and below both
+the simulated MPI layer and RBC: every nonblocking operation of either layer
+returns one of these requests (or a wrapper around one).  Calling
+:meth:`Request.test` makes local progress and reports completion;
+:meth:`Request.wait` is a generator that blocks the calling rank until the
+request completes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from .simulator.network import ANY_SOURCE, ANY_TAG, Transport, payload_words
+from .simulator.process import RankEnv
+
+__all__ = [
+    "Status",
+    "Request",
+    "CompletedRequest",
+    "SendRequest",
+    "RecvRequest",
+    "test_all",
+    "test_any",
+    "wait_all",
+    "wait_any",
+]
+
+
+@dataclass
+class Status:
+    """Envelope information of a received or probed message (``MPI_Status``).
+
+    Attributes
+    ----------
+    source:
+        Rank of the sender, expressed in the communicator the receive or
+        probe was issued on (RBC rank for RBC operations, MPI rank for MPI
+        operations).
+    tag:
+        Tag of the message.
+    count:
+        Number of machine words of the payload.
+    """
+
+    source: int = -1
+    tag: int = -1
+    count: int = 0
+    cancelled: bool = False
+
+    def get_source(self) -> int:
+        return self.source
+
+    def get_tag(self) -> int:
+        return self.tag
+
+    def get_count(self) -> int:
+        return self.count
+
+
+class Request:
+    """Abstract nonblocking-operation handle."""
+
+    #: Environment of the rank that owns the request (used by ``wait``).
+    env: RankEnv
+
+    def test(self) -> bool:
+        """Make progress; return True once the operation has completed."""
+        raise NotImplementedError
+
+    @property
+    def done(self) -> bool:
+        return self.test()
+
+    def wait(self):
+        """Generator: block the calling rank until the operation completes."""
+        yield from self.env.wait_until(self.test)
+        return self.result()
+
+    def result(self) -> Any:
+        """Operation outcome (received data for receives, None otherwise)."""
+        return None
+
+    def get_status(self) -> Optional[Status]:
+        """Status of the completed operation, if applicable."""
+        return None
+
+
+class CompletedRequest(Request):
+    """A request that is already complete (e.g. send/recv to ``PROC_NULL``)."""
+
+    def __init__(self, env: RankEnv, value: Any = None, status: Optional[Status] = None):
+        self.env = env
+        self._value = value
+        self._status = status
+
+    def test(self) -> bool:
+        return True
+
+    def result(self) -> Any:
+        return self._value
+
+    def get_status(self) -> Optional[Status]:
+        return self._status
+
+
+class SendRequest(Request):
+    """Handle of a nonblocking send; completes when the send buffer is free."""
+
+    def __init__(self, env: RankEnv, handle):
+        self.env = env
+        self._handle = handle
+
+    def test(self) -> bool:
+        return self._handle.done
+
+
+class RecvRequest(Request):
+    """Handle of a nonblocking receive.
+
+    ``test()`` attempts to match an arrived message in the rank's mailbox.
+    The optional ``source_filter`` supports RBC's wildcard semantics: when
+    receiving with ``ANY_SOURCE`` on a range-based communicator, only messages
+    whose sender belongs to the range may be matched.
+    """
+
+    def __init__(self, env: RankEnv, transport: Transport, *,
+                 context, source_world: int, tag: int,
+                 source_filter: Optional[Callable[[int], bool]] = None,
+                 translate_source: Optional[Callable[[int], int]] = None):
+        self.env = env
+        self._transport = transport
+        self._context = context
+        self._source_world = source_world
+        self._tag = tag
+        self._source_filter = source_filter
+        self._translate_source = translate_source or (lambda world: world)
+        self._message = None
+        self._status: Optional[Status] = None
+
+    def test(self) -> bool:
+        if self._message is not None:
+            return True
+        message = self._match()
+        if message is None:
+            return False
+        self._message = message
+        self._status = Status(
+            source=self._translate_source(message.src),
+            tag=message.tag,
+            count=message.words,
+        )
+        return True
+
+    def _match(self):
+        transport = self._transport
+        rank = self.env.rank
+        if self._source_world != ANY_SOURCE or self._source_filter is None:
+            return transport.take_match(rank, self._source_world, self._tag, self._context)
+        # Wildcard receive restricted to a subset of senders (RBC ranges):
+        # scan arrived messages for the earliest one whose sender qualifies.
+        candidate = None
+        for message in transport._mailboxes[rank]:
+            if not message.matches(ANY_SOURCE, self._tag, self._context):
+                continue
+            if not self._source_filter(message.src):
+                continue
+            if candidate is None or message.seq < candidate.seq:
+                candidate = message
+        if candidate is not None:
+            transport._mailboxes[rank].remove(candidate)
+        return candidate
+
+    def result(self) -> Any:
+        if self._message is None:
+            return None
+        return self._message.payload
+
+    def get_status(self) -> Optional[Status]:
+        return self._status
+
+
+# --------------------------------------------------------------------------
+# Request-set helpers (MPI_Testall / MPI_Waitall / MPI_Waitany analogues).
+# --------------------------------------------------------------------------
+
+def test_all(requests: Iterable[Request]) -> bool:
+    """True once every request in the set has completed (progresses all)."""
+    done = True
+    for request in requests:
+        if not request.test():
+            done = False
+    return done
+
+
+def test_any(requests: Sequence[Request]) -> tuple[bool, Optional[int]]:
+    """(True, index) for the first completed request, else (False, None)."""
+    for index, request in enumerate(requests):
+        if request.test():
+            return True, index
+    return False, None
+
+
+def wait_all(env: RankEnv, requests: Sequence[Request]):
+    """Generator: block until every request has completed; return results."""
+    yield from env.wait_until(lambda: test_all(requests))
+    return [request.result() for request in requests]
+
+
+def wait_any(env: RankEnv, requests: Sequence[Request]):
+    """Generator: block until at least one request completes; return its index."""
+    found: list[Optional[int]] = [None]
+
+    def predicate() -> bool:
+        ok, index = test_any(requests)
+        if ok:
+            found[0] = index
+        return ok
+
+    yield from env.wait_until(predicate)
+    return found[0]

@@ -1,0 +1,100 @@
+"""Simulated MPI-3 layer (the "native MPI" baseline of the paper).
+
+This package provides, per simulated rank, a faithful model of the MPI
+machinery the paper's evaluation compares RBC against:
+
+* :func:`init_mpi` / :class:`MpiRuntime` — per-rank library state, COMM_WORLD.
+* :class:`MpiCommunicator` — point-to-point operations, probing, blocking and
+  nonblocking collective operations (binomial-tree based), with the vendor
+  cost model applied.
+* :class:`MpiGroup` — explicit and range-based group storage.
+* :func:`comm_create_group`, :func:`comm_split` — blocking communicator
+  creation, including context-ID-mask agreement and linear-in-p group
+  construction (the behaviours the paper measures in Fig. 5 and Fig. 6).
+* :mod:`repro.mpi.vendor` — cost models of Intel MPI, IBM MPI and a generic
+  implementation.
+"""
+
+from .comm import MpiCommunicator
+from .comm_create import comm_create_group, comm_dup, comm_split
+from .context import ContextIdPool, TupleContextId
+from .datatypes import (
+    ANY_SOURCE,
+    ANY_TAG,
+    BAND,
+    BOR,
+    BYTE,
+    DOUBLE,
+    INT,
+    LONG,
+    MAX,
+    MAXLOC,
+    MIN,
+    MINLOC,
+    PROC_NULL,
+    PROD,
+    SUM,
+    UNDEFINED,
+    Datatype,
+    Op,
+)
+from .group import GroupFormat, MpiGroup
+from .request import (
+    CompletedRequest,
+    RecvRequest,
+    Request,
+    SendRequest,
+    test_all,
+    test_any,
+    wait_all,
+    wait_any,
+)
+from .runtime import MpiRuntime, init_mpi
+from .status import Status
+from .vendor import GENERIC, IBM_MPI, INTEL_MPI, VENDORS, VendorModel, get_vendor
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "BAND",
+    "BOR",
+    "BYTE",
+    "CompletedRequest",
+    "ContextIdPool",
+    "DOUBLE",
+    "Datatype",
+    "GENERIC",
+    "GroupFormat",
+    "IBM_MPI",
+    "INT",
+    "INTEL_MPI",
+    "LONG",
+    "MAX",
+    "MAXLOC",
+    "MIN",
+    "MINLOC",
+    "MpiCommunicator",
+    "MpiGroup",
+    "MpiRuntime",
+    "Op",
+    "PROC_NULL",
+    "PROD",
+    "RecvRequest",
+    "Request",
+    "SUM",
+    "SendRequest",
+    "Status",
+    "TupleContextId",
+    "UNDEFINED",
+    "VENDORS",
+    "VendorModel",
+    "comm_create_group",
+    "comm_dup",
+    "comm_split",
+    "get_vendor",
+    "init_mpi",
+    "test_all",
+    "test_any",
+    "wait_all",
+    "wait_any",
+]

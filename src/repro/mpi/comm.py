@@ -1,0 +1,353 @@
+"""Simulated MPI communicator: point-to-point, probing and collectives.
+
+This is the "native MPI" layer the paper benchmarks RBC against.  It talks to
+the simulated transport directly, separates communication contexts with the
+communicator's context ID (plus an internal sub-channel and a synchronous
+collective sequence counter, mirroring how real implementations keep
+collectives and point-to-point traffic apart), and charges the vendor cost
+model for nonblocking collectives and communicator creation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+from ..collectives.endpoint import TransportEndpoint
+from ..collectives.large import reduce_scatter_ring_schedule, scatter_schedule
+from ..collectives.machines import (
+    CollectiveRequest,
+    allgather_schedule,
+    allreduce_schedule,
+    alltoallv_schedule,
+    barrier_schedule,
+    bcast_schedule,
+    exscan_schedule,
+    gather_schedule,
+    reduce_schedule,
+    scan_schedule,
+)
+from ..simulator.network import ANY_SOURCE, ANY_TAG, payload_words
+from ..simulator.process import RankEnv
+from .datatypes import PROC_NULL, SUM
+from .group import MpiGroup
+from .request import CompletedRequest, RecvRequest, Request, SendRequest
+from .status import Status
+from .vendor import VendorModel
+
+__all__ = ["MpiCommunicator"]
+
+
+class MpiCommunicator:
+    """A simulated MPI communicator (group + context id) as seen by one rank."""
+
+    def __init__(self, runtime, group: MpiGroup, context_id):
+        self.runtime = runtime
+        self.group = group
+        self.context_id = context_id
+        self._env: RankEnv = runtime.env
+        self._rank = group.rank_of(self._env.rank)
+        self._size = group.size
+        self._coll_seq = 0
+
+    # ------------------------------------------------------------------ basics
+
+    @property
+    def env(self) -> RankEnv:
+        return self._env
+
+    @property
+    def vendor(self) -> VendorModel:
+        return self.runtime.vendor
+
+    @property
+    def rank(self) -> int:
+        """This process's rank in the communicator."""
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        """Number of processes in the communicator."""
+        return self._size
+
+    def to_world(self, comm_rank: int) -> int:
+        """Communicator rank -> world rank."""
+        return self.group.translate(comm_rank)
+
+    def from_world(self, world_rank: int) -> int:
+        """World rank -> communicator rank (UNDEFINED if not a member)."""
+        return self.group.rank_of(world_rank)
+
+    def _p2p_context(self):
+        return (self.context_id, "pt2pt")
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return (
+            f"MpiCommunicator(rank={self._rank}, size={self._size}, "
+            f"context={self.context_id!r})"
+        )
+
+    # -------------------------------------------------------------------- p2p
+
+    def isend(self, payload: Any, dest: int, tag: int = 0, *,
+              words: Optional[int] = None) -> Request:
+        """Nonblocking send to communicator rank ``dest``."""
+        if dest == PROC_NULL:
+            return CompletedRequest(self._env)
+        handle = self._env.transport.post_send(
+            src=self._env.rank,
+            dst=self.to_world(dest),
+            tag=tag,
+            context=self._p2p_context(),
+            payload=payload,
+            words=words if words is not None else payload_words(payload),
+        )
+        return SendRequest(self._env, handle)
+
+    def send(self, payload: Any, dest: int, tag: int = 0, *,
+             words: Optional[int] = None):
+        """Blocking send (generator): returns once the send buffer is free."""
+        request = self.isend(payload, dest, tag, words=words)
+        yield from request.wait()
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Nonblocking receive; the request's ``result()`` is the payload."""
+        if source == PROC_NULL:
+            return CompletedRequest(self._env, value=None,
+                                    status=Status(source=PROC_NULL, tag=tag, count=0))
+        source_world = ANY_SOURCE if source == ANY_SOURCE else self.to_world(source)
+        return RecvRequest(
+            self._env,
+            self._env.transport,
+            context=self._p2p_context(),
+            source_world=source_world,
+            tag=tag,
+            translate_source=self.from_world,
+        )
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG, *,
+             return_status: bool = False):
+        """Blocking receive (generator). Returns the payload, or
+        ``(payload, Status)`` when ``return_status`` is true."""
+        request = self.irecv(source, tag)
+        payload = yield from request.wait()
+        if return_status:
+            return payload, request.get_status()
+        return payload
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Nonblocking probe: ``(flag, Status or None)``."""
+        source_world = ANY_SOURCE if source == ANY_SOURCE else self.to_world(source)
+        message = self._env.transport.find_match(
+            self._env.rank, source_world, tag, self._p2p_context())
+        if message is None:
+            return False, None
+        status = Status(source=self.from_world(message.src), tag=message.tag,
+                        count=message.words)
+        return True, status
+
+    def iprobe_where(self, tag: int, predicate):
+        """Nonblocking probe for the earliest message on ``tag`` whose sender's
+        *world rank* satisfies ``predicate``.
+
+        This is the hook RBC uses for wildcard probes restricted to a range of
+        processes: it never reports (and never consumes) messages from senders
+        outside the range, so traffic of other RBC communicators sharing this
+        MPI communicator is not disturbed.
+        """
+        transport = self._env.transport
+        context = self._p2p_context()
+        best = None
+        for message in transport._mailboxes[self._env.rank]:
+            if not message.matches(ANY_SOURCE, tag, context):
+                continue
+            if not predicate(message.src):
+                continue
+            if best is None or message.seq < best.seq:
+                best = message
+        if best is None:
+            return False, None
+        return True, Status(source=self.from_world(best.src), tag=best.tag,
+                            count=best.words)
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Blocking probe (generator): returns the Status of a ready message."""
+        result: list[Optional[Status]] = [None]
+
+        def ready() -> bool:
+            flag, status = self.iprobe(source, tag)
+            if flag:
+                result[0] = status
+            return flag
+
+        yield from self._env.wait_until(ready)
+        return result[0]
+
+    def sendrecv(self, payload: Any, dest: int, source: int,
+                 sendtag: int = 0, recvtag: int = ANY_TAG):
+        """Combined blocking send+receive (generator); returns the received payload."""
+        send_request = self.isend(payload, dest, sendtag)
+        recv_request = self.irecv(source, recvtag)
+        yield from self._env.wait_until(
+            lambda: send_request.test() and recv_request.test())
+        return recv_request.result()
+
+    # -------------------------------------------------------------- collectives
+
+    def _collective_endpoint(self, operation: str, *,
+                             apply_vendor: bool = True) -> TransportEndpoint:
+        """Endpoint for one collective invocation.
+
+        Every invocation gets a fresh sequence number in its context so that
+        simultaneously outstanding nonblocking collectives on the same
+        communicator cannot interfere — the synchronous "tag counter" approach
+        the paper cites from Hoefler & Lumsdaine.  It stays synchronous
+        because MPI requires every member to call collectives in the same
+        order.
+        """
+        seq = self._coll_seq
+        self._coll_seq += 1
+        vendor = self.vendor
+        word_factor = vendor.word_factor(operation) if apply_vendor else 1.0
+        per_message = vendor.collective_message_overhead if apply_vendor else 0.0
+        return TransportEndpoint(
+            self._env,
+            self._env.transport,
+            context=(self.context_id, "coll", seq),
+            tag=0,
+            rank=self._rank,
+            size=self._size,
+            to_world=self.to_world,
+            word_cost_factor=word_factor,
+            per_message_delay=per_message,
+        )
+
+    # --- nonblocking ---------------------------------------------------------
+
+    def ibcast(self, value: Any, root: int = 0) -> CollectiveRequest:
+        ep = self._collective_endpoint("bcast")
+        return CollectiveRequest(self._env, bcast_schedule(ep, value, root))
+
+    def ireduce(self, value: Any, op=SUM, root: int = 0) -> CollectiveRequest:
+        ep = self._collective_endpoint("reduce")
+        return CollectiveRequest(self._env, reduce_schedule(ep, value, op, root))
+
+    def iallreduce(self, value: Any, op=SUM) -> CollectiveRequest:
+        ep = self._collective_endpoint("allreduce")
+        return CollectiveRequest(self._env, allreduce_schedule(ep, value, op))
+
+    def iscan(self, value: Any, op=SUM) -> CollectiveRequest:
+        ep = self._collective_endpoint("scan")
+        return CollectiveRequest(self._env, scan_schedule(ep, value, op))
+
+    def iexscan(self, value: Any, op=SUM) -> CollectiveRequest:
+        ep = self._collective_endpoint("exscan")
+        return CollectiveRequest(self._env, exscan_schedule(ep, value, op))
+
+    def igather(self, value: Any, root: int = 0) -> CollectiveRequest:
+        ep = self._collective_endpoint("gather")
+        return CollectiveRequest(self._env, gather_schedule(ep, value, root))
+
+    def igatherv(self, value: Any, root: int = 0) -> CollectiveRequest:
+        # Variable-size gather shares the implementation of igather.
+        return self.igather(value, root)
+
+    def iallgather(self, value: Any) -> CollectiveRequest:
+        ep = self._collective_endpoint("allgather")
+        return CollectiveRequest(self._env, allgather_schedule(ep, value))
+
+    def ialltoallv(self, payloads: Sequence[Any]) -> CollectiveRequest:
+        ep = self._collective_endpoint("alltoallv")
+        return CollectiveRequest(self._env, alltoallv_schedule(ep, payloads))
+
+    def iscatter(self, values: Optional[Sequence[Any]], root: int = 0) -> CollectiveRequest:
+        ep = self._collective_endpoint("scatter")
+        return CollectiveRequest(self._env, scatter_schedule(ep, values, root))
+
+    def iscatterv(self, values: Optional[Sequence[Any]], root: int = 0) -> CollectiveRequest:
+        # Variable-size scatter shares the implementation of iscatter.
+        return self.iscatter(values, root)
+
+    def ireduce_scatter(self, value: Any, op=SUM) -> CollectiveRequest:
+        ep = self._collective_endpoint("reduce_scatter")
+        return CollectiveRequest(self._env, reduce_scatter_ring_schedule(ep, value, op))
+
+    def ibarrier(self) -> CollectiveRequest:
+        ep = self._collective_endpoint("barrier")
+        return CollectiveRequest(self._env, barrier_schedule(ep))
+
+    # --- blocking wrappers ---------------------------------------------------
+
+    def bcast(self, value: Any, root: int = 0):
+        result = yield from self.ibcast(value, root).wait()
+        return result
+
+    def reduce(self, value: Any, op=SUM, root: int = 0):
+        result = yield from self.ireduce(value, op, root).wait()
+        return result
+
+    def allreduce(self, value: Any, op=SUM):
+        result = yield from self.iallreduce(value, op).wait()
+        return result
+
+    def scan(self, value: Any, op=SUM):
+        result = yield from self.iscan(value, op).wait()
+        return result
+
+    def exscan(self, value: Any, op=SUM):
+        result = yield from self.iexscan(value, op).wait()
+        return result
+
+    def gather(self, value: Any, root: int = 0):
+        result = yield from self.igather(value, root).wait()
+        return result
+
+    def gatherv(self, value: Any, root: int = 0):
+        result = yield from self.igatherv(value, root).wait()
+        return result
+
+    def allgather(self, value: Any):
+        result = yield from self.iallgather(value).wait()
+        return result
+
+    def alltoallv(self, payloads: Sequence[Any]):
+        result = yield from self.ialltoallv(payloads).wait()
+        return result
+
+    def scatter(self, values: Optional[Sequence[Any]], root: int = 0):
+        result = yield from self.iscatter(values, root).wait()
+        return result
+
+    def scatterv(self, values: Optional[Sequence[Any]], root: int = 0):
+        result = yield from self.iscatterv(values, root).wait()
+        return result
+
+    def reduce_scatter(self, value: Any, op=SUM):
+        result = yield from self.ireduce_scatter(value, op).wait()
+        return result
+
+    def barrier(self):
+        yield from self.ibarrier().wait()
+
+    # ---------------------------------------------------- communicator creation
+
+    def create_group(self, group: MpiGroup, tag: int = 0):
+        """Blocking ``MPI_Comm_create_group`` (generator over group members)."""
+        from .comm_create import comm_create_group
+        comm = yield from comm_create_group(self, group, tag)
+        return comm
+
+    def split(self, color: int, key: int = 0):
+        """Blocking ``MPI_Comm_split`` (generator over *all* members)."""
+        from .comm_create import comm_split
+        comm = yield from comm_split(self, color, key)
+        return comm
+
+    def dup(self):
+        """Blocking communicator duplication (same group, fresh context id)."""
+        from .comm_create import comm_dup
+        comm = yield from comm_dup(self)
+        return comm
+
+    def free(self) -> None:
+        """Release this communicator's context id (local bookkeeping)."""
+        self.runtime.release_context(self.context_id)

@@ -1,0 +1,100 @@
+"""MPI-like constants, datatypes and reduction operators.
+
+The simulated MPI layer passes Python/NumPy objects by reference (copying on
+send), so datatypes exist mainly for API parity with MPI and for computing
+message sizes in machine words.  Reduction operators are plain callables that
+work on scalars and NumPy arrays alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "PROC_NULL",
+    "UNDEFINED",
+    "Datatype",
+    "DOUBLE",
+    "INT",
+    "LONG",
+    "BYTE",
+    "Op",
+    "SUM",
+    "PROD",
+    "MIN",
+    "MAX",
+    "BAND",
+    "BOR",
+    "MINLOC",
+    "MAXLOC",
+]
+
+#: Wildcard source for receive/probe matching.
+ANY_SOURCE = -1
+#: Wildcard tag for receive/probe matching.
+ANY_TAG = -1
+#: Null process: operations addressed to it complete immediately and do nothing.
+PROC_NULL = -2
+#: Returned by e.g. ``group.rank_of`` for processes outside the group.
+UNDEFINED = -3
+
+
+@dataclass(frozen=True)
+class Datatype:
+    """An MPI datatype: a name, a NumPy dtype and its size in bytes."""
+
+    name: str
+    np_dtype: np.dtype
+    size_bytes: int
+
+    def __repr__(self):
+        return f"Datatype({self.name})"
+
+
+DOUBLE = Datatype("MPI_DOUBLE", np.dtype(np.float64), 8)
+INT = Datatype("MPI_INT", np.dtype(np.int32), 4)
+LONG = Datatype("MPI_LONG", np.dtype(np.int64), 8)
+BYTE = Datatype("MPI_BYTE", np.dtype(np.uint8), 1)
+
+
+@dataclass(frozen=True)
+class Op:
+    """A reduction operator usable by reduce / allreduce / scan.
+
+    ``fn(a, b)`` must be associative; ``commutative`` is informational.  The
+    callables accept scalars and NumPy arrays (elementwise).
+    """
+
+    name: str
+    fn: Callable[[Any, Any], Any]
+    commutative: bool = True
+
+    def __call__(self, a, b):
+        return self.fn(a, b)
+
+    def __repr__(self):
+        return f"Op({self.name})"
+
+
+def _minloc(a, b):
+    # a, b are (value, index) pairs
+    return a if a[0] <= b[0] else b
+
+
+def _maxloc(a, b):
+    return a if a[0] >= b[0] else b
+
+
+SUM = Op("MPI_SUM", lambda a, b: a + b)
+PROD = Op("MPI_PROD", lambda a, b: a * b)
+MIN = Op("MPI_MIN", lambda a, b: np.minimum(a, b) if isinstance(a, np.ndarray) or isinstance(b, np.ndarray) else min(a, b))
+MAX = Op("MPI_MAX", lambda a, b: np.maximum(a, b) if isinstance(a, np.ndarray) or isinstance(b, np.ndarray) else max(a, b))
+BAND = Op("MPI_BAND", lambda a, b: a & b)
+BOR = Op("MPI_BOR", lambda a, b: a | b)
+MINLOC = Op("MPI_MINLOC", _minloc)
+MAXLOC = Op("MPI_MAXLOC", _maxloc)

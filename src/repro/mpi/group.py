@@ -1,0 +1,212 @@
+"""MPI process groups with explicit and range-based storage formats.
+
+A group maps group-local ranks to *world* ranks.  Two storage formats are
+supported, mirroring the discussion of Chaarawi & Gabriel's sparse group
+storage in Section III of the paper:
+
+* ``EXPLICIT`` — an array of world ranks (what MPICH and Open MPI construct;
+  O(p) space and construction time).
+* ``RANGE`` — a list of ``(first, last, stride)`` triples over the parent's
+  ranks (constant space per range; constant-time translation for a single
+  range).
+
+The storage format matters for the vendor cost model: native communicator
+creation charges for materialising the explicit format, whereas the
+range-based proposal of Section VI never does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from .datatypes import UNDEFINED
+
+__all__ = ["GroupFormat", "MpiGroup"]
+
+
+class GroupFormat:
+    EXPLICIT = "explicit"
+    RANGE = "range"
+
+
+@dataclass(frozen=True)
+class _RangeTriple:
+    first: int
+    last: int
+    stride: int
+
+    def __post_init__(self):
+        if self.stride <= 0:
+            raise ValueError("stride must be positive")
+        if self.last < self.first:
+            raise ValueError(f"empty range {self.first}..{self.last}")
+
+    @property
+    def count(self) -> int:
+        return (self.last - self.first) // self.stride + 1
+
+    def rank_at(self, index: int) -> int:
+        return self.first + index * self.stride
+
+    def index_of(self, world_rank: int) -> Optional[int]:
+        if world_rank < self.first or world_rank > self.last:
+            return None
+        offset = world_rank - self.first
+        if offset % self.stride != 0:
+            return None
+        return offset // self.stride
+
+
+class MpiGroup:
+    """An ordered set of world ranks (mirrors ``MPI_Group``)."""
+
+    def __init__(self, *, explicit: Optional[Sequence[int]] = None,
+                 ranges: Optional[Sequence[tuple]] = None):
+        if (explicit is None) == (ranges is None):
+            raise ValueError("provide exactly one of explicit= or ranges=")
+        if explicit is not None:
+            self._format = GroupFormat.EXPLICIT
+            self._ranks = list(int(r) for r in explicit)
+            if len(set(self._ranks)) != len(self._ranks):
+                raise ValueError("duplicate ranks in group")
+            self._ranges: list[_RangeTriple] = []
+        else:
+            self._format = GroupFormat.RANGE
+            self._ranges = [
+                _RangeTriple(int(f), int(l), int(s) if len(rng) > 2 else 1)
+                for rng in ranges
+                for f, l, *rest in [rng]
+                for s in [rng[2] if len(rng) > 2 else 1]
+            ]
+            self._ranks = []
+            seen = set()
+            for triple in self._ranges:
+                for index in range(triple.count):
+                    rank = triple.rank_at(index)
+                    if rank in seen:
+                        raise ValueError(f"duplicate rank {rank} in ranges")
+                    seen.add(rank)
+            # Rank list is only materialised lazily for the explicit view.
+
+    # ------------------------------------------------------------ constructors
+
+    @classmethod
+    def incl(cls, ranks: Iterable[int]) -> "MpiGroup":
+        """Explicit enumeration of world ranks (``MPI_Group_incl``)."""
+        return cls(explicit=list(ranks))
+
+    @classmethod
+    def range_incl(cls, ranges: Sequence[tuple]) -> "MpiGroup":
+        """Sparse representation by (first, last[, stride]) triples
+        (``MPI_Group_range_incl``)."""
+        return cls(ranges=list(ranges))
+
+    @classmethod
+    def contiguous(cls, first: int, last: int) -> "MpiGroup":
+        """Convenience: the contiguous range ``first..last``."""
+        return cls.range_incl([(first, last, 1)])
+
+    # ------------------------------------------------------------------ basics
+
+    @property
+    def format(self) -> str:
+        return self._format
+
+    @property
+    def size(self) -> int:
+        if self._format == GroupFormat.EXPLICIT:
+            return len(self._ranks)
+        return sum(triple.count for triple in self._ranges)
+
+    def world_ranks(self) -> list[int]:
+        """Materialise the ordered list of world ranks (O(size))."""
+        if self._format == GroupFormat.EXPLICIT:
+            return list(self._ranks)
+        ranks = []
+        for triple in self._ranges:
+            ranks.extend(triple.rank_at(i) for i in range(triple.count))
+        return ranks
+
+    # -------------------------------------------------------------- translation
+
+    def translate(self, group_rank: int) -> int:
+        """Group-local rank -> world rank."""
+        if group_rank < 0:
+            raise ValueError("negative group rank")
+        if self._format == GroupFormat.EXPLICIT:
+            return self._ranks[group_rank]
+        remaining = group_rank
+        for triple in self._ranges:
+            if remaining < triple.count:
+                return triple.rank_at(remaining)
+            remaining -= triple.count
+        raise IndexError(f"group rank {group_rank} out of range (size {self.size})")
+
+    def rank_of(self, world_rank: int) -> int:
+        """World rank -> group-local rank, or ``UNDEFINED`` if not a member."""
+        if self._format == GroupFormat.EXPLICIT:
+            try:
+                return self._ranks.index(world_rank)
+            except ValueError:
+                return UNDEFINED
+        offset = 0
+        for triple in self._ranges:
+            index = triple.index_of(world_rank)
+            if index is not None:
+                return offset + index
+            offset += triple.count
+        return UNDEFINED
+
+    def contains(self, world_rank: int) -> bool:
+        return self.rank_of(world_rank) != UNDEFINED
+
+    # ---------------------------------------------------------------- analysis
+
+    def as_contiguous_range(self) -> Optional[tuple[int, int]]:
+        """(first, last) if the group is exactly the world ranks first..last
+        in increasing order, else None.
+
+        This is the test used by the Section VI proposal to decide whether a
+        new communicator can be created locally in constant time.
+        """
+        if self._format == GroupFormat.RANGE and len(self._ranges) == 1:
+            triple = self._ranges[0]
+            if triple.stride == 1:
+                return triple.first, triple.last
+            return None
+        ranks = self.world_ranks()
+        if not ranks:
+            return None
+        first, last = ranks[0], ranks[-1]
+        if last - first + 1 != len(ranks):
+            return None
+        if all(ranks[i] == first + i for i in range(len(ranks))):
+            return first, last
+        return None
+
+    def range_count(self) -> int:
+        """Number of stored ranges (1 for explicit groups, informational)."""
+        if self._format == GroupFormat.RANGE:
+            return len(self._ranges)
+        return max(1, len(self._ranks))
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, MpiGroup):
+            return NotImplemented
+        return self.world_ranks() == other.world_ranks()
+
+    def __hash__(self):
+        return hash(tuple(self.world_ranks()))
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        if self._format == GroupFormat.RANGE:
+            spans = ", ".join(
+                f"{t.first}..{t.last}" + (f":{t.stride}" if t.stride != 1 else "")
+                for t in self._ranges
+            )
+            return f"MpiGroup(ranges=[{spans}])"
+        return f"MpiGroup(explicit={self._ranks!r})"

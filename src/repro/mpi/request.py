@@ -1,0 +1,29 @@
+"""Request objects for nonblocking point-to-point operations.
+
+The implementation lives in :mod:`repro.messaging` (it sits below both the
+simulated MPI layer and RBC); this module re-exports it under the MPI-layer
+name so that ``repro.mpi.request`` remains the natural import location for
+MPI-style code.
+"""
+
+from ..messaging import (
+    CompletedRequest,
+    RecvRequest,
+    Request,
+    SendRequest,
+    test_all,
+    test_any,
+    wait_all,
+    wait_any,
+)
+
+__all__ = [
+    "Request",
+    "CompletedRequest",
+    "SendRequest",
+    "RecvRequest",
+    "test_all",
+    "test_any",
+    "wait_all",
+    "wait_any",
+]

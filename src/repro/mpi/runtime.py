@@ -1,0 +1,73 @@
+"""Per-rank state of the simulated MPI library."""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..simulator.process import RankEnv
+from .comm import MpiCommunicator
+from .context import ContextIdPool, TupleContextId
+from .group import MpiGroup
+from .vendor import VendorModel, get_vendor
+
+__all__ = ["MpiRuntime", "init_mpi"]
+
+
+class MpiRuntime:
+    """Everything one simulated process knows about its MPI library.
+
+    Holds the process's context-ID pool (the bit mask used for communicator
+    creation), the vendor cost model, and the counter used by the Section VI
+    ``MPI_Icomm_create_group`` proposal.  ``comm_world`` spans all ranks of
+    the cluster and uses context ID 0.
+    """
+
+    WORLD_CONTEXT_ID = 0
+
+    def __init__(self, env: RankEnv, vendor: Union[str, VendorModel] = "generic"):
+        self.env = env
+        self.vendor = get_vendor(vendor)
+        self.context_pool = ContextIdPool()
+        self.context_pool.acquire(self.WORLD_CONTEXT_ID)
+        #: Counter `b` of the Section VI proposal (per-process creation counter).
+        self.creation_counter = 0
+        self.comm_world = MpiCommunicator(
+            self,
+            group=MpiGroup.contiguous(0, env.size - 1),
+            context_id=self.WORLD_CONTEXT_ID,
+        )
+
+    # ----------------------------------------------------------------- context
+
+    def acquire_context(self, context_id: int) -> None:
+        self.context_pool.acquire(context_id)
+
+    def release_context(self, context_id) -> None:
+        """Release an integer context id; tuple context ids need no bookkeeping."""
+        if isinstance(context_id, int) and context_id != self.WORLD_CONTEXT_ID:
+            self.context_pool.release(context_id)
+
+    def next_creation_counter(self) -> int:
+        value = self.creation_counter
+        self.creation_counter += 1
+        return value
+
+    def make_communicator(self, group: MpiGroup, context_id) -> MpiCommunicator:
+        return MpiCommunicator(self, group, context_id)
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"MpiRuntime(rank={self.env.rank}, vendor={self.vendor.name})"
+
+
+def init_mpi(env: RankEnv, vendor: Union[str, VendorModel] = "generic") -> MpiCommunicator:
+    """Initialise the simulated MPI library on this rank; returns COMM_WORLD.
+
+    Mirrors ``MPI_Init`` + ``MPI_COMM_WORLD``: call it once at the top of a
+    rank program::
+
+        def program(env):
+            world = init_mpi(env, vendor="intel")
+            ...
+    """
+    runtime = MpiRuntime(env, vendor)
+    return runtime.comm_world

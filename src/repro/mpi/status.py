@@ -1,0 +1,9 @@
+"""Receive/probe status objects (mirrors ``MPI_Status``).
+
+The class is defined in :mod:`repro.messaging`; this module re-exports it so
+that MPI-style code can keep importing it from ``repro.mpi.status``.
+"""
+
+from ..messaging import Status
+
+__all__ = ["Status"]

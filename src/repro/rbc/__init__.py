@@ -1,0 +1,127 @@
+"""RBC — RangeBasedComm, the paper's primary contribution.
+
+RBC communicators are sub-*ranges* of an MPI communicator and are created
+locally, in constant time, without any communication.  On top of them RBC
+provides (non)blocking point-to-point operations and (non)blocking collective
+operations implemented with binomial-tree communication patterns and
+state-machine requests.
+
+Two API flavours are exported:
+
+* Pythonic snake_case functions and the :class:`RbcComm` methods
+  (``comm.ibcast(...)``, ``split_rbc_comm(...)``).
+* The paper's Table I names as thin aliases (``Ibcast``, ``Split_RBC_Comm``,
+  ``Comm_rank``, ``Waitall``, ...), so code written against the original C++
+  library maps one-to-one.
+
+Blocking operations are generators and must be invoked with ``yield from``
+inside a simulated rank program; nonblocking operations return an
+:class:`RbcRequest` immediately.
+"""
+
+from ..mpi.datatypes import ANY_SOURCE, ANY_TAG
+from .collectives import (
+    allgather,
+    allgatherv,
+    allreduce,
+    alltoallv,
+    barrier,
+    bcast,
+    exscan,
+    gather,
+    gatherv,
+    iallgather,
+    iallgatherv,
+    iallreduce,
+    ialltoallv,
+    ibarrier,
+    ibcast,
+    iexscan,
+    igather,
+    igatherv,
+    ireduce,
+    ireduce_scatter,
+    iscan,
+    iscatter,
+    iscatterv,
+    reduce,
+    reduce_scatter,
+    scan,
+    scatter,
+    scatterv,
+)
+from .comm import (
+    RBC_CREATE_OPS,
+    RbcComm,
+    comm_rank,
+    comm_size,
+    create_rbc_comm,
+    split_rbc_comm,
+)
+from .icomm_create import ensure_tuple_context, icomm_create, icomm_create_group
+from .p2p import iprobe, irecv, isend, probe, recv, send
+from .request import RbcRequest, test, test_all, wait, wait_all, wait_any
+from . import tags
+
+# ---------------------------------------------------------------------------
+# Table I aliases (paper naming).
+# ---------------------------------------------------------------------------
+
+#: ``rbc::Comm``
+Comm = RbcComm
+#: ``rbc::Request``
+Request = RbcRequest
+
+Create_RBC_Comm = create_rbc_comm
+Split_RBC_Comm = split_rbc_comm
+Comm_rank = comm_rank
+Comm_size = comm_size
+
+Send = send
+Isend = isend
+Recv = recv
+Irecv = irecv
+Probe = probe
+Iprobe = iprobe
+
+Bcast = bcast
+Ibcast = ibcast
+Reduce = reduce
+Ireduce = ireduce
+Scan = scan
+Iscan = iscan
+Gather = gather
+Igather = igather
+Gatherv = gatherv
+Igatherv = igatherv
+Barrier = barrier
+Ibarrier = ibarrier
+Scatter = scatter
+Iscatter = iscatter
+Scatterv = scatterv
+Iscatterv = iscatterv
+
+Test = test
+Testall = test_all
+Wait = wait
+Waitall = wait_all
+
+__all__ = [
+    # Pythonic API
+    "ANY_SOURCE", "ANY_TAG", "RBC_CREATE_OPS", "RbcComm", "RbcRequest",
+    "allgather", "allgatherv", "allreduce", "alltoallv", "barrier", "bcast",
+    "comm_rank", "comm_size", "create_rbc_comm", "ensure_tuple_context",
+    "exscan", "gather", "gatherv", "iallgather", "iallgatherv", "iallreduce",
+    "ialltoallv", "ibarrier", "ibcast", "icomm_create", "icomm_create_group",
+    "iexscan", "igather", "igatherv", "iprobe", "irecv", "ireduce",
+    "ireduce_scatter", "iscan", "iscatter", "iscatterv", "isend", "probe",
+    "recv", "reduce", "reduce_scatter", "scan", "scatter", "scatterv", "send",
+    "split_rbc_comm", "tags", "test", "test_all", "wait", "wait_all",
+    "wait_any",
+    # Table I aliases
+    "Comm", "Request", "Create_RBC_Comm", "Split_RBC_Comm", "Comm_rank",
+    "Comm_size", "Send", "Isend", "Recv", "Irecv", "Probe", "Iprobe", "Bcast",
+    "Ibcast", "Reduce", "Ireduce", "Scan", "Iscan", "Gather", "Igather",
+    "Gatherv", "Igatherv", "Barrier", "Ibarrier", "Scatter", "Iscatter",
+    "Scatterv", "Iscatterv", "Test", "Testall", "Wait", "Waitall",
+]

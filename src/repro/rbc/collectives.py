@@ -1,0 +1,326 @@
+"""RBC collective operations (Section V-D of the paper).
+
+Collectives are implemented with point-to-point communication on the RBC
+communicator using binomial-tree / dissemination communication patterns and
+are driven by per-request state machines that make progress whenever
+``rbc::Test`` is called.  Each operation owns a reserved tag; nonblocking
+collectives additionally accept a user-defined tag so that simultaneously
+running collectives — on the same RBC communicator or on overlapping RBC
+communicators derived from the same MPI communicator — do not interfere.
+
+Beyond the operations listed in Table I of the paper (bcast, reduce, scan,
+gather, gatherv, barrier and their nonblocking variants) this module also
+provides exscan, allreduce, allgather, alltoallv, scatter(v), allgatherv and
+reduce_scatter, which the sorting algorithms and benchmarks use.
+
+Broadcast and allreduce additionally accept an ``algorithm`` argument selecting
+between the small-input binomial-tree algorithms and the large-input
+algorithms of :mod:`repro.collectives.large` (scatter-allgather or pipelined
+broadcast, ring allreduce); ``algorithm="auto"`` applies the crossover
+heuristic.  This is the "easy to extend ... e.g., for large input sizes"
+extension point the paper describes in Section V-D.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from ..collectives.endpoint import TransportEndpoint
+from ..collectives.large import (
+    DEFAULT_SEGMENT_WORDS,
+    allreduce_ring_schedule,
+    choose_allreduce_algorithm,
+    dispatch_bcast_schedule,
+    reduce_scatter_ring_schedule,
+    ring_allgather_schedule,
+    scatter_schedule,
+)
+from ..collectives.machines import (
+    CollectiveRequest,
+    allgather_schedule,
+    allreduce_schedule,
+    alltoallv_schedule,
+    barrier_schedule,
+    bcast_schedule,
+    exscan_schedule,
+    gather_schedule,
+    reduce_schedule,
+    scan_schedule,
+)
+from ..mpi.datatypes import SUM
+from ..simulator.network import payload_words
+from .comm import RbcComm
+from .request import RbcRequest
+from . import tags as _tags
+
+__all__ = [
+    "ibcast", "bcast",
+    "ireduce", "reduce",
+    "iscan", "scan",
+    "iexscan", "exscan",
+    "igather", "gather",
+    "igatherv", "gatherv",
+    "ibarrier", "barrier",
+    "iallreduce", "allreduce",
+    "iallgather", "allgather",
+    "ialltoallv", "alltoallv",
+    "iscatter", "scatter",
+    "iscatterv", "scatterv",
+    "iallgatherv", "allgatherv",
+    "ireduce_scatter", "reduce_scatter",
+]
+
+
+def _endpoint(comm: RbcComm, tag: int) -> TransportEndpoint:
+    """Endpoint for one collective instance on an RBC communicator.
+
+    The messages travel in the point-to-point context of the underlying MPI
+    communicator (RBC has no context of its own) and are separated from other
+    traffic purely by ``tag`` — which is why overlapping RBC communicators
+    must use distinct tags for simultaneous collectives.
+    """
+    if comm.rank is None:
+        raise ValueError("calling process is not a member of this RBC communicator")
+    return TransportEndpoint(
+        comm.env,
+        comm.env.transport,
+        context=comm.mpi_context(),
+        tag=tag,
+        rank=comm.rank,
+        size=comm.size,
+        to_world=comm.to_world,
+    )
+
+
+def _request(comm: RbcComm, schedule) -> RbcRequest:
+    return RbcRequest(comm.env, CollectiveRequest(comm.env, schedule))
+
+
+# ---------------------------------------------------------------------------
+# Broadcast.
+# ---------------------------------------------------------------------------
+
+def ibcast(comm: RbcComm, value: Any, root: int = 0,
+           tag: Optional[int] = None, *, algorithm: str = "binomial",
+           segment_words: int = DEFAULT_SEGMENT_WORDS) -> RbcRequest:
+    """``rbc::Ibcast``: nonblocking broadcast from ``root``.
+
+    ``algorithm`` selects the communication pattern: ``"binomial"`` (the
+    default, optimal for small inputs), ``"scatter_allgather"`` or
+    ``"pipeline"`` for long vectors, or ``"auto"`` to let the root pick based
+    on the payload size.
+    """
+    ep = _endpoint(comm, _tags.BCAST_TAG if tag is None else tag)
+    return _request(comm, dispatch_bcast_schedule(ep, value, root, algorithm,
+                                                  segment_words))
+
+
+def bcast(comm: RbcComm, value: Any, root: int = 0, tag: Optional[int] = None,
+          *, algorithm: str = "binomial",
+          segment_words: int = DEFAULT_SEGMENT_WORDS):
+    """``rbc::Bcast`` (generator): blocking broadcast; returns the value."""
+    result = yield from ibcast(comm, value, root, tag, algorithm=algorithm,
+                               segment_words=segment_words).wait()
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Reduce.
+# ---------------------------------------------------------------------------
+
+def ireduce(comm: RbcComm, value: Any, op=None, root: int = 0,
+            tag: Optional[int] = None) -> RbcRequest:
+    """``rbc::Ireduce``: nonblocking reduction to ``root``."""
+    ep = _endpoint(comm, _tags.REDUCE_TAG if tag is None else tag)
+    return _request(comm, reduce_schedule(ep, value, op or SUM, root))
+
+
+def reduce(comm: RbcComm, value: Any, op=None, root: int = 0,
+           tag: Optional[int] = None):
+    """``rbc::Reduce`` (generator): blocking reduction; root gets the result."""
+    result = yield from ireduce(comm, value, op, root, tag).wait()
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Prefix reductions.
+# ---------------------------------------------------------------------------
+
+def iscan(comm: RbcComm, value: Any, op=None, tag: Optional[int] = None) -> RbcRequest:
+    """``rbc::Iscan``: nonblocking inclusive prefix reduction."""
+    ep = _endpoint(comm, _tags.SCAN_TAG if tag is None else tag)
+    return _request(comm, scan_schedule(ep, value, op or SUM))
+
+
+def scan(comm: RbcComm, value: Any, op=None, tag: Optional[int] = None):
+    """``rbc::Scan`` (generator): blocking inclusive prefix reduction."""
+    result = yield from iscan(comm, value, op, tag).wait()
+    return result
+
+
+def iexscan(comm: RbcComm, value: Any, op=None, tag: Optional[int] = None) -> RbcRequest:
+    """Nonblocking exclusive prefix reduction (rank 0 receives None)."""
+    ep = _endpoint(comm, _tags.EXSCAN_TAG if tag is None else tag)
+    return _request(comm, exscan_schedule(ep, value, op or SUM))
+
+
+def exscan(comm: RbcComm, value: Any, op=None, tag: Optional[int] = None):
+    """Blocking exclusive prefix reduction (generator)."""
+    result = yield from iexscan(comm, value, op, tag).wait()
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Gather / Gatherv.
+# ---------------------------------------------------------------------------
+
+def igather(comm: RbcComm, value: Any, root: int = 0,
+            tag: Optional[int] = None) -> RbcRequest:
+    """``rbc::Igather``: nonblocking gather; root receives a list ordered by rank."""
+    ep = _endpoint(comm, _tags.GATHER_TAG if tag is None else tag)
+    return _request(comm, gather_schedule(ep, value, root))
+
+
+def gather(comm: RbcComm, value: Any, root: int = 0, tag: Optional[int] = None):
+    """``rbc::Gather`` (generator): blocking gather."""
+    result = yield from igather(comm, value, root, tag).wait()
+    return result
+
+
+def igatherv(comm: RbcComm, value: Any, root: int = 0,
+             tag: Optional[int] = None) -> RbcRequest:
+    """``rbc::Igatherv``: like igather but contributions may differ in size."""
+    ep = _endpoint(comm, _tags.GATHERV_TAG if tag is None else tag)
+    return _request(comm, gather_schedule(ep, value, root))
+
+
+def gatherv(comm: RbcComm, value: Any, root: int = 0, tag: Optional[int] = None):
+    """``rbc::Gatherv`` (generator): blocking variable-size gather."""
+    result = yield from igatherv(comm, value, root, tag).wait()
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Barrier.
+# ---------------------------------------------------------------------------
+
+def ibarrier(comm: RbcComm, tag: Optional[int] = None) -> RbcRequest:
+    """``rbc::Ibarrier``: nonblocking dissemination barrier."""
+    ep = _endpoint(comm, _tags.BARRIER_TAG if tag is None else tag)
+    return _request(comm, barrier_schedule(ep))
+
+
+def barrier(comm: RbcComm, tag: Optional[int] = None):
+    """``rbc::Barrier`` (generator): blocking barrier."""
+    yield from ibarrier(comm, tag).wait()
+
+
+# ---------------------------------------------------------------------------
+# Extensions used by the sorting algorithms / benchmarks.
+# ---------------------------------------------------------------------------
+
+def iallreduce(comm: RbcComm, value: Any, op=None, tag: Optional[int] = None,
+               *, algorithm: str = "reduce_bcast") -> RbcRequest:
+    """Nonblocking allreduce.
+
+    ``algorithm="reduce_bcast"`` (default) reduces to rank 0 and broadcasts
+    the result (optimal for small inputs); ``"ring"`` uses the bandwidth-
+    optimal ring reduce-scatter + allgather for long vectors; ``"auto"``
+    chooses based on the payload size (which every rank knows, because all
+    ranks contribute the same amount).
+    """
+    ep = _endpoint(comm, _tags.ALLREDUCE_TAG if tag is None else tag)
+    if algorithm == "auto":
+        algorithm = choose_allreduce_algorithm(payload_words(value), comm.size, value)
+    if algorithm == "ring":
+        return _request(comm, allreduce_ring_schedule(ep, value, op or SUM))
+    if algorithm != "reduce_bcast":
+        raise ValueError(
+            f"unknown allreduce algorithm {algorithm!r}; expected one of "
+            "'auto', 'reduce_bcast', 'ring'")
+    return _request(comm, allreduce_schedule(ep, value, op or SUM))
+
+
+def allreduce(comm: RbcComm, value: Any, op=None, tag: Optional[int] = None,
+              *, algorithm: str = "reduce_bcast"):
+    """Blocking allreduce (generator)."""
+    result = yield from iallreduce(comm, value, op, tag, algorithm=algorithm).wait()
+    return result
+
+
+def iallgather(comm: RbcComm, value: Any, tag: Optional[int] = None) -> RbcRequest:
+    """Nonblocking allgather (gather to rank 0 + broadcast of the list)."""
+    ep = _endpoint(comm, _tags.ALLGATHER_TAG if tag is None else tag)
+    return _request(comm, allgather_schedule(ep, value))
+
+
+def allgather(comm: RbcComm, value: Any, tag: Optional[int] = None):
+    """Blocking allgather (generator)."""
+    result = yield from iallgather(comm, value, tag).wait()
+    return result
+
+
+def ialltoallv(comm: RbcComm, payloads: Sequence[Any],
+               tag: Optional[int] = None) -> RbcRequest:
+    """Nonblocking direct all-to-all exchange of per-destination payloads."""
+    ep = _endpoint(comm, _tags.ALLTOALLV_TAG if tag is None else tag)
+    return _request(comm, alltoallv_schedule(ep, payloads))
+
+
+def alltoallv(comm: RbcComm, payloads: Sequence[Any], tag: Optional[int] = None):
+    """Blocking direct all-to-all exchange (generator)."""
+    result = yield from ialltoallv(comm, payloads, tag).wait()
+    return result
+
+
+def iscatter(comm: RbcComm, values: Optional[Sequence[Any]], root: int = 0,
+             tag: Optional[int] = None) -> RbcRequest:
+    """Nonblocking binomial-tree scatter: ``values[i]`` (on the root) goes to rank ``i``."""
+    ep = _endpoint(comm, _tags.SCATTER_TAG if tag is None else tag)
+    return _request(comm, scatter_schedule(ep, values, root))
+
+
+def scatter(comm: RbcComm, values: Optional[Sequence[Any]], root: int = 0,
+            tag: Optional[int] = None):
+    """Blocking scatter (generator); every rank returns its element."""
+    result = yield from iscatter(comm, values, root, tag).wait()
+    return result
+
+
+def iscatterv(comm: RbcComm, values: Optional[Sequence[Any]], root: int = 0,
+              tag: Optional[int] = None) -> RbcRequest:
+    """Nonblocking variable-size scatter (payloads may differ in size)."""
+    ep = _endpoint(comm, _tags.SCATTERV_TAG if tag is None else tag)
+    return _request(comm, scatter_schedule(ep, values, root))
+
+
+def scatterv(comm: RbcComm, values: Optional[Sequence[Any]], root: int = 0,
+             tag: Optional[int] = None):
+    """Blocking variable-size scatter (generator)."""
+    result = yield from iscatterv(comm, values, root, tag).wait()
+    return result
+
+
+def iallgatherv(comm: RbcComm, value: Any, tag: Optional[int] = None) -> RbcRequest:
+    """Nonblocking ring allgather (bandwidth-optimal for large contributions)."""
+    ep = _endpoint(comm, _tags.ALLGATHERV_TAG if tag is None else tag)
+    return _request(comm, ring_allgather_schedule(ep, value))
+
+
+def allgatherv(comm: RbcComm, value: Any, tag: Optional[int] = None):
+    """Blocking ring allgather (generator); returns the list of contributions."""
+    result = yield from iallgatherv(comm, value, tag).wait()
+    return result
+
+
+def ireduce_scatter(comm: RbcComm, value: Any, op=None,
+                    tag: Optional[int] = None) -> RbcRequest:
+    """Nonblocking ring reduce-scatter: rank ``i`` obtains the reduction of block ``i``."""
+    ep = _endpoint(comm, _tags.REDUCE_SCATTER_TAG if tag is None else tag)
+    return _request(comm, reduce_scatter_ring_schedule(ep, value, op or SUM))
+
+
+def reduce_scatter(comm: RbcComm, value: Any, op=None, tag: Optional[int] = None):
+    """Blocking ring reduce-scatter (generator)."""
+    result = yield from ireduce_scatter(comm, value, op, tag).wait()
+    return result

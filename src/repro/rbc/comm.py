@@ -1,0 +1,298 @@
+"""``rbc::Comm`` — range-based communicators created locally in constant time.
+
+An RBC communicator stores an MPI communicator, the MPI rank ``first`` of its
+first process, the MPI rank ``last`` of its last process and (as the footnote
+in Section V-A describes) an optional stride.  Creating or splitting an RBC
+communicator involves *no communication*: only these few integers are
+computed, which the simulation charges as a small constant amount of local
+work.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..mpi.comm import MpiCommunicator
+from ..simulator.process import RankEnv
+
+__all__ = ["RbcComm", "create_rbc_comm", "split_rbc_comm", "comm_rank", "comm_size",
+           "RBC_CREATE_OPS"]
+
+#: Local work (elementary operations) charged for creating/splitting an RBC
+#: communicator.  With the default machine parameters this is well below a
+#: tenth of a microsecond — "negligible", as the paper's Fig. 5 reports.
+RBC_CREATE_OPS = 40
+
+
+class RbcComm:
+    """A range ``first..last`` (optionally strided) of an MPI communicator.
+
+    All rank arguments of RBC operations are *RBC ranks*: process ``i`` of the
+    RBC communicator is the MPI process ``first + i * stride`` of the
+    underlying MPI communicator.
+    """
+
+    __slots__ = ("mpi_comm", "first", "last", "stride")
+
+    def __init__(self, mpi_comm: MpiCommunicator, first: int, last: int, stride: int = 1):
+        if stride <= 0:
+            raise ValueError("stride must be positive")
+        if first < 0 or last >= mpi_comm.size:
+            raise ValueError(
+                f"range {first}..{last} outside MPI communicator of size {mpi_comm.size}")
+        if last < first:
+            raise ValueError(f"empty RBC range {first}..{last}")
+        self.mpi_comm = mpi_comm
+        self.first = first
+        self.last = last
+        self.stride = stride
+
+    # ------------------------------------------------------------------ basics
+
+    @property
+    def env(self) -> RankEnv:
+        return self.mpi_comm.env
+
+    @property
+    def size(self) -> int:
+        """Number of processes in the RBC communicator."""
+        return (self.last - self.first) // self.stride + 1
+
+    @property
+    def rank(self) -> Optional[int]:
+        """RBC rank of the calling process (None if it is not a member)."""
+        return self.from_mpi(self.mpi_comm.rank)
+
+    @property
+    def is_member(self) -> bool:
+        return self.rank is not None
+
+    def to_mpi(self, rbc_rank: int) -> int:
+        """RBC rank -> rank in the underlying MPI communicator."""
+        if not 0 <= rbc_rank < self.size:
+            raise ValueError(f"RBC rank {rbc_rank} out of range [0, {self.size})")
+        return self.first + rbc_rank * self.stride
+
+    def from_mpi(self, mpi_rank: int) -> Optional[int]:
+        """Rank in the underlying MPI communicator -> RBC rank (None if outside)."""
+        if mpi_rank < self.first or mpi_rank > self.last:
+            return None
+        offset = mpi_rank - self.first
+        if offset % self.stride != 0:
+            return None
+        return offset // self.stride
+
+    def to_world(self, rbc_rank: int) -> int:
+        """RBC rank -> world rank of the simulated cluster."""
+        return self.mpi_comm.to_world(self.to_mpi(rbc_rank))
+
+    def contains_mpi_rank(self, mpi_rank: int) -> bool:
+        return self.from_mpi(mpi_rank) is not None
+
+    def mpi_context(self):
+        """Context the underlying MPI communicator uses for point-to-point traffic.
+
+        RBC cannot allocate contexts of its own (Section V-A); all of its
+        traffic — including collective operations — travels in the parent MPI
+        communicator's point-to-point context and is separated by tags only.
+        """
+        return self.mpi_comm._p2p_context()
+
+    # ------------------------------------------------------- creation / split
+
+    def split(self, first: int, last: int, stride: int = 1):
+        """``rbc::Split_RBC_Comm`` (generator): sub-range ``first..last`` of *this*
+        communicator, created locally without communication.
+
+        ``first``/``last`` are RBC ranks of this communicator.  Returns the
+        new :class:`RbcComm`; only a constant amount of local work is charged.
+        """
+        yield from self.env.compute(RBC_CREATE_OPS)
+        return self.split_local(first, last, stride)
+
+    def split_local(self, first: int, last: int, stride: int = 1) -> "RbcComm":
+        """Like :meth:`split` but without charging simulated time (pure math)."""
+        new_first = self.to_mpi(first)
+        new_last = self.to_mpi(last)
+        return RbcComm(self.mpi_comm, new_first, new_last, stride * self.stride)
+
+    # ----------------------------------------------------- operation delegates
+
+    # Point-to-point (implemented in repro.rbc.p2p).
+    def send(self, payload, dest: int, tag: int = 0):
+        from . import p2p
+        yield from p2p.send(self, payload, dest, tag)
+
+    def isend(self, payload, dest: int, tag: int = 0):
+        from . import p2p
+        return p2p.isend(self, payload, dest, tag)
+
+    def recv(self, source: int, tag: int, *, return_status: bool = False):
+        from . import p2p
+        result = yield from p2p.recv(self, source, tag, return_status=return_status)
+        return result
+
+    def irecv(self, source: int, tag: int):
+        from . import p2p
+        return p2p.irecv(self, source, tag)
+
+    def probe(self, source: int, tag: int):
+        from . import p2p
+        status = yield from p2p.probe(self, source, tag)
+        return status
+
+    def iprobe(self, source: int, tag: int):
+        from . import p2p
+        return p2p.iprobe(self, source, tag)
+
+    # Collectives (implemented in repro.rbc.collectives).
+    def ibcast(self, value, root: int = 0, tag: Optional[int] = None):
+        from . import collectives
+        return collectives.ibcast(self, value, root, tag)
+
+    def bcast(self, value, root: int = 0, tag: Optional[int] = None):
+        from . import collectives
+        result = yield from collectives.bcast(self, value, root, tag)
+        return result
+
+    def ireduce(self, value, op=None, root: int = 0, tag: Optional[int] = None):
+        from . import collectives
+        return collectives.ireduce(self, value, op, root, tag)
+
+    def reduce(self, value, op=None, root: int = 0, tag: Optional[int] = None):
+        from . import collectives
+        result = yield from collectives.reduce(self, value, op, root, tag)
+        return result
+
+    def iscan(self, value, op=None, tag: Optional[int] = None):
+        from . import collectives
+        return collectives.iscan(self, value, op, tag)
+
+    def scan(self, value, op=None, tag: Optional[int] = None):
+        from . import collectives
+        result = yield from collectives.scan(self, value, op, tag)
+        return result
+
+    def iexscan(self, value, op=None, tag: Optional[int] = None):
+        from . import collectives
+        return collectives.iexscan(self, value, op, tag)
+
+    def exscan(self, value, op=None, tag: Optional[int] = None):
+        from . import collectives
+        result = yield from collectives.exscan(self, value, op, tag)
+        return result
+
+    def igather(self, value, root: int = 0, tag: Optional[int] = None):
+        from . import collectives
+        return collectives.igather(self, value, root, tag)
+
+    def gather(self, value, root: int = 0, tag: Optional[int] = None):
+        from . import collectives
+        result = yield from collectives.gather(self, value, root, tag)
+        return result
+
+    def igatherv(self, value, root: int = 0, tag: Optional[int] = None):
+        from . import collectives
+        return collectives.igatherv(self, value, root, tag)
+
+    def gatherv(self, value, root: int = 0, tag: Optional[int] = None):
+        from . import collectives
+        result = yield from collectives.gatherv(self, value, root, tag)
+        return result
+
+    def ibarrier(self, tag: Optional[int] = None):
+        from . import collectives
+        return collectives.ibarrier(self, tag)
+
+    def barrier(self, tag: Optional[int] = None):
+        from . import collectives
+        yield from collectives.barrier(self, tag)
+
+    def iallreduce(self, value, op=None, tag: Optional[int] = None):
+        from . import collectives
+        return collectives.iallreduce(self, value, op, tag)
+
+    def allreduce(self, value, op=None, tag: Optional[int] = None):
+        from . import collectives
+        result = yield from collectives.allreduce(self, value, op, tag)
+        return result
+
+    def iallgather(self, value, tag: Optional[int] = None):
+        from . import collectives
+        return collectives.iallgather(self, value, tag)
+
+    def allgather(self, value, tag: Optional[int] = None):
+        from . import collectives
+        result = yield from collectives.allgather(self, value, tag)
+        return result
+
+    def iscatter(self, values, root: int = 0, tag: Optional[int] = None):
+        from . import collectives
+        return collectives.iscatter(self, values, root, tag)
+
+    def scatter(self, values, root: int = 0, tag: Optional[int] = None):
+        from . import collectives
+        result = yield from collectives.scatter(self, values, root, tag)
+        return result
+
+    def iscatterv(self, values, root: int = 0, tag: Optional[int] = None):
+        from . import collectives
+        return collectives.iscatterv(self, values, root, tag)
+
+    def scatterv(self, values, root: int = 0, tag: Optional[int] = None):
+        from . import collectives
+        result = yield from collectives.scatterv(self, values, root, tag)
+        return result
+
+    def iallgatherv(self, value, tag: Optional[int] = None):
+        from . import collectives
+        return collectives.iallgatherv(self, value, tag)
+
+    def allgatherv(self, value, tag: Optional[int] = None):
+        from . import collectives
+        result = yield from collectives.allgatherv(self, value, tag)
+        return result
+
+    def ireduce_scatter(self, value, op=None, tag: Optional[int] = None):
+        from . import collectives
+        return collectives.ireduce_scatter(self, value, op, tag)
+
+    def reduce_scatter(self, value, op=None, tag: Optional[int] = None):
+        from . import collectives
+        result = yield from collectives.reduce_scatter(self, value, op, tag)
+        return result
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        stride = f", stride={self.stride}" if self.stride != 1 else ""
+        return (
+            f"RbcComm({self.first}..{self.last}{stride} of "
+            f"MPI comm size {self.mpi_comm.size}, rank={self.rank})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Free functions with the paper's names.
+# ---------------------------------------------------------------------------
+
+def create_rbc_comm(mpi_comm: MpiCommunicator):
+    """``rbc::Create_RBC_Comm`` (generator): RBC communicator over all processes
+    of an MPI communicator.  Local operation, no communication."""
+    yield from mpi_comm.env.compute(RBC_CREATE_OPS)
+    return RbcComm(mpi_comm, 0, mpi_comm.size - 1, 1)
+
+
+def split_rbc_comm(comm: RbcComm, first: int, last: int, stride: int = 1):
+    """``rbc::Split_RBC_Comm`` (generator): sub-range of an RBC communicator.
+    Local operation, no communication."""
+    new_comm = yield from comm.split(first, last, stride)
+    return new_comm
+
+
+def comm_rank(comm: RbcComm) -> Optional[int]:
+    """``rbc::Comm_rank``: RBC rank of the calling process."""
+    return comm.rank
+
+
+def comm_size(comm: RbcComm) -> int:
+    """``rbc::Comm_size``: number of processes in the RBC communicator."""
+    return comm.size

@@ -1,0 +1,75 @@
+"""Reserved tags of the RBC library.
+
+RBC cannot see the context ID of MPI messages, so it separates its internal
+traffic from user traffic purely by tags (Section V-D): every collective
+operation owns a distinct reserved tag, and nonblocking collectives may be
+given a user-defined tag to keep simultaneously running collectives on
+overlapping communicators apart.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "RESERVED_TAG_BASE",
+    "BCAST_TAG",
+    "REDUCE_TAG",
+    "SCAN_TAG",
+    "EXSCAN_TAG",
+    "GATHER_TAG",
+    "GATHERV_TAG",
+    "BARRIER_TAG",
+    "ALLREDUCE_TAG",
+    "ALLGATHER_TAG",
+    "ALLTOALLV_TAG",
+    "ICOMM_CREATE_TAG",
+    "SCATTER_TAG",
+    "SCATTERV_TAG",
+    "REDUCE_SCATTER_TAG",
+    "ALLGATHERV_TAG",
+    "RESERVED_TAGS",
+    "is_reserved_tag",
+]
+
+#: Tags at or above this value are reserved for RBC internals.  User code
+#: should use smaller tags (the paper's implementation reserves a block of
+#: tags near the top of the MPI tag space).
+RESERVED_TAG_BASE = 1_000_000_000
+
+BCAST_TAG = RESERVED_TAG_BASE + 1
+REDUCE_TAG = RESERVED_TAG_BASE + 2
+SCAN_TAG = RESERVED_TAG_BASE + 3
+EXSCAN_TAG = RESERVED_TAG_BASE + 4
+GATHER_TAG = RESERVED_TAG_BASE + 5
+GATHERV_TAG = RESERVED_TAG_BASE + 6
+BARRIER_TAG = RESERVED_TAG_BASE + 7
+ALLREDUCE_TAG = RESERVED_TAG_BASE + 8
+ALLGATHER_TAG = RESERVED_TAG_BASE + 9
+ALLTOALLV_TAG = RESERVED_TAG_BASE + 10
+ICOMM_CREATE_TAG = RESERVED_TAG_BASE + 11
+SCATTER_TAG = RESERVED_TAG_BASE + 12
+SCATTERV_TAG = RESERVED_TAG_BASE + 13
+REDUCE_SCATTER_TAG = RESERVED_TAG_BASE + 14
+ALLGATHERV_TAG = RESERVED_TAG_BASE + 15
+
+RESERVED_TAGS = frozenset({
+    BCAST_TAG,
+    REDUCE_TAG,
+    SCAN_TAG,
+    EXSCAN_TAG,
+    GATHER_TAG,
+    GATHERV_TAG,
+    BARRIER_TAG,
+    ALLREDUCE_TAG,
+    ALLGATHER_TAG,
+    ALLTOALLV_TAG,
+    ICOMM_CREATE_TAG,
+    SCATTER_TAG,
+    SCATTERV_TAG,
+    REDUCE_SCATTER_TAG,
+    ALLGATHERV_TAG,
+})
+
+
+def is_reserved_tag(tag: int) -> bool:
+    """True if ``tag`` collides with RBC's internal tag space."""
+    return tag >= RESERVED_TAG_BASE

@@ -1,0 +1,52 @@
+"""Discrete-event message-passing simulator (the hardware substrate).
+
+This package replaces the SuperMUC cluster used in the paper with a
+single-ported alpha-beta machine model (Section II of the paper): sending a
+message of ``l`` machine words takes ``alpha + l * beta`` time, local work is
+charged per elementary operation, and every simulated process owns one send
+and one receive port.
+
+Public entry points:
+
+* :class:`Cluster` / :func:`run_program` — run a rank program on ``p``
+  simulated processes and obtain per-rank results plus the simulated running
+  time.
+* :class:`NetworkParams` — machine parameters (alpha, beta, gamma).
+* :class:`RankEnv` — the per-rank handle rank programs receive.
+"""
+
+from .cluster import Cluster, ClusterResult, run_program
+from .engine import Engine, Sleep, WaitNotify, run_processes
+from .errors import (
+    DeadlockError,
+    RankFailedError,
+    SimulationError,
+    SimulationLimitError,
+)
+from .network import ANY_SOURCE, ANY_TAG, Message, NetworkParams, SendHandle, Transport, payload_words
+from .process import RankEnv
+from .trace import TraceStats, Tracer
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Cluster",
+    "ClusterResult",
+    "DeadlockError",
+    "Engine",
+    "Message",
+    "NetworkParams",
+    "RankEnv",
+    "RankFailedError",
+    "SendHandle",
+    "SimulationError",
+    "SimulationLimitError",
+    "Sleep",
+    "TraceStats",
+    "Tracer",
+    "Transport",
+    "WaitNotify",
+    "payload_words",
+    "run_processes",
+    "run_program",
+]

@@ -1,0 +1,113 @@
+"""Cluster façade: run a rank program on ``p`` simulated processes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
+
+from .engine import Engine
+from .network import NetworkParams, Transport
+from .process import RankEnv
+from .trace import TraceStats, Tracer
+
+__all__ = ["Cluster", "ClusterResult", "run_program"]
+
+
+@dataclass
+class ClusterResult:
+    """Outcome of one simulated run.
+
+    Attributes
+    ----------
+    results:
+        Per-rank return values of the rank program.
+    finish_times:
+        Per-rank virtual completion times (microseconds).
+    total_time:
+        Virtual time when the last rank finished.
+    stats:
+        Aggregate communication statistics.
+    """
+
+    results: list[Any]
+    finish_times: list[float]
+    total_time: float
+    stats: TraceStats
+
+    @property
+    def max_finish_time(self) -> float:
+        return max(self.finish_times) if self.finish_times else 0.0
+
+    def per_rank(self, index: int) -> Any:
+        return self.results[index]
+
+
+class Cluster:
+    """A simulated machine with ``num_ranks`` single-ported processes.
+
+    A cluster instance is single-use: build it, call :meth:`run`, inspect the
+    result.  (Re-running would need fresh engine state; constructing a new
+    cluster is cheap.)
+    """
+
+    def __init__(self, num_ranks: int, params: Optional[NetworkParams] = None,
+                 *, max_events: int = 200_000_000):
+        if num_ranks <= 0:
+            raise ValueError("num_ranks must be positive")
+        self.num_ranks = num_ranks
+        self.params = params or NetworkParams.default()
+        self.engine = Engine(max_events=max_events)
+        self.tracer = Tracer(num_ranks)
+        self.transport = Transport(self.engine, num_ranks, self.params, self.tracer)
+        self.envs = [
+            RankEnv(rank, num_ranks, self.engine, self.transport)
+            for rank in range(num_ranks)
+        ]
+        self._ran = False
+
+    def run(self, program: Callable, *args,
+            rank_args: Optional[Sequence[tuple]] = None,
+            rank_kwargs: Optional[Sequence[dict]] = None,
+            **kwargs) -> ClusterResult:
+        """Execute ``program(env, *args, **kwargs)`` on every rank.
+
+        ``rank_args`` / ``rank_kwargs`` optionally provide per-rank positional
+        and keyword arguments (e.g. each rank's slice of the input data); they
+        are appended to / merged with the shared ones.
+        """
+        if self._ran:
+            raise RuntimeError("Cluster instances are single-use; create a new one")
+        self._ran = True
+
+        procs = []
+        for rank in range(self.num_ranks):
+            env = self.envs[rank]
+            extra_args = tuple(rank_args[rank]) if rank_args is not None else ()
+            extra_kwargs = dict(rank_kwargs[rank]) if rank_kwargs is not None else {}
+            gen = program(env, *args, *extra_args, **kwargs, **extra_kwargs)
+            proc = self.engine.add_process(gen)
+            env._proc = proc
+            self.transport.set_notify_hook(rank, env._notify_self)
+            procs.append(proc)
+
+        total_time = self.engine.run()
+        results = [p.result for p in procs]
+        finish_times = [p.finish_time if p.finish_time is not None else total_time
+                        for p in procs]
+        return ClusterResult(
+            results=results,
+            finish_times=finish_times,
+            total_time=total_time,
+            stats=self.tracer.stats,
+        )
+
+
+def run_program(num_ranks: int, program: Callable, *args,
+                params: Optional[NetworkParams] = None,
+                rank_args: Optional[Sequence[tuple]] = None,
+                rank_kwargs: Optional[Sequence[dict]] = None,
+                **kwargs) -> ClusterResult:
+    """One-shot convenience wrapper around :class:`Cluster`."""
+    cluster = Cluster(num_ranks, params)
+    return cluster.run(program, *args, rank_args=rank_args,
+                       rank_kwargs=rank_kwargs, **kwargs)

@@ -1,0 +1,268 @@
+"""Discrete-event simulation engine.
+
+The engine runs an arbitrary number of *simulated processes* (Python
+generators) against a single virtual clock.  A process suspends itself by
+yielding a :class:`Command`; the engine decides when to resume it.  Two
+commands exist:
+
+``Sleep(duration)``
+    Resume the process after ``duration`` units of virtual time.  Used to
+    charge local computation.
+
+``WaitNotify()``
+    Suspend until somebody calls :meth:`Engine.notify` for this process.
+    Used by blocking communication primitives: the transport notifies a rank
+    whenever a message arrives for it or one of its pending sends completes,
+    and the blocked primitive then re-checks its condition.
+
+The simulation is fully deterministic: events with equal timestamps are
+ordered by their insertion sequence number.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from .errors import DeadlockError, RankFailedError, SimulationLimitError
+
+__all__ = [
+    "Command",
+    "Sleep",
+    "WaitNotify",
+    "Engine",
+    "SimProcess",
+]
+
+
+class Command:
+    """Base class of everything a simulated process may yield to the engine."""
+
+    __slots__ = ()
+
+
+class Sleep(Command):
+    """Resume the yielding process after ``duration`` units of virtual time."""
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: float):
+        if duration < 0:
+            raise ValueError(f"negative sleep duration: {duration}")
+        self.duration = float(duration)
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"Sleep({self.duration})"
+
+
+class WaitNotify(Command):
+    """Suspend the yielding process until it is notified."""
+
+    __slots__ = ()
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return "WaitNotify()"
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+
+
+class SimProcess:
+    """Bookkeeping for one simulated process (one generator).
+
+    The engine tracks whether the process is currently runnable, sleeping,
+    waiting for a notification, finished, or failed.  The generator's return
+    value (via ``return x`` / ``StopIteration.value``) is stored in
+    :attr:`result` on completion.
+    """
+
+    RUNNABLE = "runnable"
+    SLEEPING = "sleeping"
+    WAITING = "waiting"
+    FINISHED = "finished"
+    FAILED = "failed"
+
+    __slots__ = (
+        "pid",
+        "generator",
+        "state",
+        "result",
+        "error",
+        "finish_time",
+        "_pending_notify",
+    )
+
+    def __init__(self, pid: int, generator: Generator):
+        self.pid = pid
+        self.generator = generator
+        self.state = SimProcess.RUNNABLE
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self.finish_time: Optional[float] = None
+        self._pending_notify = False
+
+    @property
+    def done(self) -> bool:
+        return self.state in (SimProcess.FINISHED, SimProcess.FAILED)
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"SimProcess(pid={self.pid}, state={self.state})"
+
+
+class Engine:
+    """The discrete-event scheduler.
+
+    Parameters
+    ----------
+    max_events:
+        Safety limit on the number of processed events; exceeded means the
+        simulated program is almost certainly in a livelock.
+    max_time:
+        Safety limit on virtual time.
+    """
+
+    def __init__(self, *, max_events: int = 200_000_000, max_time: float = 1e15):
+        self._now = 0.0
+        self._heap: list[_Event] = []
+        self._seq = 0
+        self._processes: list[SimProcess] = []
+        self._events_processed = 0
+        self._max_events = max_events
+        self._max_time = max_time
+
+    # ------------------------------------------------------------------ time
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    # ------------------------------------------------------------- scheduling
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> None:
+        """Run ``action()`` ``delay`` time units from now."""
+        self.schedule_at(self._now + delay, action)
+
+    def schedule_at(self, time: float, action: Callable[[], None]) -> None:
+        """Run ``action()`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self._now}")
+        self._seq += 1
+        heapq.heappush(self._heap, _Event(time, self._seq, action))
+
+    # -------------------------------------------------------------- processes
+
+    def add_process(self, generator: Generator) -> SimProcess:
+        """Register a new simulated process and schedule its first step."""
+        proc = SimProcess(len(self._processes), generator)
+        self._processes.append(proc)
+        self.schedule(0.0, lambda: self._step(proc, None))
+        return proc
+
+    @property
+    def processes(self) -> tuple[SimProcess, ...]:
+        return tuple(self._processes)
+
+    def notify(self, proc: SimProcess) -> None:
+        """Wake ``proc`` if it is waiting; otherwise remember the notification.
+
+        A notification delivered while the process is running or sleeping is
+        remembered so a subsequent ``WaitNotify`` returns immediately; blocked
+        primitives always re-check their actual condition, so spurious
+        wake-ups are harmless while lost wake-ups would deadlock.
+        """
+        if proc.done:
+            return
+        if proc.state == SimProcess.WAITING:
+            proc.state = SimProcess.RUNNABLE
+            self.schedule(0.0, lambda: self._step(proc, None))
+        else:
+            proc._pending_notify = True
+
+    # ------------------------------------------------------------------- run
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Process events until none remain (or virtual time exceeds ``until``).
+
+        Returns the final virtual time.  Raises :class:`DeadlockError` if the
+        event queue drains while simulated processes are still blocked.
+        """
+        while self._heap:
+            event = self._heap[0]
+            if until is not None and event.time > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._heap)
+            self._events_processed += 1
+            if self._events_processed > self._max_events:
+                raise SimulationLimitError(
+                    f"event limit exceeded ({self._max_events}); likely livelock"
+                )
+            if event.time > self._max_time:
+                raise SimulationLimitError(
+                    f"virtual time limit exceeded ({self._max_time})"
+                )
+            self._now = event.time
+            event.action()
+
+        blocked = [p.pid for p in self._processes if not p.done]
+        if blocked:
+            raise DeadlockError(blocked)
+        return self._now
+
+    # --------------------------------------------------------------- stepping
+
+    def _step(self, proc: SimProcess, send_value) -> None:
+        """Resume ``proc`` and interpret the command it yields next."""
+        if proc.done:
+            return
+        try:
+            command = proc.generator.send(send_value)
+        except StopIteration as stop:
+            proc.state = SimProcess.FINISHED
+            proc.result = stop.value
+            proc.finish_time = self._now
+            return
+        except BaseException as exc:  # noqa: BLE001 - surface rank failures
+            proc.state = SimProcess.FAILED
+            proc.error = exc
+            proc.finish_time = self._now
+            raise RankFailedError(proc.pid, exc) from exc
+
+        if isinstance(command, Sleep):
+            proc.state = SimProcess.SLEEPING
+            self.schedule(command.duration, lambda: self._resume(proc))
+        elif isinstance(command, WaitNotify):
+            if proc._pending_notify:
+                proc._pending_notify = False
+                proc.state = SimProcess.RUNNABLE
+                self.schedule(0.0, lambda: self._step(proc, None))
+            else:
+                proc.state = SimProcess.WAITING
+        else:
+            raise TypeError(
+                f"process {proc.pid} yielded {command!r}; expected a Command"
+            )
+
+    def _resume(self, proc: SimProcess) -> None:
+        if proc.done:
+            return
+        proc.state = SimProcess.RUNNABLE
+        self._step(proc, None)
+
+
+def run_processes(generators: Iterable[Generator], **engine_kwargs) -> list[Any]:
+    """Convenience helper: run a set of generators to completion, return results."""
+    engine = Engine(**engine_kwargs)
+    procs = [engine.add_process(g) for g in generators]
+    engine.run()
+    return [p.result for p in procs]

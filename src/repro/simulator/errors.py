@@ -1,0 +1,41 @@
+"""Exception types raised by the discrete-event message-passing simulator."""
+
+from __future__ import annotations
+
+
+class SimulationError(RuntimeError):
+    """Base class for all simulator-level failures."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when no events remain but at least one rank is still blocked.
+
+    This corresponds to a genuine communication deadlock in the simulated
+    program (e.g. a blocking receive that is never matched, or a blocking
+    collective that not every member of the communicator entered).
+    """
+
+    def __init__(self, blocked_ranks, message=None):
+        self.blocked_ranks = tuple(sorted(blocked_ranks))
+        msg = message or (
+            "simulation deadlocked: ranks %s are blocked and no events remain"
+            % (list(self.blocked_ranks),)
+        )
+        super().__init__(msg)
+
+
+class RankFailedError(SimulationError):
+    """Raised when a rank program raises an exception.
+
+    The original exception is preserved as ``__cause__`` and the failing rank
+    is recorded so that test failures point at the right simulated process.
+    """
+
+    def __init__(self, rank, original):
+        self.rank = rank
+        self.original = original
+        super().__init__(f"rank {rank} failed: {original!r}")
+
+
+class SimulationLimitError(SimulationError):
+    """Raised when the event or virtual-time safety limit is exceeded."""

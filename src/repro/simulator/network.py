@@ -1,0 +1,284 @@
+"""Single-ported alpha-beta network model and message transport.
+
+The model follows Section II of the paper: sending a message of ``l`` machine
+words costs ``alpha + l * beta``.  Every simulated process owns one send port
+and one receive port; transfers are serialised on both, so many-to-one
+communication patterns (e.g. the worst case of the greedy message assignment
+in Janus Quicksort) pay for every startup individually, just like on a real
+machine.
+
+Time is measured in microseconds; the default parameters are loosely
+calibrated to the SuperMUC thin-node island used in the paper (InfiniBand
+FDR10), but only *relative* behaviour matters for the reproduction.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Optional
+
+import numpy as np
+
+from .engine import Engine
+from .trace import Tracer
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "NetworkParams",
+    "Message",
+    "SendHandle",
+    "Transport",
+    "payload_words",
+]
+
+#: Wildcard source rank for matching (mirrors ``MPI_ANY_SOURCE``).
+ANY_SOURCE = -1
+#: Wildcard tag for matching (mirrors ``MPI_ANY_TAG``).
+ANY_TAG = -1
+
+
+@dataclass(frozen=True)
+class NetworkParams:
+    """Cost-model parameters of the simulated machine.
+
+    Attributes
+    ----------
+    alpha:
+        Message startup overhead in microseconds.
+    beta:
+        Transfer time per 8-byte machine word in microseconds.
+    gamma:
+        Time per elementary local operation (one comparison / move) in
+        microseconds; used to charge local computation such as partitioning
+        and local sorting.
+    """
+
+    alpha: float = 5.0
+    beta: float = 0.002
+    gamma: float = 0.002
+
+    @staticmethod
+    def default() -> "NetworkParams":
+        return NetworkParams()
+
+    @staticmethod
+    def latency_bound() -> "NetworkParams":
+        """A machine where startups dominate (stress-tests the alpha terms)."""
+        return NetworkParams(alpha=50.0, beta=0.001, gamma=0.001)
+
+    @staticmethod
+    def bandwidth_bound() -> "NetworkParams":
+        """A machine where per-word cost dominates (stress-tests beta terms)."""
+        return NetworkParams(alpha=0.5, beta=0.05, gamma=0.002)
+
+    def message_cost(self, words: int) -> float:
+        return self.alpha + words * self.beta
+
+    def compute_cost(self, operations: float) -> float:
+        return operations * self.gamma
+
+
+def payload_words(payload: Any) -> int:
+    """Number of machine words a payload occupies on the wire.
+
+    NumPy arrays count their elements (the paper's unit: one element equals
+    one machine word), scalars count as one word, and generic containers count
+    their length.  ``None`` (e.g. a barrier token) costs zero words.
+    """
+    if payload is None:
+        return 0
+    if isinstance(payload, np.ndarray):
+        return int(payload.size)
+    if np.isscalar(payload):
+        return 1
+    if isinstance(payload, (tuple, list)):
+        return sum(payload_words(item) for item in payload)
+    if isinstance(payload, dict):
+        return sum(payload_words(v) + 1 for v in payload.values())
+    return 1
+
+
+class Message:
+    """A message in flight or waiting in a destination mailbox."""
+
+    __slots__ = (
+        "seq",
+        "src",
+        "dst",
+        "tag",
+        "context",
+        "payload",
+        "words",
+        "send_time",
+        "arrival_time",
+    )
+
+    def __init__(self, seq, src, dst, tag, context, payload, words, send_time, arrival_time):
+        self.seq = seq
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.context = context
+        self.payload = payload
+        self.words = words
+        self.send_time = send_time
+        self.arrival_time = arrival_time
+
+    def matches(self, source: int, tag: int, context) -> bool:
+        if self.context != context:
+            return False
+        if source != ANY_SOURCE and self.src != source:
+            return False
+        if tag != ANY_TAG and self.tag != tag:
+            return False
+        return True
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return (
+            f"Message(#{self.seq} {self.src}->{self.dst} tag={self.tag} "
+            f"ctx={self.context} words={self.words})"
+        )
+
+
+class SendHandle:
+    """Completion handle of a (non)blocking send.
+
+    The send buffer is considered free (the handle completes) once the message
+    has fully left the sender's send port.
+    """
+
+    __slots__ = ("complete_time", "_engine")
+
+    def __init__(self, engine: Engine, complete_time: float):
+        self._engine = engine
+        self.complete_time = complete_time
+
+    @property
+    def done(self) -> bool:
+        return self._engine.now >= self.complete_time
+
+
+class Transport:
+    """Routes messages between simulated ranks under the alpha-beta model.
+
+    One :class:`Transport` is shared by all ranks of a cluster.  It maintains
+    one mailbox per destination rank holding *arrived but not yet received*
+    messages; matching follows MPI semantics (context, source, tag — with
+    wildcards for source and tag) and is FIFO per (source, destination,
+    context, tag) because arrival times per ordered pair are monotone.
+    """
+
+    def __init__(self, engine: Engine, num_ranks: int, params: NetworkParams,
+                 tracer: Optional[Tracer] = None):
+        if num_ranks <= 0:
+            raise ValueError("num_ranks must be positive")
+        self.engine = engine
+        self.num_ranks = num_ranks
+        self.params = params
+        self.tracer = tracer or Tracer(num_ranks)
+        self._mailboxes: list[list[Message]] = [[] for _ in range(num_ranks)]
+        self._send_port_free = [0.0] * num_ranks
+        self._recv_port_free = [0.0] * num_ranks
+        self._seq = itertools.count()
+        # Callbacks used to wake rank processes; installed by the cluster.
+        self._notify_hooks: list[Optional[Any]] = [None] * num_ranks
+
+    # ----------------------------------------------------------------- wiring
+
+    def set_notify_hook(self, rank: int, hook) -> None:
+        """Install the callable invoked whenever rank ``rank`` should wake up."""
+        self._notify_hooks[rank] = hook
+
+    def _notify(self, rank: int) -> None:
+        hook = self._notify_hooks[rank]
+        if hook is not None:
+            hook()
+
+    # ---------------------------------------------------------------- sending
+
+    def post_send(self, src: int, dst: int, tag: int, context, payload,
+                  words: Optional[int] = None, local_delay: float = 0.0) -> SendHandle:
+        """Hand a message to the network; returns its :class:`SendHandle`.
+
+        ``local_delay`` models local work the sender performs before the
+        message can be injected (used by collective state machines to charge
+        e.g. the application of a reduction operator without blocking the
+        caller).
+        """
+        self._check_rank(src, "source")
+        self._check_rank(dst, "destination")
+        if words is None:
+            words = payload_words(payload)
+        # Snapshot array payloads: MPI allows the application to reuse its send
+        # buffer once the send completes locally, and the collective state
+        # machines reuse buffers freely, so the wire copy must be immutable.
+        if isinstance(payload, np.ndarray):
+            payload = payload.copy()
+        params = self.params
+        now = self.engine.now
+
+        start = max(now + local_delay, self._send_port_free[src])
+        leave_sender = start + params.alpha + words * params.beta
+        self._send_port_free[src] = leave_sender
+        # The receive port is occupied for the data transfer part only; if it
+        # is busy, delivery is delayed (incast serialisation).
+        arrival = max(leave_sender, self._recv_port_free[dst] + words * params.beta)
+        self._recv_port_free[dst] = arrival
+
+        message = Message(
+            seq=next(self._seq), src=src, dst=dst, tag=tag, context=context,
+            payload=payload, words=words, send_time=now, arrival_time=arrival,
+        )
+        self.tracer.record_send(src, words)
+
+        def deliver() -> None:
+            self._mailboxes[dst].append(message)
+            self.tracer.record_delivery(dst, words)
+            self._notify(dst)
+
+        self.engine.schedule_at(arrival, deliver)
+
+        handle = SendHandle(self.engine, leave_sender)
+        # Wake the sender once its buffer is free so blocked waits can finish.
+        self.engine.schedule_at(leave_sender, lambda: self._notify(src))
+        return handle
+
+    # -------------------------------------------------------------- receiving
+
+    def find_match(self, dst: int, source: int, tag: int, context) -> Optional[Message]:
+        """Return the earliest arrived message matching the given envelope.
+
+        Does not remove the message (probe semantics).
+        """
+        self._check_rank(dst, "destination")
+        best = None
+        for message in self._mailboxes[dst]:
+            if message.matches(source, tag, context):
+                if best is None or message.seq < best.seq:
+                    best = message
+        return best
+
+    def take_match(self, dst: int, source: int, tag: int, context) -> Optional[Message]:
+        """Like :meth:`find_match` but removes and returns the message."""
+        message = self.find_match(dst, source, tag, context)
+        if message is not None:
+            self._mailboxes[dst].remove(message)
+        return message
+
+    def any_arrived(self, dst: int) -> Optional[Message]:
+        """Earliest arrived message for ``dst`` regardless of envelope."""
+        box = self._mailboxes[dst]
+        if not box:
+            return None
+        return min(box, key=lambda m: m.seq)
+
+    def pending_count(self, dst: int) -> int:
+        return len(self._mailboxes[dst])
+
+    # ------------------------------------------------------------------ misc
+
+    def _check_rank(self, rank: int, what: str) -> None:
+        if not 0 <= rank < self.num_ranks:
+            raise ValueError(f"{what} rank {rank} out of range [0, {self.num_ranks})")

@@ -1,0 +1,97 @@
+"""Distributed sorting algorithms: Janus Quicksort and baselines.
+
+* :func:`jquick` / :func:`jquick_rbc` / :func:`jquick_native_mpi` — the
+  paper's perfectly balanced Janus Quicksort over RBC or over native MPI
+  communicators (Section VII).
+* :func:`hypercube_quicksort` — hypercube quicksort, the classic baseline
+  with no balance guarantee (Section IV).
+* :func:`sample_sort` — single-level sample sort with a direct all-to-all
+  exchange (Section IV).
+* :func:`multilevel_sample_sort` — the k-way multi-level sample sort
+  compromise of Section IV, recursing on RBC range splits.
+* :mod:`repro.sorting.checks` — global sortedness / balance verification.
+"""
+
+from .assignment import (
+    OutgoingPiece,
+    chop_slot_range,
+    greedy_assignment,
+    incoming_message_counts,
+)
+from .backends import (
+    GroupComm,
+    JQuickBackend,
+    MpiGroupComm,
+    NativeMpiBackend,
+    RbcBackend,
+    RbcGroupComm,
+)
+from .basecase import BaseCaseTask, select_left_part, select_right_part, sort_local
+from .checks import (
+    imbalance_factor,
+    is_globally_sorted,
+    is_perfectly_balanced,
+    is_permutation_of_input,
+    verify_sort,
+)
+from .hypercube import HypercubeConfig, HypercubeStats, hypercube_quicksort
+from .intervals import Interval, capacity, owner_of, procs_of_interval, slot_range
+from .jquick import (
+    JQuickConfig,
+    JQuickStats,
+    jquick,
+    jquick_native_mpi,
+    jquick_rbc,
+)
+from .multilevel import MultilevelConfig, MultilevelStats, multilevel_sample_sort
+from .partition import Pivot, partition_counts, partition_mask, split_by_mask
+from .pivot import PivotConfig, median_of_samples, sample_count
+from .samplesort import SampleSortConfig, SampleSortStats, sample_sort
+
+__all__ = [
+    "BaseCaseTask",
+    "GroupComm",
+    "HypercubeConfig",
+    "HypercubeStats",
+    "Interval",
+    "JQuickBackend",
+    "JQuickConfig",
+    "JQuickStats",
+    "MpiGroupComm",
+    "MultilevelConfig",
+    "MultilevelStats",
+    "NativeMpiBackend",
+    "OutgoingPiece",
+    "Pivot",
+    "PivotConfig",
+    "RbcBackend",
+    "RbcGroupComm",
+    "SampleSortConfig",
+    "SampleSortStats",
+    "capacity",
+    "chop_slot_range",
+    "greedy_assignment",
+    "hypercube_quicksort",
+    "imbalance_factor",
+    "incoming_message_counts",
+    "is_globally_sorted",
+    "is_perfectly_balanced",
+    "is_permutation_of_input",
+    "jquick",
+    "jquick_native_mpi",
+    "jquick_rbc",
+    "median_of_samples",
+    "multilevel_sample_sort",
+    "owner_of",
+    "partition_counts",
+    "partition_mask",
+    "procs_of_interval",
+    "sample_count",
+    "sample_sort",
+    "select_left_part",
+    "select_right_part",
+    "slot_range",
+    "sort_local",
+    "split_by_mask",
+    "verify_sort",
+]

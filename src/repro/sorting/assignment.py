@@ -1,0 +1,113 @@
+"""Greedy message assignment for the data-exchange step of Janus Quicksort.
+
+After partitioning, the small elements of the task occupy the global slots
+``[lo, lo + S)`` and the large elements the slots ``[lo + S, hi)``; within
+each side the elements are ordered by source rank (that is the greedy
+assignment of Section VII: source processes fill target processes from left
+to right, each target up to its residual capacity).  Because every process
+contributes at most one contiguous range of small slots and one contiguous
+range of large slots, it sends at most two messages to the left group and two
+to the right group; a *receiver*, however, may receive Θ(min(p, n/p))
+messages in the worst case — the behaviour the paper quotes for the greedy
+assignment and the reason it mentions the deterministic assignment of [20] as
+an alternative.  :func:`incoming_message_counts` exposes the receive counts so
+tests and the ablation benchmark can demonstrate the bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .intervals import overlap, owner_of, slot_range
+
+__all__ = ["OutgoingPiece", "chop_slot_range", "greedy_assignment",
+           "incoming_message_counts"]
+
+
+@dataclass(frozen=True)
+class OutgoingPiece:
+    """One message of the data exchange.
+
+    ``dest`` is the destination rank (global sorting rank), ``slot_start`` the
+    first global slot the piece fills, ``local_start`` the offset into the
+    sender's small (or large) partition buffer, and ``length`` the number of
+    elements.
+    """
+
+    dest: int
+    slot_start: int
+    local_start: int
+    length: int
+
+    @property
+    def slot_end(self) -> int:
+        return self.slot_start + self.length
+
+
+def chop_slot_range(slot_lo: int, slot_hi: int, n: int, p: int,
+                    local_offset: int = 0) -> list[OutgoingPiece]:
+    """Cut the global slot range [slot_lo, slot_hi) at process boundaries.
+
+    Returns one :class:`OutgoingPiece` per destination process, in slot order.
+    """
+    if slot_hi <= slot_lo:
+        return []
+    pieces: list[OutgoingPiece] = []
+    cursor = slot_lo
+    local = local_offset
+    while cursor < slot_hi:
+        dest = owner_of(cursor, n, p)
+        _, dest_end = slot_range(dest, n, p)
+        piece_end = min(slot_hi, dest_end)
+        length = piece_end - cursor
+        pieces.append(OutgoingPiece(dest=dest, slot_start=cursor,
+                                    local_start=local, length=length))
+        cursor = piece_end
+        local += length
+    return pieces
+
+
+def greedy_assignment(*, lo: int, total_small: int, small_prefix: int,
+                      large_prefix: int, small_count: int, large_count: int,
+                      n: int, p: int) -> tuple[list[OutgoingPiece], list[OutgoingPiece]]:
+    """Outgoing pieces of one process for one task.
+
+    Parameters
+    ----------
+    lo:
+        First global slot of the task.
+    total_small:
+        Total number of small elements in the task (the paper's s_{p-1}).
+    small_prefix / large_prefix:
+        Exclusive prefix sums of this process's small / large counts over the
+        task's processes (the paper's s_i and l_i).
+    small_count / large_count:
+        This process's local number of small / large elements.
+
+    Returns ``(small_pieces, large_pieces)``; the ``local_start`` offsets index
+    into the local small and large partition buffers respectively.
+    """
+    small_pieces = chop_slot_range(
+        lo + small_prefix, lo + small_prefix + small_count, n, p)
+    large_pieces = chop_slot_range(
+        lo + total_small + large_prefix,
+        lo + total_small + large_prefix + large_count, n, p)
+    return small_pieces, large_pieces
+
+
+def incoming_message_counts(all_pieces: Sequence[Sequence[OutgoingPiece]],
+                            p: int, *, exclude_self: bool = True) -> list[int]:
+    """Number of messages each rank receives, given every rank's outgoing pieces.
+
+    ``all_pieces[i]`` is the flat list of pieces rank ``i`` sends.  Used by
+    tests and the assignment ablation to exhibit the Θ(min(p, n/p)) worst-case
+    receive count of the greedy assignment.
+    """
+    counts = [0] * p
+    for src, pieces in enumerate(all_pieces):
+        for piece in pieces:
+            if exclude_self and piece.dest == src:
+                continue
+            counts[piece.dest] += 1
+    return counts

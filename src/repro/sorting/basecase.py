@@ -1,0 +1,79 @@
+"""Base-case sorting for Janus Quicksort (Section VII).
+
+Base cases are subtasks covering one or two processes.  A single-process base
+case is sorted locally.  For a two-process base case the processes exchange
+their portions, each side selects the elements that fall into its own capacity
+with a quickselect (``np.partition``), and sorts them locally.  Because the
+two sides select complementary parts of the same multiset, the concatenation
+of the left part and the right part is exactly the sorted subtask.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BaseCaseTask", "sort_local", "select_left_part", "select_right_part",
+           "local_sort_cost", "quickselect_cost"]
+
+
+@dataclass
+class BaseCaseTask:
+    """A deferred base case: global slot interval plus this process's portion."""
+
+    lo: int
+    hi: int
+    data: np.ndarray
+    #: (first, last) ranks covering the interval; equal for 1-process cases.
+    first_rank: int
+    last_rank: int
+
+    @property
+    def two_process(self) -> bool:
+        return self.first_rank != self.last_rank
+
+
+def sort_local(values: np.ndarray) -> np.ndarray:
+    """Sorted copy of a local portion (single-process base case)."""
+    return np.sort(np.asarray(values), kind="stable")
+
+
+def select_left_part(combined: np.ndarray, capacity: int) -> np.ndarray:
+    """Smallest ``capacity`` elements of ``combined``, sorted.
+
+    This is what the *left* process of a two-process base case keeps: a
+    quickselect around index ``capacity`` followed by a local sort of the kept
+    part.
+    """
+    combined = np.asarray(combined)
+    if capacity <= 0:
+        return combined[:0].copy()
+    if capacity >= combined.size:
+        return np.sort(combined)
+    selected = np.partition(combined, capacity - 1)[:capacity]
+    return np.sort(selected)
+
+
+def select_right_part(combined: np.ndarray, capacity: int) -> np.ndarray:
+    """Largest ``capacity`` elements of ``combined``, sorted (right process)."""
+    combined = np.asarray(combined)
+    if capacity <= 0:
+        return combined[:0].copy()
+    if capacity >= combined.size:
+        return np.sort(combined)
+    split = combined.size - capacity
+    selected = np.partition(combined, split)[split:]
+    return np.sort(selected)
+
+
+def local_sort_cost(length: int) -> float:
+    """Elementary operations charged for sorting ``length`` elements locally."""
+    if length <= 1:
+        return float(length)
+    return float(length) * float(np.log2(length))
+
+
+def quickselect_cost(length: int) -> float:
+    """Elementary operations charged for a quickselect over ``length`` elements."""
+    return float(length)

@@ -1,0 +1,75 @@
+"""Correctness and balance checks for distributed sorting results."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .intervals import capacity
+
+__all__ = [
+    "is_globally_sorted",
+    "is_permutation_of_input",
+    "is_perfectly_balanced",
+    "imbalance_factor",
+    "verify_sort",
+]
+
+
+def is_globally_sorted(per_rank: Sequence[np.ndarray]) -> bool:
+    """True if concatenating the per-rank arrays in rank order is non-decreasing."""
+    previous_last = None
+    for part in per_rank:
+        part = np.asarray(part)
+        if part.size == 0:
+            continue
+        if np.any(np.diff(part) < 0):
+            return False
+        if previous_last is not None and part[0] < previous_last:
+            return False
+        previous_last = part[-1]
+    return True
+
+
+def is_permutation_of_input(inputs: Sequence[np.ndarray],
+                            outputs: Sequence[np.ndarray]) -> bool:
+    """True if the multiset of output elements equals the multiset of inputs."""
+    flat_in = np.sort(np.concatenate([np.asarray(x) for x in inputs])) \
+        if inputs else np.empty(0)
+    flat_out = np.sort(np.concatenate([np.asarray(x) for x in outputs])) \
+        if outputs else np.empty(0)
+    if flat_in.size != flat_out.size:
+        return False
+    return bool(np.array_equal(flat_in, flat_out))
+
+
+def is_perfectly_balanced(per_rank: Sequence[np.ndarray], n: int) -> bool:
+    """True if rank i holds exactly capacity(i, n, p) elements (⌊n/p⌋ or ⌈n/p⌉)."""
+    p = len(per_rank)
+    return all(np.asarray(part).size == capacity(i, n, p)
+               for i, part in enumerate(per_rank))
+
+
+def imbalance_factor(per_rank: Sequence[np.ndarray]) -> float:
+    """max load / average load (1.0 means perfect balance; 0 for empty input)."""
+    sizes = [int(np.asarray(part).size) for part in per_rank]
+    total = sum(sizes)
+    if total == 0:
+        return 0.0
+    average = total / len(sizes)
+    return max(sizes) / average
+
+
+def verify_sort(inputs: Sequence[np.ndarray], outputs: Sequence[np.ndarray],
+                *, require_balance: bool = True) -> None:
+    """Raise AssertionError with a precise message if the sort is incorrect."""
+    if not is_permutation_of_input(inputs, outputs):
+        raise AssertionError("output is not a permutation of the input")
+    if not is_globally_sorted(outputs):
+        raise AssertionError("output is not globally sorted")
+    if require_balance:
+        n = int(sum(np.asarray(x).size for x in inputs))
+        if not is_perfectly_balanced(outputs, n):
+            sizes = [int(np.asarray(x).size) for x in outputs]
+            raise AssertionError(f"output is not perfectly balanced: {sizes}")

@@ -1,0 +1,473 @@
+"""Janus Quicksort (JQuick) — Section VII of the paper.
+
+JQuick is a recursive distributed quicksort with *perfect data balance*: after
+every level of recursion each process holds exactly its share (⌊n/p⌋ or
+⌈n/p⌉) of the data.  Process groups therefore split at arbitrary element
+boundaries, and the process whose slots straddle the boundary — the *janus
+process* — belongs to both subtasks and works on them simultaneously using
+nonblocking operations.
+
+One distributed level of recursion (Fig. 3) consists of
+
+1. pivot selection (median of random samples, gathered at the group's first
+   process and broadcast back),
+2. local partitioning into small and large elements (with tie-breaking on the
+   elements' current global slots, so duplicate keys behave like unique keys),
+3. data assignment: an exclusive prefix sum of the small/large counts followed
+   by the greedy assignment that fills target processes from left to right,
+4. data exchange: nonblocking sends to the (at most four) targets, receives
+   until the own capacity is reached.
+
+Subtasks covering only one or two processes become *base cases* and are
+deferred to a second phase so that a janus process never delays a larger
+subtask (Section VII).
+
+The algorithm is expressed over an abstract :class:`~repro.sorting.backends.JQuickBackend`;
+with :class:`~repro.sorting.backends.RbcBackend` the per-level group
+communicators are RBC splits (local, constant time), with
+:class:`~repro.sorting.backends.NativeMpiBackend` they are blocking
+``MPI_Comm_create_group`` calls — reproducing the comparison of Fig. 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..mpi.datatypes import SUM
+from ..rbc.tags import RESERVED_TAG_BASE
+from ..simulator.process import RankEnv
+from .assignment import greedy_assignment
+from .backends import GroupComm, JQuickBackend, NativeMpiBackend, RbcBackend
+from .basecase import (
+    BaseCaseTask,
+    local_sort_cost,
+    quickselect_cost,
+    select_left_part,
+    select_right_part,
+    sort_local,
+)
+from .intervals import Interval, capacity
+from .partition import Pivot, partition_mask, split_by_mask
+from .pivot import PivotConfig, draw_local_samples, median_of_samples, sample_count
+from .tasks import Blocking, Pending, Spawn, run_task_scheduler
+
+__all__ = ["JQuickConfig", "JQuickStats", "jquick", "jquick_rbc", "jquick_native_mpi"]
+
+
+# Purposes of the per-task tags (kept disjoint from RBC's reserved tag space).
+_PURPOSE_SAMPLE = 0
+_PURPOSE_PIVOT = 1
+_PURPOSE_SCAN = 2
+_PURPOSE_TOTAL = 3
+_PURPOSE_DATA = 4
+_PURPOSE_BASECASE = 5
+_NUM_PURPOSES = 6
+_TAG_BASE = 1024
+
+
+@dataclass(frozen=True)
+class JQuickConfig:
+    """Tunable parameters of Janus Quicksort.
+
+    Attributes
+    ----------
+    pivot:
+        Pivot-selection strategy and constants (Section VIII-A).
+    seed:
+        Base seed of the (deterministic, per-task) sampling RNG.
+    tie_breaking:
+        Handle duplicate keys by comparing (value, global slot) pairs.
+    schedule:
+        Order in which a janus process enters its two subtasks — relevant for
+        the blocking communicator creations of the native backend:
+        ``"alternating"`` (every other janus creates the left group first) or
+        ``"cascaded"`` (every janus creates the left group first).
+    charge_local_work:
+        Charge the simulated time of partitioning / sorting / copying; disable
+        to time only the communication.
+    max_levels:
+        Safety bound on the recursion depth per task.
+    """
+
+    pivot: PivotConfig = field(default_factory=PivotConfig)
+    seed: int = 0
+    tie_breaking: bool = True
+    schedule: str = "alternating"
+    charge_local_work: bool = True
+    max_levels: int = 300
+
+    def __post_init__(self):
+        if self.schedule not in ("alternating", "cascaded"):
+            raise ValueError(f"unknown schedule {self.schedule!r}")
+
+
+@dataclass
+class JQuickStats:
+    """Per-process execution statistics of one JQuick run."""
+
+    levels: int = 0
+    distributed_steps: int = 0
+    degenerate_splits: int = 0
+    janus_episodes: int = 0
+    base_cases_one: int = 0
+    base_cases_two: int = 0
+    exchange_messages_received: int = 0
+    max_exchange_messages_per_step: int = 0
+    comm_creations: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+def jquick(env: RankEnv, backend: JQuickBackend, local_data: np.ndarray,
+           config: Optional[JQuickConfig] = None):
+    """Sort ``local_data`` across all processes (env-level generator).
+
+    ``local_data`` must already be laid out in the balanced global slot layout
+    (rank ``i`` holds ``capacity(i, n, p)`` elements); the workload generators
+    in :mod:`repro.bench.workloads` produce exactly this layout.  Returns
+    ``(sorted_local_array, JQuickStats)``: afterwards the concatenation of the
+    per-rank arrays in rank order is globally sorted and every rank holds
+    exactly its capacity.
+    """
+    config = config or JQuickConfig()
+    run = _JQuickRun(env, backend, config)
+    result = yield from run.execute(np.asarray(local_data))
+    return result
+
+
+def jquick_rbc(env: RankEnv, world, local_data, config: Optional[JQuickConfig] = None):
+    """Convenience wrapper: JQuick over an :class:`RbcComm` (env generator)."""
+    result = yield from jquick(env, RbcBackend(world), local_data, config)
+    return result
+
+
+def jquick_native_mpi(env: RankEnv, world, local_data,
+                      config: Optional[JQuickConfig] = None):
+    """Convenience wrapper: JQuick over a native :class:`MpiCommunicator`."""
+    result = yield from jquick(env, NativeMpiBackend(world), local_data, config)
+    return result
+
+
+class _JQuickRun:
+    """State of one JQuick execution on one simulated process."""
+
+    def __init__(self, env: RankEnv, backend: JQuickBackend, config: JQuickConfig):
+        self.env = env
+        self.backend = backend
+        self.config = config
+        self.rank = backend.sort_rank
+        self.p = backend.sort_size
+        self.n = 0
+        self.dtype = np.float64
+        self.stats = JQuickStats()
+        self.base_cases: list[BaseCaseTask] = []
+        self.fragments: dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------ entry
+
+    def execute(self, data: np.ndarray):
+        """Env-level generator running both phases; returns (array, stats)."""
+        self.dtype = data.dtype
+        world = self.backend.world_channel()
+
+        # Agree on the global input size and validate the balanced layout.
+        request = world.iallreduce(int(data.size), SUM, tag=_TAG_BASE - 1)
+        yield from self.env.wait_until(request.test)
+        self.n = int(request.result())
+        expected = capacity(self.rank, self.n, self.p) if self.n else 0
+        if data.size != expected:
+            raise ValueError(
+                f"rank {self.rank}: expected {expected} elements in the balanced "
+                f"layout for n={self.n}, p={self.p}, got {data.size}")
+
+        if self.n == 0:
+            return data.copy(), self.stats
+
+        root_task = Interval(0, self.n, self.n, self.p)
+        if root_task.overlap_of(self.rank) > 0:
+            coroutines = [self.distributed_task(root_task, data, depth=0)]
+            yield from run_task_scheduler(self.env, coroutines)
+        yield from self.run_base_cases()
+        result = self.finalize()
+        return result, self.stats
+
+    # -------------------------------------------------------- distributed phase
+
+    def distributed_task(self, interval: Interval, data: np.ndarray, depth: int):
+        """Task coroutine for one subtask (yields Pending / Blocking / Spawn)."""
+        config = self.config
+        comm: Optional[GroupComm] = None
+        # Communicator reuse is keyed on the *task interval*: a degenerate
+        # split retries the same interval, so every member takes the same
+        # reuse decision; after a real split the interval always changes and a
+        # fresh communicator is created on every level — the behaviour the
+        # paper attributes to recursive algorithms on native MPI.
+        comm_interval: Optional[tuple[int, int]] = None
+        level = depth
+
+        while True:
+            first, last = interval.procs()
+            span = last - first + 1
+            if span <= 2:
+                self._defer_base_case(interval, data, first, last)
+                return None
+            if level - depth > config.max_levels:
+                raise RuntimeError(
+                    f"rank {self.rank}: exceeded {config.max_levels} levels on task "
+                    f"[{interval.lo}, {interval.hi})")
+
+            self.stats.levels = max(self.stats.levels, level + 1)
+            self.stats.distributed_steps += 1
+
+            if comm_interval != (interval.lo, interval.hi):
+                comm = yield Blocking(self.backend.make_group_comm(first, last))
+                comm_interval = (interval.lo, interval.hi)
+                self.stats.comm_creations += 1
+
+            group_rank = self.rank - first
+            group_size = span
+            my_lo, my_hi = interval.local_slots(self.rank)
+            slots = np.arange(my_lo, my_hi, dtype=np.int64)
+
+            # --- 1. pivot selection ------------------------------------------
+            pivot = yield from self._select_pivot(
+                comm, interval, data, slots, level, group_rank, group_size)
+
+            # --- 2. local partitioning ---------------------------------------
+            if config.charge_local_work:
+                yield Blocking(self.env.compute(data.size))
+            mask = partition_mask(data, slots, pivot,
+                                  tie_breaking=config.tie_breaking)
+            small_vals, large_vals = split_by_mask(data, mask)
+            counts = np.array([small_vals.size, large_vals.size], dtype=np.int64)
+
+            # --- 3. prefix sums and totals -----------------------------------
+            request = comm.iscan(counts, SUM, tag=self._tag(interval.lo, _PURPOSE_SCAN))
+            yield Pending([request])
+            inclusive = np.asarray(request.result(), dtype=np.int64)
+            small_prefix = int(inclusive[0] - counts[0])
+            large_prefix = int(inclusive[1] - counts[1])
+
+            totals_payload = inclusive if group_rank == group_size - 1 else None
+            request = comm.ibcast(totals_payload, root=group_size - 1,
+                                  tag=self._tag(interval.lo, _PURPOSE_TOTAL))
+            yield Pending([request])
+            total_small = int(np.asarray(request.result())[0])
+
+            if total_small == 0 or total_small == interval.size:
+                # Degenerate split (pivot was an extreme element): retry the
+                # level with fresh samples; the group stays the same, so the
+                # communicator is reused.
+                self.stats.degenerate_splits += 1
+                level += 1
+                continue
+
+            # --- 4./5. data assignment and exchange ---------------------------
+            left_data, right_data, messages = yield from self._exchange(
+                comm, interval, total_small, small_prefix, large_prefix,
+                small_vals, large_vals)
+            self.stats.exchange_messages_received += messages
+            self.stats.max_exchange_messages_per_step = max(
+                self.stats.max_exchange_messages_per_step, messages)
+
+            # --- 6. recurse ----------------------------------------------------
+            left_iv, right_iv = interval.split_at(interval.lo + total_small)
+            in_left = left_iv.overlap_of(self.rank) > 0
+            in_right = right_iv.overlap_of(self.rank) > 0
+            level += 1
+
+            if in_left and in_right:
+                self.stats.janus_episodes += 1
+                left_first = self._left_first()
+                if left_first:
+                    keep, keep_data = left_iv, left_data
+                    other, other_data = right_iv, right_data
+                else:
+                    keep, keep_data = right_iv, right_data
+                    other, other_data = left_iv, left_data
+                yield Spawn(self.distributed_task(other, other_data, depth=level))
+                interval, data = keep, keep_data
+                continue
+            if in_left:
+                interval, data = left_iv, left_data
+            elif in_right:
+                interval, data = right_iv, right_data
+            else:  # pragma: no cover - impossible: my slots lie in one side
+                return None
+
+    def _left_first(self) -> bool:
+        if self.config.schedule == "cascaded":
+            return True
+        return self.rank % 2 == 0
+
+    # ----------------------------------------------------------- pivot selection
+
+    def _select_pivot(self, comm: GroupComm, interval: Interval, data: np.ndarray,
+                      slots: np.ndarray, level: int, group_rank: int,
+                      group_size: int):
+        """Sub-coroutine: sampled-median pivot selection on the task's group."""
+        config = self.config
+        total = interval.size
+        sigma = sample_count(config.pivot, group_size, total / group_size)
+        local_count = 0
+        if data.size:
+            local_count = max(1, int(np.ceil(sigma * data.size / total)))
+        rng = np.random.default_rng(
+            (hash((config.seed, interval.lo, interval.hi, level, self.rank))
+             & 0x7FFFFFFF))
+        values, sample_slots = draw_local_samples(data, slots, local_count, rng)
+        if config.charge_local_work and local_count:
+            yield Blocking(self.env.compute(local_count))
+
+        request = comm.igatherv((values, sample_slots), root=0,
+                                tag=self._tag(interval.lo, _PURPOSE_SAMPLE))
+        yield Pending([request])
+        if group_rank == 0:
+            chunks = request.result()
+            pivot = median_of_samples(chunks)
+            payload = (pivot.value, pivot.slot)
+        else:
+            payload = None
+        request = comm.ibcast(payload, root=0,
+                              tag=self._tag(interval.lo, _PURPOSE_PIVOT))
+        yield Pending([request])
+        value, slot = request.result()
+        return Pivot(float(value), int(slot))
+
+    # ---------------------------------------------------------------- exchange
+
+    def _exchange(self, comm: GroupComm, interval: Interval, total_small: int,
+                  small_prefix: int, large_prefix: int,
+                  small_vals: np.ndarray, large_vals: np.ndarray):
+        """Sub-coroutine: greedy assignment + nonblocking data exchange.
+
+        Returns ``(left_part, right_part, remote_messages_received)`` where the
+        two parts are this process's portions of the left and right subtasks.
+        """
+        lo = interval.lo
+        my_lo, my_hi = interval.local_slots(self.rank)
+        cap = my_hi - my_lo
+        buffer = np.empty(cap, dtype=self.dtype)
+        received = 0
+
+        small_pieces, large_pieces = greedy_assignment(
+            lo=lo, total_small=total_small, small_prefix=small_prefix,
+            large_prefix=large_prefix, small_count=small_vals.size,
+            large_count=large_vals.size, n=self.n, p=self.p)
+
+        tag = self._tag(lo, _PURPOSE_DATA)
+        send_requests = []
+        for pieces, source in ((small_pieces, small_vals), (large_pieces, large_vals)):
+            for piece in pieces:
+                chunk = source[piece.local_start:piece.local_start + piece.length]
+                if piece.dest == self.rank:
+                    offset = piece.slot_start - my_lo
+                    buffer[offset:offset + piece.length] = chunk
+                    received += piece.length
+                else:
+                    send_requests.append(
+                        comm.isend((piece.slot_start, chunk),
+                                   comm.to_group(piece.dest), tag))
+
+        messages = 0
+        while received < cap:
+            request = comm.irecv_any(tag)
+            yield Pending([request])
+            slot_start, chunk = request.result()
+            offset = slot_start - my_lo
+            buffer[offset:offset + len(chunk)] = chunk
+            received += len(chunk)
+            messages += 1
+
+        if self.config.charge_local_work:
+            yield Blocking(self.env.compute(cap))
+        if send_requests:
+            yield Pending(send_requests)
+
+        cut = min(max(lo + total_small, my_lo), my_hi) - my_lo
+        return buffer[:cut].copy(), buffer[cut:].copy(), messages
+
+    # -------------------------------------------------------------- base cases
+
+    def _defer_base_case(self, interval: Interval, data: np.ndarray,
+                         first: int, last: int) -> None:
+        task = BaseCaseTask(lo=interval.lo, hi=interval.hi, data=data,
+                            first_rank=first, last_rank=last)
+        self.base_cases.append(task)
+        if task.two_process:
+            self.stats.base_cases_two += 1
+        else:
+            self.stats.base_cases_one += 1
+
+    def run_base_cases(self):
+        """Env-level generator: second phase, after all distributed tasks."""
+        channel = self.backend.world_channel()
+
+        # Post every outgoing base-case message first so no partner ever waits
+        # on this process's internal ordering.
+        send_requests = []
+        for task in self.base_cases:
+            if not task.two_process:
+                continue
+            partner = task.last_rank if task.first_rank == self.rank else task.first_rank
+            send_requests.append(channel.isend(
+                task.data, channel.to_group(partner),
+                self._tag(task.lo, _PURPOSE_BASECASE)))
+
+        for task in self.base_cases:
+            if not task.two_process:
+                if self.config.charge_local_work:
+                    yield from self.env.compute(local_sort_cost(task.data.size))
+                self.fragments[task.lo] = sort_local(task.data)
+                continue
+            partner = task.last_rank if task.first_rank == self.rank else task.first_rank
+            request = channel.irecv(channel.to_group(partner),
+                                    self._tag(task.lo, _PURPOSE_BASECASE))
+            yield from self.env.wait_until(request.test)
+            their_data = request.result()
+            combined = np.concatenate([task.data, np.asarray(their_data)])
+            if self.config.charge_local_work:
+                yield from self.env.compute(
+                    quickselect_cost(combined.size) + local_sort_cost(task.data.size))
+            if self.rank == task.first_rank:
+                kept = select_left_part(combined, task.data.size)
+            else:
+                kept = select_right_part(combined, task.data.size)
+            self.fragments[task.lo] = kept
+
+        if send_requests:
+            yield from self.env.wait_until(
+                lambda: all(r.test() for r in send_requests))
+
+    # ------------------------------------------------------------------ output
+
+    def finalize(self) -> np.ndarray:
+        """Concatenate the sorted fragments of this process in slot order."""
+        if not self.fragments:
+            return np.empty(0, dtype=self.dtype)
+        keys = sorted(self.fragments)
+        result = np.concatenate([self.fragments[key] for key in keys])
+        expected = capacity(self.rank, self.n, self.p)
+        if result.size != expected:
+            raise AssertionError(
+                f"rank {self.rank}: produced {result.size} elements, expected "
+                f"{expected} — perfect balance violated")
+        return result
+
+    # -------------------------------------------------------------------- tags
+
+    def _tag(self, lo: int, purpose: int) -> int:
+        """Per-task, per-purpose tag.
+
+        ``lo`` uniquely identifies a task among all *simultaneously active*
+        tasks (their slot intervals are disjoint), which is all that tag
+        separation needs; FIFO ordering of the transport covers reuse of the
+        same ``lo`` by a later child task.  The tag stays below RBC's reserved
+        tag space.
+        """
+        tag = _TAG_BASE + (lo * _NUM_PURPOSES + purpose)
+        return tag % (RESERVED_TAG_BASE - _TAG_BASE) + _TAG_BASE

@@ -1,0 +1,71 @@
+"""Local partitioning with tie-breaking for duplicate keys.
+
+Section II of the paper assumes unique keys and points out that duplicates can
+be handled "by an appropriate tie-breaking scheme: replace a key x with a
+tuple (x, y) where y is the global position in the input array" without
+materialising y.  We implement exactly that scheme: an element is *small* iff
+its (value, current global slot) pair is lexicographically smaller than the
+pivot's (value, slot) pair.  With tie-breaking disabled, plain value
+comparison is used (useful as an ablation; perfect balance still holds but the
+recursion depth can degrade on inputs with many duplicates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["Pivot", "partition_mask", "partition_counts", "split_by_mask"]
+
+
+@dataclass(frozen=True)
+class Pivot:
+    """A pivot: key value plus the global slot of the pivot element.
+
+    The slot makes the comparison a strict total order even in the presence of
+    duplicate keys.
+    """
+
+    value: float
+    slot: int
+
+    def __repr__(self):
+        return f"Pivot(value={self.value!r}, slot={self.slot})"
+
+
+def partition_mask(values: np.ndarray, slots: np.ndarray, pivot: Pivot,
+                   *, tie_breaking: bool = True) -> np.ndarray:
+    """Boolean mask: True for elements that belong to the *left* (small) part.
+
+    ``slots`` holds the current global slot of each element (same length as
+    ``values``); it is only consulted for elements equal to the pivot value.
+    """
+    values = np.asarray(values)
+    if tie_breaking:
+        slots = np.asarray(slots)
+        if slots.shape != values.shape:
+            raise ValueError("values and slots must have the same shape")
+        return (values < pivot.value) | ((values == pivot.value) & (slots < pivot.slot))
+    return values < pivot.value
+
+
+def partition_counts(values: np.ndarray, slots: np.ndarray, pivot: Pivot,
+                     *, tie_breaking: bool = True) -> tuple[int, int]:
+    """(number of small elements, number of large elements)."""
+    mask = partition_mask(values, slots, pivot, tie_breaking=tie_breaking)
+    small = int(mask.sum())
+    return small, int(mask.size - small)
+
+
+def split_by_mask(values: np.ndarray, mask: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Split ``values`` into (small, large) arrays according to ``mask``.
+
+    Order within each part is preserved (the order is irrelevant for
+    correctness — sortedness is established by the recursion — but a stable
+    split keeps the slot bookkeeping simple).
+    """
+    values = np.asarray(values)
+    mask = np.asarray(mask, dtype=bool)
+    return values[mask], values[~mask]

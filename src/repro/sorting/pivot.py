@@ -1,0 +1,75 @@
+"""Pivot selection for Janus Quicksort.
+
+The paper's implementation "selects the median of max(k1 log p, k2 n/p, k3)
+samples determined by the random sampling approach by Sanders et al."
+(Section VIII-A).  We implement that strategy (``sampled_median``) plus the
+simpler textbook strategy of broadcasting one uniformly random element
+(``random_element``), which Section VII uses for the analysis.
+
+Sampling is an entirely local decision: every process draws a number of local
+samples proportional to its share of the task, the samples are gathered at the
+group's first process (gatherv), and the median — together with the global
+slot of the median element, needed for tie-breaking — is broadcast back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .partition import Pivot
+
+__all__ = ["PivotConfig", "sample_count", "draw_local_samples", "median_of_samples"]
+
+
+@dataclass(frozen=True)
+class PivotConfig:
+    """Parameters of the pivot-selection strategy.
+
+    ``strategy`` is ``"sampled_median"`` (default, what the paper's
+    implementation uses) or ``"random_element"`` (a single random element,
+    what the analysis in Section VII assumes).  ``k1``, ``k2``, ``k3`` are the
+    constants of the sample-size formula ``max(k1 log2 p, k2 n/p, k3)``.
+    """
+
+    strategy: str = "sampled_median"
+    k1: float = 2.0
+    k2: float = 0.0
+    k3: float = 5.0
+
+    def __post_init__(self):
+        if self.strategy not in ("sampled_median", "random_element"):
+            raise ValueError(f"unknown pivot strategy {self.strategy!r}")
+
+
+def sample_count(config: PivotConfig, group_size: int, elements_per_proc: float) -> int:
+    """Total number of samples for a task of ``group_size`` processes."""
+    if config.strategy == "random_element":
+        return 1
+    log_p = max(1.0, np.log2(max(2, group_size)))
+    count = max(config.k1 * log_p, config.k2 * elements_per_proc, config.k3)
+    return max(1, int(np.ceil(count)))
+
+
+def draw_local_samples(values: np.ndarray, slots: np.ndarray, count: int,
+                       rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    """Draw up to ``count`` local samples (with replacement) as (values, slots)."""
+    values = np.asarray(values)
+    slots = np.asarray(slots)
+    if values.size == 0 or count <= 0:
+        return np.empty(0, dtype=values.dtype), np.empty(0, dtype=np.int64)
+    indices = rng.integers(0, values.size, size=count)
+    return values[indices], slots[indices]
+
+
+def median_of_samples(sample_chunks: Sequence[tuple[np.ndarray, np.ndarray]]) -> Pivot:
+    """Median (by value, tie-broken by slot) of gathered sample chunks."""
+    values = np.concatenate([np.asarray(v) for v, _ in sample_chunks if np.asarray(v).size])
+    slots = np.concatenate([np.asarray(s) for _, s in sample_chunks if np.asarray(s).size])
+    if values.size == 0:
+        raise ValueError("no samples provided")
+    order = np.lexsort((slots, values))
+    middle = order[(values.size - 1) // 2]
+    return Pivot(value=float(values[middle]), slot=int(slots[middle]))

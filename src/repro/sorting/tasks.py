@@ -1,0 +1,141 @@
+"""Cooperative multi-tasking of sorting subtasks within one simulated process.
+
+A *janus process* of Janus Quicksort works on two subtasks at the same time:
+"Janus processes perform all local operations on both groups simultaneously
+before they communicate again.  All communication operations are then executed
+in nonblocking mode, again on both groups simultaneously" (Section VII).
+
+We realise this with a tiny per-process task scheduler.  Each subtask is an
+ordinary Python generator (a *task coroutine*) that yields one of three
+directives:
+
+``Pending(requests)``
+    Wait — without blocking the process — until every request in the list has
+    completed.  Other task coroutines of the same process keep running.
+
+``Blocking(generator)``
+    Run an environment-level generator to completion, blocking the *whole*
+    process (used for local computation and, in the native-MPI backend, for
+    blocking communicator creation — which is exactly what makes that backend
+    slow).  The generator's return value is sent back into the coroutine.
+
+``Spawn(coroutine)``
+    Add a new task coroutine (the janus's second subtask).  The spawning
+    coroutine keeps running first, so the order in which a janus enters the
+    two subtasks (and thus the communicator-creation *schedule*) is decided by
+    which subtask the parent coroutine continues as.
+
+The scheduler itself is an environment-level generator: when every coroutine
+is waiting on ``Pending`` requests, it suspends the process until one of them
+can make progress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Iterable, List, Optional, Sequence
+
+from ..simulator.process import RankEnv
+
+__all__ = ["Pending", "Blocking", "Spawn", "run_task_scheduler"]
+
+
+@dataclass
+class Pending:
+    """Wait (cooperatively) until all ``requests`` have completed."""
+
+    requests: Sequence[Any]
+
+    def ready(self) -> bool:
+        done = True
+        for request in self.requests:
+            if not request.test():
+                done = False
+        return done
+
+
+@dataclass
+class Blocking:
+    """Run an env-level generator, blocking the whole process."""
+
+    generator: Generator
+
+
+@dataclass
+class Spawn:
+    """Register an additional task coroutine with the scheduler."""
+
+    coroutine: Generator
+
+
+@dataclass
+class _Entry:
+    coroutine: Generator
+    waiting: Optional[Pending] = None
+    send_value: Any = None
+    done: bool = False
+    result: Any = None
+
+
+def run_task_scheduler(env: RankEnv, coroutines: Iterable[Generator]):
+    """Drive a set of task coroutines to completion (env-level generator).
+
+    Returns the list of coroutine return values in completion-registration
+    order (initial coroutines first, spawned ones appended as they appear).
+    """
+    entries: List[_Entry] = [_Entry(coroutine=c) for c in coroutines]
+
+    def sweep():
+        """Advance every runnable coroutine as far as possible.
+
+        This is a generator because a ``Blocking`` directive must suspend the
+        whole process; it is driven with ``yield from`` below.
+        """
+        index = 0
+        while index < len(entries):
+            entry = entries[index]
+            index += 1
+            if entry.done:
+                continue
+            if entry.waiting is not None:
+                if entry.waiting.ready():
+                    entry.waiting = None
+                    entry.send_value = None
+                else:
+                    continue
+            while True:
+                try:
+                    directive = entry.coroutine.send(entry.send_value)
+                except StopIteration as stop:
+                    entry.done = True
+                    entry.result = stop.value
+                    break
+                entry.send_value = None
+                if isinstance(directive, Pending):
+                    if directive.ready():
+                        continue
+                    entry.waiting = directive
+                    break
+                if isinstance(directive, Blocking):
+                    entry.send_value = yield from directive.generator
+                    continue
+                if isinstance(directive, Spawn):
+                    entries.append(_Entry(coroutine=directive.coroutine))
+                    continue
+                raise TypeError(
+                    f"task coroutine yielded {directive!r}; expected "
+                    "Pending, Blocking or Spawn")
+
+    while True:
+        yield from sweep()
+        pending_entries = [e for e in entries if not e.done]
+        if not pending_entries:
+            break
+        # Every remaining coroutine waits on requests; suspend the process
+        # until at least one of them can continue.  Testing the requests makes
+        # progress on their state machines, mirroring progression-by-Test.
+        yield from env.wait_until(
+            lambda: any(e.waiting is not None and e.waiting.ready()
+                        for e in entries if not e.done))
+
+    return [entry.result for entry in entries]

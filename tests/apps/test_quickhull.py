@@ -1,0 +1,196 @@
+"""Distributed QuickHull on RBC communicators (the paper's future-work example)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import (
+    QuickHullConfig,
+    convex_hull_sequential,
+    distributed_quickhull,
+)
+from repro.mpi import init_mpi
+from repro.rbc import create_rbc_comm
+from repro.simulator import Cluster
+
+
+# ---------------------------------------------------------------------------
+# Sequential reference hull.
+# ---------------------------------------------------------------------------
+
+def _normalise(hull: np.ndarray) -> np.ndarray:
+    """Canonical representation of a hull: unique vertices, lexicographic order."""
+    hull = np.asarray(hull, dtype=np.float64).reshape(-1, 2)
+    if hull.shape[0] == 0:
+        return hull
+    return np.unique(hull, axis=0)
+
+
+def test_sequential_hull_of_square_with_interior_points():
+    square = np.array([[0, 0], [1, 0], [1, 1], [0, 1]], dtype=np.float64)
+    interior = np.array([[0.5, 0.5], [0.25, 0.75], [0.9, 0.1]])
+    hull = convex_hull_sequential(np.vstack([square, interior]))
+    assert np.array_equal(_normalise(hull), _normalise(square))
+
+
+def test_sequential_hull_degenerate_inputs():
+    assert convex_hull_sequential(np.empty((0, 2))).shape == (0, 2)
+    single = convex_hull_sequential(np.array([[2.0, 3.0]]))
+    assert np.array_equal(single, np.array([[2.0, 3.0]]))
+    collinear = convex_hull_sequential(
+        np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0], [3.0, 3.0]]))
+    assert np.array_equal(_normalise(collinear),
+                          np.array([[0.0, 0.0], [3.0, 3.0]]))
+    duplicated = convex_hull_sequential(np.array([[1.0, 1.0]] * 5))
+    assert duplicated.shape == (1, 2)
+
+
+def test_sequential_hull_is_counter_clockwise():
+    rng = np.random.default_rng(0)
+    points = rng.uniform(-1, 1, size=(200, 2))
+    hull = convex_hull_sequential(points)
+    # Shoelace area of a CCW polygon is positive.
+    x, y = hull[:, 0], hull[:, 1]
+    area = 0.5 * np.sum(x * np.roll(y, -1) - np.roll(x, -1) * y)
+    assert area > 0
+
+
+def test_sequential_hull_rejects_bad_shapes():
+    with pytest.raises(ValueError):
+        convex_hull_sequential(np.zeros((3, 3)))
+
+
+# ---------------------------------------------------------------------------
+# Distributed QuickHull.
+# ---------------------------------------------------------------------------
+
+def _run_distributed(parts, config=None):
+    p = len(parts)
+
+    def program(env, local_points):
+        world_mpi = init_mpi(env)
+        world = yield from create_rbc_comm(world_mpi)
+        hull, stats = yield from distributed_quickhull(env, world, local_points,
+                                                       config)
+        return hull, stats
+
+    result = Cluster(p).run(
+        program, rank_kwargs=[dict(local_points=parts[r]) for r in range(p)])
+    hulls = [r[0] for r in result.results]
+    stats = [r[1] for r in result.results]
+    return hulls, stats
+
+
+def _random_parts(p, per_rank, seed=0, kind="uniform"):
+    rng = np.random.default_rng(seed)
+    parts = []
+    for _ in range(p):
+        if kind == "uniform":
+            pts = rng.uniform(-10, 10, size=(per_rank, 2))
+        elif kind == "circle":
+            angles = rng.uniform(0, 2 * np.pi, size=per_rank)
+            radii = np.sqrt(rng.uniform(0, 1, size=per_rank))
+            pts = np.column_stack([radii * np.cos(angles), radii * np.sin(angles)])
+        elif kind == "cluster":
+            pts = rng.normal(0, 0.1, size=(per_rank, 2))
+        else:
+            raise ValueError(kind)
+        parts.append(pts)
+    return parts
+
+
+@pytest.mark.parametrize("p", [1, 2, 3, 5, 8])
+@pytest.mark.parametrize("kind", ["uniform", "circle"])
+def test_distributed_hull_matches_sequential(p, kind):
+    parts = _random_parts(p, 50, seed=p, kind=kind)
+    hulls, _ = _run_distributed(parts)
+    expected = convex_hull_sequential(np.vstack(parts))
+    for hull in hulls:
+        assert np.allclose(_normalise(hull), _normalise(expected))
+
+
+def test_all_ranks_return_the_same_hull():
+    parts = _random_parts(6, 40, seed=3)
+    hulls, _ = _run_distributed(parts)
+    for hull in hulls[1:]:
+        assert np.array_equal(hull, hulls[0])
+
+
+def test_distributed_hull_is_counter_clockwise():
+    parts = _random_parts(4, 80, seed=9)
+    hulls, _ = _run_distributed(parts)
+    hull = hulls[0]
+    x, y = hull[:, 0], hull[:, 1]
+    area = 0.5 * np.sum(x * np.roll(y, -1) - np.roll(x, -1) * y)
+    assert area > 0
+
+
+def test_distributed_hull_with_empty_and_unequal_ranks():
+    rng = np.random.default_rng(5)
+    parts = [rng.uniform(size=(0, 2)), rng.uniform(size=(30, 2)),
+             rng.uniform(size=(1, 2)), rng.uniform(size=(7, 2))]
+    hulls, _ = _run_distributed(parts)
+    expected = convex_hull_sequential(np.vstack(parts))
+    assert np.allclose(_normalise(hulls[0]), _normalise(expected))
+
+
+def test_distributed_hull_globally_empty_input():
+    parts = [np.empty((0, 2)) for _ in range(4)]
+    hulls, _ = _run_distributed(parts)
+    assert all(h.shape == (0, 2) for h in hulls)
+
+
+def test_distributed_hull_all_points_identical():
+    parts = [np.full((5, 2), 3.0) for _ in range(3)]
+    hulls, _ = _run_distributed(parts)
+    for hull in hulls:
+        assert hull.shape == (1, 2)
+        assert np.allclose(hull, [[3.0, 3.0]])
+
+
+def test_distributed_hull_collinear_points():
+    xs = np.linspace(0, 1, 24)
+    points = np.column_stack([xs, 2 * xs])
+    parts = np.array_split(points, 4)
+    hulls, _ = _run_distributed(parts)
+    expected = _normalise(np.array([[0.0, 0.0], [1.0, 2.0]]))
+    for hull in hulls:
+        assert np.allclose(_normalise(hull), expected)
+
+
+def test_distributed_hull_uses_only_local_comm_splits():
+    parts = _random_parts(8, 32, seed=1)
+    _, stats = _run_distributed(parts)
+    # log2(8) = 3 levels of group splitting per side, at most.
+    assert all(s.comm_splits <= 2 * 4 for s in stats)
+    assert all(s.levels <= 4 for s in stats)
+
+
+def test_distributed_hull_discards_interior_points():
+    parts = _random_parts(4, 200, seed=12, kind="cluster")
+    # Add a far-away square so the hull is known to be those four corners.
+    corners = np.array([[-50, -50], [50, -50], [50, 50], [-50, 50]], dtype=float)
+    parts[0] = np.vstack([parts[0], corners])
+    hulls, stats = _run_distributed(parts)
+    assert np.allclose(_normalise(hulls[0]), _normalise(corners))
+    assert sum(s.points_discarded for s in stats) > 0
+
+
+def test_quickhull_config_level_bound():
+    parts = _random_parts(4, 16, seed=2)
+    with pytest.raises(Exception):
+        _run_distributed(parts, config=QuickHullConfig(max_levels=0))
+
+
+@given(p=st.integers(min_value=1, max_value=8),
+       per_rank=st.integers(min_value=0, max_value=40),
+       seed=st.integers(min_value=0, max_value=500))
+@settings(max_examples=25, deadline=None)
+def test_distributed_hull_property_matches_sequential(p, per_rank, seed):
+    rng = np.random.default_rng(seed)
+    # Integer coordinates provoke duplicates and collinear runs.
+    parts = [rng.integers(-5, 6, size=(per_rank, 2)).astype(float) for _ in range(p)]
+    hulls, _ = _run_distributed(parts)
+    expected = convex_hull_sequential(np.vstack(parts) if p else np.empty((0, 2)))
+    assert np.allclose(_normalise(hulls[0]), _normalise(expected))

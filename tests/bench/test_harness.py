@@ -1,0 +1,106 @@
+"""Tests of the benchmark harness measurement machinery and figure modules."""
+
+import pytest
+
+from repro.bench import fig4_iscan, fig5_comm_split, fig6_overlapping
+from repro.bench.harness import (
+    COLLECTIVE_OPS,
+    Measurement,
+    collective_program,
+    ratio,
+    repeat_max_duration,
+    run_rank_durations,
+)
+
+
+def test_measurement_aggregation():
+    measurement = Measurement.from_samples([1000.0, 3000.0, 2000.0], messages=7)
+    assert measurement.mean_ms == pytest.approx(2.0)
+    assert measurement.min_ms == pytest.approx(1.0)
+    assert measurement.max_ms == pytest.approx(3.0)
+    assert measurement.repetitions == 3
+    assert measurement.messages == 7
+
+
+def test_ratio_helper():
+    assert ratio(10.0, 5.0) == 2.0
+    assert ratio(None, 5.0) is None
+    assert ratio(10.0, 0) is None
+
+
+def test_run_rank_durations_takes_max_over_ranks():
+    def program(env):
+        yield from env.sleep(float(env.rank) * 10)
+        return float(env.rank) * 10
+
+    duration, result = run_rank_durations(4, program)
+    assert duration == 30.0
+    assert result.total_time == 30.0
+
+
+def test_run_rank_durations_ignores_non_participants():
+    def program(env):
+        yield from env.sleep(5.0)
+        return 5.0 if env.rank == 0 else None
+
+    duration, _ = run_rank_durations(3, program)
+    assert duration == 5.0
+
+
+def test_repeat_max_duration_averages_repetitions():
+    def make_program(rep):
+        def program(env):
+            yield from env.sleep(1000.0 * (rep + 1))
+            return 1000.0 * (rep + 1)
+
+        return program, (), {}
+
+    measurement = repeat_max_duration(2, make_program, repetitions=3)
+    assert measurement.mean_ms == pytest.approx(2.0)
+    assert measurement.repetitions == 3
+
+
+@pytest.mark.parametrize("operation", COLLECTIVE_OPS)
+@pytest.mark.parametrize("impl", ["rbc", "mpi"])
+def test_collective_program_runs_all_ops(operation, impl):
+    duration, result = run_rank_durations(
+        8, collective_program, operation=operation, impl=impl,
+        vendor="generic", words=16)
+    assert duration > 0
+    assert result.stats.messages_sent > 0
+
+
+def test_collective_program_rejects_unknown_inputs():
+    with pytest.raises(Exception):
+        run_rank_durations(2, collective_program, operation="alltoall",
+                           impl="rbc", vendor="generic", words=1)
+    with pytest.raises(Exception):
+        run_rank_durations(2, collective_program, operation="bcast",
+                           impl="other", vendor="generic", words=1)
+
+
+def test_fig_modules_expose_presets_and_run_tiny():
+    """Smoke-test the figure drivers at the smallest scale."""
+    table = fig5_comm_split.run("tiny", proc_counts=(8, 16), repetitions=1)
+    assert {"curve", "p", "time_ms"} <= set(table.columns)
+    assert len(table.rows) == 5 * 2
+    assert all(row["time_ms"] >= 0 for row in table.rows)
+
+    table = fig6_overlapping.run("tiny", proc_counts=(16,), repetitions=1)
+    assert len(table.rows) == 4
+
+    table = fig4_iscan.run("tiny", num_ranks=16, repetitions=1)
+    assert len({row["impl"] for row in table.rows}) == 3
+
+
+def test_overlapping_groups_cover_every_rank():
+    groups = fig6_overlapping.overlapping_groups(16)
+    covered = set()
+    for first, last in groups:
+        assert last - first <= 3
+        covered.update(range(first, last + 1))
+    assert covered == set(range(16))
+    # Boundary ranks appear in exactly two groups.
+    multi = [r for r in range(16)
+             if sum(first <= r <= last for first, last in groups) == 2]
+    assert multi == [3, 6, 9, 12]

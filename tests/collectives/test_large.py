@@ -1,0 +1,313 @@
+"""Large-input collective algorithms: block helpers, correctness, cost shape."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.collectives.large import (
+    LARGE_ALLREDUCE_THRESHOLD_WORDS,
+    LARGE_BCAST_THRESHOLD_WORDS,
+    block_bounds,
+    block_sizes,
+    choose_allreduce_algorithm,
+    choose_bcast_algorithm,
+    split_blocks,
+)
+from repro.mpi import SUM, MAX, init_mpi
+from repro.rbc import collectives as coll
+from repro.rbc import create_rbc_comm
+
+
+def _world(env):
+    world_mpi = init_mpi(env)
+    world = yield from create_rbc_comm(world_mpi)
+    return world
+
+
+# ---------------------------------------------------------------------------
+# Block distribution helpers.
+# ---------------------------------------------------------------------------
+
+@given(total=st.integers(min_value=0, max_value=5000),
+       parts=st.integers(min_value=1, max_value=64))
+@settings(max_examples=100, deadline=None)
+def test_block_sizes_partition_exactly(total, parts):
+    sizes = block_sizes(total, parts)
+    assert len(sizes) == parts
+    assert sum(sizes) == total
+    assert max(sizes) - min(sizes) <= 1
+    # The larger blocks come first (MPI block distribution).
+    assert sizes == sorted(sizes, reverse=True)
+
+
+@given(total=st.integers(min_value=0, max_value=5000),
+       parts=st.integers(min_value=1, max_value=64))
+@settings(max_examples=100, deadline=None)
+def test_block_bounds_are_contiguous(total, parts):
+    bounds = block_bounds(total, parts)
+    assert bounds[0][0] == 0
+    assert bounds[-1][1] == total
+    for (lo_a, hi_a), (lo_b, _) in zip(bounds, bounds[1:]):
+        assert hi_a == lo_b
+        assert lo_a <= hi_a
+
+
+def test_block_sizes_rejects_bad_arguments():
+    with pytest.raises(ValueError):
+        block_sizes(10, 0)
+    with pytest.raises(ValueError):
+        block_sizes(-1, 4)
+
+
+def test_split_blocks_returns_views_covering_the_array():
+    array = np.arange(17, dtype=np.float64)
+    blocks = split_blocks(array, 5)
+    assert len(blocks) == 5
+    assert np.array_equal(np.concatenate(blocks), array)
+    # Views, not copies.
+    blocks[0][0] = -1.0
+    assert array[0] == -1.0
+
+
+def test_split_blocks_rejects_matrices():
+    with pytest.raises(ValueError):
+        split_blocks(np.zeros((4, 4)), 2)
+
+
+# ---------------------------------------------------------------------------
+# Algorithm selection heuristics.
+# ---------------------------------------------------------------------------
+
+def test_choose_bcast_algorithm_crossover():
+    small = np.zeros(8)
+    large = np.zeros(LARGE_BCAST_THRESHOLD_WORDS + 1)
+    assert choose_bcast_algorithm(small.size, 64, small) == "binomial"
+    assert choose_bcast_algorithm(large.size, 64, large) == "scatter_allgather"
+    # Tiny groups never switch: there is nothing to scatter over.
+    assert choose_bcast_algorithm(large.size, 2, large) == "binomial"
+    # Non-array payloads cannot be split into blocks.
+    assert choose_bcast_algorithm(10 ** 6, 64, {"big": "object"}) == "binomial"
+    assert choose_bcast_algorithm(10 ** 6, 64, np.zeros((1000, 1000))) == "binomial"
+
+
+def test_choose_allreduce_algorithm_crossover():
+    small = np.zeros(8)
+    large = np.zeros(LARGE_ALLREDUCE_THRESHOLD_WORDS + 1)
+    assert choose_allreduce_algorithm(small.size, 64, small) == "reduce_bcast"
+    assert choose_allreduce_algorithm(large.size, 64, large) == "ring"
+    assert choose_allreduce_algorithm(large.size, 2, large) == "reduce_bcast"
+    assert choose_allreduce_algorithm(10 ** 6, 64, [1, 2, 3]) == "reduce_bcast"
+
+
+# ---------------------------------------------------------------------------
+# Correctness of the algorithms through the RBC API.
+# ---------------------------------------------------------------------------
+
+SIZES = [1, 2, 3, 5, 8, 13]
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_scatter_delivers_each_ranks_payload(run_ranks, p):
+    def program(env):
+        world = yield from _world(env)
+        values = None
+        root = p - 1
+        if world.rank == root:
+            values = [f"item-{i}" for i in range(p)]
+        mine = yield from coll.scatter(world, values, root=root)
+        return mine
+
+    results = run_ranks(p, program)
+    assert results == [f"item-{i}" for i in range(p)]
+
+
+def test_scatterv_with_variable_sized_arrays(run_ranks):
+    p = 6
+
+    def program(env):
+        world = yield from _world(env)
+        values = None
+        if world.rank == 0:
+            values = [np.full(i + 1, float(i)) for i in range(p)]
+        mine = yield from coll.scatterv(world, values, root=0)
+        return mine.size, float(mine[0])
+
+    results = run_ranks(p, program)
+    assert results == [(i + 1, float(i)) for i in range(p)]
+
+
+def test_scatter_requires_values_on_root(run_ranks):
+    def program(env):
+        world = yield from _world(env)
+        if world.rank == 0:
+            with pytest.raises(ValueError):
+                coll.iscatter(world, None, root=0)
+            with pytest.raises(ValueError):
+                coll.iscatter(world, [1, 2], root=0)  # wrong length
+            return "checked"
+        return "other"
+
+    results = run_ranks(4, program)
+    assert results[0] == "checked"
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_ring_allgatherv_collects_every_contribution(run_ranks, p):
+    def program(env):
+        world = yield from _world(env)
+        payload = np.arange(world.rank + 1, dtype=np.float64)
+        gathered = yield from coll.allgatherv(world, payload)
+        return [np.asarray(chunk).size for chunk in gathered]
+
+    results = run_ranks(p, program)
+    for sizes in results:
+        assert sizes == [r + 1 for r in range(p)]
+
+
+@pytest.mark.parametrize("p", SIZES)
+@pytest.mark.parametrize("algorithm", ["scatter_allgather", "pipeline", "auto"])
+def test_large_bcast_algorithms_match_binomial(run_ranks, p, algorithm):
+    n = 1000
+
+    def program(env):
+        world = yield from _world(env)
+        value = None
+        if world.rank == 0:
+            value = np.arange(n, dtype=np.float64)
+        result = yield from coll.bcast(world, value, root=0,
+                                       algorithm=algorithm, segment_words=128)
+        return float(np.sum(result)), int(np.asarray(result).size)
+
+    results = run_ranks(p, program)
+    expected = (float(np.sum(np.arange(n))), n)
+    assert all(r == expected for r in results)
+
+
+def test_bcast_rejects_unknown_algorithm(run_ranks):
+    def program(env):
+        world = yield from _world(env)
+        if world.rank == 0:
+            with pytest.raises(ValueError):
+                coll.ibcast(world, np.zeros(4), 0, algorithm="quantum")
+        return True
+
+    assert all(run_ranks(3, program))
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_reduce_scatter_blocks_sum_to_global_reduction(run_ranks, p):
+    n = 97
+
+    def program(env):
+        world = yield from _world(env)
+        contribution = np.arange(n, dtype=np.float64) + world.rank
+        block = yield from coll.reduce_scatter(world, contribution, SUM)
+        return np.asarray(block)
+
+    results = run_ranks(p, program)
+    expected = p * np.arange(n, dtype=np.float64) + sum(range(p))
+    assert np.array_equal(np.concatenate(results), expected)
+
+
+@pytest.mark.parametrize("p", SIZES)
+@pytest.mark.parametrize("algorithm", ["ring", "auto"])
+def test_ring_allreduce_matches_reduce_bcast(run_ranks, p, algorithm):
+    n = 64
+
+    def program(env):
+        world = yield from _world(env)
+        contribution = np.linspace(0, 1, n) * (world.rank + 1)
+        ring = yield from coll.allreduce(world, contribution, SUM,
+                                         algorithm=algorithm)
+        reference = yield from coll.allreduce(world, contribution, SUM,
+                                              algorithm="reduce_bcast")
+        return np.allclose(ring, reference)
+
+    assert all(run_ranks(p, program))
+
+
+def test_allreduce_rejects_unknown_algorithm(run_ranks):
+    def program(env):
+        world = yield from _world(env)
+        with pytest.raises(ValueError):
+            coll.iallreduce(world, np.zeros(4), algorithm="gossip")
+        return True
+
+    assert all(run_ranks(2, program))
+
+
+def test_ring_allreduce_with_max_operator(run_ranks):
+    p = 5
+    n = 40
+
+    def program(env):
+        world = yield from _world(env)
+        rng = np.random.default_rng(world.rank)
+        contribution = rng.uniform(size=n)
+        result = yield from coll.allreduce(world, contribution, MAX, algorithm="ring")
+        return contribution, result
+
+    results = run_ranks(p, program)
+    expected = np.max(np.stack([c for c, _ in results]), axis=0)
+    for _, result in results:
+        assert np.allclose(result, expected)
+
+
+@given(p=st.integers(min_value=1, max_value=10),
+       n=st.integers(min_value=1, max_value=200))
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_scatter_allgather_bcast_property(p, n):
+    from repro.simulator import Cluster
+
+    def program(env):
+        world = yield from _world(env)
+        value = np.arange(n, dtype=np.float64) if world.rank == 0 else None
+        result = yield from coll.bcast(world, value, root=0,
+                                       algorithm="scatter_allgather")
+        return np.array_equal(result, np.arange(n, dtype=np.float64))
+
+    assert all(Cluster(p).run(program).results)
+
+
+# ---------------------------------------------------------------------------
+# Cost shape: the large-input algorithms actually beat the binomial tree for
+# long vectors (and lose for tiny ones) in simulated time.
+# ---------------------------------------------------------------------------
+
+def _timed_bcast_program(env, *, algorithm, words):
+    world_mpi = init_mpi(env)
+    world = yield from create_rbc_comm(world_mpi)
+    yield from coll.barrier(world)
+    value = np.zeros(words) if world.rank == 0 else None
+    start = env.now
+    yield from coll.bcast(world, value, root=0, algorithm=algorithm)
+    return env.now - start
+
+
+def _max_time(run_ranks, p, algorithm, words):
+    durations = run_ranks(p, _timed_bcast_program,
+                          rank_kwargs=[dict(algorithm=algorithm, words=words)] * p)
+    return max(durations)
+
+
+def test_scatter_allgather_wins_for_long_vectors(run_ranks):
+    p = 16
+    long_words = 1 << 16
+    assert (_max_time(run_ranks, p, "scatter_allgather", long_words)
+            < _max_time(run_ranks, p, "binomial", long_words))
+
+
+def test_binomial_wins_for_short_vectors(run_ranks):
+    p = 16
+    short_words = 4
+    assert (_max_time(run_ranks, p, "binomial", short_words)
+            < _max_time(run_ranks, p, "scatter_allgather", short_words))
+
+
+def test_pipeline_beats_binomial_for_long_vectors(run_ranks):
+    p = 16
+    long_words = 1 << 16
+    assert (_max_time(run_ranks, p, "pipeline", long_words)
+            < _max_time(run_ranks, p, "binomial", long_words))

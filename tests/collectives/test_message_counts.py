@@ -1,0 +1,168 @@
+"""Message-count invariants of the collective algorithms.
+
+The trace statistics of the simulator count every message the transport
+carries, so the communication volume of each algorithm can be checked exactly:
+binomial trees send one message per non-root rank, dissemination patterns send
+one message per rank per round, ring algorithms send one message per rank per
+step.  These invariants pin down the cost model the benchmarks rely on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.collectives.topology import ceil_log2, dissemination_rounds
+from repro.mpi import SUM, init_mpi
+from repro.rbc import collectives as coll
+from repro.rbc import create_rbc_comm
+from repro.simulator import Cluster
+
+
+def _messages_for(p, body):
+    """Run ``body(world)`` (a generator taking the RBC world) on p ranks and
+    return the total number of messages sent."""
+
+    def program(env):
+        world_mpi = init_mpi(env)
+        world = yield from create_rbc_comm(world_mpi)
+        yield from body(env, world)
+        return None
+
+    result = Cluster(p).run(program)
+    return result.stats.messages_sent, result.stats
+
+
+SIZES = [2, 3, 5, 8, 13, 16]
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_binomial_bcast_sends_p_minus_one_messages(p):
+    def body(env, world):
+        yield from coll.bcast(world, 1.0 if world.rank == 0 else None, 0)
+
+    messages, stats = _messages_for(p, body)
+    assert messages == p - 1
+    # No rank sends more than its binomial-tree degree (<= ceil(log2 p)).
+    assert stats.max_messages_sent() <= ceil_log2(p)
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_binomial_reduce_and_gather_send_p_minus_one_messages(p):
+    def body(env, world):
+        yield from coll.reduce(world, 1.0, SUM, root=0)
+        yield from coll.gather(world, world.rank, root=p - 1)
+
+    messages, _ = _messages_for(p, body)
+    assert messages == 2 * (p - 1)
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_scatter_sends_p_minus_one_messages(p):
+    def body(env, world):
+        values = list(range(p)) if world.rank == 0 else None
+        yield from coll.scatter(world, values, root=0)
+
+    messages, _ = _messages_for(p, body)
+    assert messages == p - 1
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_dissemination_barrier_message_count(p):
+    def body(env, world):
+        yield from coll.barrier(world)
+
+    messages, _ = _messages_for(p, body)
+    assert messages == p * len(dissemination_rounds(p))
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_ring_allgather_sends_p_times_p_minus_one_messages(p):
+    def body(env, world):
+        yield from coll.allgatherv(world, float(world.rank))
+
+    messages, stats = _messages_for(p, body)
+    assert messages == p * (p - 1)
+    assert stats.max_messages_sent() == p - 1
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_ring_reduce_scatter_message_count(p):
+    def body(env, world):
+        yield from coll.reduce_scatter(world, np.ones(4 * p), SUM)
+
+    messages, _ = _messages_for(p, body)
+    assert messages == p * (p - 1)
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_alltoallv_sends_a_full_square(p):
+    def body(env, world):
+        payloads = [np.zeros(1) for _ in range(p)]
+        yield from coll.alltoallv(world, payloads)
+
+    messages, _ = _messages_for(p, body)
+    assert messages == p * (p - 1)
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_scatter_allgather_bcast_message_count(p):
+    def body(env, world):
+        value = np.zeros(64 * p) if world.rank == 0 else None
+        yield from coll.bcast(world, value, root=0, algorithm="scatter_allgather")
+
+    messages, _ = _messages_for(p, body)
+    # Binomial scatter (p - 1) followed by a ring allgather (p * (p - 1)).
+    assert messages == (p - 1) + p * (p - 1)
+
+
+def test_pipeline_bcast_message_count():
+    p = 6
+    segments = 8
+
+    def body(env, world):
+        value = np.zeros(segments * 32) if world.rank == 0 else None
+        yield from coll.bcast(world, value, root=0, algorithm="pipeline",
+                              segment_words=32)
+
+    messages, _ = _messages_for(p, body)
+    # Every chain edge (p - 1 of them) carries every segment exactly once.
+    assert messages == (p - 1) * segments
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_bcast_word_volume_is_tree_edges_times_payload(p):
+    words = 50
+
+    def body(env, world):
+        value = np.zeros(words) if world.rank == 0 else None
+        yield from coll.bcast(world, value, root=0)
+
+    def run(body):
+        def program(env):
+            world_mpi = init_mpi(env)
+            world = yield from create_rbc_comm(world_mpi)
+            yield from body(env, world)
+
+        return Cluster(p).run(program).stats
+
+    stats = run(body)
+    assert stats.words_sent == (p - 1) * words
+
+
+def test_ring_allreduce_moves_less_data_per_rank_than_reduce_bcast():
+    """The ring allreduce is bandwidth-optimal: the busiest rank sends about
+    2n(p-1)/p words, whereas with reduce+bcast the root forwards ~n log p."""
+    p = 8
+    words = 4096
+
+    def run(algorithm):
+        def program(env):
+            world_mpi = init_mpi(env)
+            world = yield from create_rbc_comm(world_mpi)
+            yield from coll.allreduce(world, np.ones(words), SUM,
+                                      algorithm=algorithm)
+
+        return Cluster(p).run(program).stats
+
+    ring = run("ring")
+    tree = run("reduce_bcast")
+    assert max(ring.per_rank_words_sent) < max(tree.per_rank_words_sent)

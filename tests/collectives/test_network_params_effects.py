@@ -1,0 +1,77 @@
+"""The collective algorithms respond to the machine parameters as the α–β
+model predicts: latency-bound machines favour the binomial trees, bandwidth-
+bound machines favour the bandwidth-optimal algorithms, and the crossover
+point moves accordingly."""
+
+import numpy as np
+
+from repro.mpi import SUM, init_mpi
+from repro.rbc import collectives as coll
+from repro.rbc import create_rbc_comm
+from repro.simulator import Cluster, NetworkParams
+
+
+def _time_collective(p, params, operation, algorithm, words):
+    def program(env):
+        world_mpi = init_mpi(env)
+        world = yield from create_rbc_comm(world_mpi)
+        yield from coll.barrier(world)
+        start = env.now
+        if operation == "bcast":
+            payload = np.zeros(words) if world.rank == 0 else None
+            yield from coll.bcast(world, payload, root=0, algorithm=algorithm)
+        else:
+            yield from coll.allreduce(world, np.zeros(words), SUM,
+                                      algorithm=algorithm)
+        return env.now - start
+
+    result = Cluster(p, params).run(program)
+    return max(result.results)
+
+
+def test_latency_bound_machine_prefers_binomial_bcast_longer():
+    """On a latency-bound machine the binomial tree stays ahead up to larger
+    payloads than on a bandwidth-bound machine."""
+    p = 16
+    words = 8192
+    latency = NetworkParams.latency_bound()
+    bandwidth = NetworkParams.bandwidth_bound()
+
+    # Bandwidth-bound machine: scatter-allgather already wins at this size.
+    assert (_time_collective(p, bandwidth, "bcast", "scatter_allgather", words)
+            < _time_collective(p, bandwidth, "bcast", "binomial", words))
+    # Latency-bound machine: the binomial tree still wins at the same size.
+    assert (_time_collective(p, latency, "bcast", "binomial", words)
+            < _time_collective(p, latency, "bcast", "scatter_allgather", words))
+
+
+def test_ring_allreduce_advantage_grows_with_beta():
+    p = 8
+    words = 16384
+    default = NetworkParams.default()
+    bandwidth = NetworkParams.bandwidth_bound()
+
+    def advantage(params):
+        tree = _time_collective(p, params, "allreduce", "reduce_bcast", words)
+        ring = _time_collective(p, params, "allreduce", "ring", words)
+        return tree / ring
+
+    assert advantage(bandwidth) > advantage(default)
+
+
+def test_alpha_only_scaling_of_small_collectives():
+    """For a one-word broadcast the running time scales with alpha (the beta
+    and gamma terms are negligible), so doubling alpha roughly doubles it."""
+    p = 32
+    base = NetworkParams(alpha=5.0, beta=0.002, gamma=0.002)
+    doubled = NetworkParams(alpha=10.0, beta=0.002, gamma=0.002)
+    t_base = _time_collective(p, base, "bcast", "binomial", 1)
+    t_doubled = _time_collective(p, doubled, "bcast", "binomial", 1)
+    assert 1.8 <= t_doubled / t_base <= 2.2
+
+
+def test_message_cost_formula():
+    params = NetworkParams(alpha=7.0, beta=0.01, gamma=0.001)
+    assert params.message_cost(0) == 7.0
+    assert params.message_cost(1000) == 7.0 + 10.0
+    assert params.compute_cost(500) == 0.5

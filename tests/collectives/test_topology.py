@@ -1,0 +1,101 @@
+"""Property-based and unit tests of the binomial-tree / dissemination helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives.topology import (
+    binomial_children,
+    binomial_parent,
+    ceil_log2,
+    dissemination_rounds,
+    from_virtual,
+    to_virtual,
+)
+
+
+def test_ceil_log2_small_values():
+    assert ceil_log2(0) == 0
+    assert ceil_log2(1) == 0
+    assert ceil_log2(2) == 1
+    assert ceil_log2(3) == 2
+    assert ceil_log2(4) == 2
+    assert ceil_log2(5) == 3
+    assert ceil_log2(1024) == 10
+    assert ceil_log2(1025) == 11
+
+
+@given(st.integers(min_value=1, max_value=1 << 20))
+def test_ceil_log2_bound(n):
+    k = ceil_log2(n)
+    assert 2 ** k >= n
+    assert k == 0 or 2 ** (k - 1) < n
+
+
+def test_binomial_parent_of_root_is_none():
+    assert binomial_parent(0) is None
+
+
+def test_binomial_children_known_tree_size8():
+    assert sorted(binomial_children(0, 8)) == [1, 2, 4]
+    assert sorted(binomial_children(4, 8)) == [5, 6]
+    assert sorted(binomial_children(2, 8)) == [3]
+    assert binomial_children(1, 8) == []
+    assert binomial_children(7, 8) == []
+
+
+def test_binomial_children_sorted_by_decreasing_subtree():
+    # The root should send to the largest subtree first.
+    assert binomial_children(0, 8) == [4, 2, 1]
+
+
+@given(st.integers(min_value=1, max_value=300))
+@settings(max_examples=60)
+def test_binomial_tree_is_consistent(size):
+    """Parent/children relations agree and the tree spans all virtual ranks."""
+    reached = {0}
+    for vrank in range(size):
+        for child in binomial_children(vrank, size):
+            assert 0 <= child < size
+            assert binomial_parent(child) == vrank
+            assert child not in reached
+            reached.add(child)
+    assert reached == set(range(size))
+
+
+@given(st.integers(min_value=2, max_value=300))
+@settings(max_examples=60)
+def test_binomial_tree_depth_is_logarithmic(size):
+    def depth(vrank):
+        steps = 0
+        while vrank != 0:
+            vrank = binomial_parent(vrank)
+            steps += 1
+        return steps
+
+    assert max(depth(v) for v in range(size)) <= ceil_log2(size)
+
+
+def test_dissemination_rounds_powers_of_two():
+    assert dissemination_rounds(1) == []
+    assert dissemination_rounds(2) == [1]
+    assert dissemination_rounds(5) == [1, 2, 4]
+    assert dissemination_rounds(8) == [1, 2, 4]
+    assert dissemination_rounds(9) == [1, 2, 4, 8]
+
+
+@given(st.integers(min_value=1, max_value=10_000))
+def test_dissemination_rounds_cover_all_distances(size):
+    rounds = dissemination_rounds(size)
+    assert sum(rounds) >= size - 1
+    assert all(b == 2 * a for a, b in zip(rounds, rounds[1:]))
+
+
+@given(st.integers(min_value=1, max_value=200), st.data())
+def test_virtual_rank_round_trip(size, data):
+    root = data.draw(st.integers(min_value=0, max_value=size - 1))
+    rank = data.draw(st.integers(min_value=0, max_value=size - 1))
+    vrank = to_virtual(rank, root, size)
+    assert 0 <= vrank < size
+    assert from_virtual(vrank, root, size) == rank
+    assert to_virtual(root, root, size) == 0

@@ -1,0 +1,134 @@
+"""Collective operations on simulated MPI communicators (incl. vendor model)."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import MAX, SUM, MpiGroup, init_mpi
+from repro.simulator import Cluster
+
+
+SIZES = [1, 2, 3, 5, 8, 13]
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_bcast_reduce_scan_gather(run_ranks, p):
+    def program(env):
+        world = init_mpi(env)
+        root = p - 1
+        value = yield from world.bcast("hello" if world.rank == root else None, root)
+        total = yield from world.reduce(world.rank, SUM, root=0)
+        prefix = yield from world.scan(world.rank, SUM)
+        gathered = yield from world.gather(world.rank ** 2, root=root)
+        return value, total, prefix, gathered
+
+    results = run_ranks(p, program)
+    for rank, (value, total, prefix, gathered) in enumerate(results):
+        assert value == "hello"
+        assert prefix == rank * (rank + 1) // 2
+        if rank == 0:
+            assert total == p * (p - 1) // 2
+        if rank == p - 1:
+            assert gathered == [r ** 2 for r in range(p)]
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_allreduce_allgather_exscan_barrier(run_ranks, p):
+    def program(env):
+        world = init_mpi(env)
+        everyone = yield from world.allreduce(world.rank + 1, SUM)
+        maxima = yield from world.allreduce(world.rank, MAX)
+        listing = yield from world.allgather(chr(ord("a") + world.rank))
+        exclusive = yield from world.exscan(1, SUM)
+        yield from world.barrier()
+        return everyone, maxima, listing, exclusive
+
+    results = run_ranks(p, program)
+    for rank, (everyone, maxima, listing, exclusive) in enumerate(results):
+        assert everyone == p * (p + 1) // 2
+        assert maxima == p - 1
+        assert listing == [chr(ord("a") + r) for r in range(p)]
+        assert exclusive == (None if rank == 0 else rank)
+
+
+def test_alltoallv_object_payloads(run_ranks):
+    p = 5
+
+    def program(env):
+        world = init_mpi(env)
+        payloads = [np.full(dest + 1, float(world.rank)) for dest in range(p)]
+        received = yield from world.alltoallv(payloads)
+        return received
+
+    results = run_ranks(p, program)
+    for rank, received in enumerate(results):
+        for source, chunk in enumerate(received):
+            assert chunk.size == rank + 1
+            assert np.all(chunk == source)
+
+
+def test_collectives_on_sub_communicator(run_ranks):
+    def program(env):
+        world = init_mpi(env)
+        color = world.rank % 2
+        sub = yield from world.split(color, key=world.rank)
+        total = yield from sub.allreduce(world.rank, SUM)
+        return color, total
+
+    results = run_ranks(8, program)
+    evens = sum(r for r in range(8) if r % 2 == 0)
+    odds = sum(r for r in range(8) if r % 2 == 1)
+    for rank, (color, total) in enumerate(results):
+        assert total == (evens if color == 0 else odds)
+
+
+def test_simultaneous_nonblocking_collectives_do_not_interfere(run_ranks):
+    """Two outstanding Ibcasts on one communicator deliver the right payloads
+    (the synchronous collective sequence counter keeps them apart)."""
+
+    def program(env):
+        world = init_mpi(env)
+        first = world.ibcast("first" if world.rank == 0 else None, 0)
+        second = world.ibcast("second" if world.rank == 0 else None, 0)
+        # Complete them in reverse order on purpose.
+        yield from env.wait_until(second.test)
+        yield from env.wait_until(first.test)
+        return first.result(), second.result()
+
+    for values in run_ranks(6, program):
+        assert values == ("first", "second")
+
+
+def test_vendor_word_factor_slows_native_collectives(run_cluster):
+    """Intel's nonblocking reduce pays a large per-word factor (Fig. 9d)."""
+
+    def program(env, vendor):
+        world = init_mpi(env, vendor=vendor)
+        request = world.ireduce(np.zeros(4096), SUM, root=0)
+        yield from env.wait_until(request.test)
+        return env.now
+
+    slow = max(run_cluster(8, program, "intel").results)
+    fast = max(run_cluster(8, program, "generic").results)
+    assert slow > fast * 3
+
+
+def test_rbc_collectives_do_not_pay_vendor_factor(run_cluster):
+    """RBC collectives run over plain point-to-point messages, so they are not
+    affected by the vendor's nonblocking-collective overhead (Fig. 9)."""
+    from repro.rbc import collectives as rbc_collectives
+    from repro.rbc import create_rbc_comm
+
+    def program(env, impl):
+        world = init_mpi(env, vendor="intel")
+        rbc_world = yield from create_rbc_comm(world)
+        payload = np.zeros(4096)
+        if impl == "rbc":
+            request = rbc_collectives.ireduce(rbc_world, payload, root=0)
+        else:
+            request = world.ireduce(payload, SUM, root=0)
+        yield from env.wait_until(request.test)
+        return env.now
+
+    rbc_time = max(run_cluster(8, program, "rbc").results)
+    mpi_time = max(run_cluster(8, program, "mpi").results)
+    assert rbc_time < mpi_time

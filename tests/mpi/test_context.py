@@ -1,0 +1,140 @@
+"""Tests of context-ID masks and the tuple context IDs of Section VI."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi.context import ContextIdPool, TupleContextId, lowest_set_bit
+
+
+def test_fresh_pool_has_everything_free():
+    pool = ContextIdPool(bits=128)
+    assert pool.free_count() == 128
+    assert pool.lowest_free() == 0
+    assert pool.is_free(0) and pool.is_free(127)
+
+
+def test_acquire_and_release_cycle():
+    pool = ContextIdPool(bits=64)
+    pool.acquire(0)
+    assert not pool.is_free(0)
+    assert pool.lowest_free() == 1
+    pool.acquire(1)
+    assert pool.lowest_free() == 2
+    pool.release(0)
+    assert pool.lowest_free() == 0
+    assert pool.free_count() == 63
+
+
+def test_double_acquire_and_release_rejected():
+    pool = ContextIdPool(bits=16)
+    pool.acquire(3)
+    with pytest.raises(ValueError):
+        pool.acquire(3)
+    pool.release(3)
+    with pytest.raises(ValueError):
+        pool.release(3)
+
+
+def test_out_of_range_ids_rejected():
+    pool = ContextIdPool(bits=16)
+    with pytest.raises(ValueError):
+        pool.acquire(16)
+    with pytest.raises(ValueError):
+        pool.is_free(-1)
+
+
+def test_pool_requires_at_least_two_ids():
+    with pytest.raises(ValueError):
+        ContextIdPool(bits=1)
+
+
+def test_exhausted_pool_raises():
+    pool = ContextIdPool(bits=2)
+    pool.acquire(0)
+    pool.acquire(1)
+    with pytest.raises(RuntimeError):
+        pool.lowest_free()
+
+
+def test_lowest_set_bit():
+    assert lowest_set_bit(1) == 0
+    assert lowest_set_bit(0b1010000) == 4
+    with pytest.raises(RuntimeError):
+        lowest_set_bit(0)
+
+
+def test_mask_array_roundtrip():
+    pool = ContextIdPool(bits=256)
+    for context_id in (0, 5, 63, 64, 100, 255):
+        pool.acquire(context_id)
+    words = pool.mask_array()
+    assert words.dtype == np.uint64
+    assert words.size == pool.mask_words()
+    assert ContextIdPool.mask_from_array(words) == pool.mask
+
+
+def test_band_of_masks_models_agreement():
+    """The lowest common free bit is free on every participant."""
+    pools = [ContextIdPool(bits=64) for _ in range(4)]
+    pools[0].acquire(0)
+    pools[1].acquire(1)
+    pools[2].acquire(0)
+    pools[2].acquire(2)
+    reduced = pools[0].mask
+    for pool in pools[1:]:
+        reduced &= pool.mask
+    common = ContextIdPool.common_lowest_free(reduced)
+    assert common == 3
+    for pool in pools:
+        assert pool.is_free(common)
+
+
+@given(st.sets(st.integers(min_value=0, max_value=127), max_size=60))
+@settings(max_examples=60)
+def test_property_lowest_free_is_really_lowest(acquired):
+    pool = ContextIdPool(bits=128)
+    for context_id in acquired:
+        pool.acquire(context_id)
+    if len(acquired) == 128:
+        return
+    lowest = pool.lowest_free()
+    assert lowest not in acquired
+    assert all(candidate in acquired for candidate in range(lowest))
+
+
+# ---------------------------------------------------------------------------
+# Tuple context IDs (Section VI).
+# ---------------------------------------------------------------------------
+
+def test_tuple_context_child_for_subrange():
+    parent = TupleContextId(a=7, b=2, f=4, l=19, c=0)
+    child = parent.child_for_range(3, 8)
+    assert child == TupleContextId(a=7, b=2, f=7, l=12, c=1)
+
+
+def test_tuple_context_duplicate_of_parent_differs():
+    parent = TupleContextId(a=1, b=0, f=0, l=15, c=2)
+    duplicate = parent.child_for_range(0, 15)
+    assert duplicate.f == parent.f and duplicate.l == parent.l
+    assert duplicate != parent
+    assert duplicate.c == parent.c + 1
+
+
+def test_tuple_context_is_hashable_and_ordered_fields():
+    ctx = TupleContextId(a=3, b=1, f=0, l=7, c=0)
+    assert ctx.as_tuple() == (3, 1, 0, 7, 0)
+    assert len({ctx, TupleContextId(3, 1, 0, 7, 0)}) == 1
+
+
+@given(st.integers(0, 50), st.integers(0, 50), st.integers(0, 20), st.data())
+@settings(max_examples=50)
+def test_property_nested_ranges_never_collide_with_parent(a, b, f, data):
+    l = f + data.draw(st.integers(min_value=1, max_value=30))
+    parent = TupleContextId(a=a, b=b, f=f, l=l, c=0)
+    new_first = data.draw(st.integers(min_value=0, max_value=l - f - 1))
+    new_last = data.draw(st.integers(min_value=new_first, max_value=l - f))
+    child = parent.child_for_range(new_first, new_last)
+    assert child != parent
+    assert parent.f <= child.f <= child.l <= parent.l

@@ -1,0 +1,84 @@
+"""Tests of MPI constants, datatypes and reduction operators."""
+
+import numpy as np
+import pytest
+
+from repro.mpi.datatypes import (
+    ANY_SOURCE,
+    ANY_TAG,
+    BAND,
+    BOR,
+    BYTE,
+    DOUBLE,
+    INT,
+    LONG,
+    MAX,
+    MAXLOC,
+    MIN,
+    MINLOC,
+    PROC_NULL,
+    PROD,
+    SUM,
+    UNDEFINED,
+)
+
+
+def test_sentinels_are_distinct_negative():
+    sentinels = {ANY_SOURCE, ANY_TAG, PROC_NULL, UNDEFINED}
+    # ANY_SOURCE and ANY_TAG share the MPI convention of -1.
+    assert len({ANY_SOURCE, PROC_NULL, UNDEFINED}) == 3
+    assert all(s < 0 for s in sentinels)
+
+
+def test_datatype_sizes():
+    assert DOUBLE.size_bytes == 8
+    assert INT.size_bytes == 4
+    assert LONG.size_bytes == 8
+    assert BYTE.size_bytes == 1
+    assert DOUBLE.np_dtype == np.dtype(np.float64)
+
+
+def test_sum_and_prod_on_scalars_and_arrays():
+    assert SUM(2, 3) == 5
+    assert PROD(2, 3) == 6
+    np.testing.assert_array_equal(SUM(np.array([1, 2]), np.array([3, 4])),
+                                  np.array([4, 6]))
+
+
+def test_min_max_on_scalars_and_arrays():
+    assert MIN(4, 9) == 4
+    assert MAX(4, 9) == 9
+    np.testing.assert_array_equal(MIN(np.array([1, 5]), np.array([3, 2])),
+                                  np.array([1, 2]))
+    np.testing.assert_array_equal(MAX(np.array([1, 5]), np.array([3, 2])),
+                                  np.array([3, 5]))
+
+
+def test_bitwise_operators():
+    assert BAND(0b1100, 0b1010) == 0b1000
+    assert BOR(0b1100, 0b1010) == 0b1110
+    a = np.array([0b11, 0b10], dtype=np.uint64)
+    b = np.array([0b01, 0b11], dtype=np.uint64)
+    np.testing.assert_array_equal(BAND(a, b), np.array([0b01, 0b10], dtype=np.uint64))
+
+
+def test_minloc_maxloc_pairs():
+    assert MINLOC((3.0, 7), (5.0, 2)) == (3.0, 7)
+    assert MAXLOC((3.0, 7), (5.0, 2)) == (5.0, 2)
+    # Ties keep the first argument (stable).
+    assert MINLOC((3.0, 1), (3.0, 2)) == (3.0, 1)
+
+
+def test_operators_are_associative_over_samples():
+    rng = np.random.default_rng(0)
+    values = rng.integers(1, 10, size=6).tolist()
+    for op in (SUM, PROD, MIN, MAX):
+        left = op(op(values[0], values[1]), values[2])
+        right = op(values[0], op(values[1], values[2]))
+        assert left == right
+
+
+def test_op_repr_and_call():
+    assert "SUM" in repr(SUM)
+    assert SUM.commutative
+    assert callable(SUM)

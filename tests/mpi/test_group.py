@@ -1,0 +1,125 @@
+"""Tests of MPI process groups (explicit and range storage formats)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi.datatypes import UNDEFINED
+from repro.mpi.group import GroupFormat, MpiGroup
+
+
+def test_incl_preserves_order():
+    group = MpiGroup.incl([5, 2, 9])
+    assert group.size == 3
+    assert group.world_ranks() == [5, 2, 9]
+    assert group.translate(0) == 5
+    assert group.translate(2) == 9
+    assert group.rank_of(2) == 1
+    assert group.format == GroupFormat.EXPLICIT
+
+
+def test_incl_rejects_duplicates():
+    with pytest.raises(ValueError):
+        MpiGroup.incl([1, 2, 1])
+
+
+def test_range_incl_single_range():
+    group = MpiGroup.range_incl([(4, 9, 1)])
+    assert group.size == 6
+    assert group.world_ranks() == [4, 5, 6, 7, 8, 9]
+    assert group.format == GroupFormat.RANGE
+    assert group.as_contiguous_range() == (4, 9)
+
+
+def test_range_incl_with_stride():
+    group = MpiGroup.range_incl([(0, 10, 2)])
+    assert group.world_ranks() == [0, 2, 4, 6, 8, 10]
+    assert group.rank_of(6) == 3
+    assert group.rank_of(5) == UNDEFINED
+    assert group.as_contiguous_range() is None
+
+
+def test_range_incl_multiple_ranges():
+    group = MpiGroup.range_incl([(0, 2), (10, 11)])
+    assert group.world_ranks() == [0, 1, 2, 10, 11]
+    assert group.translate(3) == 10
+    assert group.rank_of(11) == 4
+    assert group.as_contiguous_range() is None
+    assert group.range_count() == 2
+
+
+def test_range_incl_rejects_overlapping_ranges():
+    with pytest.raises(ValueError):
+        MpiGroup.range_incl([(0, 5), (3, 8)])
+
+
+def test_range_incl_rejects_bad_ranges():
+    with pytest.raises(ValueError):
+        MpiGroup.range_incl([(5, 2)])
+    with pytest.raises(ValueError):
+        MpiGroup.range_incl([(0, 4, 0)])
+
+
+def test_contiguous_constructor():
+    group = MpiGroup.contiguous(3, 7)
+    assert group.world_ranks() == [3, 4, 5, 6, 7]
+    assert group.as_contiguous_range() == (3, 7)
+
+
+def test_explicit_contiguous_detection():
+    assert MpiGroup.incl([2, 3, 4]).as_contiguous_range() == (2, 4)
+    assert MpiGroup.incl([2, 4, 3]).as_contiguous_range() is None
+    assert MpiGroup.incl([2, 4, 6]).as_contiguous_range() is None
+
+
+def test_constructor_requires_exactly_one_source():
+    with pytest.raises(ValueError):
+        MpiGroup()
+    with pytest.raises(ValueError):
+        MpiGroup(explicit=[1], ranges=[(0, 1)])
+
+
+def test_translate_out_of_range():
+    group = MpiGroup.contiguous(0, 3)
+    with pytest.raises(IndexError):
+        group.translate(4)
+    with pytest.raises(ValueError):
+        group.translate(-1)
+
+
+def test_contains_and_len_and_eq():
+    a = MpiGroup.contiguous(1, 4)
+    b = MpiGroup.incl([1, 2, 3, 4])
+    assert len(a) == 4
+    assert a.contains(2)
+    assert not a.contains(0)
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != MpiGroup.incl([1, 2, 3])
+
+
+@given(st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=40,
+                unique=True))
+def test_property_explicit_translate_roundtrip(ranks):
+    group = MpiGroup.incl(ranks)
+    for local, world in enumerate(ranks):
+        assert group.translate(local) == world
+        assert group.rank_of(world) == local
+    assert group.rank_of(max(ranks) + 1) == UNDEFINED
+
+
+@given(st.integers(min_value=0, max_value=100),
+       st.integers(min_value=0, max_value=50),
+       st.integers(min_value=1, max_value=7))
+@settings(max_examples=80)
+def test_property_range_equals_explicit(first, extra, stride):
+    last = first + extra * stride
+    range_group = MpiGroup.range_incl([(first, last, stride)])
+    explicit_group = MpiGroup.incl(list(range(first, last + 1, stride)))
+    assert range_group.world_ranks() == explicit_group.world_ranks()
+    assert range_group.size == explicit_group.size
+    for local in range(range_group.size):
+        assert range_group.translate(local) == explicit_group.translate(local)
+    # Membership queries agree on a window around the range.
+    for world in range(max(0, first - 2), last + 3):
+        assert range_group.rank_of(world) == explicit_group.rank_of(world)

@@ -1,0 +1,112 @@
+"""Scatter, scatterv and reduce-scatter on the simulated native-MPI layer."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import SUM, MAX, init_mpi
+
+
+SIZES = [1, 2, 4, 7]
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_mpi_scatter_roundtrip_with_gather(run_ranks, p):
+    def program(env):
+        comm = init_mpi(env)
+        values = [r * 3 for r in range(p)] if comm.rank == 0 else None
+        mine = yield from comm.scatter(values, root=0)
+        back = yield from comm.gather(mine, root=0)
+        return mine, back
+
+    results = run_ranks(p, program)
+    for rank, (mine, back) in enumerate(results):
+        assert mine == rank * 3
+        if rank == 0:
+            assert back == [r * 3 for r in range(p)]
+        else:
+            assert back is None
+
+
+def test_mpi_scatterv_variable_sizes(run_ranks):
+    p = 5
+
+    def program(env):
+        comm = init_mpi(env)
+        values = None
+        if comm.rank == p - 1:
+            values = [np.arange(r + 1, dtype=np.float64) for r in range(p)]
+        mine = yield from comm.scatterv(values, root=p - 1)
+        return int(np.asarray(mine).size)
+
+    assert run_ranks(p, program) == [1, 2, 3, 4, 5]
+
+
+@pytest.mark.parametrize("vendor", ["generic", "intel", "ibm"])
+def test_mpi_reduce_scatter_all_vendors(run_ranks, vendor):
+    p = 6
+    n = 30
+
+    def program(env):
+        comm = init_mpi(env, vendor=vendor)
+        contribution = np.full(n, float(comm.rank + 1))
+        block = yield from comm.reduce_scatter(contribution, SUM)
+        return np.asarray(block)
+
+    results = run_ranks(p, program)
+    total = float(sum(range(1, p + 1)))
+    assert np.allclose(np.concatenate(results), np.full(n, total))
+
+
+def test_mpi_reduce_scatter_with_max(run_ranks):
+    p = 4
+    n = 16
+
+    def program(env):
+        comm = init_mpi(env)
+        contribution = np.arange(n, dtype=np.float64) * (comm.rank + 1)
+        block = yield from comm.reduce_scatter(contribution, MAX)
+        return np.asarray(block)
+
+    results = run_ranks(p, program)
+    expected = np.arange(n, dtype=np.float64) * p
+    assert np.allclose(np.concatenate(results), expected)
+
+
+def test_mpi_nonblocking_scatter_progresses_via_test(run_ranks):
+    p = 5
+
+    def program(env):
+        comm = init_mpi(env)
+        values = list(range(p)) if comm.rank == 0 else None
+        request = comm.iscatter(values, root=0)
+        polls = 0
+        while not request.test():
+            polls += 1
+            yield from env.sleep(1.0)
+        return request.result(), polls
+
+    results = run_ranks(p, program)
+    assert [value for value, _ in results] == list(range(p))
+    assert any(polls > 0 for _, polls in results[1:])
+
+
+def test_mpi_scatter_on_sub_communicator(run_ranks):
+    """Scatter works on a communicator created with comm_create_group."""
+    from repro.mpi import MpiGroup
+
+    def program(env):
+        comm = init_mpi(env)
+        group = MpiGroup.contiguous(2, 5)
+        if comm.rank < 2 or comm.rank > 5:
+            return None
+        sub = yield from comm.create_group(group)
+        values = [c * 2 for c in range(sub.size)] if sub.rank == 0 else None
+        mine = yield from sub.scatter(values, root=0)
+        return mine
+
+    results = run_ranks(8, program)
+    for rank, value in enumerate(results):
+        if 2 <= rank <= 5:
+            assert value == (rank - 2) * 2
+        else:
+            assert value is None

@@ -1,0 +1,69 @@
+"""Tests of the vendor cost models."""
+
+import pytest
+
+from repro.mpi.vendor import GENERIC, IBM_MPI, INTEL_MPI, VENDORS, VendorModel, get_vendor
+
+
+def test_registry_contains_all_models():
+    assert set(VENDORS) == {"generic", "intel", "ibm"}
+    assert VENDORS["intel"] is INTEL_MPI
+    assert VENDORS["ibm"] is IBM_MPI
+    assert VENDORS["generic"] is GENERIC
+
+
+def test_get_vendor_by_name_case_insensitive():
+    assert get_vendor("Intel") is INTEL_MPI
+    assert get_vendor("IBM") is IBM_MPI
+    assert get_vendor(GENERIC) is GENERIC
+
+
+def test_get_vendor_unknown_name():
+    with pytest.raises(KeyError):
+        get_vendor("cray")
+
+
+def test_group_construction_cost_is_linear_in_group_size():
+    for model in (GENERIC, INTEL_MPI, IBM_MPI):
+        small = model.group_construction_cost(100)
+        large = model.group_construction_cost(1000)
+        assert large > small
+        slope = (large - small) / 900
+        assert slope == pytest.approx(model.group_construction_per_rank)
+
+
+def test_split_cost_is_linear_in_parent_size():
+    for model in (GENERIC, INTEL_MPI, IBM_MPI):
+        assert model.split_local_cost(2048) > model.split_local_cost(64)
+
+
+def test_ibm_create_group_dwarfs_intel():
+    """Fig. 5: IBM's create_group is slower by orders of magnitude."""
+    for size in (1024, 4096, 32768):
+        assert IBM_MPI.group_construction_cost(size) > \
+            20 * INTEL_MPI.group_construction_cost(size)
+
+
+def test_word_factor_defaults_to_one():
+    assert GENERIC.word_factor("bcast") == 1.0
+    assert GENERIC.word_factor("nonexistent-op") == 1.0
+    assert INTEL_MPI.word_factor("reduce") > 1.0
+    assert IBM_MPI.word_factor("scan") > 1.0
+
+
+def test_models_are_immutable():
+    with pytest.raises(Exception):
+        INTEL_MPI.group_construction_per_rank = 0.0
+
+
+def test_custom_model_round_trip():
+    model = VendorModel(
+        name="Test MPI",
+        group_construction_per_rank=1.0,
+        group_construction_base=10.0,
+        split_local_per_rank=2.0,
+        split_base=20.0,
+    )
+    assert model.group_construction_cost(5) == 15.0
+    assert model.split_local_cost(5) == 30.0
+    assert get_vendor(model) is model

@@ -1,0 +1,75 @@
+"""Table I conformance: every operation and class of the RBC library exists.
+
+The paper's Table I lists the blocking operations, nonblocking operations and
+classes of RBC.  This test checks that the reproduction exposes each of them
+under the paper's name (as well as the snake_case equivalent).
+"""
+
+import inspect
+
+import pytest
+
+import repro.core as core
+import repro.rbc as rbc
+
+TABLE_I_BLOCKING = [
+    "Bcast", "Reduce", "Scan", "Gather", "Gatherv", "Barrier",
+    "Send", "Recv", "Probe", "Wait", "Waitall",
+    "Create_RBC_Comm", "Split_RBC_Comm", "Comm_rank", "Comm_size",
+]
+
+TABLE_I_NONBLOCKING = [
+    "Ibcast", "Ireduce", "Iscan", "Igather", "Igatherv", "Ibarrier",
+    "Isend", "Irecv", "Iprobe", "Test",
+]
+
+TABLE_I_CLASSES = ["Request", "Comm"]
+
+SNAKE_CASE_API = [
+    "bcast", "reduce", "scan", "gather", "gatherv", "barrier",
+    "ibcast", "ireduce", "iscan", "igather", "igatherv", "ibarrier",
+    "send", "recv", "probe", "iprobe", "isend", "irecv",
+    "create_rbc_comm", "split_rbc_comm", "comm_rank", "comm_size",
+    "test", "test_all", "wait", "wait_all",
+]
+
+
+@pytest.mark.parametrize("name", TABLE_I_BLOCKING + TABLE_I_NONBLOCKING)
+def test_table_i_operation_exists_and_is_callable(name):
+    assert hasattr(rbc, name), f"rbc::{name} missing"
+    assert callable(getattr(rbc, name))
+
+
+@pytest.mark.parametrize("name", TABLE_I_CLASSES)
+def test_table_i_class_exists(name):
+    assert hasattr(rbc, name)
+    assert inspect.isclass(getattr(rbc, name))
+
+
+@pytest.mark.parametrize("name", SNAKE_CASE_API)
+def test_snake_case_api_exists(name):
+    assert hasattr(rbc, name), f"rbc.{name} missing"
+    assert callable(getattr(rbc, name))
+
+
+def test_aliases_point_to_the_same_objects():
+    assert rbc.Ibcast is rbc.ibcast
+    assert rbc.Split_RBC_Comm is rbc.split_rbc_comm
+    assert rbc.Comm is rbc.RbcComm
+    assert rbc.Request is rbc.RbcRequest
+    assert rbc.Waitall is rbc.wait_all
+
+
+def test_core_reexports_the_full_rbc_api():
+    for name in TABLE_I_BLOCKING + TABLE_I_NONBLOCKING + TABLE_I_CLASSES:
+        assert hasattr(core, name), f"repro.core.{name} missing"
+
+
+def test_icomm_create_group_proposal_present():
+    assert callable(rbc.icomm_create_group)
+    assert callable(rbc.icomm_create)
+
+
+def test_all_list_is_accurate():
+    for name in rbc.__all__:
+        assert hasattr(rbc, name), f"__all__ lists missing attribute {name}"

@@ -1,0 +1,258 @@
+"""Extended collective operations on sub-ranges, strided ranges and overlaps.
+
+Covers the operations added beyond Table I (scatter(v), allgatherv,
+reduce_scatter, the large-input broadcast/allreduce algorithms) in the
+situations that are specific to RBC: non-zero first ranks, strided ranges,
+overlapping communicators with user tags, and janus-style membership in two
+communicators at once.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mpi import SUM, init_mpi
+from repro.rbc import collectives as coll
+from repro.rbc import create_rbc_comm, wait_all
+from repro.rbc import tags as rbc_tags
+
+
+def _world(env):
+    world_mpi = init_mpi(env)
+    world = yield from create_rbc_comm(world_mpi)
+    return world
+
+
+# ---------------------------------------------------------------------------
+# New operations on sub-ranges (RBC rank != MPI rank).
+# ---------------------------------------------------------------------------
+
+def test_scatter_on_sub_range_uses_rbc_ranks(run_ranks):
+    def program(env):
+        world = yield from _world(env)
+        sub = yield from world.split(2, 6)
+        if sub.rank is None:
+            return None
+        values = [f"v{i}" for i in range(sub.size)] if sub.rank == 0 else None
+        mine = yield from coll.scatter(sub, values, root=0)
+        return mine
+
+    results = run_ranks(9, program)
+    for rank, value in enumerate(results):
+        if 2 <= rank <= 6:
+            assert value == f"v{rank - 2}"
+        else:
+            assert value is None
+
+
+def test_reduce_scatter_on_sub_range(run_ranks):
+    def program(env):
+        world = yield from _world(env)
+        sub = yield from world.split(1, 5)
+        if sub.rank is None:
+            return None
+        contribution = np.ones(10) * (sub.rank + 1)
+        block = yield from coll.reduce_scatter(sub, contribution, SUM)
+        return np.asarray(block)
+
+    results = run_ranks(8, program)
+    members = [r for r in results if r is not None]
+    assert len(members) == 5
+    combined = np.concatenate(members)
+    assert np.allclose(combined, np.full(10, 1 + 2 + 3 + 4 + 5))
+
+
+def test_allgatherv_on_strided_range(run_ranks):
+    def program(env):
+        world = yield from _world(env)
+        # Even MPI ranks 0, 2, 4, 6 form a strided RBC communicator.
+        sub = yield from world.split(0, 6, stride=2)
+        if sub.rank is None:
+            return None
+        gathered = yield from coll.allgatherv(sub, world.rank * 10)
+        return gathered
+
+    results = run_ranks(8, program)
+    for rank, value in enumerate(results):
+        if rank % 2 == 0 and rank <= 6:
+            assert value == [0, 20, 40, 60]
+        else:
+            assert value is None
+
+
+def test_large_bcast_on_sub_range_with_nonzero_root(run_ranks):
+    n = 600
+
+    def program(env):
+        world = yield from _world(env)
+        sub = yield from world.split(3, 9)
+        if sub.rank is None:
+            return None
+        root = 2  # RBC rank 2 == MPI rank 5
+        value = np.arange(n, dtype=np.float64) if sub.rank == root else None
+        result = yield from coll.bcast(sub, value, root=root,
+                                       algorithm="scatter_allgather")
+        return float(np.sum(result))
+
+    results = run_ranks(12, program)
+    expected = float(np.sum(np.arange(n)))
+    for rank, value in enumerate(results):
+        if 3 <= rank <= 9:
+            assert value == expected
+        else:
+            assert value is None
+
+
+def test_pipeline_bcast_on_strided_range(run_ranks):
+    n = 500
+
+    def program(env):
+        world = yield from _world(env)
+        sub = yield from world.split(1, 7, stride=3)  # MPI ranks 1, 4, 7
+        if sub.rank is None:
+            return None
+        value = np.linspace(0, 1, n) if sub.rank == 0 else None
+        result = yield from coll.bcast(sub, value, root=0, algorithm="pipeline",
+                                       segment_words=64)
+        return np.allclose(result, np.linspace(0, 1, n))
+
+    results = run_ranks(9, program)
+    assert [r for r in results if r is not None] == [True, True, True]
+
+
+# ---------------------------------------------------------------------------
+# Overlapping communicators and simultaneous operations.
+# ---------------------------------------------------------------------------
+
+def test_simultaneous_scatter_on_overlapping_comms_with_user_tags(run_ranks):
+    def program(env):
+        world = yield from _world(env)
+        a = yield from world.split(0, 4)
+        b = yield from world.split(2, 6)
+        requests, labels = [], []
+        if a.rank is not None:
+            values = [f"a{i}" for i in range(a.size)] if a.rank == 0 else None
+            requests.append(coll.iscatter(a, values, root=0, tag=11))
+            labels.append("a")
+        if b.rank is not None:
+            values = [f"b{i}" for i in range(b.size)] if b.rank == 0 else None
+            requests.append(coll.iscatter(b, values, root=0, tag=22))
+            labels.append("b")
+        values = yield from wait_all(env, requests)
+        return dict(zip(labels, values))
+
+    results = run_ranks(7, program)
+    for rank, received in enumerate(results):
+        if rank <= 4:
+            assert received["a"] == f"a{rank}"
+        if 2 <= rank <= 6:
+            assert received["b"] == f"b{rank - 2}"
+
+
+def test_janus_style_membership_runs_two_allreduces_concurrently(run_ranks):
+    """A process belonging to two overlapping groups progresses both
+    nonblocking allreduces purely via Test, like a janus process."""
+
+    def program(env):
+        world = yield from _world(env)
+        left = yield from world.split(0, 3)
+        right = yield from world.split(3, 6)
+        requests = []
+        if left.rank is not None:
+            requests.append(coll.iallreduce(left, 1, SUM, tag=31))
+        if right.rank is not None:
+            requests.append(coll.iallreduce(right, 10, SUM, tag=32))
+        totals = yield from wait_all(env, requests)
+        return totals
+
+    results = run_ranks(7, program)
+    assert results[3] == [4, 40]          # the janus process sees both groups
+    assert results[0] == [4]
+    assert results[6] == [40]
+
+
+def test_mixed_algorithm_collectives_back_to_back(run_ranks):
+    """Binomial, ring and scatter-allgather collectives may follow each other
+    on the same communicator (Section V-D's consecutive-collectives rule)."""
+
+    def program(env):
+        world = yield from _world(env)
+        vector = np.full(64, float(world.rank))
+        ring = yield from coll.allreduce(world, vector, SUM, algorithm="ring")
+        small = yield from coll.allreduce(world, 1, SUM)
+        bcasted = yield from coll.bcast(world, ring if world.rank == 0 else None,
+                                        root=0, algorithm="scatter_allgather")
+        return float(ring[0]), small, float(np.asarray(bcasted)[0])
+
+    p = 6
+    results = run_ranks(p, program)
+    expected_sum = float(sum(range(p)))
+    for ring0, small, bcast0 in results:
+        assert ring0 == expected_sum
+        assert small == p
+        assert bcast0 == expected_sum
+
+
+# ---------------------------------------------------------------------------
+# Failure modes and argument validation.
+# ---------------------------------------------------------------------------
+
+def test_reduce_scatter_rejects_matrix_payloads(run_ranks):
+    def program(env):
+        world = yield from _world(env)
+        with pytest.raises(ValueError):
+            coll.ireduce_scatter(world, np.zeros((4, 4)))
+        return True
+
+    assert all(run_ranks(3, program))
+
+
+def test_pipeline_bcast_rejects_bad_segment_size(run_ranks):
+    def program(env):
+        world = yield from _world(env)
+        if world.rank == 0:
+            with pytest.raises(ValueError):
+                coll.ibcast(world, np.zeros(16), 0, algorithm="pipeline",
+                            segment_words=0)
+        return True
+
+    assert all(run_ranks(2, program))
+
+
+def test_scatter_allgather_bcast_rejects_matrix_on_root(run_ranks):
+    def program(env):
+        world = yield from _world(env)
+        if world.rank == 0:
+            with pytest.raises(ValueError):
+                coll.ibcast(world, np.zeros((8, 8)), 0,
+                            algorithm="scatter_allgather")
+        return True
+
+    assert all(run_ranks(4, program))
+
+
+def test_new_reserved_tags_are_registered():
+    for tag in (rbc_tags.SCATTER_TAG, rbc_tags.SCATTERV_TAG,
+                rbc_tags.REDUCE_SCATTER_TAG, rbc_tags.ALLGATHERV_TAG):
+        assert tag in rbc_tags.RESERVED_TAGS
+        assert rbc_tags.is_reserved_tag(tag)
+    assert len(rbc_tags.RESERVED_TAGS) == len({
+        tag for tag in rbc_tags.RESERVED_TAGS})
+
+
+def test_comm_methods_delegate_to_module_functions(run_ranks):
+    """The RbcComm convenience methods expose the extended operations too."""
+
+    def program(env):
+        world = yield from _world(env)
+        values = [i * i for i in range(world.size)] if world.rank == 0 else None
+        mine = yield from world.scatter(values, root=0)
+        gathered = yield from world.allgatherv(mine)
+        block = yield from world.reduce_scatter(np.ones(world.size * 2), SUM)
+        return mine, gathered, np.asarray(block).tolist()
+
+    p = 5
+    results = run_ranks(p, program)
+    for rank, (mine, gathered, block) in enumerate(results):
+        assert mine == rank * rank
+        assert gathered == [i * i for i in range(p)]
+        assert block == [float(p), float(p)]

@@ -1,0 +1,161 @@
+"""Tests of the Section VI proposal: nonblocking (range-based) communicator creation."""
+
+import pytest
+
+from repro.mpi import SUM, MpiGroup, init_mpi
+from repro.mpi.context import TupleContextId
+from repro.rbc import ensure_tuple_context, icomm_create, icomm_create_group
+from repro.simulator import Cluster
+
+
+def test_range_case_completes_locally_without_communication(run_cluster):
+    """A contiguous range of the parent: constant time, zero messages."""
+
+    def program(env):
+        world = init_mpi(env)
+        group = MpiGroup.contiguous(0, world.size // 2 - 1)
+        if world.rank >= world.size // 2:
+            yield from env.sleep(0.0)
+            return None
+        request = icomm_create_group(world, group, tag=3)
+        # Completes immediately: no other rank has done anything yet.
+        assert request.test()
+        comm = request.result()
+        return comm.size, comm.rank, comm.context_id
+
+    result = run_cluster(8, program)
+    assert result.stats.messages_sent == 0
+    for rank, value in enumerate(result.results[:4]):
+        size, comm_rank, context = value
+        assert size == 4 and comm_rank == rank
+        assert isinstance(context, TupleContextId)
+
+
+def test_range_case_context_ids_follow_the_paper_formula(run_ranks):
+    def program(env):
+        world = init_mpi(env)
+        parent_ctx = ensure_tuple_context(world)
+        group = MpiGroup.contiguous(2, 5)
+        if not 2 <= world.rank <= 5:
+            yield from env.sleep(0.0)
+            return None
+        request = icomm_create_group(world, group, tag=1)
+        comm = request.result()
+        expected = parent_ctx.child_for_range(2, 5)
+        return comm.context_id == expected
+
+    results = run_ranks(8, program)
+    assert all(value for value in results[2:6] if value is not None)
+
+
+def test_new_communicators_have_distinct_contexts_and_working_collectives(run_ranks):
+    def program(env):
+        world = init_mpi(env)
+        half = world.size // 2
+        if world.rank < half:
+            group = MpiGroup.contiguous(0, half - 1)
+        else:
+            group = MpiGroup.contiguous(half, world.size - 1)
+        request = icomm_create_group(world, group, tag=7)
+        comm = yield from request.wait()
+        total = yield from comm.allreduce(1, SUM)
+        duplicate_of_parent = icomm_create_group(
+            world, MpiGroup.contiguous(0, world.size - 1), tag=8)
+        # Every rank is a member of the full range, so this also completes locally.
+        full = duplicate_of_parent.result()
+        assert full.context_id != world.context_id
+        return total, comm.context_id
+
+    results = run_ranks(8, program)
+    left_ctx = {ctx for total, ctx in results[:4]}
+    right_ctx = {ctx for total, ctx in results[4:]}
+    assert all(total == 4 for total, _ in results)
+    assert len(left_ctx) == 1 and len(right_ctx) == 1
+    assert left_ctx != right_ctx
+
+
+def test_non_range_group_uses_a_broadcast(run_cluster):
+    """A non-contiguous group needs one nonblocking broadcast among members."""
+
+    def program(env):
+        world = init_mpi(env)
+        members = [0, 2, 5]
+        if world.rank not in members:
+            yield from env.sleep(0.0)
+            return None
+        group = MpiGroup.incl(members)
+        request = icomm_create_group(world, group, tag=9)
+        comm = yield from request.wait()
+        assert comm.size == 3
+        assert comm.context_id.a == 0            # created by the first member
+        total = yield from comm.allreduce(world.rank, SUM)
+        return total
+
+    result = run_cluster(8, program)
+    assert result.stats.messages_sent > 0
+    values = [v for v in result.results if v is not None]
+    assert values == [7, 7, 7]
+
+
+def test_non_member_invocation_rejected(run_ranks):
+    def program(env):
+        world = init_mpi(env)
+        group = MpiGroup.incl([0, 1])
+        if world.rank == 2:
+            with pytest.raises(ValueError):
+                icomm_create_group(world, group, tag=1)
+            return "rejected"
+        yield from env.sleep(0.0)
+        return None
+
+    assert run_ranks(3, program)[2] == "rejected"
+
+
+def test_icomm_create_over_whole_parent(run_ranks):
+    """The nonblocking variant of MPI_Comm_create: every parent rank calls it,
+    non-members receive None."""
+
+    def program(env):
+        world = init_mpi(env)
+        group = MpiGroup.incl([1, 3, 4])
+        request = icomm_create(world, group)
+        comm = yield from request.wait()
+        if world.rank in (1, 3, 4):
+            assert comm is not None
+            total = yield from comm.allreduce(1, SUM)
+            return total
+        assert comm is None
+        return None
+
+    results = run_ranks(6, program)
+    assert [results[i] for i in (1, 3, 4)] == [3, 3, 3]
+    assert results[0] is None and results[2] is None and results[5] is None
+
+
+def test_icomm_create_range_case_is_local_for_members(run_cluster):
+    def program(env):
+        world = init_mpi(env)
+        group = MpiGroup.contiguous(0, world.size - 1)
+        request = icomm_create(world, group)
+        assert request.test()
+        comm = request.result()
+        yield from env.sleep(0.0)
+        return comm.size
+
+    result = run_cluster(6, program)
+    assert result.stats.messages_sent == 0
+    assert result.results == [6] * 6
+
+
+def test_ensure_tuple_context_is_deterministic_and_collision_free(run_ranks):
+    def program(env):
+        world = init_mpi(env)
+        ctx_a = ensure_tuple_context(world)
+        ctx_b = ensure_tuple_context(world)
+        assert ctx_a == ctx_b
+        assert ctx_a.a < 0           # cannot collide with process-id based IDs
+        yield from env.sleep(0.0)
+        return ctx_a
+
+    results = run_ranks(4, program)
+    assert len(set(results)) == 1

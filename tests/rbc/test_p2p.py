@@ -1,0 +1,159 @@
+"""RBC point-to-point communication, probing and wildcard semantics."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import ANY_SOURCE, init_mpi
+from repro.rbc import create_rbc_comm
+from repro.rbc import p2p as rbc_p2p
+
+
+def _make_world(env):
+    world_mpi = init_mpi(env)
+    world = yield from create_rbc_comm(world_mpi)
+    return world
+
+
+def test_send_recv_uses_rbc_ranks(run_ranks):
+    def program(env):
+        world = yield from _make_world(env)
+        sub = yield from world.split(2, 5)          # MPI ranks 2..5
+        if sub.rank is None:
+            return None
+        partner = sub.size - 1 - sub.rank
+        request = rbc_p2p.isend(sub, f"hi-{sub.rank}", partner, tag=1)
+        data = yield from rbc_p2p.recv(sub, partner, 1)
+        yield from request.wait()
+        return data
+
+    results = run_ranks(8, program)
+    assert results[2:6] == ["hi-3", "hi-2", "hi-1", "hi-0"]
+    assert results[:2] == [None, None] and results[6:] == [None, None]
+
+
+def test_recv_any_source_reports_rbc_rank(run_ranks):
+    def program(env):
+        world = yield from _make_world(env)
+        sub = yield from world.split(1, 4)
+        if sub.rank is None:
+            return None
+        if sub.rank == 0:
+            sources = []
+            for _ in range(sub.size - 1):
+                data, status = yield from rbc_p2p.recv(sub, ANY_SOURCE, 9,
+                                                       return_status=True)
+                assert data == f"msg-{status.source}"
+                sources.append(status.source)
+            return sorted(sources)
+        yield from rbc_p2p.send(sub, f"msg-{sub.rank}", 0, tag=9)
+        return None
+
+    results = run_ranks(6, program)
+    assert results[1] == [1, 2, 3]
+
+
+def test_wildcard_only_matches_members_of_the_range(run_ranks):
+    """A message from a process outside the RBC communicator (same MPI comm,
+    same tag) must not be delivered to a wildcard receive on the range."""
+
+    def program(env):
+        world = yield from _make_world(env)
+        left = yield from world.split(0, 1)
+        if world.rank == 2:
+            # Outsider sends to rank 0 with the same tag on the same MPI comm.
+            yield from world.send("outsider", 0, tag=4)
+            return None
+        if world.rank == 1:
+            yield from env.sleep(30.0)   # make sure the outsider arrives first
+            yield from left.send("member", 0, tag=4)
+            return None
+        if world.rank == 0:
+            data, status = yield from left.recv(ANY_SOURCE, 4, return_status=True)
+            # The wildcard receive on `left` sees only the member's message.
+            assert status.source == 1
+            outsider = yield from world.recv(2, 4)
+            return data, outsider
+        yield from env.sleep(0.0)
+
+    results = run_ranks(3, program)
+    assert results[0] == ("member", "outsider")
+
+
+def test_iprobe_specific_and_wildcard(run_ranks):
+    def program(env):
+        world = yield from _make_world(env)
+        sub = yield from world.split(0, 1)
+        if world.rank == 1:
+            yield from env.sleep(10.0)
+            yield from sub.send(np.arange(3.0), 0, tag=2)
+            return None
+        if world.rank == 0:
+            flag, status = rbc_p2p.iprobe(sub, 1, 2)
+            assert not flag
+            status = yield from rbc_p2p.probe(sub, ANY_SOURCE, 2)
+            assert status.source == 1 and status.count == 3
+            data = yield from sub.recv(1, 2)
+            return data.tolist()
+        yield from env.sleep(0.0)
+
+    assert run_ranks(3, program)[0] == [0.0, 1.0, 2.0]
+
+
+def test_iprobe_wildcard_returns_false_for_foreign_message(run_ranks):
+    """The paper's rule: probing ANY_SOURCE checks whether the ready message's
+    sender belongs to the RBC communicator and reports false otherwise."""
+
+    def program(env):
+        world = yield from _make_world(env)
+        left = yield from world.split(0, 1)
+        if world.rank == 2:
+            yield from world.send("foreign", 0, tag=6)
+            return None
+        if world.rank == 0:
+            # Wait until the foreign message definitely arrived.
+            yield from env.wait_until(lambda: world.iprobe(2, 6)[0])
+            flag, _ = rbc_p2p.iprobe(left, ANY_SOURCE, 6)
+            assert flag is False
+            # Clean up the foreign message so nothing dangles.
+            yield from world.recv(2, 6)
+            return "checked"
+        yield from env.sleep(0.0)
+
+    assert run_ranks(3, program)[0] == "checked"
+
+
+def test_irecv_wildcard_turns_into_specific_receive(run_ranks):
+    def program(env):
+        world = yield from _make_world(env)
+        if world.rank == 0:
+            request = rbc_p2p.irecv(world, ANY_SOURCE, 3)
+            assert not request.test()
+            yield from env.wait_until(request.test)
+            status = request.get_status()
+            return request.result(), status.source
+        yield from env.sleep(5.0 * world.rank)
+        if world.rank == 2:
+            yield from world.send("late", 0, tag=3)
+        return None
+
+    payload, source = run_ranks(3, program)[0]
+    assert payload == "late" and source == 2
+
+
+def test_blocking_send_completes_after_buffer_is_free(run_cluster):
+    def program(env):
+        world = yield from _make_world(env)
+        if world.rank == 0:
+            start = env.now
+            yield from world.send(np.zeros(1000), 1, tag=0)
+            return env.now - start
+        data = yield from world.recv(0, 0)
+        return data.size
+
+    from repro.simulator import NetworkParams
+
+    result = run_cluster(2, program)
+    send_duration, recv_size = result.results
+    assert recv_size == 1000
+    params = NetworkParams.default()
+    assert send_duration >= params.alpha + 1000 * params.beta - 1e-9

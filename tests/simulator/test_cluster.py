@@ -1,0 +1,130 @@
+"""Tests of the cluster façade and rank environments."""
+
+import numpy as np
+import pytest
+
+from repro.simulator import Cluster, DeadlockError, NetworkParams, run_program
+
+
+def test_cluster_requires_positive_rank_count():
+    with pytest.raises(ValueError):
+        Cluster(0)
+
+
+def test_ranks_see_their_rank_and_size():
+    def program(env):
+        yield from env.sleep(1.0)
+        return (env.rank, env.size)
+
+    result = Cluster(5).run(program)
+    assert result.results == [(i, 5) for i in range(5)]
+
+
+def test_cluster_is_single_use():
+    def program(env):
+        yield from env.sleep(0.0)
+
+    cluster = Cluster(2)
+    cluster.run(program)
+    with pytest.raises(RuntimeError):
+        cluster.run(program)
+
+
+def test_shared_and_per_rank_arguments():
+    def program(env, shared, bonus, factor=1):
+        yield from env.sleep(0.0)
+        return (shared, bonus * factor)
+
+    result = Cluster(3).run(
+        program, "common",
+        rank_args=[(10,), (20,), (30,)],
+        rank_kwargs=[{"factor": 1}, {"factor": 2}, {"factor": 3}],
+    )
+    assert result.results == [("common", 10), ("common", 40), ("common", 90)]
+
+
+def test_finish_times_and_total_time():
+    def program(env):
+        yield from env.sleep(float(env.rank + 1))
+
+    result = Cluster(4).run(program)
+    assert result.finish_times == [1.0, 2.0, 3.0, 4.0]
+    assert result.total_time == 4.0
+    assert result.max_finish_time == 4.0
+
+
+def test_compute_charges_gamma_per_operation():
+    params = NetworkParams(alpha=1.0, beta=0.1, gamma=0.5)
+
+    def program(env):
+        yield from env.compute(10)   # 10 ops * 0.5 us
+        return env.now
+
+    result = Cluster(1, params).run(program)
+    assert result.results[0] == pytest.approx(5.0)
+
+
+def test_compute_time_charges_absolute_duration():
+    def program(env):
+        yield from env.compute_time(12.5)
+        return env.now
+
+    result = Cluster(1).run(program)
+    assert result.results[0] == pytest.approx(12.5)
+
+
+def test_point_to_point_between_ranks():
+    def program(env):
+        transport = env.transport
+        other = 1 - env.rank
+        transport.post_send(env.rank, other, tag=0, context="t",
+                            payload=np.array([env.rank]))
+        received = []
+
+        def got_it():
+            message = transport.take_match(env.rank, other, 0, "t")
+            if message is not None:
+                received.append(message.payload[0])
+                return True
+            return False
+
+        yield from env.wait_until(got_it)
+        return received[0]
+
+    result = Cluster(2).run(program)
+    assert result.results == [1, 0]
+
+
+def test_unmatched_receive_deadlocks():
+    def program(env):
+        if env.rank == 0:
+            yield from env.wait_until(lambda: False)
+        else:
+            yield from env.sleep(1.0)
+
+    with pytest.raises(DeadlockError):
+        Cluster(2).run(program)
+
+
+def test_trace_statistics_collected():
+    def program(env):
+        if env.rank == 0:
+            env.transport.post_send(0, 1, 0, "c", np.zeros(10))
+        yield from env.sleep(100.0)
+
+    result = Cluster(2).run(program)
+    assert result.stats.messages_sent == 1
+    assert result.stats.words_sent == 10
+    assert result.stats.per_rank_messages_sent == [1, 0]
+    assert result.stats.per_rank_messages_received == [0, 1]
+    assert result.stats.max_messages_received() == 1
+    assert result.stats.as_dict()["messages_sent"] == 1
+
+
+def test_run_program_helper():
+    def program(env, value):
+        yield from env.sleep(1.0)
+        return env.rank * value
+
+    result = run_program(3, program, 10)
+    assert result.results == [0, 10, 20]

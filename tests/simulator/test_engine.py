@@ -1,0 +1,196 @@
+"""Unit tests of the discrete-event engine."""
+
+import pytest
+
+from repro.simulator.engine import Engine, Sleep, WaitNotify, run_processes
+from repro.simulator.errors import DeadlockError, RankFailedError, SimulationLimitError
+
+
+def test_empty_engine_runs_to_zero():
+    engine = Engine()
+    assert engine.run() == 0.0
+    assert engine.now == 0.0
+
+
+def test_schedule_executes_in_time_order():
+    engine = Engine()
+    seen = []
+    engine.schedule(5.0, lambda: seen.append(("b", engine.now)))
+    engine.schedule(1.0, lambda: seen.append(("a", engine.now)))
+    engine.schedule(9.0, lambda: seen.append(("c", engine.now)))
+    engine.run()
+    assert seen == [("a", 1.0), ("b", 5.0), ("c", 9.0)]
+
+
+def test_equal_timestamps_execute_in_insertion_order():
+    engine = Engine()
+    seen = []
+    for index in range(10):
+        engine.schedule(3.0, lambda i=index: seen.append(i))
+    engine.run()
+    assert seen == list(range(10))
+
+
+def test_schedule_in_the_past_rejected():
+    engine = Engine()
+    engine.schedule(1.0, lambda: engine.schedule_at(0.5, lambda: None))
+    with pytest.raises(ValueError):
+        engine.run()
+
+
+def test_sleep_advances_virtual_time():
+    def program():
+        yield Sleep(2.5)
+        yield Sleep(1.5)
+        return "done"
+
+    engine = Engine()
+    proc = engine.add_process(program())
+    final = engine.run()
+    assert final == 4.0
+    assert proc.result == "done"
+    assert proc.finish_time == 4.0
+
+
+def test_negative_sleep_rejected():
+    with pytest.raises(ValueError):
+        Sleep(-1.0)
+
+
+def test_process_return_value_captured():
+    def program(value):
+        yield Sleep(1.0)
+        return value * 2
+
+    results = run_processes([program(3), program(5)])
+    assert results == [6, 10]
+
+
+def test_wait_notify_blocks_until_notified():
+    engine = Engine()
+    order = []
+
+    def waiter():
+        order.append("before")
+        yield WaitNotify()
+        order.append(("after", engine.now))
+
+    proc = engine.add_process(waiter())
+    engine.schedule(7.0, lambda: engine.notify(proc))
+    engine.run()
+    assert order == ["before", ("after", 7.0)]
+
+
+def test_notify_before_wait_is_remembered():
+    engine = Engine()
+    seen = []
+
+    def program():
+        yield Sleep(5.0)          # notification arrives while sleeping
+        yield WaitNotify()        # must not block forever
+        seen.append(engine.now)
+
+    proc = engine.add_process(program())
+    engine.schedule(1.0, lambda: engine.notify(proc))
+    engine.run()
+    assert seen == [5.0]
+
+
+def test_notify_finished_process_is_ignored():
+    engine = Engine()
+
+    def program():
+        yield Sleep(1.0)
+
+    proc = engine.add_process(program())
+    engine.run()
+    engine.notify(proc)  # must not raise or schedule anything
+    assert not engine._heap
+
+
+def test_blocked_process_raises_deadlock():
+    def program():
+        yield WaitNotify()
+
+    engine = Engine()
+    engine.add_process(program())
+    with pytest.raises(DeadlockError) as excinfo:
+        engine.run()
+    assert excinfo.value.blocked_ranks == (0,)
+
+
+def test_deadlock_lists_all_blocked_processes():
+    def blocked():
+        yield WaitNotify()
+
+    def fine():
+        yield Sleep(1.0)
+
+    engine = Engine()
+    engine.add_process(blocked())
+    engine.add_process(fine())
+    engine.add_process(blocked())
+    with pytest.raises(DeadlockError) as excinfo:
+        engine.run()
+    assert excinfo.value.blocked_ranks == (0, 2)
+
+
+def test_process_exception_is_wrapped():
+    def failing():
+        yield Sleep(1.0)
+        raise ValueError("boom")
+
+    engine = Engine()
+    engine.add_process(failing())
+    with pytest.raises(RankFailedError) as excinfo:
+        engine.run()
+    assert excinfo.value.rank == 0
+    assert isinstance(excinfo.value.original, ValueError)
+
+
+def test_invalid_yield_type_rejected():
+    def bad():
+        yield 42
+
+    engine = Engine()
+    engine.add_process(bad())
+    with pytest.raises(TypeError):
+        engine.run()
+
+
+def test_event_limit_enforced():
+    def ping_pong():
+        while True:
+            yield Sleep(1.0)
+
+    engine = Engine(max_events=100)
+    engine.add_process(ping_pong())
+    with pytest.raises(SimulationLimitError):
+        engine.run()
+
+
+def test_run_until_stops_early():
+    def program():
+        for _ in range(10):
+            yield Sleep(1.0)
+
+    engine = Engine()
+    engine.add_process(program())
+    final = engine.run(until=3.5)
+    assert final == 3.5
+    # The process is not finished yet.
+    assert not engine.processes[0].done
+
+
+def test_processes_interleave_by_time():
+    log = []
+
+    def program(name, delay):
+        for step in range(3):
+            yield Sleep(delay)
+            log.append((name, step))
+
+    run_processes([program("fast", 1.0), program("slow", 2.5)])
+    assert log == [
+        ("fast", 0), ("fast", 1), ("slow", 0), ("fast", 2), ("slow", 1), ("slow", 2),
+    ]

@@ -1,0 +1,199 @@
+"""Unit tests of the alpha-beta transport and message matching."""
+
+import numpy as np
+import pytest
+
+from repro.simulator.engine import Engine
+from repro.simulator.network import (
+    ANY_SOURCE,
+    ANY_TAG,
+    NetworkParams,
+    Transport,
+    payload_words,
+)
+
+
+@pytest.fixture
+def setup():
+    engine = Engine()
+    params = NetworkParams(alpha=10.0, beta=0.5, gamma=0.1)
+    transport = Transport(engine, num_ranks=4, params=params)
+    return engine, transport, params
+
+
+# ---------------------------------------------------------------------------
+# payload_words
+# ---------------------------------------------------------------------------
+
+def test_payload_words_none_is_zero():
+    assert payload_words(None) == 0
+
+
+def test_payload_words_scalar_is_one():
+    assert payload_words(3.5) == 1
+    assert payload_words(7) == 1
+
+
+def test_payload_words_numpy_counts_elements():
+    assert payload_words(np.zeros(17)) == 17
+    assert payload_words(np.zeros((3, 5))) == 15
+
+
+def test_payload_words_containers_recurse():
+    assert payload_words([np.zeros(4), np.zeros(6)]) == 10
+    assert payload_words((1.0, np.zeros(3))) == 4
+    assert payload_words({"a": np.zeros(2)}) == 3  # value words + 1 per key
+
+
+def test_payload_words_object_fallback():
+    class Thing:
+        pass
+
+    assert payload_words(Thing()) == 1
+
+
+# ---------------------------------------------------------------------------
+# Cost model.
+# ---------------------------------------------------------------------------
+
+def test_message_cost_formula():
+    params = NetworkParams(alpha=3.0, beta=0.25)
+    assert params.message_cost(0) == 3.0
+    assert params.message_cost(100) == 3.0 + 25.0
+
+
+def test_single_message_arrival_time(setup):
+    engine, transport, params = setup
+    transport.post_send(src=0, dst=1, tag=0, context="c", payload=np.zeros(10))
+    engine.run()
+    message = transport.find_match(1, 0, 0, "c")
+    assert message is not None
+    assert message.arrival_time == pytest.approx(params.alpha + 10 * params.beta)
+
+
+def test_send_port_serialises_consecutive_sends(setup):
+    engine, transport, params = setup
+    transport.post_send(0, 1, 0, "c", np.zeros(10))
+    transport.post_send(0, 2, 0, "c", np.zeros(10))
+    engine.run()
+    first = transport.find_match(1, 0, 0, "c")
+    second = transport.find_match(2, 0, 0, "c")
+    cost = params.alpha + 10 * params.beta
+    assert first.arrival_time == pytest.approx(cost)
+    # The second message only starts once the first left the send port.
+    assert second.arrival_time == pytest.approx(2 * cost)
+
+
+def test_recv_port_serialises_incast(setup):
+    engine, transport, params = setup
+    transport.post_send(1, 0, 0, "c", np.zeros(100))
+    transport.post_send(2, 0, 0, "c", np.zeros(100))
+    engine.run()
+    a = transport.find_match(0, 1, 0, "c")
+    b = transport.find_match(0, 2, 0, "c")
+    assert a is not None and b is not None
+    # Both senders inject in parallel, but the receive port drains them one
+    # after another: the second arrival is delayed by the transfer time.
+    arrivals = sorted([a.arrival_time, b.arrival_time])
+    assert arrivals[1] >= arrivals[0] + 100 * params.beta - 1e-9
+
+
+def test_local_delay_postpones_injection(setup):
+    engine, transport, params = setup
+    transport.post_send(0, 1, 0, "c", np.zeros(4), local_delay=50.0)
+    engine.run()
+    message = transport.find_match(1, 0, 0, "c")
+    assert message.arrival_time == pytest.approx(50.0 + params.alpha + 4 * params.beta)
+
+
+def test_send_handle_completion_time(setup):
+    engine, transport, params = setup
+    handle = transport.post_send(0, 1, 0, "c", np.zeros(8))
+    assert not handle.done
+    engine.run()
+    assert handle.done
+    assert handle.complete_time == pytest.approx(params.alpha + 8 * params.beta)
+
+
+# ---------------------------------------------------------------------------
+# Matching.
+# ---------------------------------------------------------------------------
+
+def test_match_by_source_tag_context(setup):
+    engine, transport, _ = setup
+    transport.post_send(0, 3, tag=7, context="a", payload="x")
+    transport.post_send(1, 3, tag=8, context="a", payload="y")
+    transport.post_send(2, 3, tag=7, context="b", payload="z")
+    engine.run()
+    assert transport.find_match(3, 0, 7, "a").payload == "x"
+    assert transport.find_match(3, 1, 8, "a").payload == "y"
+    assert transport.find_match(3, 2, 7, "b").payload == "z"
+    assert transport.find_match(3, 0, 8, "a") is None
+    assert transport.find_match(3, 1, 7, "a") is None
+
+
+def test_wildcard_source_and_tag(setup):
+    engine, transport, _ = setup
+    transport.post_send(2, 0, tag=5, context="ctx", payload="hello")
+    engine.run()
+    assert transport.find_match(0, ANY_SOURCE, 5, "ctx").payload == "hello"
+    assert transport.find_match(0, 2, ANY_TAG, "ctx").payload == "hello"
+    assert transport.find_match(0, ANY_SOURCE, ANY_TAG, "ctx").payload == "hello"
+    assert transport.find_match(0, ANY_SOURCE, ANY_TAG, "other") is None
+
+
+def test_take_match_removes_message(setup):
+    engine, transport, _ = setup
+    transport.post_send(0, 1, 0, "c", "data")
+    engine.run()
+    assert transport.pending_count(1) == 1
+    message = transport.take_match(1, 0, 0, "c")
+    assert message.payload == "data"
+    assert transport.pending_count(1) == 0
+    assert transport.take_match(1, 0, 0, "c") is None
+
+
+def test_fifo_matching_per_pair(setup):
+    engine, transport, _ = setup
+    for index in range(5):
+        transport.post_send(0, 1, tag=9, context="c", payload=index)
+    engine.run()
+    received = [transport.take_match(1, 0, 9, "c").payload for _ in range(5)]
+    assert received == [0, 1, 2, 3, 4]
+
+
+def test_notify_hook_called_on_delivery(setup):
+    engine, transport, _ = setup
+    calls = []
+    transport.set_notify_hook(2, lambda: calls.append(engine.now))
+    transport.post_send(0, 2, 0, "c", np.zeros(2))
+    engine.run()
+    assert len(calls) >= 1
+
+
+def test_invalid_rank_rejected(setup):
+    _, transport, _ = setup
+    with pytest.raises(ValueError):
+        transport.post_send(0, 99, 0, "c", None)
+    with pytest.raises(ValueError):
+        transport.post_send(-1, 0, 0, "c", None)
+    with pytest.raises(ValueError):
+        transport.find_match(99, 0, 0, "c")
+
+
+def test_any_arrived_returns_earliest(setup):
+    engine, transport, _ = setup
+    transport.post_send(0, 1, 1, "c", "first")
+    transport.post_send(2, 1, 2, "c", "second")
+    engine.run()
+    assert transport.any_arrived(1).payload == "first"
+    assert transport.any_arrived(3) is None
+
+
+def test_network_presets_are_consistent():
+    for preset in (NetworkParams.default(), NetworkParams.latency_bound(),
+                   NetworkParams.bandwidth_bound()):
+        assert preset.alpha > 0
+        assert preset.beta > 0
+        assert preset.gamma > 0
+        assert preset.message_cost(10) > preset.message_cost(0)

@@ -1,0 +1,119 @@
+"""Tests of the greedy message assignment (interval chopping)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sorting.assignment import (
+    chop_slot_range,
+    greedy_assignment,
+    incoming_message_counts,
+)
+from repro.sorting.intervals import capacity, overlap, owner_of, slot_range
+from repro.sorting.partition import Pivot, partition_mask
+
+
+def test_chop_empty_range():
+    assert chop_slot_range(5, 5, 16, 4) == []
+    assert chop_slot_range(7, 5, 16, 4) == []
+
+
+def test_chop_within_one_process():
+    pieces = chop_slot_range(5, 7, 16, 4)
+    assert len(pieces) == 1
+    piece = pieces[0]
+    assert (piece.dest, piece.slot_start, piece.local_start, piece.length) == (1, 5, 0, 2)
+    assert piece.slot_end == 7
+
+
+def test_chop_across_process_boundaries():
+    pieces = chop_slot_range(2, 11, 16, 4)      # 4 slots per process
+    assert [(p.dest, p.slot_start, p.length) for p in pieces] == [
+        (0, 2, 2), (1, 4, 4), (2, 8, 3)]
+    assert [p.local_start for p in pieces] == [0, 2, 6]
+
+
+def test_chop_respects_uneven_capacities():
+    # n=10, p=3 -> capacities 4, 3, 3
+    pieces = chop_slot_range(0, 10, 10, 3)
+    assert [(p.dest, p.length) for p in pieces] == [(0, 4), (1, 3), (2, 3)]
+
+
+def test_greedy_assignment_small_and_large_sides():
+    # Task [0, 16) over 4 procs of capacity 4; this process holds slots 4..8,
+    # 3 of its elements are small, 1 large; totals: 6 small overall, its small
+    # prefix is 2 and large prefix is 2.
+    small_pieces, large_pieces = greedy_assignment(
+        lo=0, total_small=6, small_prefix=2, large_prefix=2,
+        small_count=3, large_count=1, n=16, p=4)
+    assert [(p.dest, p.slot_start, p.length) for p in small_pieces] == [(0, 2, 2), (1, 4, 1)]
+    assert [(p.dest, p.slot_start, p.length) for p in large_pieces] == [(2, 8, 1)]
+    # Local offsets index into the small / large buffers independently.
+    assert [p.local_start for p in small_pieces] == [0, 2]
+    assert [p.local_start for p in large_pieces] == [0]
+
+
+def test_incoming_message_counts_excludes_self_by_default():
+    pieces_by_rank = [
+        [chop_slot_range(0, 4, 16, 4)[0]],           # rank 0 keeps its own slots
+        chop_slot_range(0, 8, 16, 4),                # rank 1 sends to 0 and itself
+        chop_slot_range(8, 16, 16, 4),               # rank 2 sends to 2 and 3
+        [],
+    ]
+    counts = incoming_message_counts(pieces_by_rank, 4)
+    assert counts == [1, 0, 0, 1]
+    counts_with_self = incoming_message_counts(pieces_by_rank, 4, exclude_self=False)
+    assert counts_with_self == [2, 1, 1, 1]
+
+
+@given(st.integers(min_value=1, max_value=64),       # p
+       st.integers(min_value=1, max_value=40),       # n/p scale
+       st.data())
+@settings(max_examples=80, deadline=None)
+def test_property_full_level_assignment_is_a_permutation(p, scale, data):
+    """Simulate one full JQuick level combinatorially: every global slot of the
+    task is filled exactly once, every sender sends at most 4 pieces, and each
+    piece stays within one destination's slot range."""
+    n = p * scale
+    rng_seed = data.draw(st.integers(0, 2 ** 20))
+    rng = np.random.default_rng(rng_seed)
+    values = rng.random(n)
+    # Pivot: a random element with its slot for tie-breaking.
+    pivot_slot = int(rng.integers(0, n))
+    pivot = Pivot(float(values[pivot_slot]), pivot_slot)
+
+    # Per-process partition counts.
+    small_counts, large_counts = [], []
+    for rank in range(p):
+        start, end = slot_range(rank, n, p)
+        mask = partition_mask(values[start:end], np.arange(start, end), pivot)
+        small_counts.append(int(mask.sum()))
+        large_counts.append(int((~mask).sum()))
+    total_small = sum(small_counts)
+
+    filled = np.zeros(n, dtype=int)
+    all_pieces = []
+    for rank in range(p):
+        small_prefix = sum(small_counts[:rank])
+        large_prefix = sum(large_counts[:rank])
+        small_pieces, large_pieces = greedy_assignment(
+            lo=0, total_small=total_small,
+            small_prefix=small_prefix, large_prefix=large_prefix,
+            small_count=small_counts[rank], large_count=large_counts[rank],
+            n=n, p=p)
+        pieces = small_pieces + large_pieces
+        all_pieces.append(pieces)
+        # A process sends at most 2 pieces per side (Section VII).
+        assert len(small_pieces) <= 2 + (capacity(rank, n, p) > 0 and p > 0)
+        assert len(pieces) <= 6
+        for piece in pieces:
+            dest_start, dest_end = slot_range(piece.dest, n, p)
+            assert dest_start <= piece.slot_start
+            assert piece.slot_end <= dest_end
+            filled[piece.slot_start:piece.slot_end] += 1
+
+    assert np.all(filled == 1), "every slot must be filled exactly once"
+    counts = incoming_message_counts(all_pieces, p, exclude_self=False)
+    for rank in range(p):
+        assert counts[rank] <= min(2 * p, 2 * capacity(rank, n, p) + 2)

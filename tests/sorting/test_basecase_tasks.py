@@ -1,0 +1,196 @@
+"""Tests of the base-case helpers and the per-process task scheduler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.simulator import Cluster
+from repro.sorting.basecase import (
+    BaseCaseTask,
+    local_sort_cost,
+    quickselect_cost,
+    select_left_part,
+    select_right_part,
+    sort_local,
+)
+from repro.sorting.tasks import Blocking, Pending, Spawn, run_task_scheduler
+
+
+# ---------------------------------------------------------------------------
+# Base-case helpers.
+# ---------------------------------------------------------------------------
+
+def test_sort_local_returns_sorted_copy():
+    data = np.array([3.0, 1.0, 2.0])
+    result = sort_local(data)
+    np.testing.assert_array_equal(result, [1.0, 2.0, 3.0])
+    np.testing.assert_array_equal(data, [3.0, 1.0, 2.0])
+
+
+def test_select_left_and_right_parts():
+    combined = np.array([5.0, 3.0, 8.0, 1.0, 9.0, 2.0])
+    np.testing.assert_array_equal(select_left_part(combined, 2), [1.0, 2.0])
+    np.testing.assert_array_equal(select_right_part(combined, 2), [8.0, 9.0])
+    np.testing.assert_array_equal(select_left_part(combined, 0), [])
+    np.testing.assert_array_equal(select_right_part(combined, 6),
+                                  np.sort(combined))
+
+
+def test_basecase_task_two_process_flag():
+    task = BaseCaseTask(lo=0, hi=4, data=np.zeros(2), first_rank=1, last_rank=2)
+    assert task.two_process
+    single = BaseCaseTask(lo=0, hi=4, data=np.zeros(4), first_rank=3, last_rank=3)
+    assert not single.two_process
+
+
+def test_cost_helpers_monotone():
+    assert local_sort_cost(0) == 0
+    assert local_sort_cost(1024) > local_sort_cost(32) > 0
+    assert quickselect_cost(100) == 100
+
+
+@given(hnp.arrays(np.float64, st.integers(1, 100),
+                  elements=st.floats(-1e6, 1e6, allow_nan=False)),
+       st.data())
+@settings(max_examples=60)
+def test_property_left_and_right_parts_complement(combined, data):
+    """Left part of size k plus right part of size n-k reassemble the sorted array."""
+    k = data.draw(st.integers(0, combined.size))
+    left = select_left_part(combined, k)
+    right = select_right_part(combined, combined.size - k)
+    reassembled = np.concatenate([left, right])
+    np.testing.assert_array_equal(reassembled, np.sort(combined))
+
+
+# ---------------------------------------------------------------------------
+# Task scheduler.
+# ---------------------------------------------------------------------------
+
+class _ManualRequest:
+    """A request completed by flipping a flag (test double)."""
+
+    def __init__(self):
+        self.completed = False
+        self.polls = 0
+
+    def test(self):
+        self.polls += 1
+        return self.completed
+
+
+def test_scheduler_runs_plain_coroutines_to_completion():
+    def coroutine(result):
+        yield Blocking(iter(()))   # no-op blocking generator
+        return result
+
+    def program(env):
+        def blocking_gen():
+            yield from env.sleep(1.0)
+            return None
+
+        def task(value):
+            yield Blocking(blocking_gen())
+            return value * 2
+
+        results = yield from run_task_scheduler(env, [task(1), task(2)])
+        return results
+
+    assert Cluster(1).run(program).results[0] == [2, 4]
+
+
+def test_scheduler_interleaves_pending_tasks():
+    """A task blocked on Pending must not prevent the other task from running."""
+
+    def program(env):
+        gate = _ManualRequest()
+        order = []
+
+        def waiter():
+            order.append("waiter-start")
+            yield Pending([gate])
+            order.append("waiter-end")
+            return "waited"
+
+        def opener():
+            order.append("opener-start")
+            yield Blocking(env.sleep(5.0))
+            gate.completed = True
+            order.append("opener-end")
+            return "opened"
+
+        results = yield from run_task_scheduler(env, [waiter(), opener()])
+        return results, order
+
+    results, order = Cluster(1).run(program).results[0]
+    assert results == ["waited", "opened"]
+    assert order.index("opener-end") < order.index("waiter-end")
+
+
+def test_scheduler_blocking_returns_value_into_coroutine():
+    def program(env):
+        def blocking_gen():
+            yield from env.sleep(1.0)
+            return 42
+
+        def task():
+            value = yield Blocking(blocking_gen())
+            return value + 1
+
+        results = yield from run_task_scheduler(env, [task()])
+        return results
+
+    assert Cluster(1).run(program).results[0] == [43]
+
+
+def test_scheduler_spawned_tasks_run_and_report_results():
+    def program(env):
+        def child(value):
+            yield Blocking(env.sleep(1.0))
+            return f"child-{value}"
+
+        def parent():
+            yield Spawn(child(1))
+            yield Spawn(child(2))
+            yield Blocking(env.sleep(1.0))
+            return "parent"
+
+        results = yield from run_task_scheduler(env, [parent()])
+        return results
+
+    assert Cluster(1).run(program).results[0] == ["parent", "child-1", "child-2"]
+
+
+def test_scheduler_rejects_unknown_directives():
+    def program(env):
+        def bad_task():
+            yield "not-a-directive"
+
+        with pytest.raises(TypeError):
+            yield from run_task_scheduler(env, [bad_task()])
+        return True
+
+    assert Cluster(1).run(program).results[0]
+
+
+def test_scheduler_pending_across_processes():
+    """Pending requests that complete via real messages wake the scheduler."""
+    from repro.mpi import init_mpi
+
+    def program(env):
+        world = init_mpi(env)
+
+        def task():
+            if world.rank == 0:
+                request = world.irecv(1, 0)
+                yield Pending([request])
+                return request.result()
+            send = world.isend("payload", 0, 0)
+            yield Pending([send])
+            return None
+
+        results = yield from run_task_scheduler(env, [task()])
+        return results[0]
+
+    assert Cluster(2).run(program).results[0] == "payload"

@@ -1,0 +1,160 @@
+"""Tests of the baseline sorters (hypercube quicksort, sample sort) and checks."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import init_mpi
+from repro.rbc import create_rbc_comm
+from repro.simulator import Cluster
+from repro.sorting import (
+    HypercubeConfig,
+    SampleSortConfig,
+    hypercube_quicksort,
+    imbalance_factor,
+    is_globally_sorted,
+    is_perfectly_balanced,
+    is_permutation_of_input,
+    sample_sort,
+    verify_sort,
+)
+from repro.bench.workloads import generate
+
+
+def _run_sorter(sorter, p, n, *, workload="uniform", seed=3, config=None):
+    parts = generate(workload, n, p, seed=seed)
+
+    def program(env, local_data):
+        world_mpi = init_mpi(env)
+        world = yield from create_rbc_comm(world_mpi)
+        if config is None:
+            output, stats = yield from sorter(env, world, local_data)
+        else:
+            output, stats = yield from sorter(env, world, local_data, config)
+        return output, stats
+
+    result = Cluster(p).run(
+        program, rank_kwargs=[dict(local_data=parts[r]) for r in range(p)])
+    outputs = [r[0] for r in result.results]
+    stats = [r[1] for r in result.results]
+    return parts, outputs, stats
+
+
+# ---------------------------------------------------------------------------
+# Hypercube quicksort.
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("p,n", [(1, 5), (2, 20), (4, 64), (8, 120), (16, 160)])
+def test_hypercube_sorts_globally(p, n):
+    parts, outputs, _ = _run_sorter(hypercube_quicksort, p, n)
+    assert is_globally_sorted(outputs)
+    assert is_permutation_of_input(parts, outputs)
+
+
+@pytest.mark.parametrize("workload", ["uniform", "duplicates", "sorted", "all_equal"])
+def test_hypercube_handles_duplicate_heavy_inputs(workload):
+    parts, outputs, _ = _run_sorter(hypercube_quicksort, 8, 96, workload=workload)
+    assert is_globally_sorted(outputs)
+    assert is_permutation_of_input(parts, outputs)
+
+
+def test_hypercube_requires_power_of_two():
+    with pytest.raises(Exception):
+        _run_sorter(hypercube_quicksort, 6, 36)
+
+
+def test_hypercube_pivot_strategies():
+    for pivot in ("median_of_root", "mean_of_medians"):
+        parts, outputs, _ = _run_sorter(
+            hypercube_quicksort, 8, 64,
+            config=HypercubeConfig(pivot=pivot))
+        assert is_globally_sorted(outputs)
+
+
+def test_hypercube_reports_levels_and_loads():
+    _, _, stats = _run_sorter(hypercube_quicksort, 8, 64)
+    assert all(s.levels == 3 for s in stats)
+    assert all(s.max_local_load >= 1 for s in stats)
+
+
+def test_hypercube_config_validation():
+    with pytest.raises(ValueError):
+        HypercubeConfig(pivot="magic")
+
+
+def test_hypercube_may_be_imbalanced_on_skewed_input():
+    """No balance guarantee — with skewed data some process ends up heavier
+    (this is the motivation for JQuick in Section IV)."""
+    parts, outputs, _ = _run_sorter(hypercube_quicksort, 8, 256, workload="zipf",
+                                    seed=7)
+    assert is_globally_sorted(outputs)
+    assert imbalance_factor(outputs) >= 1.0
+
+
+# ---------------------------------------------------------------------------
+# Sample sort.
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("p,n", [(1, 9), (3, 60), (5, 100), (8, 256), (13, 260)])
+def test_sample_sort_sorts_globally(p, n):
+    parts, outputs, _ = _run_sorter(sample_sort, p, n)
+    assert is_globally_sorted(outputs)
+    assert is_permutation_of_input(parts, outputs)
+
+
+@pytest.mark.parametrize("workload", ["uniform", "duplicates", "all_equal", "reverse"])
+def test_sample_sort_workloads(workload):
+    parts, outputs, _ = _run_sorter(sample_sort, 6, 180, workload=workload)
+    assert is_globally_sorted(outputs)
+    assert is_permutation_of_input(parts, outputs)
+
+
+def test_sample_sort_oversampling_improves_balance():
+    def imbalance(oversampling):
+        _, outputs, _ = _run_sorter(
+            sample_sort, 8, 2048, seed=1,
+            config=SampleSortConfig(oversampling=oversampling))
+        return imbalance_factor(outputs)
+
+    assert imbalance(64) <= imbalance(2) * 1.1
+
+
+def test_sample_sort_message_count_is_p_minus_one():
+    _, _, stats = _run_sorter(sample_sort, 9, 180)
+    assert all(s.messages_sent == 8 for s in stats)
+
+
+# ---------------------------------------------------------------------------
+# Checks module.
+# ---------------------------------------------------------------------------
+
+def test_checks_detect_unsorted_output():
+    assert not is_globally_sorted([np.array([3.0, 1.0])])
+    assert not is_globally_sorted([np.array([1.0, 5.0]), np.array([4.0])])
+    assert is_globally_sorted([np.array([1.0, 2.0]), np.array([]), np.array([2.0])])
+
+
+def test_checks_detect_lost_elements():
+    inputs = [np.array([1.0, 2.0]), np.array([3.0])]
+    assert not is_permutation_of_input(inputs, [np.array([1.0, 2.0]), np.array([4.0])])
+    assert not is_permutation_of_input(inputs, [np.array([1.0, 2.0])])
+    assert is_permutation_of_input(inputs, [np.array([3.0]), np.array([1.0, 2.0])])
+
+
+def test_checks_balance_and_imbalance_factor():
+    outputs = [np.zeros(3), np.zeros(3), np.zeros(2)]
+    assert is_perfectly_balanced(outputs, 8)
+    assert not is_perfectly_balanced([np.zeros(4), np.zeros(2), np.zeros(2)], 8)
+    assert imbalance_factor([np.zeros(6), np.zeros(2)]) == pytest.approx(1.5)
+    assert imbalance_factor([np.zeros(0), np.zeros(0)]) == 0.0
+
+
+def test_verify_sort_raises_with_precise_messages():
+    inputs = [np.array([2.0, 1.0]), np.array([3.0, 4.0])]
+    good = [np.array([1.0, 2.0]), np.array([3.0, 4.0])]
+    verify_sort(inputs, good)
+    with pytest.raises(AssertionError, match="permutation"):
+        verify_sort(inputs, [np.array([1.0, 2.0]), np.array([3.0, 5.0])])
+    with pytest.raises(AssertionError, match="sorted"):
+        verify_sort(inputs, [np.array([2.0, 1.0]), np.array([3.0, 4.0])])
+    with pytest.raises(AssertionError, match="balanced"):
+        verify_sort(inputs, [np.array([1.0, 2.0, 3.0]), np.array([4.0])])

@@ -1,0 +1,134 @@
+"""Unit and property tests of the balanced global-slot layout arithmetic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sorting.intervals import (
+    Interval,
+    capacity,
+    overlap,
+    owner_of,
+    procs_of_interval,
+    slot_range,
+    slot_start,
+    span,
+)
+
+
+def test_capacity_divisible():
+    assert [capacity(i, 12, 4) for i in range(4)] == [3, 3, 3, 3]
+
+
+def test_capacity_with_remainder():
+    assert [capacity(i, 14, 4) for i in range(4)] == [4, 4, 3, 3]
+    assert [capacity(i, 5, 3) for i in range(3)] == [2, 2, 1]
+
+
+def test_capacity_n_smaller_than_p():
+    assert [capacity(i, 3, 5) for i in range(5)] == [1, 1, 1, 0, 0]
+
+
+def test_slot_ranges_partition_the_slots():
+    n, p = 17, 5
+    covered = []
+    for rank in range(p):
+        start, end = slot_range(rank, n, p)
+        covered.extend(range(start, end))
+    assert covered == list(range(n))
+
+
+def test_owner_of_matches_slot_ranges():
+    n, p = 23, 7
+    for slot in range(n):
+        owner = owner_of(slot, n, p)
+        start, end = slot_range(owner, n, p)
+        assert start <= slot < end
+
+
+def test_owner_of_out_of_range():
+    with pytest.raises(ValueError):
+        owner_of(-1, 10, 2)
+    with pytest.raises(ValueError):
+        owner_of(10, 10, 2)
+
+
+def test_procs_of_interval_and_span():
+    n, p = 16, 4          # 4 slots each
+    assert procs_of_interval(0, 16, n, p) == (0, 3)
+    assert procs_of_interval(3, 5, n, p) == (0, 1)
+    assert procs_of_interval(4, 8, n, p) == (1, 1)
+    assert span(4, 8, n, p) == 1
+    assert span(3, 9, n, p) == 3
+    assert span(5, 5, n, p) == 0
+    with pytest.raises(ValueError):
+        procs_of_interval(5, 5, n, p)
+
+
+def test_overlap_counts_slots_inside_interval():
+    n, p = 16, 4
+    assert overlap(0, 0, 16, n, p) == 4
+    assert overlap(1, 3, 9, n, p) == 4
+    assert overlap(1, 5, 7, n, p) == 2
+    assert overlap(3, 0, 4, n, p) == 0
+
+
+def test_interval_helpers():
+    interval = Interval(3, 11, 16, 4)
+    assert interval.size == 8
+    assert not interval.empty
+    assert interval.procs() == (0, 2)
+    assert interval.span() == 3
+    assert interval.overlap_of(1) == 4
+    assert interval.local_slots(0) == (3, 4)
+    left, right = interval.split_at(8)
+    assert (left.lo, left.hi) == (3, 8)
+    assert (right.lo, right.hi) == (8, 11)
+    with pytest.raises(ValueError):
+        interval.split_at(2)
+    with pytest.raises(ValueError):
+        Interval(5, 3, 16, 4)
+
+
+def test_rank_validation():
+    with pytest.raises(ValueError):
+        capacity(5, 10, 5)
+    with pytest.raises(ValueError):
+        capacity(0, 10, 0)
+    with pytest.raises(ValueError):
+        capacity(-1, 10, 5)
+
+
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=1, max_value=64))
+@settings(max_examples=150)
+def test_property_capacities_sum_to_n_and_differ_by_at_most_one(n, p):
+    caps = [capacity(i, n, p) for i in range(p)]
+    assert sum(caps) == n
+    assert max(caps) - min(caps) <= 1
+    assert all(c in (n // p, n // p + (1 if n % p else 0)) for c in caps)
+
+
+@given(st.integers(min_value=1, max_value=5_000), st.integers(min_value=1, max_value=64))
+@settings(max_examples=100)
+def test_property_slot_start_is_prefix_sum_of_capacities(n, p):
+    total = 0
+    for rank in range(p):
+        assert slot_start(rank, n, p) == total
+        total += capacity(rank, n, p)
+
+
+@given(st.integers(min_value=1, max_value=2_000), st.integers(min_value=1, max_value=48),
+       st.data())
+@settings(max_examples=100)
+def test_property_interval_overlaps_partition_the_interval(n, p, data):
+    lo = data.draw(st.integers(min_value=0, max_value=n - 1))
+    hi = data.draw(st.integers(min_value=lo + 1, max_value=n))
+    first, last = procs_of_interval(lo, hi, n, p)
+    # Only the ranks reported by procs_of_interval overlap the interval ...
+    for rank in range(p):
+        if first <= rank <= last:
+            assert overlap(rank, lo, hi, n, p) > 0
+        else:
+            assert overlap(rank, lo, hi, n, p) == 0
+    # ... and their overlaps add up to the interval size.
+    assert sum(overlap(r, lo, hi, n, p) for r in range(first, last + 1)) == hi - lo

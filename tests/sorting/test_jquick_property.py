@@ -1,0 +1,107 @@
+"""Property-based tests of Janus Quicksort's invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import init_mpi
+from repro.rbc import create_rbc_comm
+from repro.simulator import Cluster
+from repro.sorting import JQuickConfig, RbcBackend, jquick
+from repro.sorting.checks import (
+    is_globally_sorted,
+    is_perfectly_balanced,
+    is_permutation_of_input,
+)
+from repro.sorting.intervals import capacity
+
+
+def _split_balanced(values, p):
+    parts, offset = [], 0
+    for rank in range(p):
+        count = capacity(rank, values.size, p)
+        parts.append(values[offset:offset + count].copy())
+        offset += count
+    return parts
+
+
+def _sort_with_jquick(values, p, seed, tie_breaking=True):
+    parts = _split_balanced(values, p)
+    config = JQuickConfig(seed=seed, tie_breaking=tie_breaking)
+
+    def program(env, local_data):
+        world_mpi = init_mpi(env)
+        world = yield from create_rbc_comm(world_mpi)
+        output, stats = yield from jquick(env, RbcBackend(world), local_data, config)
+        return output, stats
+
+    result = Cluster(p).run(
+        program, rank_kwargs=[dict(local_data=parts[r]) for r in range(p)])
+    outputs = [r[0] for r in result.results]
+    stats = [r[1] for r in result.results]
+    return parts, outputs, stats
+
+
+@given(
+    p=st.integers(min_value=1, max_value=12),
+    n_per_proc=st.integers(min_value=1, max_value=20),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_property_uniform_inputs_sorted_balanced_permutation(p, n_per_proc, seed):
+    rng = np.random.default_rng(seed)
+    values = rng.random(p * n_per_proc)
+    parts, outputs, _ = _sort_with_jquick(values, p, seed)
+    assert is_globally_sorted(outputs)
+    assert is_perfectly_balanced(outputs, values.size)
+    assert is_permutation_of_input(parts, outputs)
+
+
+@given(
+    p=st.integers(min_value=2, max_value=10),
+    n=st.integers(min_value=1, max_value=150),
+    distinct=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_property_heavy_duplicates_still_terminate_and_balance(p, n, distinct, seed):
+    """With at most ``distinct`` different keys the tie-breaking scheme must
+    still give perfect balance and termination within the level bound."""
+    rng = np.random.default_rng(seed)
+    values = rng.integers(0, distinct, size=n).astype(np.float64)
+    parts, outputs, stats = _sort_with_jquick(values, p, seed)
+    assert is_globally_sorted(outputs)
+    assert is_perfectly_balanced(outputs, n)
+    assert is_permutation_of_input(parts, outputs)
+    assert max(s.levels for s in stats) <= 8 * max(1, np.log2(p)) + 6
+
+
+@given(
+    p=st.integers(min_value=2, max_value=8),
+    values=st.lists(st.floats(min_value=-1e9, max_value=1e9,
+                              allow_nan=False, allow_infinity=False),
+                    min_size=2, max_size=60),
+    seed=st.integers(min_value=0, max_value=1_000),
+)
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_property_arbitrary_float_inputs(p, values, seed):
+    values = np.asarray(values, dtype=np.float64)
+    parts, outputs, _ = _sort_with_jquick(values, p, seed)
+    assert is_globally_sorted(outputs)
+    assert is_perfectly_balanced(outputs, values.size)
+    assert is_permutation_of_input(parts, outputs)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=10, deadline=None)
+def test_property_output_equals_numpy_sort(seed):
+    """The distributed result equals a plain sequential sort of the input."""
+    rng = np.random.default_rng(seed)
+    p = int(rng.integers(2, 9))
+    values = rng.normal(size=int(rng.integers(p, 10 * p)))
+    _, outputs, _ = _sort_with_jquick(values, p, seed)
+    np.testing.assert_allclose(np.concatenate(outputs), np.sort(values))

@@ -1,0 +1,135 @@
+"""Multi-level sample sort (Section IV's k-way compromise baseline)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bench.workloads import generate
+from repro.mpi import init_mpi
+from repro.rbc import create_rbc_comm
+from repro.simulator import Cluster
+from repro.sorting import (
+    MultilevelConfig,
+    imbalance_factor,
+    is_globally_sorted,
+    is_permutation_of_input,
+    multilevel_sample_sort,
+)
+from repro.sorting.multilevel import _group_layout
+
+
+def _run(p, n, *, workload="uniform", seed=3, config=None):
+    parts = generate(workload, n, p, seed=seed)
+
+    def program(env, local_data):
+        world_mpi = init_mpi(env)
+        world = yield from create_rbc_comm(world_mpi)
+        output, stats = yield from multilevel_sample_sort(
+            env, world, local_data, config)
+        return output, stats
+
+    result = Cluster(p).run(
+        program, rank_kwargs=[dict(local_data=parts[r]) for r in range(p)])
+    outputs = [r[0] for r in result.results]
+    stats = [r[1] for r in result.results]
+    return parts, outputs, stats
+
+
+# ---------------------------------------------------------------------------
+# Group layout helper.
+# ---------------------------------------------------------------------------
+
+@given(size=st.integers(min_value=1, max_value=200),
+       branching=st.integers(min_value=2, max_value=32))
+@settings(max_examples=100, deadline=None)
+def test_group_layout_partitions_the_ranks(size, branching):
+    layout = _group_layout(size, branching)
+    assert len(layout) == min(branching, size)
+    assert layout[0][0] == 0
+    assert layout[-1][1] == size - 1
+    widths = []
+    for (first, last), nxt in zip(layout, layout[1:] + [(size, None)]):
+        assert first <= last
+        assert nxt[0] == last + 1
+        widths.append(last - first + 1)
+    assert max(widths) - min(widths) <= 1
+
+
+# ---------------------------------------------------------------------------
+# Correctness.
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("p,n", [(1, 7), (2, 30), (5, 100), (8, 256), (12, 360), (16, 320)])
+def test_multilevel_sorts_globally(p, n):
+    parts, outputs, _ = _run(p, n)
+    assert is_globally_sorted(outputs)
+    assert is_permutation_of_input(parts, outputs)
+
+
+@pytest.mark.parametrize("branching", [2, 3, 4, 8])
+def test_multilevel_branching_factors(branching):
+    parts, outputs, stats = _run(13, 260, config=MultilevelConfig(branching=branching))
+    assert is_globally_sorted(outputs)
+    assert is_permutation_of_input(parts, outputs)
+    # With k-way branching the recursion depth is about log_k p.
+    expected_levels = int(np.ceil(np.log(13) / np.log(branching)))
+    assert all(abs(s.levels - expected_levels) <= 1 for s in stats)
+
+
+@pytest.mark.parametrize("workload", ["uniform", "duplicates", "sorted", "reverse",
+                                      "all_equal", "zipf"])
+def test_multilevel_workloads(workload):
+    parts, outputs, _ = _run(9, 270, workload=workload)
+    assert is_globally_sorted(outputs)
+    assert is_permutation_of_input(parts, outputs)
+
+
+def test_multilevel_handles_empty_input():
+    parts, outputs, _ = _run(6, 0)
+    assert all(np.asarray(out).size == 0 for out in outputs)
+
+
+def test_multilevel_no_balance_guarantee_but_sorted_on_skew():
+    """Section IV: bucket-based algorithms offer no balance guarantee."""
+    parts, outputs, _ = _run(8, 512, workload="zipf", seed=11)
+    assert is_globally_sorted(outputs)
+    assert imbalance_factor(outputs) >= 1.0
+
+
+def test_multilevel_message_counts_per_level():
+    p = 16
+    config = MultilevelConfig(branching=4)
+    _, _, stats = _run(p, 320, config=config)
+    for s in stats:
+        # One message per target group per level.
+        assert s.messages_sent <= 4 * s.levels
+        # Round-robin fan-in: about (group size this level / next width) per level.
+        assert s.messages_received <= 4 * s.levels + s.levels
+
+
+def test_multilevel_config_validation():
+    with pytest.raises(ValueError):
+        MultilevelConfig(branching=1)
+    with pytest.raises(ValueError):
+        MultilevelConfig(oversampling=0)
+
+
+def test_multilevel_single_process_is_a_local_sort():
+    parts, outputs, stats = _run(1, 50)
+    assert np.array_equal(outputs[0], np.sort(parts[0]))
+    assert stats[0].levels == 0
+    assert stats[0].messages_sent == 0
+
+
+@given(p=st.integers(min_value=1, max_value=12),
+       n_per=st.integers(min_value=0, max_value=40),
+       branching=st.integers(min_value=2, max_value=6),
+       seed=st.integers(min_value=0, max_value=1000))
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_multilevel_property_sorted_and_permutation(p, n_per, branching, seed):
+    parts, outputs, _ = _run(p, p * n_per, seed=seed,
+                             config=MultilevelConfig(branching=branching, seed=seed))
+    assert is_globally_sorted(outputs)
+    assert is_permutation_of_input(parts, outputs)

@@ -1,0 +1,149 @@
+"""Tests of local partitioning (with tie-breaking) and pivot selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.sorting.partition import Pivot, partition_counts, partition_mask, split_by_mask
+from repro.sorting.pivot import (
+    PivotConfig,
+    draw_local_samples,
+    median_of_samples,
+    sample_count,
+)
+
+
+# ---------------------------------------------------------------------------
+# Partitioning.
+# ---------------------------------------------------------------------------
+
+def test_partition_mask_simple():
+    values = np.array([5.0, 1.0, 3.0, 9.0])
+    slots = np.arange(4)
+    mask = partition_mask(values, slots, Pivot(4.0, 100))
+    np.testing.assert_array_equal(mask, [False, True, True, False])
+
+
+def test_partition_mask_tie_breaking_by_slot():
+    values = np.array([2.0, 2.0, 2.0])
+    slots = np.array([10, 20, 30])
+    pivot = Pivot(2.0, 20)          # the element at slot 20 itself
+    mask = partition_mask(values, slots, pivot)
+    np.testing.assert_array_equal(mask, [True, False, False])
+
+
+def test_partition_mask_without_tie_breaking():
+    values = np.array([2.0, 2.0, 1.0])
+    slots = np.array([0, 1, 2])
+    mask = partition_mask(values, slots, Pivot(2.0, 1), tie_breaking=False)
+    np.testing.assert_array_equal(mask, [False, False, True])
+
+
+def test_partition_counts_and_split():
+    values = np.array([4.0, 8.0, 1.0, 2.0, 9.0])
+    slots = np.arange(5)
+    pivot = Pivot(4.0, 0)
+    small, large = partition_counts(values, slots, pivot)
+    assert (small, large) == (2, 3)
+    mask = partition_mask(values, slots, pivot)
+    left, right = split_by_mask(values, mask)
+    np.testing.assert_array_equal(left, [1.0, 2.0])
+    np.testing.assert_array_equal(right, [4.0, 8.0, 9.0])
+
+
+def test_partition_shape_mismatch_rejected():
+    with pytest.raises(ValueError):
+        partition_mask(np.zeros(3), np.zeros(2), Pivot(0.0, 0))
+
+
+@given(hnp.arrays(np.float64, st.integers(1, 200),
+                  elements=st.floats(-1e6, 1e6, allow_nan=False)),
+       st.data())
+@settings(max_examples=80)
+def test_property_tie_breaking_behaves_like_unique_keys(values, data):
+    """With (value, slot) comparison, partitioning splits the elements exactly
+    as if all keys were unique: the number of 'small' elements equals the rank
+    of the pivot pair in the lexicographic order."""
+    slots = np.arange(values.size) + data.draw(st.integers(0, 1000))
+    pivot_index = data.draw(st.integers(0, values.size - 1))
+    pivot = Pivot(float(values[pivot_index]), int(slots[pivot_index]))
+    mask = partition_mask(values, slots, pivot)
+    order = np.lexsort((slots, values))
+    position_of_pivot = int(np.where(order == pivot_index)[0][0])
+    assert int(mask.sum()) == position_of_pivot
+    left, right = split_by_mask(values, mask)
+    assert left.size + right.size == values.size
+
+
+# ---------------------------------------------------------------------------
+# Pivot selection.
+# ---------------------------------------------------------------------------
+
+def test_sample_count_formula():
+    config = PivotConfig(k1=2.0, k2=0.5, k3=5.0)
+    assert sample_count(config, group_size=2, elements_per_proc=1) == 5
+    assert sample_count(config, group_size=1024, elements_per_proc=1) == 20
+    assert sample_count(config, group_size=4, elements_per_proc=100) == 50
+
+
+def test_sample_count_random_element_strategy():
+    config = PivotConfig(strategy="random_element")
+    assert sample_count(config, 1024, 1e6) == 1
+
+
+def test_pivot_config_validation():
+    with pytest.raises(ValueError):
+        PivotConfig(strategy="magic")
+
+
+def test_draw_local_samples_bounds():
+    rng = np.random.default_rng(0)
+    values = np.arange(50, dtype=np.float64)
+    slots = np.arange(50) + 1000
+    sampled_values, sampled_slots = draw_local_samples(values, slots, 12, rng)
+    assert sampled_values.size == sampled_slots.size == 12
+    assert np.all(np.isin(sampled_values, values))
+    assert np.all(sampled_slots == sampled_values + 1000)
+
+
+def test_draw_local_samples_empty_input():
+    rng = np.random.default_rng(0)
+    values, slots = draw_local_samples(np.empty(0), np.empty(0, dtype=np.int64), 5, rng)
+    assert values.size == 0 and slots.size == 0
+
+
+def test_median_of_samples_returns_an_actual_element():
+    chunks = [
+        (np.array([5.0, 1.0]), np.array([0, 1])),
+        (np.array([3.0]), np.array([2])),
+        (np.empty(0), np.empty(0, dtype=np.int64)),
+    ]
+    pivot = median_of_samples(chunks)
+    assert pivot.value == 3.0
+    assert pivot.slot == 2
+
+
+def test_median_of_samples_breaks_ties_consistently():
+    chunks = [(np.array([7.0, 7.0, 7.0]), np.array([30, 10, 20]))]
+    pivot = median_of_samples(chunks)
+    assert pivot.value == 7.0
+    assert pivot.slot == 20          # the middle element in (value, slot) order
+
+
+def test_median_of_samples_rejects_empty():
+    with pytest.raises(ValueError):
+        median_of_samples([(np.empty(0), np.empty(0))])
+
+
+@given(st.lists(st.floats(-1e3, 1e3, allow_nan=False), min_size=1, max_size=99))
+@settings(max_examples=60)
+def test_property_median_is_near_the_middle(values):
+    array = np.asarray(values)
+    slots = np.arange(array.size)
+    pivot = median_of_samples([(array, slots)])
+    below = int(np.sum(array < pivot.value))
+    above = int(np.sum(array > pivot.value))
+    assert below <= array.size // 2
+    assert above <= array.size // 2

@@ -1,0 +1,59 @@
+"""Every example script must run end to end (at a reduced size)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def _run_example(name, *args):
+    script = os.path.join(EXAMPLES_DIR, name)
+    completed = subprocess.run(
+        [sys.executable, script, *map(str, args)],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert completed.returncode == 0, (
+        f"{name} failed\nstdout:\n{completed.stdout}\nstderr:\n{completed.stderr}")
+    return completed.stdout
+
+
+def test_quickstart_example():
+    output = _run_example("quickstart.py", 8)
+    assert "both halves received their root's value" in output
+
+
+def test_jquick_sorting_example():
+    output = _run_example("jquick_sorting.py", 16, 8)
+    assert "result verified" in output
+    assert "speedup of RBC over" in output
+
+
+def test_overlapping_communicators_example():
+    output = _run_example("overlapping_communicators.py", 64)
+    assert "cascade penalty" in output
+
+
+def test_range_broadcast_example():
+    output = _run_example("range_broadcast.py", 64, 16)
+    assert "Intel/RBC" in output
+
+
+def test_compare_sorters_example():
+    output = _run_example("compare_sorters.py", 16, 16, "uniform")
+    assert "jquick" in output and "hypercube" in output and "samplesort" in output
+    assert "multilevel" in output
+
+
+def test_quickhull_example():
+    output = _run_example("quickhull_points.py", 8, 64, "disc")
+    assert "matches sequential hull: yes" in output
+    assert "RBC communicator splits" in output
+
+
+def test_large_collectives_example():
+    output = _run_example("large_collectives.py", 8)
+    assert "auto picks" in output
+    assert "scatter_allgather" in output
