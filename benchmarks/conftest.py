@@ -7,11 +7,19 @@ chosen with the ``REPRO_BENCH_SCALE`` environment variable:
 * ``tiny``  — a few seconds in total (sanity checking),
 * ``small`` — the default; qualitative claims of the paper are asserted,
 * ``paper`` — closest to the paper's parameters the simulator can afford.
+
+Every benchmark additionally archives a machine-readable ``BENCH_<name>.json``
+(wall-clock seconds, total simulated time, events processed) next to its
+table, so successive PRs have a perf trajectory to compare against.
 """
 
 import os
+import re
+import time
 
 import pytest
+
+from repro.bench.harness import TELEMETRY, write_bench_json
 
 
 def bench_scale() -> str:
@@ -24,3 +32,15 @@ def bench_scale() -> str:
 @pytest.fixture(scope="session")
 def scale() -> str:
     return bench_scale()
+
+
+@pytest.fixture(autouse=True)
+def bench_result_json(request):
+    """Write ``BENCH_<test>.json`` with the run's aggregate counters."""
+    TELEMETRY.reset()
+    start = time.perf_counter()
+    yield
+    wall_clock_s = time.perf_counter() - start
+    name = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.name)
+    write_bench_json(name, wall_clock_s=wall_clock_s,
+                     extra={"scale": bench_scale()})

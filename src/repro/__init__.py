@@ -4,8 +4,11 @@ Perfectly Balanced Quicksort" (Axtmann, Wiebigke, Sanders — IPDPS 2018).
 Package layout
 --------------
 
-* :mod:`repro.simulator` — discrete-event single-ported alpha-beta machine
-  model (the hardware substrate replacing SuperMUC).
+* :mod:`repro.simulator` — discrete-event single-ported machine model (the
+  hardware substrate replacing SuperMUC) with pluggable cost models: flat
+  alpha-beta (:class:`~repro.simulator.NetworkParams`) or hierarchical
+  intra-node / inter-node / inter-island
+  (:class:`~repro.simulator.HierarchicalParams`).
 * :mod:`repro.mpi` — simulated MPI-3 layer with vendor cost models (the
   "native MPI" baselines: Intel MPI, IBM MPI).
 * :mod:`repro.collectives` — generic binomial-tree / dissemination collective

@@ -131,6 +131,21 @@ def convex_hull_sequential(points) -> np.ndarray:
     return np.array(hull)
 
 
+def _farthest_index(points: np.ndarray, anchor_a: np.ndarray,
+                    anchor_b: np.ndarray, distances: np.ndarray) -> int:
+    """Index of the farthest point from segment a -> b, ties broken by the
+    projection along the segment.
+
+    Several points can tie for the maximal distance (they then lie on a line
+    parallel to the segment); picking an interior one would promote a
+    non-vertex to a permanent hull vertex.  The tie-break selects an extreme
+    point of the tie set, whose collinear companions are later discarded by
+    the strictly-left filter.
+    """
+    projections = (points - anchor_a) @ (anchor_b - anchor_a)
+    return int(np.lexsort((projections, distances))[-1])
+
+
 def _quickhull_interior(points: np.ndarray, anchor_a: np.ndarray,
                         anchor_b: np.ndarray) -> list[np.ndarray]:
     """Sequential QuickHull step: hull vertices strictly left of a -> b, in order."""
@@ -142,7 +157,7 @@ def _quickhull_interior(points: np.ndarray, anchor_a: np.ndarray,
     distances = distances[keep]
     if points.shape[0] == 0:
         return []
-    farthest = points[int(np.argmax(distances))]
+    farthest = points[_farthest_index(points, anchor_a, anchor_b, distances)]
     left = _quickhull_interior(points, anchor_a, farthest)
     right = _quickhull_interior(points, farthest, anchor_b)
     return left + [farthest] + right
@@ -153,8 +168,10 @@ def _quickhull_interior(points: np.ndarray, anchor_a: np.ndarray,
 # ---------------------------------------------------------------------------
 
 def _argmax_pair(a, b):
-    """Reduction operator: keep the (value, point) pair with the larger value."""
-    return a if a[0] >= b[0] else b
+    """Reduction operator: keep the (distance, projection, point) candidate
+    with the lexicographically larger (distance, projection) — the same
+    tie-break as :func:`_farthest_index`, applied across processes."""
+    return a if (a[0], a[1]) >= (b[0], b[1]) else b
 
 
 def _extreme_op(a, b):
@@ -278,15 +295,16 @@ def _recurse(env: RankEnv, comm: RbcComm, points: np.ndarray,
     # 1. Farthest point from the segment (globally, MAXLOC-style allreduce).
     if points.shape[0]:
         distances = _cross(anchor_a, anchor_b, points)
-        best = int(np.argmax(distances))
-        candidate = (float(distances[best]), tuple(points[best]))
+        best = _farthest_index(points, anchor_a, anchor_b, distances)
+        projection = float((points[best] - anchor_a) @ (anchor_b - anchor_a))
+        candidate = (float(distances[best]), projection, tuple(points[best]))
     else:
-        candidate = (-np.inf, (np.nan, np.nan))
+        candidate = (-np.inf, -np.inf, (np.nan, np.nan))
     if config.charge_local_work:
         yield from env.compute(points.shape[0])
     winner = yield from rbc_collectives.allreduce(comm, candidate, _argmax_pair,
                                                   tag=tags + 0)
-    max_distance, far_tuple = winner
+    max_distance, _, far_tuple = winner
     if max_distance <= _EPS:
         # No point strictly left of the segment: nothing to contribute, but the
         # group must still agree — the allreduce above already synchronised it.

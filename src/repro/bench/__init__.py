@@ -5,7 +5,9 @@ Each ``figN_*`` module exposes ``run(scale)`` returning a
 at ``scale`` ``"tiny"`` (seconds, used by the test suite), ``"small"`` (the
 default for ``pytest benchmarks/``) or ``"paper"`` (closest to the paper's
 parameters the pure-Python simulator can afford).  The ablation studies in
-:mod:`repro.bench.ablations` cover design decisions discussed in the text.
+:mod:`repro.bench.ablations` cover design decisions discussed in the text;
+:mod:`repro.bench.hierarchical` sweeps the same programs over flat vs.
+hierarchical machine models.
 """
 
 from . import (
@@ -16,21 +18,27 @@ from . import (
     fig7_range_bcast,
     fig8_jquick,
     fig9_collectives,
+    hierarchical,
 )
 from .harness import (
     COLLECTIVE_OPS,
+    TELEMETRY,
+    BenchTelemetry,
     Measurement,
     collective_program,
     ratio,
     repeat_max_duration,
     run_rank_durations,
+    write_bench_json,
 )
 from .tables import Table, results_dir
 from .workloads import WORKLOADS, generate, split_balanced, workload_names
 
 __all__ = [
     "COLLECTIVE_OPS",
+    "BenchTelemetry",
     "Measurement",
+    "TELEMETRY",
     "Table",
     "WORKLOADS",
     "ablations",
@@ -42,10 +50,12 @@ __all__ = [
     "fig8_jquick",
     "fig9_collectives",
     "generate",
+    "hierarchical",
     "ratio",
     "repeat_max_duration",
     "results_dir",
     "run_rank_durations",
     "split_balanced",
     "workload_names",
+    "write_bench_json",
 ]

@@ -9,6 +9,9 @@ are reported in milliseconds, like the paper's figures.
 
 from __future__ import annotations
 
+import json
+import os
+import time
 from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Sequence
 
@@ -17,11 +20,16 @@ import numpy as np
 from ..mpi import init_mpi
 from ..rbc import collectives as rbc_collectives
 from ..rbc import create_rbc_comm
-from ..simulator import Cluster, ClusterResult, NetworkParams
+from ..simulator import Cluster, ClusterResult, CostModel, Placement
+from ..simulator.cluster import add_run_observer
+from .tables import results_dir
 
 __all__ = [
     "US_PER_MS",
     "Measurement",
+    "BenchTelemetry",
+    "TELEMETRY",
+    "write_bench_json",
     "run_rank_durations",
     "repeat_max_duration",
     "collective_program",
@@ -57,12 +65,82 @@ class Measurement:
         )
 
 
+@dataclass
+class BenchTelemetry:
+    """Machine-readable counters of the simulations a benchmark ran.
+
+    The module-level :data:`TELEMETRY` instance is registered as a
+    cluster-run observer (so every simulation counts, including benchmarks
+    that construct :class:`~repro.simulator.Cluster` directly) and flushed
+    to ``BENCH_<name>.json`` files by the benchmark suite's autouse fixture,
+    so successive PRs have a perf trajectory to compare against: wall-clock
+    seconds, total simulated microseconds and discrete events processed.
+    """
+
+    cluster_runs: int = 0
+    simulated_us: float = 0.0
+    events_processed: int = 0
+    messages_sent: int = 0
+
+    def reset(self) -> None:
+        self.cluster_runs = 0
+        self.simulated_us = 0.0
+        self.events_processed = 0
+        self.messages_sent = 0
+
+    def record(self, result: ClusterResult) -> None:
+        self.cluster_runs += 1
+        self.simulated_us += result.total_time
+        self.events_processed += result.events_processed
+        self.messages_sent += result.stats.messages_sent
+
+    def snapshot(self) -> dict:
+        return {
+            "cluster_runs": self.cluster_runs,
+            "simulated_us": self.simulated_us,
+            "events_processed": self.events_processed,
+            "messages_sent": self.messages_sent,
+        }
+
+
+#: Global telemetry sink of the benchmark harness; observes every cluster run.
+TELEMETRY = BenchTelemetry()
+add_run_observer(TELEMETRY.record)
+
+
+def write_bench_json(name: str, *, wall_clock_s: float,
+                     telemetry: Optional[BenchTelemetry] = None,
+                     extra: Optional[dict] = None) -> str:
+    """Write ``BENCH_<name>.json`` under the results directory; returns its path.
+
+    The payload always contains wall-clock seconds, total simulated time and
+    events processed (``extra`` merges additional keys), plus a schema marker
+    so downstream tooling can evolve the format.
+    """
+    telemetry = telemetry if telemetry is not None else TELEMETRY
+    payload = {
+        "schema": "repro-bench-result/v1",
+        "name": name,
+        "wall_clock_s": wall_clock_s,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        **telemetry.snapshot(),
+    }
+    if extra:
+        payload.update(extra)
+    path = os.path.join(results_dir(), f"BENCH_{name}.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, default=str)
+        handle.write("\n")
+    return path
+
+
 def run_rank_durations(num_ranks: int, program: Callable, *args,
-                       params: Optional[NetworkParams] = None,
+                       params: Optional[CostModel] = None,
+                       placement: Optional[Placement] = None,
                        rank_kwargs=None, **kwargs) -> tuple[float, ClusterResult]:
     """Run ``program`` (which returns a per-rank duration in µs); return
     (max duration over ranks, full cluster result)."""
-    cluster = Cluster(num_ranks, params)
+    cluster = Cluster(num_ranks, params, placement=placement)
     result = cluster.run(program, *args, rank_kwargs=rank_kwargs, **kwargs)
     durations = [d for d in result.results if d is not None]
     return (max(durations) if durations else 0.0), result
@@ -70,7 +148,8 @@ def run_rank_durations(num_ranks: int, program: Callable, *args,
 
 def repeat_max_duration(num_ranks: int, make_program: Callable[[int], tuple],
                         repetitions: int = 3,
-                        params: Optional[NetworkParams] = None) -> Measurement:
+                        params: Optional[CostModel] = None,
+                        placement: Optional[Placement] = None) -> Measurement:
     """Run ``repetitions`` independent simulations and aggregate their timings.
 
     ``make_program(rep)`` must return ``(program, args, kwargs)``; the program
@@ -82,7 +161,8 @@ def repeat_max_duration(num_ranks: int, make_program: Callable[[int], tuple],
     for rep in range(repetitions):
         program, args, kwargs = make_program(rep)
         duration, result = run_rank_durations(num_ranks, program, *args,
-                                              params=params, **kwargs)
+                                              params=params,
+                                              placement=placement, **kwargs)
         samples.append(duration)
         messages = max(messages, result.stats.messages_sent)
     return Measurement.from_samples(samples, messages=messages)

@@ -1,0 +1,118 @@
+"""Hierarchical-machine benchmark: JQuick and RBC collectives on flat vs.
+hierarchical cost models.
+
+The paper's experiments ran on SuperMUC, whose network is a pronounced
+rank -> node -> island hierarchy; the original simulator charged every message
+a single flat ``alpha + l * beta``.  This benchmark sweeps the same programs
+(an RBC collective microbenchmark and a full JQuick sort) over a family of
+machines that share link parameters but differ in how many hierarchy tiers
+the job actually crosses:
+
+* ``flat``          — the classic :class:`~repro.simulator.NetworkParams`,
+* ``single-node``   — hierarchical model, all ranks on one node (cheapest),
+* ``multi-node``    — hierarchical model, several nodes of one island,
+* ``multi-island``  — hierarchical model, nodes spread over several islands.
+
+Because the three hierarchical placements run the *same program* under the
+*same model* and only widen the link tiers in use, their simulated times must
+be ordered ``single-node <= multi-node <= multi-island`` — the "physically
+sensible" property the acceptance criteria demand — and all of them must
+differ from the flat machine.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..simulator import HierarchicalParams, NetworkParams, Placement
+from ..sorting import JQuickConfig
+from .fig8_jquick import jquick_program
+from .harness import collective_program, repeat_max_duration
+from .tables import Table
+from .workloads import generate
+
+__all__ = ["PRESETS", "MACHINES", "machine_configs", "run"]
+
+PRESETS = {
+    "tiny": dict(num_ranks=16, collective_words=(16, 4096),
+                 jquick_n_per_proc=64, repetitions=1),
+    "small": dict(num_ranks=64, collective_words=(16, 1024, 16384),
+                  jquick_n_per_proc=256, repetitions=1),
+    "paper": dict(num_ranks=512, collective_words=(16, 1024, 16384, 262144),
+                  jquick_n_per_proc=4096, repetitions=2),
+}
+
+#: Machine names in increasing order of hierarchy width.
+MACHINES = ("flat", "single-node", "multi-node", "multi-island")
+
+
+def machine_configs(num_ranks: int) -> dict:
+    """``{name: (params, placement)}`` for every benchmark machine.
+
+    The hierarchical machines share one :class:`HierarchicalParams` (so link
+    tiers are priced identically) and differ only in the cluster-owned
+    placement: everything on one node, packed onto few-rank nodes of a single
+    island, or spread across islands.
+    """
+    tiers = HierarchicalParams()
+    return {
+        "flat": (NetworkParams.default(), None),
+        "single-node": (tiers, Placement.single_node(num_ranks)),
+        "multi-node": (tiers, Placement.regular(
+            num_ranks, ranks_per_node=max(1, num_ranks // 8),
+            nodes_per_island=8)),
+        "multi-island": (tiers, Placement.regular(
+            num_ranks, ranks_per_node=max(1, num_ranks // 8),
+            nodes_per_island=2)),
+    }
+
+
+def run(scale: str = "small", *, num_ranks: Optional[int] = None) -> Table:
+    """Run the machine sweep; one row per (machine, workload, size)."""
+    preset = dict(PRESETS[scale])
+    if num_ranks is not None:
+        preset["num_ranks"] = num_ranks
+    p = preset["num_ranks"]
+    machines = machine_configs(p)
+
+    table = Table(
+        title=f"Hierarchical machines — JQuick and RBC collectives on p={p}",
+        columns=["machine", "workload", "n_per_proc", "time_ms"],
+    )
+    table.add_note("same tier parameters for all hierarchical machines; only "
+                   "the placement (and hence the link tiers crossed) differs")
+
+    for machine in MACHINES:
+        params, placement = machines[machine]
+
+        for words in preset["collective_words"]:
+            measurement = repeat_max_duration(
+                p,
+                lambda rep, words=words: (collective_program, (), dict(
+                    operation="bcast", impl="rbc", vendor="generic",
+                    words=words)),
+                repetitions=preset["repetitions"],
+                params=params, placement=placement,
+            )
+            table.add_row(machine=machine, workload="rbc_bcast",
+                          n_per_proc=words, time_ms=measurement.mean_ms)
+
+        n_per_proc = preset["jquick_n_per_proc"]
+        n = n_per_proc * p
+
+        def make_program(rep, n=n):
+            parts = generate("uniform", n, p, seed=4000 + rep)
+            config = JQuickConfig(schedule="alternating", seed=23 + rep)
+            rank_kwargs = [dict(local_data=parts[rank]) for rank in range(p)]
+            return (jquick_program, (), dict(
+                backend="rbc", vendor="generic", config=config,
+                rank_kwargs=rank_kwargs))
+
+        measurement = repeat_max_duration(
+            p, make_program, repetitions=preset["repetitions"],
+            params=params, placement=placement)
+        table.add_row(machine=machine, workload="jquick",
+                      n_per_proc=n_per_proc, time_ms=measurement.mean_ms)
+    return table

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from ..messaging import RecvRequest, SendRequest
+from ..simulator.costmodel import CostModel
 from ..simulator.network import Transport, payload_words
 from ..simulator.process import RankEnv
 
@@ -99,6 +100,15 @@ class TransportEndpoint:
         )
 
     # ------------------------------------------------------------------ costs
+
+    @property
+    def cost_model(self) -> CostModel:
+        """The machine cost model of the cluster executing this collective.
+
+        Algorithm-selection heuristics (``algorithm="auto"``) must consult
+        this instead of assuming flat ``alpha``/``beta`` attributes.
+        """
+        return self.env.params
 
     def op_delay(self, words: int) -> float:
         """Local time to apply a reduction operator to ``words`` words."""

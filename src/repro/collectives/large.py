@@ -35,6 +35,11 @@ from typing import Any, Callable, Optional, Sequence
 import numpy as np
 
 from ..messaging import Request
+from ..simulator.costmodel import (
+    DEFAULT_ALLREDUCE_CROSSOVER_WORDS,
+    DEFAULT_BCAST_CROSSOVER_WORDS,
+    CostModel,
+)
 from ..simulator.network import payload_words
 from .endpoint import TransportEndpoint
 from .machines import bcast_schedule
@@ -61,16 +66,21 @@ __all__ = [
 DEFAULT_SEGMENT_WORDS = 4096
 
 #: Payload size (words per process) above which ``algorithm="auto"`` switches
-#: the broadcast from the binomial tree to the scatter-allgather algorithm.
-#: The crossover of the two cost terms ``(alpha + beta n) log p`` versus
-#: ``alpha log p + 2 beta n`` lies near ``n ~ alpha log p / beta``; with the
-#: default machine parameters and p in the hundreds this is a few thousand
-#: words, so a fixed threshold in that region is a reasonable vendor-style
-#: heuristic (exact tuning is the job of the ablation benchmark).
-LARGE_BCAST_THRESHOLD_WORDS = 8192
+#: the broadcast from the binomial tree to the scatter-allgather algorithm
+#: when no cost model is consulted.  The crossover of the two cost terms
+#: ``(alpha + beta n) log p`` versus ``alpha log p + 2 beta n`` lies near
+#: ``n ~ alpha log p / beta``; with the default machine parameters and p in
+#: the hundreds this is a few thousand words, so a fixed threshold in that
+#: region is a reasonable vendor-style heuristic (exact tuning is the job of
+#: the ablation benchmark).  When the executing machine's cost model is
+#: available (``choose_*``'s ``model`` argument, wired through
+#: :attr:`~repro.collectives.endpoint.TransportEndpoint.cost_model`), the
+#: model's own crossover wins — hierarchical machines derive it from their
+#: link tiers.
+LARGE_BCAST_THRESHOLD_WORDS = DEFAULT_BCAST_CROSSOVER_WORDS
 
 #: Same idea for allreduce (reduce+bcast versus ring).
-LARGE_ALLREDUCE_THRESHOLD_WORDS = 4096
+LARGE_ALLREDUCE_THRESHOLD_WORDS = DEFAULT_ALLREDUCE_CROSSOVER_WORDS
 
 
 # ---------------------------------------------------------------------------
@@ -366,32 +376,45 @@ def allreduce_ring_schedule(ep: TransportEndpoint, value: Any,
 # Algorithm selection for ``algorithm="auto"``.
 # ---------------------------------------------------------------------------
 
-def choose_bcast_algorithm(words: int, size: int,
-                           payload: Any = None) -> str:
+def choose_bcast_algorithm(words: int, size: int, payload: Any = None,
+                           model: Optional[CostModel] = None) -> str:
     """Pick a broadcast algorithm for a payload of ``words`` machine words.
 
-    Vector payloads above :data:`LARGE_BCAST_THRESHOLD_WORDS` on more than two
-    processes use the scatter-allgather algorithm, everything else the
-    binomial tree.  Non-array payloads always use the binomial tree because
-    they cannot be split into blocks.
+    Vector payloads above the crossover size on more than two processes use
+    the scatter-allgather algorithm, everything else the binomial tree.  The
+    crossover comes from the executing machine's cost ``model``
+    (:meth:`~repro.simulator.costmodel.CostModel.bcast_crossover_words`) when
+    one is given — hierarchical machines derive it from their link tiers —
+    and falls back to :data:`LARGE_BCAST_THRESHOLD_WORDS`.  Non-array
+    payloads always use the binomial tree because they cannot be split into
+    blocks.
     """
     if payload is not None and not isinstance(payload, np.ndarray):
         return "binomial"
     if payload is not None and np.asarray(payload).ndim != 1:
         return "binomial"
-    if size > 2 and words >= LARGE_BCAST_THRESHOLD_WORDS:
+    threshold = (model.bcast_crossover_words(size) if model is not None
+                 else LARGE_BCAST_THRESHOLD_WORDS)
+    if size > 2 and words >= threshold:
         return "scatter_allgather"
     return "binomial"
 
 
-def choose_allreduce_algorithm(words: int, size: int,
-                               payload: Any = None) -> str:
-    """Pick an allreduce algorithm (``"reduce_bcast"`` or ``"ring"``)."""
+def choose_allreduce_algorithm(words: int, size: int, payload: Any = None,
+                               model: Optional[CostModel] = None) -> str:
+    """Pick an allreduce algorithm (``"reduce_bcast"`` or ``"ring"``).
+
+    Like :func:`choose_bcast_algorithm`, the crossover consults the machine's
+    cost ``model`` when given and falls back to
+    :data:`LARGE_ALLREDUCE_THRESHOLD_WORDS`.
+    """
     if payload is not None and not isinstance(payload, np.ndarray):
         return "reduce_bcast"
     if payload is not None and np.asarray(payload).ndim != 1:
         return "reduce_bcast"
-    if size > 2 and words >= LARGE_ALLREDUCE_THRESHOLD_WORDS:
+    threshold = (model.allreduce_crossover_words(size) if model is not None
+                 else LARGE_ALLREDUCE_THRESHOLD_WORDS)
+    if size > 2 and words >= threshold:
         return "ring"
     return "reduce_bcast"
 
@@ -428,7 +451,8 @@ def _auto_bcast_schedule(ep: TransportEndpoint, value: Any, root: int,
                          segment_words: int):
     choice = None
     if ep.rank == root:
-        choice = choose_bcast_algorithm(payload_words(value), ep.size, value)
+        choice = choose_bcast_algorithm(payload_words(value), ep.size, value,
+                                        model=ep.cost_model)
     choice = yield from bcast_schedule(ep, choice, root)
     result = yield from dispatch_bcast_schedule(ep, value, root, choice, segment_words)
     return result

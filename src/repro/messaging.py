@@ -160,18 +160,9 @@ class RecvRequest(Request):
         if self._source_world != ANY_SOURCE or self._source_filter is None:
             return transport.take_match(rank, self._source_world, self._tag, self._context)
         # Wildcard receive restricted to a subset of senders (RBC ranges):
-        # scan arrived messages for the earliest one whose sender qualifies.
-        candidate = None
-        for message in transport._mailboxes[rank]:
-            if not message.matches(ANY_SOURCE, self._tag, self._context):
-                continue
-            if not self._source_filter(message.src):
-                continue
-            if candidate is None or message.seq < candidate.seq:
-                candidate = message
-        if candidate is not None:
-            transport._mailboxes[rank].remove(candidate)
-        return candidate
+        # take the earliest arrived message whose sender qualifies.
+        return transport.take_match_where(rank, self._tag, self._context,
+                                          self._source_filter)
 
     def result(self) -> Any:
         if self._message is None:

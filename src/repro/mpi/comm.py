@@ -154,16 +154,8 @@ class MpiCommunicator:
         outside the range, so traffic of other RBC communicators sharing this
         MPI communicator is not disturbed.
         """
-        transport = self._env.transport
-        context = self._p2p_context()
-        best = None
-        for message in transport._mailboxes[self._env.rank]:
-            if not message.matches(ANY_SOURCE, tag, context):
-                continue
-            if not predicate(message.src):
-                continue
-            if best is None or message.seq < best.seq:
-                best = message
+        best = self._env.transport.find_match_where(
+            self._env.rank, tag, self._p2p_context(), predicate)
         if best is None:
             return False, None
         return True, Status(source=self.from_world(best.src), tag=best.tag,

@@ -231,7 +231,8 @@ def iallreduce(comm: RbcComm, value: Any, op=None, tag: Optional[int] = None,
     """
     ep = _endpoint(comm, _tags.ALLREDUCE_TAG if tag is None else tag)
     if algorithm == "auto":
-        algorithm = choose_allreduce_algorithm(payload_words(value), comm.size, value)
+        algorithm = choose_allreduce_algorithm(payload_words(value), comm.size,
+                                               value, model=ep.cost_model)
     if algorithm == "ring":
         return _request(comm, allreduce_ring_schedule(ep, value, op or SUM))
     if algorithm != "reduce_bcast":

@@ -11,11 +11,15 @@ Public entry points:
 * :class:`Cluster` / :func:`run_program` — run a rank program on ``p``
   simulated processes and obtain per-rank results plus the simulated running
   time.
-* :class:`NetworkParams` — machine parameters (alpha, beta, gamma).
+* :class:`CostModel` — the pluggable machine cost-model interface, with the
+  flat :class:`NetworkParams` (alpha, beta, gamma) and the three-tier
+  :class:`HierarchicalParams` (intra-node / inter-node / inter-island links
+  priced from the cluster-owned rank :class:`Placement`).
 * :class:`RankEnv` — the per-rank handle rank programs receive.
 """
 
 from .cluster import Cluster, ClusterResult, run_program
+from .costmodel import CostModel, HierarchicalParams, NetworkParams, Placement
 from .engine import Engine, Sleep, WaitNotify, run_processes
 from .errors import (
     DeadlockError,
@@ -23,7 +27,16 @@ from .errors import (
     SimulationError,
     SimulationLimitError,
 )
-from .network import ANY_SOURCE, ANY_TAG, Message, NetworkParams, SendHandle, Transport, payload_words
+from .network import (
+    ANY_SOURCE,
+    ANY_TAG,
+    IndexedMailbox,
+    LinearScanMailbox,
+    Message,
+    SendHandle,
+    Transport,
+    payload_words,
+)
 from .process import RankEnv
 from .trace import TraceStats, Tracer
 
@@ -32,10 +45,15 @@ __all__ = [
     "ANY_TAG",
     "Cluster",
     "ClusterResult",
+    "CostModel",
     "DeadlockError",
     "Engine",
+    "HierarchicalParams",
+    "IndexedMailbox",
+    "LinearScanMailbox",
     "Message",
     "NetworkParams",
+    "Placement",
     "RankEnv",
     "RankFailedError",
     "SendHandle",

@@ -5,12 +5,31 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Optional, Sequence
 
+from .costmodel import CostModel, NetworkParams, Placement
 from .engine import Engine
-from .network import NetworkParams, Transport
+from .network import Transport
 from .process import RankEnv
 from .trace import TraceStats, Tracer
 
-__all__ = ["Cluster", "ClusterResult", "run_program"]
+__all__ = ["Cluster", "ClusterResult", "run_program", "add_run_observer",
+           "remove_run_observer"]
+
+#: Callbacks invoked with every :class:`ClusterResult` a cluster produces.
+#: The benchmark harness registers its telemetry sink here so that *every*
+#: simulation is counted, no matter which code path constructed the cluster.
+_run_observers: list[Callable[["ClusterResult"], None]] = []
+
+
+def add_run_observer(observer: Callable[["ClusterResult"], None]) -> None:
+    """Register ``observer`` to be called with every finished run's result."""
+    if observer not in _run_observers:
+        _run_observers.append(observer)
+
+
+def remove_run_observer(observer: Callable[["ClusterResult"], None]) -> None:
+    """Unregister a previously added run observer (missing ones are ignored)."""
+    if observer in _run_observers:
+        _run_observers.remove(observer)
 
 
 @dataclass
@@ -27,12 +46,16 @@ class ClusterResult:
         Virtual time when the last rank finished.
     stats:
         Aggregate communication statistics.
+    events_processed:
+        Number of discrete events the engine processed for this run (the
+        benchmark harness reports it alongside wall-clock and virtual time).
     """
 
     results: list[Any]
     finish_times: list[float]
     total_time: float
     stats: TraceStats
+    events_processed: int = 0
 
     @property
     def max_finish_time(self) -> float:
@@ -45,20 +68,36 @@ class ClusterResult:
 class Cluster:
     """A simulated machine with ``num_ranks`` single-ported processes.
 
+    The cluster owns the machine description: the cost model (``params``, any
+    :class:`~repro.simulator.costmodel.CostModel` — flat
+    :class:`~repro.simulator.costmodel.NetworkParams` by default) and the
+    rank -> (node, island) ``placement`` hierarchical models price links
+    from.  When no placement is given the cost model's default is used
+    (flat: everything on one node; hierarchical: dense block placement of
+    the model's machine shape).
+
     A cluster instance is single-use: build it, call :meth:`run`, inspect the
     result.  (Re-running would need fresh engine state; constructing a new
     cluster is cheap.)
     """
 
-    def __init__(self, num_ranks: int, params: Optional[NetworkParams] = None,
-                 *, max_events: int = 200_000_000):
+    def __init__(self, num_ranks: int, params: Optional[CostModel] = None,
+                 *, placement: Optional[Placement] = None,
+                 max_events: int = 200_000_000,
+                 mailbox_factory: Optional[Callable[[], Any]] = None):
         if num_ranks <= 0:
             raise ValueError("num_ranks must be positive")
         self.num_ranks = num_ranks
         self.params = params or NetworkParams.default()
+        self.placement = placement if placement is not None \
+            else self.params.default_placement(num_ranks)
         self.engine = Engine(max_events=max_events)
         self.tracer = Tracer(num_ranks)
-        self.transport = Transport(self.engine, num_ranks, self.params, self.tracer)
+        transport_kwargs = {} if mailbox_factory is None \
+            else {"mailbox_factory": mailbox_factory}
+        self.transport = Transport(self.engine, num_ranks, self.params,
+                                   self.tracer, placement=self.placement,
+                                   **transport_kwargs)
         self.envs = [
             RankEnv(rank, num_ranks, self.engine, self.transport)
             for rank in range(num_ranks)
@@ -94,20 +133,25 @@ class Cluster:
         results = [p.result for p in procs]
         finish_times = [p.finish_time if p.finish_time is not None else total_time
                         for p in procs]
-        return ClusterResult(
+        result = ClusterResult(
             results=results,
             finish_times=finish_times,
             total_time=total_time,
             stats=self.tracer.stats,
+            events_processed=self.engine.events_processed,
         )
+        for observer in _run_observers:
+            observer(result)
+        return result
 
 
 def run_program(num_ranks: int, program: Callable, *args,
-                params: Optional[NetworkParams] = None,
+                params: Optional[CostModel] = None,
+                placement: Optional[Placement] = None,
                 rank_args: Optional[Sequence[tuple]] = None,
                 rank_kwargs: Optional[Sequence[dict]] = None,
                 **kwargs) -> ClusterResult:
     """One-shot convenience wrapper around :class:`Cluster`."""
-    cluster = Cluster(num_ranks, params)
+    cluster = Cluster(num_ranks, params, placement=placement)
     return cluster.run(program, *args, rank_args=rank_args,
                        rank_kwargs=rank_kwargs, **kwargs)

@@ -1,0 +1,365 @@
+"""Pluggable machine cost models for the simulated network.
+
+The paper evaluates RBC and Janus Quicksort on SuperMUC, a machine with a
+pronounced rank -> node -> island hierarchy.  This module turns the single
+flat ``alpha + l * beta`` charge of the original simulator into a pluggable
+*cost-model layer*:
+
+* :class:`CostModel` — the interface the transport charges messages through.
+* :class:`NetworkParams` — the original flat single-ported alpha-beta model
+  (backward compatible, still the default).
+* :class:`HierarchicalParams` — distinct intra-node / inter-node /
+  inter-island link parameters selected per message from a rank placement.
+* :class:`Placement` — the rank -> (node, island) map.  The placement is
+  owned by the :class:`~repro.simulator.cluster.Cluster` (machines assign
+  ranks to nodes, cost models only price the links) and handed to the
+  transport at construction.
+
+All times are microseconds; message sizes are 8-byte machine words.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "DEFAULT_BCAST_CROSSOVER_WORDS",
+    "DEFAULT_ALLREDUCE_CROSSOVER_WORDS",
+    "Placement",
+    "CostModel",
+    "NetworkParams",
+    "HierarchicalParams",
+]
+
+#: Default payload size (words) above which ``algorithm="auto"`` switches a
+#: broadcast to the large-input algorithm.  Flat models use this fixed value
+#: (it keeps all historical flat-model schedules bit-identical); hierarchical
+#: models derive an analytic crossover from their link parameters instead.
+DEFAULT_BCAST_CROSSOVER_WORDS = 8192
+
+#: Same idea for allreduce (binomial reduce+bcast versus ring).
+DEFAULT_ALLREDUCE_CROSSOVER_WORDS = 4096
+
+
+def _require_finite(name: str, value: float) -> float:
+    value = float(value)
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    return value
+
+
+def _require_non_negative(name: str, value: float) -> float:
+    value = _require_finite(name, value)
+    if value < 0:
+        raise ValueError(
+            f"{name} must be non-negative (it is a physical cost), got {value!r}")
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Placement: rank -> (node, island).
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Placement:
+    """Map of every rank to its node and island.
+
+    ``nodes[r]`` / ``islands[r]`` are the node and island ids of rank ``r``.
+    The cluster owns the placement; cost models consult it per message to
+    decide which link tier a transfer crosses.
+    """
+
+    nodes: tuple
+    islands: tuple
+
+    def __post_init__(self):
+        if len(self.nodes) != len(self.islands):
+            raise ValueError(
+                f"placement is inconsistent: {len(self.nodes)} node entries "
+                f"vs {len(self.islands)} island entries")
+
+    @staticmethod
+    def single_node(num_ranks: int) -> "Placement":
+        """All ranks on one node of one island (the flat machine's view)."""
+        return Placement(nodes=(0,) * num_ranks, islands=(0,) * num_ranks)
+
+    @staticmethod
+    def regular(num_ranks: int, ranks_per_node: int,
+                nodes_per_island: int) -> "Placement":
+        """Dense block placement: rank r on node r // ranks_per_node, node n
+        on island n // nodes_per_island (how batch systems place compact jobs)."""
+        if ranks_per_node <= 0:
+            raise ValueError("ranks_per_node must be positive")
+        if nodes_per_island <= 0:
+            raise ValueError("nodes_per_island must be positive")
+        nodes = tuple(rank // ranks_per_node for rank in range(num_ranks))
+        islands = tuple(node // nodes_per_island for node in nodes)
+        return Placement(nodes=nodes, islands=islands)
+
+    @property
+    def num_ranks(self) -> int:
+        return len(self.nodes)
+
+    def node_of(self, rank: int) -> int:
+        return self.nodes[rank]
+
+    def island_of(self, rank: int) -> int:
+        return self.islands[rank]
+
+    def num_nodes(self) -> int:
+        return len(set(self.nodes))
+
+    def num_islands(self) -> int:
+        return len(set(self.islands))
+
+    def tier_of(self, src: int, dst: int) -> int:
+        """Link tier of a transfer: 0 intra-node, 1 inter-node, 2 inter-island."""
+        if self.islands[src] != self.islands[dst]:
+            return 2
+        if self.nodes[src] != self.nodes[dst]:
+            return 1
+        return 0
+
+
+# ---------------------------------------------------------------------------
+# Cost-model interface.
+# ---------------------------------------------------------------------------
+
+class CostModel:
+    """What the transport (and the algorithm-selection heuristics) need from
+    a machine model.
+
+    Concrete models provide ``gamma`` (time per elementary local operation)
+    and :meth:`link`, which prices one ``src -> dst`` transfer as an
+    ``(alpha, beta)`` pair.  Everything else has model-independent defaults.
+    """
+
+    gamma: float
+
+    # ------------------------------------------------------------- messages
+
+    def link(self, src: int, dst: int,
+             placement: Optional[Placement] = None) -> tuple:
+        """``(alpha, beta)`` of the link a ``src -> dst`` message crosses."""
+        raise NotImplementedError
+
+    def message_cost(self, words: int, src: Optional[int] = None,
+                     dst: Optional[int] = None,
+                     placement: Optional[Placement] = None) -> float:
+        """Wire time of one message of ``words`` machine words.
+
+        Without endpoints, hierarchical models price the *most expensive*
+        link (the conservative estimate heuristics should use).
+        """
+        alpha, beta = self.link(src, dst, placement) if src is not None \
+            and dst is not None else self.worst_link()
+        return alpha + words * beta
+
+    def worst_link(self) -> tuple:
+        """The most expensive ``(alpha, beta)`` any message may pay."""
+        raise NotImplementedError
+
+    # -------------------------------------------------------- local compute
+
+    def compute_cost(self, operations: float) -> float:
+        """Local time of ``operations`` elementary operations (gamma each)."""
+        return operations * self.gamma
+
+    # ------------------------------------------------------------ placement
+
+    def default_placement(self, num_ranks: int) -> Placement:
+        """Placement a cluster uses when the caller does not provide one."""
+        return Placement.single_node(num_ranks)
+
+    # ------------------------------------------- algorithm-selection hints
+
+    def bcast_crossover_words(self, size: int) -> int:
+        """Payload size above which ``algorithm="auto"`` should switch a
+        broadcast from the binomial tree to the scatter-allgather algorithm."""
+        return DEFAULT_BCAST_CROSSOVER_WORDS
+
+    def allreduce_crossover_words(self, size: int) -> int:
+        """Payload size above which ``algorithm="auto"`` should switch an
+        allreduce from reduce+bcast to the bandwidth-optimal ring."""
+        return DEFAULT_ALLREDUCE_CROSSOVER_WORDS
+
+
+# ---------------------------------------------------------------------------
+# Flat model (the original NetworkParams, now validated).
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class NetworkParams(CostModel):
+    """Flat cost-model parameters of the simulated machine.
+
+    Attributes
+    ----------
+    alpha:
+        Message startup overhead in microseconds.
+    beta:
+        Transfer time per 8-byte machine word in microseconds.
+    gamma:
+        Time per elementary local operation (one comparison / move) in
+        microseconds; used to charge local computation such as partitioning
+        and local sorting.
+    """
+
+    alpha: float = 5.0
+    beta: float = 0.002
+    gamma: float = 0.002
+
+    def __post_init__(self):
+        _require_non_negative("alpha", self.alpha)
+        _require_non_negative("beta", self.beta)
+        _require_non_negative("gamma", self.gamma)
+        if self.alpha == 0 and self.beta == 0:
+            raise ValueError(
+                "alpha and beta cannot both be zero: a zero-cost network has "
+                "no single-ported transfer to serialise")
+        object.__setattr__(self, "_link", (self.alpha, self.beta))
+
+    @staticmethod
+    def default() -> "NetworkParams":
+        return NetworkParams()
+
+    @staticmethod
+    def latency_bound() -> "NetworkParams":
+        """A machine where startups dominate (stress-tests the alpha terms)."""
+        return NetworkParams(alpha=50.0, beta=0.001, gamma=0.001)
+
+    @staticmethod
+    def bandwidth_bound() -> "NetworkParams":
+        """A machine where per-word cost dominates (stress-tests beta terms)."""
+        return NetworkParams(alpha=0.5, beta=0.05, gamma=0.002)
+
+    def link(self, src: int, dst: int,
+             placement: Optional[Placement] = None) -> tuple:
+        return self._link
+
+    def worst_link(self) -> tuple:
+        return self._link
+
+    def message_cost(self, words: int, src: Optional[int] = None,
+                     dst: Optional[int] = None,
+                     placement: Optional[Placement] = None) -> float:
+        return self.alpha + words * self.beta
+
+
+# ---------------------------------------------------------------------------
+# Hierarchical model.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class HierarchicalParams(CostModel):
+    """Three-tier machine model: intra-node, inter-node, inter-island links.
+
+    Which tier a message pays is decided per ``(src, dst)`` pair from the
+    cluster's rank placement.  Physical sensibility is enforced on
+    construction: every inter-island parameter must be at least the
+    inter-node one, which must be at least the intra-node one.
+
+    ``ranks_per_node`` / ``nodes_per_island`` describe the machine shape the
+    model was calibrated for; :meth:`default_placement` uses them when the
+    cluster is not given an explicit placement.  The defaults are loosely
+    SuperMUC-shaped: cheap shared-memory transfers inside a node, InfiniBand
+    between nodes, and a pruned (more expensive) tree between islands.
+    """
+
+    intra_node_alpha: float = 0.6
+    intra_node_beta: float = 0.0004
+    inter_node_alpha: float = 5.0
+    inter_node_beta: float = 0.002
+    inter_island_alpha: float = 9.0
+    inter_island_beta: float = 0.004
+    gamma: float = 0.002
+    ranks_per_node: int = 16
+    nodes_per_island: int = 32
+
+    def __post_init__(self):
+        for name in ("intra_node_alpha", "intra_node_beta", "inter_node_alpha",
+                     "inter_node_beta", "inter_island_alpha",
+                     "inter_island_beta", "gamma"):
+            _require_non_negative(name, getattr(self, name))
+        for tier, alpha, beta in (
+                ("intra_node", self.intra_node_alpha, self.intra_node_beta),
+                ("inter_node", self.inter_node_alpha, self.inter_node_beta),
+                ("inter_island", self.inter_island_alpha, self.inter_island_beta)):
+            if alpha == 0 and beta == 0:
+                raise ValueError(
+                    f"{tier} alpha and beta cannot both be zero: a zero-cost "
+                    "link has no single-ported transfer to serialise")
+        if not (self.intra_node_alpha <= self.inter_node_alpha
+                <= self.inter_island_alpha):
+            raise ValueError(
+                "alphas must be hierarchically ordered: intra_node_alpha <= "
+                f"inter_node_alpha <= inter_island_alpha, got "
+                f"{self.intra_node_alpha} / {self.inter_node_alpha} / "
+                f"{self.inter_island_alpha}")
+        if not (self.intra_node_beta <= self.inter_node_beta
+                <= self.inter_island_beta):
+            raise ValueError(
+                "betas must be hierarchically ordered: intra_node_beta <= "
+                f"inter_node_beta <= inter_island_beta, got "
+                f"{self.intra_node_beta} / {self.inter_node_beta} / "
+                f"{self.inter_island_beta}")
+        if self.ranks_per_node <= 0:
+            raise ValueError("ranks_per_node must be positive")
+        if self.nodes_per_island <= 0:
+            raise ValueError("nodes_per_island must be positive")
+        object.__setattr__(self, "_tiers", (
+            (self.intra_node_alpha, self.intra_node_beta),
+            (self.inter_node_alpha, self.inter_node_beta),
+            (self.inter_island_alpha, self.inter_island_beta),
+        ))
+
+    @staticmethod
+    def default() -> "HierarchicalParams":
+        return HierarchicalParams()
+
+    @staticmethod
+    def supermuc_like(ranks_per_node: int = 16,
+                      nodes_per_island: int = 32) -> "HierarchicalParams":
+        """The default tiers on a configurable machine shape."""
+        return HierarchicalParams(ranks_per_node=ranks_per_node,
+                                  nodes_per_island=nodes_per_island)
+
+    def link(self, src: int, dst: int,
+             placement: Optional[Placement] = None) -> tuple:
+        if placement is None:
+            return self._tiers[2]
+        return self._tiers[placement.tier_of(src, dst)]
+
+    def worst_link(self) -> tuple:
+        return self._tiers[2]
+
+    def default_placement(self, num_ranks: int) -> Placement:
+        return Placement.regular(num_ranks, self.ranks_per_node,
+                                 self.nodes_per_island)
+
+    # ------------------------------------------- algorithm-selection hints
+
+    def bcast_crossover_words(self, size: int) -> int:
+        """Analytic crossover of binomial tree vs. scatter-allgather.
+
+        Binomial costs ~``(alpha + beta n) log p``, scatter-allgather
+        ~``alpha (log p + p) + 2 beta n``; equating gives
+        ``n* = p alpha / (beta (log p - 2))``.  The worst link prices both
+        terms (collectives on a hierarchical machine are dominated by their
+        widest tier).
+        """
+        alpha, beta = self.worst_link()
+        if size <= 2 or beta == 0:
+            return DEFAULT_BCAST_CROSSOVER_WORDS
+        log_p = max(1.0, math.log2(size))
+        return max(1, int(size * alpha / (beta * max(1.0, log_p - 2.0))))
+
+    def allreduce_crossover_words(self, size: int) -> int:
+        """Analytic crossover of reduce+bcast (~``2 (alpha + beta n) log p``)
+        vs. the ring (~``2 alpha p + 2 beta n``): ``n* = p alpha / (beta (log p - 1))``."""
+        alpha, beta = self.worst_link()
+        if size <= 2 or beta == 0:
+            return DEFAULT_ALLREDUCE_CROSSOVER_WORDS
+        log_p = max(1.0, math.log2(size))
+        return max(1, int(size * alpha / (beta * max(1.0, log_p - 1.0))))

@@ -1,34 +1,48 @@
-"""Single-ported alpha-beta network model and message transport.
+"""Single-ported network model and message transport.
 
 The model follows Section II of the paper: sending a message of ``l`` machine
-words costs ``alpha + l * beta``.  Every simulated process owns one send port
-and one receive port; transfers are serialised on both, so many-to-one
-communication patterns (e.g. the worst case of the greedy message assignment
-in Janus Quicksort) pay for every startup individually, just like on a real
-machine.
+words costs ``alpha + l * beta``, where ``(alpha, beta)`` come from the
+cluster's pluggable :class:`~repro.simulator.costmodel.CostModel` — flat for
+the classic machine, per-link-tier for hierarchical machines.  Every simulated
+process owns one send port and one receive port; transfers are serialised on
+both, so many-to-one communication patterns (e.g. the worst case of the greedy
+message assignment in Janus Quicksort) pay for every startup individually,
+just like on a real machine.
 
 Time is measured in microseconds; the default parameters are loosely
 calibrated to the SuperMUC thin-node island used in the paper (InfiniBand
 FDR10), but only *relative* behaviour matters for the reproduction.
+
+Mailboxes are *indexed*: arrived-but-unreceived messages are kept in FIFO
+deques keyed by ``(context, src, tag)``, so exact-envelope matching is O(1)
+and wildcard matching is O(active keys) instead of O(pending messages).
+:class:`LinearScanMailbox` preserves the original O(pending) implementation
+as a reference for differential tests and the transport microbenchmark.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
-from typing import Any, Optional
+from collections import deque
+from typing import Any, Callable, Optional
 
 import numpy as np
 
+from .costmodel import CostModel, HierarchicalParams, NetworkParams, Placement
 from .engine import Engine
 from .trace import Tracer
 
 __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
+    "CostModel",
     "NetworkParams",
+    "HierarchicalParams",
+    "Placement",
     "Message",
     "SendHandle",
+    "IndexedMailbox",
+    "LinearScanMailbox",
     "Transport",
     "payload_words",
 ]
@@ -37,47 +51,6 @@ __all__ = [
 ANY_SOURCE = -1
 #: Wildcard tag for matching (mirrors ``MPI_ANY_TAG``).
 ANY_TAG = -1
-
-
-@dataclass(frozen=True)
-class NetworkParams:
-    """Cost-model parameters of the simulated machine.
-
-    Attributes
-    ----------
-    alpha:
-        Message startup overhead in microseconds.
-    beta:
-        Transfer time per 8-byte machine word in microseconds.
-    gamma:
-        Time per elementary local operation (one comparison / move) in
-        microseconds; used to charge local computation such as partitioning
-        and local sorting.
-    """
-
-    alpha: float = 5.0
-    beta: float = 0.002
-    gamma: float = 0.002
-
-    @staticmethod
-    def default() -> "NetworkParams":
-        return NetworkParams()
-
-    @staticmethod
-    def latency_bound() -> "NetworkParams":
-        """A machine where startups dominate (stress-tests the alpha terms)."""
-        return NetworkParams(alpha=50.0, beta=0.001, gamma=0.001)
-
-    @staticmethod
-    def bandwidth_bound() -> "NetworkParams":
-        """A machine where per-word cost dominates (stress-tests beta terms)."""
-        return NetworkParams(alpha=0.5, beta=0.05, gamma=0.002)
-
-    def message_cost(self, words: int) -> float:
-        return self.alpha + words * self.beta
-
-    def compute_cost(self, operations: float) -> float:
-        return operations * self.gamma
 
 
 def payload_words(payload: Any) -> int:
@@ -160,25 +133,217 @@ class SendHandle:
         return self._engine.now >= self.complete_time
 
 
+# ---------------------------------------------------------------------------
+# Mailboxes.
+# ---------------------------------------------------------------------------
+
+class IndexedMailbox:
+    """Arrived messages of one destination, indexed by ``(context, src, tag)``.
+
+    Each key maps to a FIFO deque.  Deliveries per key happen in ``seq``
+    order (per ordered sender/receiver pair both the send port and the
+    receive port are drained monotonically, and the engine breaks timestamp
+    ties by insertion order), so the head of every deque is that key's
+    earliest message and matching never needs to scan past the heads.
+    Empty deques are removed, keeping wildcard matching O(active keys).
+    """
+
+    __slots__ = ("_queues", "_count")
+
+    def __init__(self):
+        self._queues: dict = {}
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def append(self, message: Message) -> None:
+        key = (message.context, message.src, message.tag)
+        queue = self._queues.get(key)
+        if queue is None:
+            queue = self._queues[key] = deque()
+        queue.append(message)
+        self._count += 1
+
+    def _pop_head(self, key) -> Message:
+        queue = self._queues[key]
+        message = queue.popleft()
+        if not queue:
+            del self._queues[key]
+        self._count -= 1
+        return message
+
+    def _peek_key(self, source: int, tag: int, context):
+        """``(key, head message)`` of the earliest match, or ``None``."""
+        if source != ANY_SOURCE and tag != ANY_TAG:
+            key = (context, source, tag)
+            queue = self._queues.get(key)
+            if queue is None:
+                return None
+            return key, queue[0]
+        best = None
+        best_key = None
+        for key, queue in self._queues.items():
+            ctx, src, tg = key
+            if ctx != context:
+                continue
+            if source != ANY_SOURCE and src != source:
+                continue
+            if tag != ANY_TAG and tg != tag:
+                continue
+            head = queue[0]
+            if best is None or head.seq < best.seq:
+                best = head
+                best_key = key
+        if best is None:
+            return None
+        return best_key, best
+
+    def find(self, source: int, tag: int, context) -> Optional[Message]:
+        found = self._peek_key(source, tag, context)
+        return found[1] if found is not None else None
+
+    def take(self, source: int, tag: int, context) -> Optional[Message]:
+        found = self._peek_key(source, tag, context)
+        if found is None:
+            return None
+        return self._pop_head(found[0])
+
+    def _peek_key_where(self, tag: int, context,
+                        predicate: Callable[[int], bool]):
+        best = None
+        best_key = None
+        for key, queue in self._queues.items():
+            ctx, src, tg = key
+            if ctx != context:
+                continue
+            if tag != ANY_TAG and tg != tag:
+                continue
+            if not predicate(src):
+                continue
+            head = queue[0]
+            if best is None or head.seq < best.seq:
+                best = head
+                best_key = key
+        if best is None:
+            return None
+        return best_key, best
+
+    def find_where(self, tag: int, context,
+                   predicate: Callable[[int], bool]) -> Optional[Message]:
+        found = self._peek_key_where(tag, context, predicate)
+        return found[1] if found is not None else None
+
+    def take_where(self, tag: int, context,
+                   predicate: Callable[[int], bool]) -> Optional[Message]:
+        found = self._peek_key_where(tag, context, predicate)
+        if found is None:
+            return None
+        return self._pop_head(found[0])
+
+    def earliest(self) -> Optional[Message]:
+        best = None
+        for queue in self._queues.values():
+            head = queue[0]
+            if best is None or head.seq < best.seq:
+                best = head
+        return best
+
+
+class LinearScanMailbox:
+    """Reference mailbox: one flat list, every match a full scan.
+
+    This is the original O(pending-messages) implementation.  It is kept as
+    the behavioural reference: differential tests drive both mailboxes with
+    the same traffic and require identical matches, and the transport
+    microbenchmark measures the speed-up of :class:`IndexedMailbox` over it.
+    """
+
+    __slots__ = ("_messages",)
+
+    def __init__(self):
+        self._messages: list = []
+
+    def __len__(self) -> int:
+        return len(self._messages)
+
+    def append(self, message: Message) -> None:
+        self._messages.append(message)
+
+    def find(self, source: int, tag: int, context) -> Optional[Message]:
+        best = None
+        for message in self._messages:
+            if message.matches(source, tag, context):
+                if best is None or message.seq < best.seq:
+                    best = message
+        return best
+
+    def take(self, source: int, tag: int, context) -> Optional[Message]:
+        message = self.find(source, tag, context)
+        if message is not None:
+            self._messages.remove(message)
+        return message
+
+    def find_where(self, tag: int, context,
+                   predicate: Callable[[int], bool]) -> Optional[Message]:
+        best = None
+        for message in self._messages:
+            if not message.matches(ANY_SOURCE, tag, context):
+                continue
+            if not predicate(message.src):
+                continue
+            if best is None or message.seq < best.seq:
+                best = message
+        return best
+
+    def take_where(self, tag: int, context,
+                   predicate: Callable[[int], bool]) -> Optional[Message]:
+        message = self.find_where(tag, context, predicate)
+        if message is not None:
+            self._messages.remove(message)
+        return message
+
+    def earliest(self) -> Optional[Message]:
+        if not self._messages:
+            return None
+        return min(self._messages, key=lambda m: m.seq)
+
+
+# ---------------------------------------------------------------------------
+# Transport.
+# ---------------------------------------------------------------------------
+
 class Transport:
-    """Routes messages between simulated ranks under the alpha-beta model.
+    """Routes messages between simulated ranks under a pluggable cost model.
 
     One :class:`Transport` is shared by all ranks of a cluster.  It maintains
     one mailbox per destination rank holding *arrived but not yet received*
     messages; matching follows MPI semantics (context, source, tag — with
     wildcards for source and tag) and is FIFO per (source, destination,
     context, tag) because arrival times per ordered pair are monotone.
+
+    ``params`` is any :class:`~repro.simulator.costmodel.CostModel`;
+    ``placement`` is the cluster-owned rank -> (node, island) map hierarchical
+    models price links from (flat models ignore it).
     """
 
-    def __init__(self, engine: Engine, num_ranks: int, params: NetworkParams,
-                 tracer: Optional[Tracer] = None):
+    def __init__(self, engine: Engine, num_ranks: int, params: CostModel,
+                 tracer: Optional[Tracer] = None,
+                 placement: Optional[Placement] = None,
+                 mailbox_factory: Callable[[], Any] = IndexedMailbox):
         if num_ranks <= 0:
             raise ValueError("num_ranks must be positive")
         self.engine = engine
         self.num_ranks = num_ranks
         self.params = params
+        self.placement = placement if placement is not None \
+            else params.default_placement(num_ranks)
+        if self.placement.num_ranks != num_ranks:
+            raise ValueError(
+                f"placement covers {self.placement.num_ranks} ranks, "
+                f"but the transport routes {num_ranks}")
         self.tracer = tracer or Tracer(num_ranks)
-        self._mailboxes: list[list[Message]] = [[] for _ in range(num_ranks)]
+        self._mailboxes = [mailbox_factory() for _ in range(num_ranks)]
         self._send_port_free = [0.0] * num_ranks
         self._recv_port_free = [0.0] * num_ranks
         self._seq = itertools.count()
@@ -216,15 +381,15 @@ class Transport:
         # machines reuse buffers freely, so the wire copy must be immutable.
         if isinstance(payload, np.ndarray):
             payload = payload.copy()
-        params = self.params
+        alpha, beta = self.params.link(src, dst, self.placement)
         now = self.engine.now
 
         start = max(now + local_delay, self._send_port_free[src])
-        leave_sender = start + params.alpha + words * params.beta
+        leave_sender = start + alpha + words * beta
         self._send_port_free[src] = leave_sender
         # The receive port is occupied for the data transfer part only; if it
         # is busy, delivery is delayed (incast serialisation).
-        arrival = max(leave_sender, self._recv_port_free[dst] + words * params.beta)
+        arrival = max(leave_sender, self._recv_port_free[dst] + words * beta)
         self._recv_port_free[dst] = arrival
 
         message = Message(
@@ -253,26 +418,32 @@ class Transport:
         Does not remove the message (probe semantics).
         """
         self._check_rank(dst, "destination")
-        best = None
-        for message in self._mailboxes[dst]:
-            if message.matches(source, tag, context):
-                if best is None or message.seq < best.seq:
-                    best = message
-        return best
+        return self._mailboxes[dst].find(source, tag, context)
 
     def take_match(self, dst: int, source: int, tag: int, context) -> Optional[Message]:
         """Like :meth:`find_match` but removes and returns the message."""
-        message = self.find_match(dst, source, tag, context)
-        if message is not None:
-            self._mailboxes[dst].remove(message)
-        return message
+        self._check_rank(dst, "destination")
+        return self._mailboxes[dst].take(source, tag, context)
+
+    def find_match_where(self, dst: int, tag: int, context,
+                         predicate: Callable[[int], bool]) -> Optional[Message]:
+        """Earliest arrived message on ``tag``/``context`` whose *sender's
+        world rank* satisfies ``predicate`` (RBC's range-restricted wildcard).
+
+        Does not remove the message.
+        """
+        self._check_rank(dst, "destination")
+        return self._mailboxes[dst].find_where(tag, context, predicate)
+
+    def take_match_where(self, dst: int, tag: int, context,
+                         predicate: Callable[[int], bool]) -> Optional[Message]:
+        """Like :meth:`find_match_where` but removes and returns the message."""
+        self._check_rank(dst, "destination")
+        return self._mailboxes[dst].take_where(tag, context, predicate)
 
     def any_arrived(self, dst: int) -> Optional[Message]:
         """Earliest arrived message for ``dst`` regardless of envelope."""
-        box = self._mailboxes[dst]
-        if not box:
-            return None
-        return min(box, key=lambda m: m.seq)
+        return self._mailboxes[dst].earliest()
 
     def pending_count(self, dst: int) -> int:
         return len(self._mailboxes[dst])

@@ -4,8 +4,9 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from .costmodel import CostModel
 from .engine import Engine, Sleep, WaitNotify
-from .network import NetworkParams, Transport
+from .network import Transport
 
 __all__ = ["RankEnv"]
 
@@ -32,7 +33,7 @@ class RankEnv:
         self.size = size
         self.engine = engine
         self.transport = transport
-        self.params: NetworkParams = transport.params
+        self.params: CostModel = transport.params
         self._proc = None  # filled in by the cluster once the process exists
 
     # ------------------------------------------------------------------ time

@@ -104,3 +104,49 @@ def test_overlapping_groups_cover_every_rank():
     multi = [r for r in range(16)
              if sum(first <= r <= last for first, last in groups) == 2]
     assert multi == [3, 6, 9, 12]
+
+
+def test_telemetry_records_cluster_runs(tmp_path, monkeypatch):
+    from repro.bench.harness import TELEMETRY, write_bench_json
+
+    TELEMETRY.reset()
+
+    def program(env):
+        yield from env.sleep(100.0)
+        return 100.0
+
+    run_rank_durations(4, program)
+    run_rank_durations(4, program)
+    snap = TELEMETRY.snapshot()
+    assert snap["cluster_runs"] == 2
+    assert snap["simulated_us"] == pytest.approx(200.0)
+    assert snap["events_processed"] > 0
+
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    path = write_bench_json("unit_test", wall_clock_s=0.25,
+                            extra={"scale": "tiny"})
+    import json
+    with open(path) as handle:
+        payload = json.load(handle)
+    assert path.endswith("BENCH_unit_test.json")
+    assert payload["schema"] == "repro-bench-result/v1"
+    assert payload["wall_clock_s"] == 0.25
+    assert payload["cluster_runs"] == 2
+    assert payload["simulated_us"] == pytest.approx(200.0)
+    assert payload["scale"] == "tiny"
+    TELEMETRY.reset()
+
+
+def test_hierarchical_bench_module_tiny():
+    """Smoke-test the hierarchical machine sweep at the smallest scale."""
+    from repro.bench import hierarchical
+
+    table = hierarchical.run("tiny", num_ranks=8)
+    machines = {row["machine"] for row in table.rows}
+    assert machines == set(hierarchical.MACHINES)
+    for row in table.rows:
+        assert row["time_ms"] > 0
+    # Hierarchy ordering on the sort workload.
+    times = {m: table.lookup("time_ms", machine=m, workload="jquick")
+             for m in hierarchical.MACHINES}
+    assert times["single-node"] <= times["multi-node"] <= times["multi-island"]

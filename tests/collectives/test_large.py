@@ -311,3 +311,35 @@ def test_pipeline_beats_binomial_for_long_vectors(run_ranks):
     long_words = 1 << 16
     assert (_max_time(run_ranks, p, "pipeline", long_words)
             < _max_time(run_ranks, p, "binomial", long_words))
+
+
+def test_choose_algorithms_consult_cost_model():
+    """``algorithm="auto"`` crossovers come from the machine's cost model."""
+    from repro.simulator import HierarchicalParams, NetworkParams
+
+    flat = NetworkParams.default()
+    hier = HierarchicalParams()
+    size = 64
+    payload = np.zeros(LARGE_BCAST_THRESHOLD_WORDS)
+
+    # Flat machines keep the historical fixed thresholds (schedule-compatible).
+    assert flat.bcast_crossover_words(size) == LARGE_BCAST_THRESHOLD_WORDS
+    assert (choose_bcast_algorithm(payload.size, size, payload, model=flat)
+            == choose_bcast_algorithm(payload.size, size, payload))
+
+    # Hierarchical machines derive a different (link-tier-based) crossover,
+    # and the chooser honours it.
+    crossover = hier.bcast_crossover_words(size)
+    assert crossover != LARGE_BCAST_THRESHOLD_WORDS
+    below = np.zeros(max(1, crossover - 1))
+    above = np.zeros(crossover + 1)
+    assert choose_bcast_algorithm(below.size, size, below, model=hier) == "binomial"
+    assert (choose_bcast_algorithm(above.size, size, above, model=hier)
+            == "scatter_allgather")
+
+    ring_crossover = hier.allreduce_crossover_words(size)
+    below = np.zeros(max(1, ring_crossover - 1))
+    above = np.zeros(ring_crossover + 1)
+    assert (choose_allreduce_algorithm(below.size, size, below, model=hier)
+            == "reduce_bcast")
+    assert choose_allreduce_algorithm(above.size, size, above, model=hier) == "ring"

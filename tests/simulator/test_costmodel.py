@@ -1,0 +1,243 @@
+"""Unit tests of the pluggable cost-model layer (flat + hierarchical)."""
+
+import math
+
+import pytest
+
+from repro.simulator import (
+    Cluster,
+    CostModel,
+    HierarchicalParams,
+    NetworkParams,
+    Placement,
+)
+from repro.simulator.costmodel import (
+    DEFAULT_ALLREDUCE_CROSSOVER_WORDS,
+    DEFAULT_BCAST_CROSSOVER_WORDS,
+)
+
+
+# ---------------------------------------------------------------------------
+# NetworkParams validation.
+# ---------------------------------------------------------------------------
+
+def test_network_params_rejects_negative_alpha():
+    with pytest.raises(ValueError, match="alpha"):
+        NetworkParams(alpha=-1.0)
+
+
+def test_network_params_rejects_negative_beta():
+    with pytest.raises(ValueError, match="beta"):
+        NetworkParams(beta=-0.5)
+
+
+def test_network_params_rejects_negative_gamma():
+    with pytest.raises(ValueError, match="gamma"):
+        NetworkParams(gamma=-0.001)
+
+
+def test_network_params_rejects_non_finite():
+    with pytest.raises(ValueError, match="finite"):
+        NetworkParams(alpha=float("nan"))
+    with pytest.raises(ValueError, match="finite"):
+        NetworkParams(beta=float("inf"))
+
+
+def test_network_params_rejects_zero_cost_network():
+    with pytest.raises(ValueError, match="zero"):
+        NetworkParams(alpha=0.0, beta=0.0)
+
+
+def test_network_params_allows_individual_zeroes():
+    # A pure-bandwidth or pure-latency machine is a valid degenerate model.
+    assert NetworkParams(alpha=0.0, beta=0.1).message_cost(10) == pytest.approx(1.0)
+    assert NetworkParams(alpha=3.0, beta=0.0).message_cost(10) == pytest.approx(3.0)
+    NetworkParams(gamma=0.0)  # free local compute is fine too
+
+
+def test_network_params_is_a_cost_model():
+    params = NetworkParams(alpha=2.0, beta=0.5, gamma=0.25)
+    assert isinstance(params, CostModel)
+    assert params.link(0, 1) == (2.0, 0.5)
+    assert params.worst_link() == (2.0, 0.5)
+    assert params.message_cost(4) == pytest.approx(2.0 + 4 * 0.5)
+    assert params.compute_cost(8) == pytest.approx(2.0)
+    assert params.bcast_crossover_words(256) == DEFAULT_BCAST_CROSSOVER_WORDS
+    assert params.allreduce_crossover_words(256) == DEFAULT_ALLREDUCE_CROSSOVER_WORDS
+
+
+# ---------------------------------------------------------------------------
+# Placement.
+# ---------------------------------------------------------------------------
+
+def test_regular_placement_blocks_ranks():
+    placement = Placement.regular(8, ranks_per_node=2, nodes_per_island=2)
+    assert placement.nodes == (0, 0, 1, 1, 2, 2, 3, 3)
+    assert placement.islands == (0, 0, 0, 0, 1, 1, 1, 1)
+    assert placement.num_nodes() == 4
+    assert placement.num_islands() == 2
+
+
+def test_placement_tiers():
+    placement = Placement.regular(8, ranks_per_node=2, nodes_per_island=2)
+    assert placement.tier_of(0, 1) == 0      # same node
+    assert placement.tier_of(0, 2) == 1      # same island, different node
+    assert placement.tier_of(0, 7) == 2      # different island
+    assert placement.tier_of(5, 5) == 0
+
+
+def test_single_node_placement():
+    placement = Placement.single_node(5)
+    assert placement.num_ranks == 5
+    assert all(placement.tier_of(a, b) == 0 for a in range(5) for b in range(5))
+
+
+def test_placement_rejects_mismatched_lengths():
+    with pytest.raises(ValueError):
+        Placement(nodes=(0, 0), islands=(0,))
+
+
+def test_placement_rejects_bad_shape():
+    with pytest.raises(ValueError):
+        Placement.regular(4, ranks_per_node=0, nodes_per_island=1)
+    with pytest.raises(ValueError):
+        Placement.regular(4, ranks_per_node=1, nodes_per_island=0)
+
+
+# ---------------------------------------------------------------------------
+# HierarchicalParams.
+# ---------------------------------------------------------------------------
+
+def test_hierarchical_link_selects_tier():
+    params = HierarchicalParams(
+        intra_node_alpha=1.0, intra_node_beta=0.001,
+        inter_node_alpha=5.0, inter_node_beta=0.002,
+        inter_island_alpha=9.0, inter_island_beta=0.004,
+    )
+    placement = Placement.regular(8, ranks_per_node=2, nodes_per_island=2)
+    assert params.link(0, 1, placement) == (1.0, 0.001)
+    assert params.link(0, 2, placement) == (5.0, 0.002)
+    assert params.link(0, 7, placement) == (9.0, 0.004)
+    # Without a placement the conservative worst link is priced.
+    assert params.link(0, 1) == (9.0, 0.004)
+    assert params.worst_link() == (9.0, 0.004)
+
+
+def test_hierarchical_requires_ordered_alphas():
+    with pytest.raises(ValueError, match="alpha"):
+        HierarchicalParams(intra_node_alpha=6.0, inter_node_alpha=5.0)
+
+
+def test_hierarchical_requires_ordered_betas():
+    with pytest.raises(ValueError, match="beta"):
+        HierarchicalParams(inter_node_beta=0.01, inter_island_beta=0.004)
+
+
+def test_hierarchical_rejects_negative_parameters():
+    with pytest.raises(ValueError, match="non-negative"):
+        HierarchicalParams(intra_node_alpha=-0.1)
+
+
+def test_hierarchical_rejects_bad_shape():
+    with pytest.raises(ValueError, match="ranks_per_node"):
+        HierarchicalParams(ranks_per_node=0)
+    with pytest.raises(ValueError, match="nodes_per_island"):
+        HierarchicalParams(nodes_per_island=-1)
+
+
+def test_hierarchical_default_placement_uses_shape():
+    params = HierarchicalParams(ranks_per_node=4, nodes_per_island=2)
+    placement = params.default_placement(16)
+    assert placement.num_ranks == 16
+    assert placement.num_nodes() == 4
+    assert placement.num_islands() == 2
+
+
+def test_hierarchical_crossovers_derive_from_links():
+    params = HierarchicalParams()
+    size = 256
+    alpha, beta = params.worst_link()
+    log_p = math.log2(size)
+    expected_bcast = int(size * alpha / (beta * (log_p - 2.0)))
+    expected_ring = int(size * alpha / (beta * (log_p - 1.0)))
+    assert params.bcast_crossover_words(size) == expected_bcast
+    assert params.allreduce_crossover_words(size) == expected_ring
+    # Tiny groups fall back to the defaults (no large-input algorithms there).
+    assert params.bcast_crossover_words(2) == DEFAULT_BCAST_CROSSOVER_WORDS
+
+
+# ---------------------------------------------------------------------------
+# Cluster integration: the cluster owns the placement.
+# ---------------------------------------------------------------------------
+
+def _pingpong_program(env, peer_of):
+    transport = env.transport
+    peer = peer_of[env.rank]
+    if peer is None:
+        return 0.0
+    if env.rank < peer:
+        handle = transport.post_send(env.rank, peer, 0, "t", 1.0)
+        yield from env.wait_until(lambda: handle.done)
+    else:
+        yield from env.wait_until(
+            lambda: transport.take_match(env.rank, peer, 0, "t") is not None)
+    return env.now
+
+
+def test_cluster_owns_default_placement():
+    cluster = Cluster(8, HierarchicalParams(ranks_per_node=2, nodes_per_island=2))
+    assert cluster.placement.num_nodes() == 4
+    assert cluster.transport.placement is cluster.placement
+
+
+def test_cluster_flat_placement_is_single_node():
+    cluster = Cluster(8)
+    assert cluster.placement.num_nodes() == 1
+    assert cluster.placement.num_islands() == 1
+
+
+def test_cluster_rejects_wrong_sized_placement():
+    with pytest.raises(ValueError, match="placement"):
+        Cluster(8, HierarchicalParams(), placement=Placement.single_node(4))
+
+
+def test_hierarchical_times_follow_tiers():
+    """The same exchange costs strictly more per widened hierarchy tier."""
+    params = HierarchicalParams(
+        intra_node_alpha=1.0, intra_node_beta=0.001,
+        inter_node_alpha=5.0, inter_node_beta=0.002,
+        inter_island_alpha=9.0, inter_island_beta=0.004,
+        ranks_per_node=2, nodes_per_island=2,
+    )
+
+    def exchange(placement):
+        cluster = Cluster(8, params, placement=placement)
+        peer_of = {0: 1, 1: 0, **{r: None for r in range(2, 8)}}
+        result = cluster.run(_pingpong_program, peer_of)
+        return result.total_time
+
+    intra = exchange(Placement.single_node(8))
+    inter_node = exchange(Placement.regular(8, 1, 8))   # 8 nodes, one island
+    inter_island = exchange(Placement.regular(8, 1, 1))  # one node per island
+    assert intra < inter_node < inter_island
+    assert intra == pytest.approx(1.0 + 1 * 0.001)
+    assert inter_node == pytest.approx(5.0 + 1 * 0.002)
+    assert inter_island == pytest.approx(9.0 + 1 * 0.004)
+
+
+def test_hierarchical_differs_from_flat_for_same_program():
+    def bcast_like(env):
+        transport = env.transport
+        if env.rank == 0:
+            handles = [transport.post_send(0, dst, 0, "b", [1.0] * 64)
+                       for dst in range(1, env.size)]
+            yield from env.wait_until(lambda: all(h.done for h in handles))
+        else:
+            yield from env.wait_until(
+                lambda: transport.take_match(env.rank, 0, 0, "b") is not None)
+        return env.now
+
+    flat = Cluster(8, NetworkParams.default()).run(bcast_like).total_time
+    hier = Cluster(8, HierarchicalParams(ranks_per_node=2,
+                                         nodes_per_island=2)).run(bcast_like).total_time
+    assert flat != hier
