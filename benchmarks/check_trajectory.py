@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Compare fresh ``BENCH_*.json`` results against committed baselines.
+
+Every benchmark writes a machine-readable ``BENCH_<name>.json`` (wall-clock
+seconds, total simulated time, events processed) under ``bench_results/``.
+Committed snapshots of those files live under ``baselines/`` and define the
+perf trajectory; this script fails CI when a fresh run regresses:
+
+* ``events_processed`` grew by more than ``--max-events-ratio`` (default
+  1.25, i.e. +25%) — the engine started doing more work per simulation;
+* ``wall_clock_s`` grew by more than ``--max-wall-ratio`` (default 2.0) —
+  generous, because CI hardware varies, but catches order-of-magnitude
+  slowdowns;
+* ``simulated_us`` changed at all — simulated time is bit-exact by design,
+  so any drift is a semantic change (update the baseline deliberately if it
+  is an intentional algorithm change).
+
+Baselines without a fresh result are skipped (pass ``--require-all`` to turn
+that into a failure); fresh results without a baseline are reported as new.
+
+Usage::
+
+    python check_trajectory.py [--results DIR] [--baselines DIR]
+        [--max-events-ratio 1.25] [--max-wall-ratio 2.0] [--require-all]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_dir(path: str) -> dict:
+    results = {}
+    if not os.path.isdir(path):
+        return results
+    for name in sorted(os.listdir(path)):
+        if not (name.startswith("BENCH_") and name.endswith(".json")):
+            continue
+        with open(os.path.join(path, name)) as handle:
+            results[name] = json.load(handle)
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    here = os.path.dirname(os.path.abspath(__file__))
+    parser.add_argument("--results", default=os.path.join(here, "bench_results"))
+    parser.add_argument("--baselines", default=os.path.join(here, "baselines"))
+    parser.add_argument("--max-events-ratio", type=float, default=1.25,
+                        help="fail when events_processed grows past this factor")
+    parser.add_argument("--max-wall-ratio", type=float, default=2.0,
+                        help="fail when wall_clock_s grows past this factor")
+    parser.add_argument("--require-all", action="store_true",
+                        help="fail when a baseline has no fresh result")
+    args = parser.parse_args(argv)
+
+    baselines = load_dir(args.baselines)
+    fresh = load_dir(args.results)
+    if not baselines:
+        print(f"no baselines under {args.baselines}; nothing to check")
+        return 0
+
+    failures = []
+    checked = 0
+    for name, base in baselines.items():
+        current = fresh.get(name)
+        if current is None:
+            message = f"{name}: no fresh result"
+            if args.require_all:
+                failures.append(message)
+            else:
+                print(f"SKIP  {message}")
+            continue
+        if base.get("scale") != current.get("scale"):
+            # Different REPRO_BENCH_SCALE runs are not comparable — neither
+            # counters nor simulated time; don't misreport as a regression.
+            print(f"SKIP  {name}: scale mismatch "
+                  f"(baseline {base.get('scale')!r}, fresh {current.get('scale')!r})")
+            continue
+        checked += 1
+        problems = []
+
+        base_events = base.get("events_processed") or 0
+        cur_events = current.get("events_processed") or 0
+        if base_events and cur_events > base_events * args.max_events_ratio:
+            problems.append(
+                f"events_processed {cur_events} > {args.max_events_ratio:.2f}x "
+                f"baseline {base_events}")
+
+        base_wall = base.get("wall_clock_s") or 0.0
+        cur_wall = current.get("wall_clock_s") or 0.0
+        if base_wall and cur_wall > base_wall * args.max_wall_ratio:
+            problems.append(
+                f"wall_clock_s {cur_wall:.3f} > {args.max_wall_ratio:.2f}x "
+                f"baseline {base_wall:.3f}")
+
+        if "simulated_us" in base and "simulated_us" in current \
+                and current["simulated_us"] != base["simulated_us"]:
+            problems.append(
+                f"simulated_us changed: {current['simulated_us']!r} != "
+                f"baseline {base['simulated_us']!r} (bit-exactness broken — "
+                "update the baseline only for intentional algorithm changes)")
+
+        if problems:
+            failures.append(f"{name}: " + "; ".join(problems))
+        else:
+            improvement = ""
+            if base_wall and cur_wall:
+                improvement = f" ({base_wall / cur_wall:.2f}x wall vs baseline)"
+            print(f"OK    {name}{improvement}")
+
+    for name in sorted(set(fresh) - set(baselines)):
+        print(f"NEW   {name}: no baseline yet (commit one under baselines/)")
+
+    if failures:
+        print(f"\n{len(failures)} regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"FAIL  {failure}", file=sys.stderr)
+        return 1
+    print(f"\ntrajectory OK: {checked} benchmark(s) within bounds")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

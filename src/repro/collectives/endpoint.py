@@ -77,15 +77,16 @@ class TransportEndpoint:
         """Nonblocking send of ``payload`` to group rank ``dest``."""
         if words is None:
             words = payload_words(payload)
-        wire_words = int(round(words * self.word_cost_factor))
+        factor = self.word_cost_factor
+        wire_words = words if factor == 1.0 else int(round(words * factor))
         handle = self.transport.post_send(
-            src=self.env.rank,
-            dst=self.to_world(dest),
-            tag=self.tag,
-            context=self.context,
-            payload=payload,
-            words=wire_words,
-            local_delay=local_delay + self.per_message_delay,
+            self.env.rank,
+            self.to_world(dest),
+            self.tag,
+            self.context,
+            payload,
+            wire_words,
+            local_delay + self.per_message_delay,
         )
         return SendRequest(self.env, handle)
 
@@ -94,9 +95,9 @@ class TransportEndpoint:
         return RecvRequest(
             self.env,
             self.transport,
-            context=self.context,
-            source_world=self.to_world(source),
-            tag=self.tag,
+            self.context,
+            self.to_world(source),
+            self.tag,
         )
 
     # ------------------------------------------------------------------ costs

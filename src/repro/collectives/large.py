@@ -40,7 +40,7 @@ from ..simulator.costmodel import (
     DEFAULT_BCAST_CROSSOVER_WORDS,
     CostModel,
 )
-from ..simulator.network import payload_words
+from ..simulator.network import freeze_payload, payload_words
 from .endpoint import TransportEndpoint
 from .machines import bcast_schedule
 from .topology import from_virtual, to_virtual
@@ -345,7 +345,10 @@ def reduce_scatter_ring_schedule(ep: TransportEndpoint, value: Any,
     current = local_block(rank - 1).copy()
     pending_delay = 0.0
     for step in range(size - 1):
-        send = ep.isend(current, succ, local_delay=pending_delay)
+        # ``current`` is always a buffer this rank owns (the initial copy or
+        # a fresh ``op`` result) and is never touched after the send, so it
+        # travels frozen — the transport skips its defensive snapshot.
+        send = ep.isend(freeze_payload(current), succ, local_delay=pending_delay)
         recv = ep.irecv(pred)
         yield [send, recv]
         incoming = recv.result()

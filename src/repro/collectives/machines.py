@@ -18,8 +18,10 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional, Sequence
 
-from ..messaging import Request, test_all
-from ..simulator.network import payload_words
+import numpy as np
+
+from ..messaging import Request, RequestSet
+from ..simulator.network import freeze_payload, is_frozen_payload, payload_words
 from .endpoint import TransportEndpoint
 from .topology import (
     binomial_children,
@@ -52,10 +54,12 @@ class CollectiveRequest(Request):
     whenever ``test()`` finds all current data dependencies satisfied.
     """
 
+    __slots__ = ("env", "_gen", "_pending", "_done", "_value")
+
     def __init__(self, env, schedule):
         self.env = env
         self._gen = schedule
-        self._pending: list[Request] = []
+        self._pending: Optional[RequestSet] = None
         self._done = False
         self._value: Any = None
         # Execute the first state eagerly so communication starts immediately.
@@ -64,16 +68,21 @@ class CollectiveRequest(Request):
     def test(self) -> bool:
         if self._done:
             return True
+        pending = self._pending
         while True:
-            if self._pending and not test_all(self._pending):
+            # Re-test only the still-incomplete dependencies of the current
+            # state (RequestSet preserves the relative order of pending
+            # requests, keeping mailbox side effects deterministic).
+            if pending is not None and not pending.test():
                 return False
             try:
                 nxt = self._gen.send(None)
             except StopIteration as stop:
                 self._value = stop.value
                 self._done = True
+                self._pending = None
                 return True
-            self._pending = list(nxt) if nxt else []
+            pending = self._pending = RequestSet(nxt) if nxt else None
 
     def result(self) -> Any:
         return self._value
@@ -84,7 +93,15 @@ class CollectiveRequest(Request):
 # ---------------------------------------------------------------------------
 
 def bcast_schedule(ep: TransportEndpoint, value: Any, root: int):
-    """Binomial-tree broadcast; every rank returns the broadcast value."""
+    """Binomial-tree broadcast; every rank returns the broadcast value.
+
+    Forwarding fast path: a non-root rank owns the array it just took off the
+    wire outright, so it freezes it (read-only) and hands the *same* buffer to
+    all of its children — the transport skips its defensive snapshot for
+    frozen payloads.  Array-receiving ranks therefore return a read-only
+    view of the single broadcast buffer; the root keeps its own (possibly
+    writable) payload and sends one frozen copy down the tree.
+    """
     size = ep.size
     if size == 1:
         return value
@@ -93,10 +110,18 @@ def bcast_schedule(ep: TransportEndpoint, value: Any, root: int):
     if parent is not None:
         recv = ep.irecv(from_virtual(parent, root, size))
         yield [recv]
-        value = recv.result()
+        value = freeze_payload(recv.result())
+        wire = value
+    else:
+        wire = None  # snapshot the root payload lazily, once, for all children
     sends = []
     for child in binomial_children(vrank, size):
-        sends.append(ep.isend(value, from_virtual(child, root, size)))
+        if wire is None:
+            if isinstance(value, np.ndarray) and not is_frozen_payload(value):
+                wire = freeze_payload(value.copy())
+            else:
+                wire = value
+        sends.append(ep.isend(wire, from_virtual(child, root, size)))
     if sends:
         yield sends
     return value
@@ -111,6 +136,7 @@ def reduce_schedule(ep: TransportEndpoint, value: Any, op: Callable[[Any, Any], 
     vrank = to_virtual(ep.rank, root, size)
     children = binomial_children(vrank, size)
     combine_delay = 0.0
+    contributed = value
     if children:
         recvs = [ep.irecv(from_virtual(child, root, size)) for child in children]
         yield recvs
@@ -120,6 +146,11 @@ def reduce_schedule(ep: TransportEndpoint, value: Any, op: Callable[[Any, Any], 
             value = op(value, contribution)
     parent = binomial_parent(vrank)
     if parent is not None:
+        # A combined partial result is a fresh buffer this rank owns, so it
+        # can go on the wire frozen (no transport snapshot).  The caller's
+        # own contribution is never frozen — the application may reuse it.
+        if value is not contributed:
+            value = freeze_payload(value)
         send = ep.isend(value, from_virtual(parent, root, size),
                         local_delay=combine_delay)
         yield [send]
@@ -169,6 +200,10 @@ def scan_schedule(ep: TransportEndpoint, value: Any, op: Callable[[Any, Any], An
         state: list[Request] = []
         recv = None
         if rank + distance < size:
+            # Partial prefixes (fresh op results) travel frozen; the caller's
+            # own contribution (round 0) still gets the transport snapshot.
+            if acc is not value:
+                acc = freeze_payload(acc)
             state.append(ep.isend(acc, rank + distance, local_delay=pending_delay))
         if rank - distance >= 0:
             recv = ep.irecv(rank - distance)

@@ -22,6 +22,7 @@ __all__ = [
     "CompletedRequest",
     "SendRequest",
     "RecvRequest",
+    "RequestSet",
     "test_all",
     "test_any",
     "wait_all",
@@ -29,7 +30,17 @@ __all__ = [
 ]
 
 
-@dataclass
+def _identity_rank(world: int) -> int:
+    """Default source translation: world rank is the communicator rank.
+
+    Module-level so that every :class:`RecvRequest` without an explicit
+    translator shares one function object instead of allocating a lambda per
+    receive.
+    """
+    return world
+
+
+@dataclass(slots=True)
 class Status:
     """Envelope information of a received or probed message (``MPI_Status``).
 
@@ -63,6 +74,8 @@ class Status:
 class Request:
     """Abstract nonblocking-operation handle."""
 
+    __slots__ = ()
+
     #: Environment of the rank that owns the request (used by ``wait``).
     env: RankEnv
 
@@ -91,6 +104,8 @@ class Request:
 class CompletedRequest(Request):
     """A request that is already complete (e.g. send/recv to ``PROC_NULL``)."""
 
+    __slots__ = ("env", "_value", "_status")
+
     def __init__(self, env: RankEnv, value: Any = None, status: Optional[Status] = None):
         self.env = env
         self._value = value
@@ -109,6 +124,8 @@ class CompletedRequest(Request):
 class SendRequest(Request):
     """Handle of a nonblocking send; completes when the send buffer is free."""
 
+    __slots__ = ("env", "_handle")
+
     def __init__(self, env: RankEnv, handle):
         self.env = env
         self._handle = handle
@@ -126,8 +143,12 @@ class RecvRequest(Request):
     whose sender belongs to the range may be matched.
     """
 
-    def __init__(self, env: RankEnv, transport: Transport, *,
-                 context, source_world: int, tag: int,
+    __slots__ = ("env", "_transport", "_context", "_source_world", "_tag",
+                 "_source_filter", "_translate_source", "_message", "_status",
+                 "_mailbox", "_key")
+
+    def __init__(self, env: RankEnv, transport: Transport,
+                 context=None, source_world: int = ANY_SOURCE, tag: int = ANY_TAG,
                  source_filter: Optional[Callable[[int], bool]] = None,
                  translate_source: Optional[Callable[[int], int]] = None):
         self.env = env
@@ -136,22 +157,29 @@ class RecvRequest(Request):
         self._source_world = source_world
         self._tag = tag
         self._source_filter = source_filter
-        self._translate_source = translate_source or (lambda world: world)
+        self._translate_source = translate_source or _identity_rank
         self._message = None
         self._status: Optional[Status] = None
+        # Wildcard-free receives — the overwhelmingly common case — poll the
+        # destination mailbox directly with their exact (context, src, tag)
+        # key: one dict probe per test instead of a transport call chain.
+        if source_world != ANY_SOURCE and tag != ANY_TAG:
+            self._mailbox = transport.mailbox_of(env.rank)
+            self._key = (context, source_world, tag)
+        else:
+            self._mailbox = None
+            self._key = None
 
     def test(self) -> bool:
         if self._message is not None:
             return True
-        message = self._match()
+        if self._mailbox is not None:
+            message = self._mailbox.take_exact(self._key)
+        else:
+            message = self._match()
         if message is None:
             return False
         self._message = message
-        self._status = Status(
-            source=self._translate_source(message.src),
-            tag=message.tag,
-            count=message.words,
-        )
         return True
 
     def _match(self):
@@ -170,15 +198,72 @@ class RecvRequest(Request):
         return self._message.payload
 
     def get_status(self) -> Optional[Status]:
-        return self._status
+        # The Status object is built lazily on first demand: most receives
+        # (collective state machines, data exchanges) never look at it, so
+        # eager construction was pure per-message garbage.
+        status = self._status
+        if status is None:
+            message = self._message
+            if message is None:
+                return None
+            status = self._status = Status(
+                source=self._translate_source(message.src),
+                tag=message.tag,
+                count=message.words,
+            )
+        return status
 
 
 # --------------------------------------------------------------------------
 # Request-set helpers (MPI_Testall / MPI_Waitall / MPI_Waitany analogues).
 # --------------------------------------------------------------------------
 
+class RequestSet:
+    """Incremental completion tracking over a set of requests.
+
+    Re-polling a whole N-request window on every wake-up makes completion
+    O(N²) across the window's lifetime; a :class:`RequestSet` remembers which
+    requests are still incomplete and re-tests only those, so each request is
+    polled past completion exactly once (O(N) total plus the genuine pending
+    polls).  The relative test order of still-pending requests is preserved,
+    which keeps request side effects (mailbox matching) deterministic.
+    """
+
+    __slots__ = ("requests", "_pending")
+
+    def __init__(self, requests: Iterable[Request]):
+        self.requests = list(requests)
+        self._pending = list(self.requests)
+
+    def test(self) -> bool:
+        """Progress the incomplete requests; True once all have completed."""
+        pending = self._pending
+        if not pending:
+            return True
+        write = 0
+        for request in pending:
+            if not request.test():
+                pending[write] = request
+                write += 1
+        del pending[write:]
+        return not pending
+
+    @property
+    def done(self) -> bool:
+        return self.test()
+
+    def results(self) -> list:
+        """Results of all requests (call once :meth:`test` returned True)."""
+        return [request.result() for request in self.requests]
+
+
 def test_all(requests: Iterable[Request]) -> bool:
-    """True once every request in the set has completed (progresses all)."""
+    """True once every request in the set has completed (progresses all).
+
+    Stateless one-shot variant; loops that re-test the same window should
+    hold a :class:`RequestSet` (or use :func:`wait_all`) instead so completed
+    requests are not re-polled on every wake-up.
+    """
     done = True
     for request in requests:
         if not request.test():
@@ -195,9 +280,14 @@ def test_any(requests: Sequence[Request]) -> tuple[bool, Optional[int]]:
 
 
 def wait_all(env: RankEnv, requests: Sequence[Request]):
-    """Generator: block until every request has completed; return results."""
-    yield from env.wait_until(lambda: test_all(requests))
-    return [request.result() for request in requests]
+    """Generator: block until every request has completed; return results.
+
+    Tracks the incomplete subset so every wake-up re-tests only the requests
+    that are still pending (O(N) across an N-request window instead of O(N²)).
+    """
+    tracker = RequestSet(requests)
+    yield from env.wait_until(tracker.test)
+    return tracker.results()
 
 
 def wait_any(env: RankEnv, requests: Sequence[Request]):

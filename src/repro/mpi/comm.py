@@ -48,6 +48,8 @@ class MpiCommunicator:
         self._rank = group.rank_of(self._env.rank)
         self._size = group.size
         self._coll_seq = 0
+        # One point-to-point context tuple per communicator, not per message.
+        self._p2p_ctx = (context_id, "pt2pt")
 
     # ------------------------------------------------------------------ basics
 
@@ -78,7 +80,7 @@ class MpiCommunicator:
         return self.group.rank_of(world_rank)
 
     def _p2p_context(self):
-        return (self.context_id, "pt2pt")
+        return self._p2p_ctx
 
     def __repr__(self):  # pragma: no cover - debugging aid
         return (

@@ -67,7 +67,10 @@ class Op:
     """A reduction operator usable by reduce / allreduce / scan.
 
     ``fn(a, b)`` must be associative; ``commutative`` is informational.  The
-    callables accept scalars and NumPy arrays (elementwise).
+    callables accept scalars and NumPy arrays (elementwise) and must not
+    mutate their operands: the collective state machines forward partial
+    results as shared read-only buffers (see ``freeze_payload``), so an
+    in-place operator (e.g. ``np.add(a, b, out=b)``) would fail on them.
     """
 
     name: str

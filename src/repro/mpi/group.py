@@ -80,14 +80,28 @@ class MpiGroup:
                 for s in [rng[2] if len(rng) > 2 else 1]
             ]
             self._ranks = []
-            seen = set()
-            for triple in self._ranges:
-                for index in range(triple.count):
-                    rank = triple.rank_at(index)
-                    if rank in seen:
-                        raise ValueError(f"duplicate rank {rank} in ranges")
-                    seen.add(rank)
+            if len(self._ranges) > 1:
+                seen = set()
+                for triple in self._ranges:
+                    for index in range(triple.count):
+                        rank = triple.rank_at(index)
+                        if rank in seen:
+                            raise ValueError(f"duplicate rank {rank} in ranges")
+                        seen.add(rank)
+            # else: a single (first, last, stride) triple cannot contain
+            # duplicates by construction — skip the O(size) scan, which keeps
+            # the common world/contiguous group O(1) to build.
             # Rank list is only materialised lazily for the explicit view.
+        # Translation fast path: a single-range group translates with one
+        # multiply-add; the cached size avoids re-summing range counts.
+        if self._format == GroupFormat.RANGE and len(self._ranges) == 1:
+            triple = self._ranges[0]
+            self._single = (triple.first, triple.stride, triple.count)
+            self._size = triple.count
+        else:
+            self._single = None
+            self._size = (len(self._ranks) if self._format == GroupFormat.EXPLICIT
+                          else sum(t.count for t in self._ranges))
 
     # ------------------------------------------------------------ constructors
 
@@ -115,9 +129,7 @@ class MpiGroup:
 
     @property
     def size(self) -> int:
-        if self._format == GroupFormat.EXPLICIT:
-            return len(self._ranks)
-        return sum(triple.count for triple in self._ranges)
+        return self._size
 
     def world_ranks(self) -> list[int]:
         """Materialise the ordered list of world ranks (O(size))."""
@@ -132,6 +144,9 @@ class MpiGroup:
 
     def translate(self, group_rank: int) -> int:
         """Group-local rank -> world rank."""
+        single = self._single
+        if single is not None and 0 <= group_rank < single[2]:
+            return single[0] + group_rank * single[1]
         if group_rank < 0:
             raise ValueError("negative group rank")
         if self._format == GroupFormat.EXPLICIT:
@@ -142,6 +157,17 @@ class MpiGroup:
                 return triple.rank_at(remaining)
             remaining -= triple.count
         raise IndexError(f"group rank {group_rank} out of range (size {self.size})")
+
+    def affine_world_map(self) -> Optional[tuple[int, int]]:
+        """``(first, stride)`` when translation is ``first + i * stride``.
+
+        Lets layered communicators (RBC ranges over an MPI communicator)
+        compose their rank translations into one multiply-add instead of a
+        call chain.  Returns None for groups without that structure.
+        """
+        if self._single is None:
+            return None
+        return self._single[0], self._single[1]
 
     def rank_of(self, world_rank: int) -> int:
         """World rank -> group-local rank, or ``UNDEFINED`` if not a member."""

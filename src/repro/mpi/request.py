@@ -10,6 +10,7 @@ from ..messaging import (
     CompletedRequest,
     RecvRequest,
     Request,
+    RequestSet,
     SendRequest,
     test_all,
     test_any,
@@ -22,6 +23,7 @@ __all__ = [
     "CompletedRequest",
     "SendRequest",
     "RecvRequest",
+    "RequestSet",
     "test_all",
     "test_any",
     "wait_all",

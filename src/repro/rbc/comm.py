@@ -32,7 +32,8 @@ class RbcComm:
     underlying MPI communicator.
     """
 
-    __slots__ = ("mpi_comm", "first", "last", "stride")
+    __slots__ = ("mpi_comm", "first", "last", "stride", "_size", "_my_rank",
+                 "_world_first", "_world_stride", "_member_pred")
 
     def __init__(self, mpi_comm: MpiCommunicator, first: int, last: int, stride: int = 1):
         if stride <= 0:
@@ -46,6 +47,19 @@ class RbcComm:
         self.first = first
         self.last = last
         self.stride = stride
+        self._size = (last - first) // stride + 1
+        self._my_rank = self.from_mpi(mpi_comm.rank)
+        # When the MPI communicator's group translates affinely (single
+        # contiguous/strided range — the common case), compose the two rank
+        # maps so ``to_world`` is one multiply-add instead of a call chain.
+        affine = mpi_comm.group.affine_world_map()
+        if affine is None:
+            self._world_first = None
+            self._world_stride = 0
+        else:
+            group_first, group_stride = affine
+            self._world_first = group_first + first * group_stride
+            self._world_stride = stride * group_stride
 
     # ------------------------------------------------------------------ basics
 
@@ -61,7 +75,7 @@ class RbcComm:
     @property
     def rank(self) -> Optional[int]:
         """RBC rank of the calling process (None if it is not a member)."""
-        return self.from_mpi(self.mpi_comm.rank)
+        return self._my_rank
 
     @property
     def is_member(self) -> bool:
@@ -84,10 +98,46 @@ class RbcComm:
 
     def to_world(self, rbc_rank: int) -> int:
         """RBC rank -> world rank of the simulated cluster."""
+        world_first = self._world_first
+        if world_first is not None and 0 <= rbc_rank < self._size:
+            return world_first + rbc_rank * self._world_stride
         return self.mpi_comm.to_world(self.to_mpi(rbc_rank))
 
     def contains_mpi_rank(self, mpi_rank: int) -> bool:
         return self.from_mpi(mpi_rank) is not None
+
+    def from_world(self, world_rank: int) -> Optional[int]:
+        """World rank of the cluster -> RBC rank (None if not a member)."""
+        return self.from_mpi(self.mpi_comm.from_world(world_rank))
+
+    def world_member_predicate(self):
+        """Cached ``world_rank -> is member`` test for range-restricted wildcards.
+
+        Probing with ``ANY_SOURCE`` evaluates membership once per pending
+        mailbox key per poll; this shared closure (pure arithmetic when the
+        rank translation is affine) replaces a per-probe lambda over the
+        ``from_world`` -> ``from_mpi`` call chain.
+        """
+        try:
+            return self._member_pred
+        except AttributeError:
+            pass
+        world_first = self._world_first
+        if world_first is not None:
+            stride = self._world_stride
+            size = self._size
+
+            def member(world_rank: int) -> bool:
+                offset = world_rank - world_first
+                return (offset >= 0 and offset % stride == 0
+                        and offset // stride < size)
+        else:
+            mpi_comm = self.mpi_comm
+
+            def member(world_rank: int) -> bool:
+                return self.contains_mpi_rank(mpi_comm.from_world(world_rank))
+        self._member_pred = member
+        return member
 
     def mpi_context(self):
         """Context the underlying MPI communicator uses for point-to-point traffic.

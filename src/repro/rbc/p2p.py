@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..messaging import RecvRequest
 from ..mpi.datatypes import ANY_SOURCE, ANY_TAG
 from ..mpi.request import Request as _InnerRequest
 from ..mpi.status import Status
@@ -24,6 +25,7 @@ __all__ = [
     "isend",
     "recv",
     "irecv",
+    "irecv_any_member",
     "probe",
     "iprobe",
 ]
@@ -72,8 +74,7 @@ def iprobe(comm: RbcComm, source: int, tag: int) -> tuple[bool, Optional[Status]
             return False, None
         return True, Status(source=source, tag=status.tag, count=status.count)
 
-    flag, status = mpi_comm.iprobe_where(
-        tag, lambda world_src: comm.contains_mpi_rank(mpi_comm.from_world(world_src)))
+    flag, status = mpi_comm.iprobe_where(tag, comm.world_member_predicate())
     if not flag:
         return False, None
     rbc_source = comm.from_mpi(status.source)
@@ -158,6 +159,30 @@ def irecv(comm: RbcComm, source: int, tag: int) -> RbcRequest:
     if source == ANY_SOURCE:
         return RbcRequest(comm.env, _WildcardRecvRequest(comm, tag))
     return RbcRequest(comm.env, _TranslatedRecvRequest(comm, source, tag))
+
+
+def irecv_any_member(comm: RbcComm, tag: int) -> RbcRequest:
+    """Wildcard receive restricted to members — single-request fast path.
+
+    Semantically identical to ``irecv(comm, ANY_SOURCE, tag)``: it completes
+    with the earliest pending message on ``tag`` whose sender belongs to the
+    communicator's range.  Instead of the paper's probe-then-receive two-step
+    (re-run on every poll), it pushes the membership filter down into one
+    transport-level receive, so each completion poll is a single filtered
+    mailbox match.  Hot loops (the sorters' data exchanges) use this; the
+    public ``irecv``/``recv`` keep the two-step construction the paper
+    describes.
+    """
+    env = comm.env
+    return RbcRequest(env, RecvRequest(
+        env,
+        env.transport,
+        context=comm.mpi_context(),
+        source_world=ANY_SOURCE,
+        tag=tag,
+        source_filter=comm.world_member_predicate(),
+        translate_source=comm.from_world,
+    ))
 
 
 def recv(comm: RbcComm, source: int, tag: int, *, return_status: bool = False):

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Optional, Sequence
 
+from ..messaging import RequestSet
 from ..mpi.request import Request as _InnerRequest
 from ..mpi.status import Status
 from ..simulator.process import RankEnv
@@ -49,8 +50,9 @@ class RbcRequest:
 
     def wait(self):
         """Generator: repeatedly test until the operation completes (rbc::Wait)."""
-        yield from self.env.wait_until(self.test)
-        return self.result()
+        # Poll the inner request directly: one fewer hop per wake-up.
+        yield from self.env.wait_until(self._inner.test)
+        return self._inner.result()
 
     def __repr__(self):  # pragma: no cover - debugging aid
         state = "done" if self._inner.test() else "pending"
@@ -82,9 +84,14 @@ def wait(request: RbcRequest):
 
 
 def wait_all(env: RankEnv, requests: Sequence[RbcRequest]):
-    """``rbc::Waitall`` (generator): block until every request completes."""
-    yield from env.wait_until(lambda: test_all(requests))
-    return [request.result() for request in requests]
+    """``rbc::Waitall`` (generator): block until every request completes.
+
+    Tracks the incomplete subset so each wake-up re-tests only still-pending
+    requests (O(N) across an N-request window instead of O(N²)).
+    """
+    tracker = RequestSet(requests)
+    yield from env.wait_until(tracker.test)
+    return tracker.results()
 
 
 def wait_any(env: RankEnv, requests: Sequence[RbcRequest]):

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Any, Callable, Optional, Sequence
 
 from .costmodel import CostModel, NetworkParams, Placement
@@ -76,6 +77,10 @@ class Cluster:
     (flat: everything on one node; hierarchical: dense block placement of
     the model's machine shape).
 
+    ``reference_engine=True`` runs the simulation on the engine's heap-only
+    reference scheduling path instead of the run-queue fast path; differential
+    tests use it to prove both paths are bit-identical.
+
     A cluster instance is single-use: build it, call :meth:`run`, inspect the
     result.  (Re-running would need fresh engine state; constructing a new
     cluster is cheap.)
@@ -84,14 +89,15 @@ class Cluster:
     def __init__(self, num_ranks: int, params: Optional[CostModel] = None,
                  *, placement: Optional[Placement] = None,
                  max_events: int = 200_000_000,
-                 mailbox_factory: Optional[Callable[[], Any]] = None):
+                 mailbox_factory: Optional[Callable[[], Any]] = None,
+                 reference_engine: bool = False):
         if num_ranks <= 0:
             raise ValueError("num_ranks must be positive")
         self.num_ranks = num_ranks
         self.params = params or NetworkParams.default()
         self.placement = placement if placement is not None \
             else self.params.default_placement(num_ranks)
-        self.engine = Engine(max_events=max_events)
+        self.engine = Engine(max_events=max_events, reference=reference_engine)
         self.tracer = Tracer(num_ranks)
         transport_kwargs = {} if mailbox_factory is None \
             else {"mailbox_factory": mailbox_factory}
@@ -126,7 +132,9 @@ class Cluster:
             gen = program(env, *args, *extra_args, **kwargs, **extra_kwargs)
             proc = self.engine.add_process(gen)
             env._proc = proc
-            self.transport.set_notify_hook(rank, env._notify_self)
+            # Bind the wake-up hook straight to engine.notify(proc): the
+            # per-delivery call chain is one hop instead of three.
+            self.transport.set_notify_hook(rank, partial(self.engine.notify, proc))
             procs.append(proc)
 
         total_time = self.engine.run()
@@ -150,8 +158,10 @@ def run_program(num_ranks: int, program: Callable, *args,
                 placement: Optional[Placement] = None,
                 rank_args: Optional[Sequence[tuple]] = None,
                 rank_kwargs: Optional[Sequence[dict]] = None,
+                reference_engine: bool = False,
                 **kwargs) -> ClusterResult:
     """One-shot convenience wrapper around :class:`Cluster`."""
-    cluster = Cluster(num_ranks, params, placement=placement)
+    cluster = Cluster(num_ranks, params, placement=placement,
+                      reference_engine=reference_engine)
     return cluster.run(program, *args, rank_args=rank_args,
                        rank_kwargs=rank_kwargs, **kwargs)

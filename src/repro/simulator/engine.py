@@ -17,12 +17,28 @@ commands exist:
 
 The simulation is fully deterministic: events with equal timestamps are
 ordered by their insertion sequence number.
+
+Scheduling internals
+--------------------
+Events are plain tuples ``(time, seq, kind, fn_or_proc, arg)`` on a binary
+heap — tuple comparison happens in C and never looks past ``seq`` because
+sequence numbers are unique.  Process wake-ups (:meth:`Engine.notify` and
+remembered notifications) do not round-trip through the heap at all: they are
+appended to an immediate *run queue*, a FIFO of ``(time, seq, proc)`` entries
+drained in between heap events.  Because run-queue entries carry sequence
+numbers from the same counter as heap events, the engine merges the two
+sorted streams and the observable execution order — and therefore every
+simulated timestamp — is exactly the one the heap-only scheduler produces.
+
+``Engine(reference=True)`` disables the run queue and routes every wake-up
+through the heap (the original scheduling path); differential tests drive
+both modes over the same workload and require bit-identical results.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from .errors import DeadlockError, RankFailedError, SimulationLimitError
@@ -31,8 +47,10 @@ __all__ = [
     "Command",
     "Sleep",
     "WaitNotify",
+    "WAIT_NOTIFY",
     "Engine",
     "SimProcess",
+    "run_processes",
 ]
 
 
@@ -65,11 +83,15 @@ class WaitNotify(Command):
         return "WaitNotify()"
 
 
-@dataclass(order=True)
-class _Event:
-    time: float
-    seq: int
-    action: Callable[[], None] = field(compare=False)
+#: Shared ``WaitNotify`` instance — the command carries no state, so blocking
+#: primitives yield this singleton instead of allocating one per suspension.
+WAIT_NOTIFY = WaitNotify()
+
+# Event kinds (third tuple field).  STEP covers every process continuation:
+# the initial step, wake-ups after notify, and resumes after a Sleep.
+_KIND_STEP = 0    # a = SimProcess, b unused
+_KIND_ACTION = 1  # a = zero-argument callable, b unused
+_KIND_CALL = 2    # a = one-argument callable, b = its argument
 
 
 class SimProcess:
@@ -124,16 +146,25 @@ class Engine:
         simulated program is almost certainly in a livelock.
     max_time:
         Safety limit on virtual time.
+    reference:
+        Disable the run-queue fast path: every process wake-up round-trips
+        through the event heap, as in the original scheduler.  The observable
+        behaviour (execution order, timestamps, event counts) is identical in
+        both modes; the reference mode exists so differential tests can prove
+        that.
     """
 
-    def __init__(self, *, max_events: int = 200_000_000, max_time: float = 1e15):
+    def __init__(self, *, max_events: int = 200_000_000, max_time: float = 1e15,
+                 reference: bool = False):
         self._now = 0.0
-        self._heap: list[_Event] = []
+        self._heap: list[tuple] = []
+        self._runq: deque[tuple] = deque()
         self._seq = 0
         self._processes: list[SimProcess] = []
         self._events_processed = 0
         self._max_events = max_events
         self._max_time = max_time
+        self._reference = reference
 
     # ------------------------------------------------------------------ time
 
@@ -146,6 +177,11 @@ class Engine:
     def events_processed(self) -> int:
         return self._events_processed
 
+    @property
+    def reference(self) -> bool:
+        """True when the heap-only reference scheduling path is active."""
+        return self._reference
+
     # ------------------------------------------------------------- scheduling
 
     def schedule(self, delay: float, action: Callable[[], None]) -> None:
@@ -157,7 +193,19 @@ class Engine:
         if time < self._now:
             raise ValueError(f"cannot schedule in the past: {time} < {self._now}")
         self._seq += 1
-        heapq.heappush(self._heap, _Event(time, self._seq, action))
+        heapq.heappush(self._heap, (time, self._seq, _KIND_ACTION, action, None))
+
+    def schedule_call_at(self, time: float, fn: Callable[[Any], None], arg: Any) -> None:
+        """Run ``fn(arg)`` at absolute virtual time ``time``.
+
+        Allocation-free variant of :meth:`schedule_at` for hot callers (the
+        transport's deliver / sender-free events): callee and argument are
+        stored directly in the event tuple instead of a closure.
+        """
+        if time < self._now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self._now}")
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, _KIND_CALL, fn, arg))
 
     # -------------------------------------------------------------- processes
 
@@ -165,7 +213,7 @@ class Engine:
         """Register a new simulated process and schedule its first step."""
         proc = SimProcess(len(self._processes), generator)
         self._processes.append(proc)
-        self.schedule(0.0, lambda: self._step(proc, None))
+        self._schedule_step(proc)
         return proc
 
     @property
@@ -180,13 +228,20 @@ class Engine:
         primitives always re-check their actual condition, so spurious
         wake-ups are harmless while lost wake-ups would deadlock.
         """
-        if proc.done:
-            return
-        if proc.state == SimProcess.WAITING:
+        state = proc.state
+        if state == SimProcess.WAITING:
             proc.state = SimProcess.RUNNABLE
-            self.schedule(0.0, lambda: self._step(proc, None))
-        else:
+            self._schedule_step(proc)
+        elif state != SimProcess.FINISHED and state != SimProcess.FAILED:
             proc._pending_notify = True
+
+    def _schedule_step(self, proc: SimProcess) -> None:
+        """Queue a zero-delay continuation of ``proc``, preserving seq order."""
+        self._seq += 1
+        if self._reference:
+            heapq.heappush(self._heap, (self._now, self._seq, _KIND_STEP, proc, None))
+        else:
+            self._runq.append((self._now, self._seq, proc))
 
     # ------------------------------------------------------------------- run
 
@@ -196,23 +251,68 @@ class Engine:
         Returns the final virtual time.  Raises :class:`DeadlockError` if the
         event queue drains while simulated processes are still blocked.
         """
-        while self._heap:
-            event = self._heap[0]
-            if until is not None and event.time > until:
-                self._now = until
-                return self._now
-            heapq.heappop(self._heap)
-            self._events_processed += 1
-            if self._events_processed > self._max_events:
-                raise SimulationLimitError(
-                    f"event limit exceeded ({self._max_events}); likely livelock"
-                )
-            if event.time > self._max_time:
-                raise SimulationLimitError(
-                    f"virtual time limit exceeded ({self._max_time})"
-                )
-            self._now = event.time
-            event.action()
+        heap = self._heap
+        runq = self._runq
+        heappop = heapq.heappop
+        max_events = self._max_events
+        max_time = self._max_time
+        step = self._step
+        RUNNABLE = SimProcess.RUNNABLE
+        FINISHED = SimProcess.FINISHED
+        FAILED = SimProcess.FAILED
+        # float('inf') folds the "no deadline" case into one cheap compare.
+        until_bound = float("inf") if until is None else until
+        events = self._events_processed
+
+        try:
+            while heap or runq:
+                # Merge the two seq-sorted streams: the run queue holds
+                # zero-delay continuations enqueued at the current time, the
+                # heap everything timed.  Whichever holds the
+                # (time, seq)-smallest entry goes next.
+                use_runq = bool(runq)
+                if use_runq and heap:
+                    h = heap[0]
+                    r = runq[0]
+                    ht = h[0]
+                    rt = r[0]
+                    if ht < rt or (ht == rt and h[1] < r[1]):
+                        use_runq = False
+                event_time = runq[0][0] if use_runq else heap[0][0]
+                if event_time > until_bound:
+                    self._now = until
+                    return until
+                events += 1
+                if events > max_events:
+                    raise SimulationLimitError(
+                        f"event limit exceeded ({max_events}); likely livelock"
+                    )
+                if event_time > max_time:
+                    raise SimulationLimitError(
+                        f"virtual time limit exceeded ({max_time})"
+                    )
+                self._now = event_time
+                if use_runq:
+                    proc = runq.popleft()[2]
+                    state = proc.state
+                    if state is not FINISHED and state is not FAILED:
+                        proc.state = RUNNABLE
+                        step(proc, None)
+                else:
+                    event = heappop(heap)
+                    kind = event[2]
+                    if kind == _KIND_STEP:
+                        proc = event[3]
+                        state = proc.state
+                        if state is not FINISHED and state is not FAILED:
+                            proc.state = RUNNABLE
+                            step(proc, None)
+                    elif kind == _KIND_CALL:
+                        event[3](event[4])
+                    else:  # _KIND_ACTION
+                        event[3]()
+        finally:
+            self._events_processed = events
 
         blocked = [p.pid for p in self._processes if not p.done]
         if blocked:
@@ -223,7 +323,8 @@ class Engine:
 
     def _step(self, proc: SimProcess, send_value) -> None:
         """Resume ``proc`` and interpret the command it yields next."""
-        if proc.done:
+        state = proc.state
+        if state is SimProcess.FINISHED or state is SimProcess.FAILED:
             return
         try:
             command = proc.generator.send(send_value)
@@ -238,26 +339,26 @@ class Engine:
             proc.finish_time = self._now
             raise RankFailedError(proc.pid, exc) from exc
 
-        if isinstance(command, Sleep):
-            proc.state = SimProcess.SLEEPING
-            self.schedule(command.duration, lambda: self._resume(proc))
-        elif isinstance(command, WaitNotify):
+        # Fast dispatch: blocking primitives yield the shared WAIT_NOTIFY
+        # singleton, by far the most common command.
+        if command is WAIT_NOTIFY or isinstance(command, WaitNotify):
             if proc._pending_notify:
                 proc._pending_notify = False
                 proc.state = SimProcess.RUNNABLE
-                self.schedule(0.0, lambda: self._step(proc, None))
+                self._schedule_step(proc)
             else:
                 proc.state = SimProcess.WAITING
+        elif isinstance(command, Sleep):
+            proc.state = SimProcess.SLEEPING
+            self._seq += 1
+            heapq.heappush(
+                self._heap,
+                (self._now + command.duration, self._seq, _KIND_STEP, proc, None),
+            )
         else:
             raise TypeError(
                 f"process {proc.pid} yielded {command!r}; expected a Command"
             )
-
-    def _resume(self, proc: SimProcess) -> None:
-        if proc.done:
-            return
-        proc.state = SimProcess.RUNNABLE
-        self._step(proc, None)
 
 
 def run_processes(generators: Iterable[Generator], **engine_kwargs) -> list[Any]:

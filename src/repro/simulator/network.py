@@ -44,6 +44,8 @@ __all__ = [
     "IndexedMailbox",
     "LinearScanMailbox",
     "Transport",
+    "freeze_payload",
+    "is_frozen_payload",
     "payload_words",
 ]
 
@@ -62,15 +64,55 @@ def payload_words(payload: Any) -> int:
     """
     if payload is None:
         return 0
+    cls = payload.__class__
+    if cls is int or cls is float:  # plain scalars, the hottest non-array case
+        return 1
     if isinstance(payload, np.ndarray):
         return int(payload.size)
-    if np.isscalar(payload):
-        return 1
     if isinstance(payload, (tuple, list)):
         return sum(payload_words(item) for item in payload)
     if isinstance(payload, dict):
         return sum(payload_words(v) + 1 for v in payload.values())
     return 1
+
+
+def is_frozen_payload(array: np.ndarray) -> bool:
+    """True when no writable alias of ``array``'s memory can exist.
+
+    The transport snapshots mutable ndarray payloads before they go on the
+    wire (MPI lets the application reuse its send buffer once the send
+    completes locally).  An array is exempt from that snapshot only when its
+    whole base chain is read-only NumPy memory: then neither the sender nor
+    anyone it shares the buffer with can change the bytes in flight.  A
+    read-only *view of a writable base* is not enough — the owner of the base
+    could still mutate it — so it reports False.
+    """
+    while True:
+        if array.flags.writeable:
+            return False
+        base = array.base
+        if base is None:
+            return True
+        if not isinstance(base, np.ndarray):
+            return False
+        array = base
+
+
+def freeze_payload(payload: Any) -> Any:
+    """Mark an exclusively-owned ndarray read-only; return the payload.
+
+    Collective state machines call this on buffers they own outright — a
+    message just taken from the transport, or a freshly computed reduction —
+    before forwarding them, so :meth:`Transport.post_send` can skip its
+    defensive copy (:func:`is_frozen_payload`).  Arrays that are views
+    (``base is not None``) are left untouched: freezing the view would not
+    freeze the writable base, so the copy must still happen for them.
+    Non-array payloads pass through unchanged.
+    """
+    if isinstance(payload, np.ndarray) and payload.base is None \
+            and payload.flags.writeable:
+        payload.flags.writeable = False
+    return payload
 
 
 class Message:
@@ -120,17 +162,35 @@ class SendHandle:
 
     The send buffer is considered free (the handle completes) once the message
     has fully left the sender's send port.
+
+    The sender's wake-up event is armed *lazily*: only a handle that is polled
+    while still incomplete schedules the engine event that will wake the
+    sending rank at ``complete_time``.  A send that is never waited on (or
+    first polled after it completed) costs no engine event at all.  This is
+    safe because completion is purely time-based: a blocked predicate can only
+    start depending on a send by polling it — and that poll arms the wake-up.
     """
 
-    __slots__ = ("complete_time", "_engine")
+    __slots__ = ("complete_time", "_engine", "_wake_fn", "_wake_arg", "_armed")
 
-    def __init__(self, engine: Engine, complete_time: float):
+    def __init__(self, engine: Engine, complete_time: float,
+                 wake_fn: Optional[Callable[[Any], None]] = None,
+                 wake_arg: Any = None):
         self._engine = engine
         self.complete_time = complete_time
+        self._wake_fn = wake_fn
+        self._wake_arg = wake_arg
+        self._armed = wake_fn is None
 
     @property
     def done(self) -> bool:
-        return self._engine.now >= self.complete_time
+        if self._engine._now >= self.complete_time:
+            return True
+        if not self._armed:
+            self._armed = True
+            self._engine.schedule_call_at(self.complete_time,
+                                          self._wake_fn, self._wake_arg)
+        return False
 
 
 # ---------------------------------------------------------------------------
@@ -167,6 +227,24 @@ class IndexedMailbox:
 
     def _pop_head(self, key) -> Message:
         queue = self._queues[key]
+        message = queue.popleft()
+        if not queue:
+            del self._queues[key]
+        self._count -= 1
+        return message
+
+    def take_exact(self, key) -> Optional[Message]:
+        """Pop the head message of exact envelope ``(context, src, tag)``.
+
+        Wildcard-free fast path used by specific-source receives: one dict
+        probe, no envelope normalisation.  Deliberately restates
+        :meth:`_pop_head` instead of delegating — ``get`` followed by
+        ``_pop_head`` would probe the dict twice on the hottest poll in the
+        simulator; keep the two bodies in sync.
+        """
+        queue = self._queues.get(key)
+        if queue is None:
+            return None
         message = queue.popleft()
         if not queue:
             del self._queues[key]
@@ -284,6 +362,11 @@ class LinearScanMailbox:
             self._messages.remove(message)
         return message
 
+    def take_exact(self, key) -> Optional[Message]:
+        """Exact-envelope pop (same contract as :meth:`IndexedMailbox.take_exact`)."""
+        context, source, tag = key
+        return self.take(source, tag, context)
+
     def find_where(self, tag: int, context,
                    predicate: Callable[[int], bool]) -> Optional[Message]:
         best = None
@@ -349,6 +432,10 @@ class Transport:
         self._seq = itertools.count()
         # Callbacks used to wake rank processes; installed by the cluster.
         self._notify_hooks: list[Optional[Any]] = [None] * num_ranks
+        # Pre-bound callbacks for the engine's allocation-free scheduled
+        # entries (one bound-method allocation per transport, not per send).
+        self._deliver_entry = self._deliver
+        self._notify_entry = self._notify
 
     # ----------------------------------------------------------------- wiring
 
@@ -358,6 +445,15 @@ class Transport:
 
     def _notify(self, rank: int) -> None:
         hook = self._notify_hooks[rank]
+        if hook is not None:
+            hook()
+
+    def _deliver(self, message: Message) -> None:
+        """Scheduled-entry target: message reaches its destination mailbox."""
+        dst = message.dst
+        self._mailboxes[dst].append(message)
+        self.tracer.record_delivery(dst, message.words)
+        hook = self._notify_hooks[dst]
         if hook is not None:
             hook()
 
@@ -372,17 +468,24 @@ class Transport:
         e.g. the application of a reduction operator without blocking the
         caller).
         """
-        self._check_rank(src, "source")
-        self._check_rank(dst, "destination")
+        num_ranks = self.num_ranks
+        if src < 0 or src >= num_ranks:
+            self._check_rank(src, "source")
+        if dst < 0 or dst >= num_ranks:
+            self._check_rank(dst, "destination")
         if words is None:
             words = payload_words(payload)
         # Snapshot array payloads: MPI allows the application to reuse its send
         # buffer once the send completes locally, and the collective state
         # machines reuse buffers freely, so the wire copy must be immutable.
-        if isinstance(payload, np.ndarray):
+        # Payloads whose memory is already immutable (read-only arrays owning
+        # their data — see :func:`is_frozen_payload`) go on the wire as-is;
+        # the forwarding hot paths of the collective state machines rely on
+        # this to hand one frozen buffer down a whole tree without copies.
+        if isinstance(payload, np.ndarray) and not is_frozen_payload(payload):
             payload = payload.copy()
         alpha, beta = self.params.link(src, dst, self.placement)
-        now = self.engine.now
+        now = self.engine._now
 
         start = max(now + local_delay, self._send_port_free[src])
         leave_sender = start + alpha + words * beta
@@ -392,23 +495,18 @@ class Transport:
         arrival = max(leave_sender, self._recv_port_free[dst] + words * beta)
         self._recv_port_free[dst] = arrival
 
-        message = Message(
-            seq=next(self._seq), src=src, dst=dst, tag=tag, context=context,
-            payload=payload, words=words, send_time=now, arrival_time=arrival,
-        )
+        message = Message(next(self._seq), src, dst, tag, context,
+                          payload, words, now, arrival)
         self.tracer.record_send(src, words)
 
-        def deliver() -> None:
-            self._mailboxes[dst].append(message)
-            self.tracer.record_delivery(dst, words)
-            self._notify(dst)
-
-        self.engine.schedule_at(arrival, deliver)
-
-        handle = SendHandle(self.engine, leave_sender)
-        # Wake the sender once its buffer is free so blocked waits can finish.
-        self.engine.schedule_at(leave_sender, lambda: self._notify(src))
-        return handle
+        # Allocation-free scheduled entries: the delivery is a (fn, arg) event
+        # tuple, not a per-send closure.  The sender-free wake-up is *not*
+        # scheduled here — the handle arms it lazily on the first incomplete
+        # poll, so sends nobody waits on cost no engine event (the trailing
+        # delivery event at ``arrival >= leave_sender`` keeps the simulation's
+        # final time unchanged).
+        self.engine.schedule_call_at(arrival, self._deliver_entry, message)
+        return SendHandle(self.engine, leave_sender, self._notify_entry, src)
 
     # -------------------------------------------------------------- receiving
 
@@ -440,6 +538,16 @@ class Transport:
         """Like :meth:`find_match_where` but removes and returns the message."""
         self._check_rank(dst, "destination")
         return self._mailboxes[dst].take_where(tag, context, predicate)
+
+    def mailbox_of(self, dst: int):
+        """The mailbox of rank ``dst`` (receive-side fast-path accessor).
+
+        :class:`~repro.messaging.RecvRequest` caches this together with its
+        exact match key so each completion poll is a single dict probe instead
+        of a call chain through the transport.
+        """
+        self._check_rank(dst, "destination")
+        return self._mailboxes[dst]
 
     def any_arrived(self, dst: int) -> Optional[Message]:
         """Earliest arrived message for ``dst`` regardless of envelope."""

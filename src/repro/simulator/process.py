@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from .costmodel import CostModel
-from .engine import Engine, Sleep, WaitNotify
+from .engine import WAIT_NOTIFY, Engine, Sleep
 from .network import Transport
 
 __all__ = ["RankEnv"]
@@ -41,7 +41,7 @@ class RankEnv:
     @property
     def now(self) -> float:
         """Current virtual time in microseconds."""
-        return self.engine.now
+        return self.engine._now
 
     # ------------------------------------------------------------ suspension
 
@@ -75,11 +75,11 @@ class RankEnv:
         progression-by-``Test`` design.
         """
         while not predicate():
-            yield WaitNotify()
+            yield WAIT_NOTIFY
 
     def wait_notify(self):
         """Block until the next notification for this rank (low-level)."""
-        yield WaitNotify()
+        yield WAIT_NOTIFY
 
     # --------------------------------------------------------------- wake-ups
 

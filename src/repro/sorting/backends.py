@@ -106,7 +106,10 @@ class RbcGroupComm(GroupComm):
         return rbc_p2p.irecv(self.comm, source_group_rank, tag)
 
     def irecv_any(self, tag):
-        return rbc_p2p.irecv(self.comm, ANY_SOURCE, tag)
+        # Single-request membership-filtered receive: same matching semantics
+        # as irecv(ANY_SOURCE), one filtered mailbox match per poll instead of
+        # the probe-then-receive two-step.
+        return rbc_p2p.irecv_any_member(self.comm, tag)
 
 
 class MpiGroupComm(GroupComm):

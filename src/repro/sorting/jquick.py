@@ -36,6 +36,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..messaging import RequestSet
 from ..mpi.datatypes import SUM
 from ..rbc.tags import RESERVED_TAG_BASE
 from ..simulator.process import RankEnv
@@ -316,9 +317,12 @@ class _JQuickRun:
         local_count = 0
         if data.size:
             local_count = max(1, int(np.ceil(sigma * data.size / total)))
-        rng = np.random.default_rng(
+        # Generator(PCG64(seed)) draws the exact stream default_rng(seed)
+        # would, with less construction overhead — this runs once per task
+        # level per rank, squarely on the simulation's critical path.
+        rng = np.random.Generator(np.random.PCG64(
             (hash((config.seed, interval.lo, interval.hi, level, self.rank))
-             & 0x7FFFFFFF))
+             & 0x7FFFFFFF)))
         values, sample_slots = draw_local_samples(data, slots, local_count, rng)
         if config.charge_local_work and local_count:
             yield Blocking(self.env.compute(local_count))
@@ -440,8 +444,10 @@ class _JQuickRun:
             self.fragments[task.lo] = kept
 
         if send_requests:
-            yield from self.env.wait_until(
-                lambda: all(r.test() for r in send_requests))
+            # Incremental completion: each wake-up re-tests only the sends
+            # that are still pending (O(N) across the window, not O(N²)).
+            tracker = RequestSet(send_requests)
+            yield from self.env.wait_until(tracker.test)
 
     # ------------------------------------------------------------------ output
 

@@ -28,9 +28,11 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..messaging import RequestSet
 from ..rbc import collectives as rbc_collectives
 from ..rbc import p2p as rbc_p2p
 from ..rbc.comm import RbcComm
+from ..simulator.network import freeze_payload
 from ..simulator.process import RankEnv
 from .basecase import local_sort_cost
 
@@ -180,7 +182,9 @@ def _one_level(env: RankEnv, sub: RbcComm, data: np.ndarray,
     else:
         bucket = np.zeros(data.size, dtype=np.int64)
     order = np.argsort(bucket, kind="stable")
-    by_bucket = data[order]
+    # ``by_bucket`` is a fresh buffer this rank owns and never mutates again;
+    # frozen, its per-group slices go on the wire without a transport snapshot.
+    by_bucket = freeze_payload(data[order])
     bucket_sorted = bucket[order]
     boundaries = np.searchsorted(bucket_sorted, np.arange(k + 1))
     pieces = [by_bucket[boundaries[g]:boundaries[g + 1]] for g in range(k)]
@@ -210,7 +214,8 @@ def _one_level(env: RankEnv, sub: RbcComm, data: np.ndarray,
         received.append(np.asarray(chunk))
         stats.messages_received += 1
 
-    yield from env.wait_until(lambda: all(r.test() for r in send_requests))
+    send_tracker = RequestSet(send_requests)
+    yield from env.wait_until(send_tracker.test)
 
     chunks = [c for c in received if c.size]
     merged = np.concatenate(chunks) if chunks else np.empty(0, dtype=data.dtype)

@@ -35,6 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Generator, Iterable, List, Optional, Sequence
 
+from ..messaging import RequestSet
 from ..simulator.process import RankEnv
 
 __all__ = ["Pending", "Blocking", "Spawn", "run_task_scheduler"]
@@ -42,16 +43,22 @@ __all__ = ["Pending", "Blocking", "Spawn", "run_task_scheduler"]
 
 @dataclass
 class Pending:
-    """Wait (cooperatively) until all ``requests`` have completed."""
+    """Wait (cooperatively) until all ``requests`` have completed.
+
+    Completion is tracked incrementally (via :class:`~repro.messaging.RequestSet`):
+    every :meth:`ready` poll re-tests only the requests that were still
+    incomplete last time, so a window of N requests costs O(N) tests over its
+    lifetime instead of O(N²).
+    """
 
     requests: Sequence[Any]
+    _tracker: Optional[RequestSet] = field(default=None, repr=False, compare=False)
 
     def ready(self) -> bool:
-        done = True
-        for request in self.requests:
-            if not request.test():
-                done = False
-        return done
+        tracker = self._tracker
+        if tracker is None:
+            tracker = self._tracker = RequestSet(self.requests)
+        return tracker.test()
 
 
 @dataclass
@@ -88,6 +95,11 @@ def run_task_scheduler(env: RankEnv, coroutines: Iterable[Generator]):
     def sweep():
         """Advance every runnable coroutine as far as possible.
 
+        Entries whose ``Pending`` window is still open are skipped — the wake
+        predicate (``any_entry_ready``) is the single place that polls and
+        consumes readiness, so each wake-up tests every waiting window exactly
+        once instead of twice.
+
         This is a generator because a ``Blocking`` directive must suspend the
         whole process; it is driven with ``yield from`` below.
         """
@@ -95,14 +107,8 @@ def run_task_scheduler(env: RankEnv, coroutines: Iterable[Generator]):
         while index < len(entries):
             entry = entries[index]
             index += 1
-            if entry.done:
+            if entry.done or entry.waiting is not None:
                 continue
-            if entry.waiting is not None:
-                if entry.waiting.ready():
-                    entry.waiting = None
-                    entry.send_value = None
-                else:
-                    continue
             while True:
                 try:
                     directive = entry.coroutine.send(entry.send_value)
@@ -126,6 +132,16 @@ def run_task_scheduler(env: RankEnv, coroutines: Iterable[Generator]):
                     f"task coroutine yielded {directive!r}; expected "
                     "Pending, Blocking or Spawn")
 
+    def any_entry_ready() -> bool:
+        """Poll every open window once; release the entries that completed."""
+        found = False
+        for e in entries:
+            if not e.done and e.waiting is not None and e.waiting.ready():
+                e.waiting = None
+                e.send_value = None
+                found = True
+        return found
+
     while True:
         yield from sweep()
         pending_entries = [e for e in entries if not e.done]
@@ -134,8 +150,6 @@ def run_task_scheduler(env: RankEnv, coroutines: Iterable[Generator]):
         # Every remaining coroutine waits on requests; suspend the process
         # until at least one of them can continue.  Testing the requests makes
         # progress on their state machines, mirroring progression-by-Test.
-        yield from env.wait_until(
-            lambda: any(e.waiting is not None and e.waiting.ready()
-                        for e in entries if not e.done))
+        yield from env.wait_until(any_entry_ready)
 
     return [entry.result for entry in entries]

