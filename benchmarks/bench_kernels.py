@@ -1,0 +1,129 @@
+"""Compute-kernel microbenchmarks: fused partition and counter-based sampling.
+
+The sorting algorithms' host-side cost is dominated by many *small* local
+operations; PR 3 fused them into :mod:`repro.sorting.kernels` and replaced
+per-task ``Generator(PCG64(...))`` construction with the stateless
+counter-based sampler of :mod:`repro.core.rand`.  This benchmark pins both
+claims:
+
+* the fused partition kernel must not lose to the unfused
+  ``partition_mask`` + ``split_by_mask`` sequence across the size spectrum of
+  the simulated workloads (and must win clearly at sub-threshold sizes);
+* drawing a handful of sample indices with the counter-based hash must be
+  several times cheaper than constructing a PCG64 generator for them.
+
+Both tests also re-verify bit-level equivalence on the way (the speed of a
+wrong kernel is uninteresting).
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import rand
+from repro.sorting.kernels import PARTITION_SCALAR_CUTOFF, fused_partition
+from repro.sorting.partition import Pivot, partition_mask, split_by_mask
+
+#: (sizes, iterations per size) — mirrors the per-level array sizes the fig
+#: benchmarks produce (n/p from 2^0 to 2^12).
+PARTITION_SIZES = {
+    "tiny": ([1, 4, 16, 64, 256, 4096], 300),
+    "small": ([1, 2, 4, 8, 16, 32, 64, 128, 512, 4096], 1000),
+    "paper": ([1, 2, 4, 8, 16, 32, 64, 128, 512, 4096, 65536], 2000),
+}
+
+SAMPLER_DRAWS = {"tiny": 2000, "small": 5000, "paper": 20000}
+
+
+def _partition_inputs(size, seed):
+    rng = np.random.default_rng(seed)
+    values = rng.random(size)
+    pivot_value = float(np.median(values)) if size else 0.5
+    slot_base = 1000
+    pivot_slot = slot_base + size // 2
+    return values, slot_base, pivot_value, pivot_slot
+
+
+def _time(fn, iterations):
+    start = time.perf_counter()
+    for _ in range(iterations):
+        fn()
+    return time.perf_counter() - start
+
+
+def test_partition_kernel_speed(benchmark, scale):
+    sizes, iterations = PARTITION_SIZES[scale]
+    total_fused = 0.0
+    total_ref = 0.0
+    rows = []
+    for size in sizes:
+        values, slot_base, pivot_value, pivot_slot = _partition_inputs(size, size)
+        slots = slot_base + np.arange(size, dtype=np.int64)
+        pivot = Pivot(pivot_value, pivot_slot)
+
+        small, large, n_small = fused_partition(
+            values, slot_base, pivot_value, pivot_slot)
+        ref_small, ref_large = split_by_mask(
+            values, partition_mask(values, slots, pivot))
+        np.testing.assert_array_equal(small, ref_small)
+        np.testing.assert_array_equal(large, ref_large)
+        assert n_small == ref_small.size
+
+        iters = max(1, iterations // max(1, size // 256))
+        fused_s = _time(
+            lambda: fused_partition(values, slot_base, pivot_value, pivot_slot),
+            iters)
+        ref_s = _time(
+            lambda: split_by_mask(values, partition_mask(values, slots, pivot)),
+            iters)
+        total_fused += fused_s
+        total_ref += ref_s
+        rows.append((size, fused_s / iters * 1e6, ref_s / iters * 1e6))
+
+    benchmark.pedantic(
+        lambda: fused_partition(values, slot_base, pivot_value, pivot_slot),
+        rounds=1, iterations=100)
+
+    print("\nsize   fused_us  unfused_us")
+    for size, fused_us, ref_us in rows:
+        print(f"{size:6d} {fused_us:9.2f} {ref_us:10.2f}")
+    ratio = total_ref / total_fused if total_fused > 0 else float("inf")
+    print(f"aggregate unfused/fused ratio: {ratio:.2f}x "
+          f"(scalar cutoff {PARTITION_SCALAR_CUTOFF})")
+    assert ratio >= 1.15, (
+        f"fused partition kernel regressed: only {ratio:.2f}x vs the unfused "
+        "partition_mask + split_by_mask sequence")
+
+
+def test_counter_sampler_speed(benchmark, scale):
+    draws = SAMPLER_DRAWS[scale]
+    size, count = 64, 2  # the small-task regime that dominates fig8
+
+    def counter_draws():
+        for task in range(draws):
+            rand.sample_indices(rand.sample_key(17, task, task + 97, 3, 5),
+                                count, size)
+
+    def pcg64_draws():
+        for task in range(draws):
+            rng = np.random.Generator(np.random.PCG64(
+                hash((17, task, task + 97, 3, 5)) & 0x7FFFFFFF))
+            rng.integers(0, size, size=count)
+
+    # Determinism sanity: same key -> same indices, process-independent.
+    a = rand.sample_indices(rand.sample_key(17, 0, 97, 3, 5), count, size)
+    b = rand.sample_indices(rand.sample_key(17, 0, 97, 3, 5), count, size)
+    assert np.array_equal(a, b)
+
+    # pedantic() only records the BENCH json timing; the comparison below
+    # times both paths itself.
+    benchmark.pedantic(counter_draws, rounds=1, iterations=1)
+    counter_s = _time(counter_draws, 1)
+    pcg64_s = _time(pcg64_draws, 1)
+    speedup = pcg64_s / counter_s if counter_s > 0 else float("inf")
+    print(f"\nsampling {draws} tasks x {count} draws: counter "
+          f"{counter_s * 1e3:.1f} ms, pcg64 {pcg64_s * 1e3:.1f} ms, "
+          f"speedup {speedup:.1f}x")
+    assert speedup >= 2.0, (
+        f"counter-based sampler must beat per-task PCG64 construction by >=2x "
+        f"on tiny draws, got {speedup:.2f}x")

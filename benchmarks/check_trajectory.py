@@ -18,10 +18,17 @@ perf trajectory; this script fails CI when a fresh run regresses:
 Baselines without a fresh result are skipped (pass ``--require-all`` to turn
 that into a failure); fresh results without a baseline are reported as new.
 
+``--rebaseline`` deliberately adopts the fresh results as the new committed
+baselines (use after an intentional algorithm change, e.g. a new default
+sampler).  It prints the old -> new ``simulated_us`` / ``events_processed``
+diff of every replaced file — paste that table into the PR description so the
+re-baseline is reviewable.
+
 Usage::
 
     python check_trajectory.py [--results DIR] [--baselines DIR]
         [--max-events-ratio 1.25] [--max-wall-ratio 2.0] [--require-all]
+        [--rebaseline]
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import shutil
 import sys
 
 
@@ -55,10 +63,16 @@ def main(argv=None) -> int:
                         help="fail when wall_clock_s grows past this factor")
     parser.add_argument("--require-all", action="store_true",
                         help="fail when a baseline has no fresh result")
+    parser.add_argument("--rebaseline", action="store_true",
+                        help="adopt the fresh results as the new baselines and "
+                             "print the old->new simulated_us diff")
     args = parser.parse_args(argv)
 
     baselines = load_dir(args.baselines)
     fresh = load_dir(args.results)
+
+    if args.rebaseline:
+        return rebaseline(args.results, args.baselines, baselines, fresh)
     if not baselines:
         print(f"no baselines under {args.baselines}; nothing to check")
         return 0
@@ -121,6 +135,41 @@ def main(argv=None) -> int:
             print(f"FAIL  {failure}", file=sys.stderr)
         return 1
     print(f"\ntrajectory OK: {checked} benchmark(s) within bounds")
+    return 0
+
+
+def rebaseline(results_dir: str, baselines_dir: str,
+               baselines: dict, fresh: dict) -> int:
+    """Copy fresh results over the committed baselines; print the diff table."""
+    if not fresh:
+        print(f"no fresh results under {results_dir}; run the benchmark suite "
+              "first", file=sys.stderr)
+        return 1
+    os.makedirs(baselines_dir, exist_ok=True)
+    print(f"{'benchmark':45s} {'simulated_us old -> new':>32s} "
+          f"{'events old -> new':>24s}")
+    for name in sorted(fresh):
+        current = fresh[name]
+        base = baselines.get(name)
+        sim_new = current.get("simulated_us")
+        ev_new = current.get("events_processed")
+        if base is None:
+            sim_col = f"(new) -> {sim_new!r}"
+            ev_col = f"(new) -> {ev_new}"
+        else:
+            sim_old = base.get("simulated_us")
+            ev_old = base.get("events_processed")
+            sim_col = "unchanged" if sim_old == sim_new \
+                else f"{sim_old!r} -> {sim_new!r}"
+            ev_col = "unchanged" if ev_old == ev_new \
+                else f"{ev_old} -> {ev_new}"
+        print(f"{name:45s} {sim_col:>32s} {ev_col:>24s}")
+        shutil.copyfile(os.path.join(results_dir, name),
+                        os.path.join(baselines_dir, name))
+    stale = sorted(set(baselines) - set(fresh))
+    for name in stale:
+        print(f"KEPT  {name}: baseline has no fresh result (not replaced)")
+    print(f"\nrebaselined {len(fresh)} file(s) into {baselines_dir}")
     return 0
 
 

@@ -35,6 +35,7 @@ import numpy as np
 from ..rbc import collectives as rbc_collectives
 from ..rbc.comm import RbcComm
 from ..simulator.process import RankEnv
+from ..sorting.kernels import cached_log2
 
 __all__ = [
     "QuickHullConfig",
@@ -289,7 +290,7 @@ def _recurse(env: RankEnv, comm: RbcComm, points: np.ndarray,
     if comm.size == 1:
         if config.charge_local_work and points.shape[0]:
             yield from env.compute(
-                points.shape[0] * max(1.0, np.log2(max(2, points.shape[0]))))
+                points.shape[0] * max(1.0, cached_log2(max(2, points.shape[0]))))
         return _quickhull_interior(points, anchor_a, anchor_b)
 
     # 1. Farthest point from the segment (globally, MAXLOC-style allreduce).

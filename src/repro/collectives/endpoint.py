@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from ..messaging import RecvRequest, SendRequest
+from ..messaging import RecvRequest
 from ..simulator.costmodel import CostModel
 from ..simulator.network import Transport, payload_words
 from ..simulator.process import RankEnv
@@ -55,11 +55,13 @@ class TransportEndpoint:
         "to_world",
         "word_cost_factor",
         "per_message_delay",
+        "_affine",
     )
 
     def __init__(self, env: RankEnv, transport: Transport, *, context, tag: int,
                  rank: int, size: int, to_world: Callable[[int], int],
-                 word_cost_factor: float = 1.0, per_message_delay: float = 0.0):
+                 word_cost_factor: float = 1.0, per_message_delay: float = 0.0,
+                 world_affine: Optional[tuple[int, int]] = None):
         self.env = env
         self.transport = transport
         self.context = context
@@ -69,34 +71,51 @@ class TransportEndpoint:
         self.to_world = to_world
         self.word_cost_factor = word_cost_factor
         self.per_message_delay = per_message_delay
+        # (first, stride) when group -> world is one multiply-add; inlined in
+        # isend/irecv so the hot path skips the translation call entirely.
+        self._affine = world_affine
 
     # ------------------------------------------------------------------- p2p
 
     def isend(self, payload, dest: int, *, local_delay: float = 0.0,
-              words: Optional[int] = None) -> SendRequest:
-        """Nonblocking send of ``payload`` to group rank ``dest``."""
+              words: Optional[int] = None):
+        """Nonblocking send of ``payload`` to group rank ``dest``.
+
+        Returns the transport's :class:`~repro.simulator.network.SendHandle`,
+        which implements the request protocol (``test``/``result``) directly.
+        """
         if words is None:
             words = payload_words(payload)
         factor = self.word_cost_factor
         wire_words = words if factor == 1.0 else int(round(words * factor))
-        handle = self.transport.post_send(
+        affine = self._affine
+        # The bounds check keeps the fail-loud behaviour of to_world for
+        # out-of-range group ranks (a schedule bug must not silently deliver
+        # into an unrelated rank's mailbox).
+        dst = (affine[0] + dest * affine[1]) \
+            if affine is not None and 0 <= dest < self.size \
+            else self.to_world(dest)
+        return self.transport.post_send(
             self.env.rank,
-            self.to_world(dest),
+            dst,
             self.tag,
             self.context,
             payload,
             wire_words,
             local_delay + self.per_message_delay,
         )
-        return SendRequest(self.env, handle)
 
     def irecv(self, source: int) -> RecvRequest:
         """Nonblocking receive from group rank ``source`` on this collective's tag."""
+        affine = self._affine
+        src = (affine[0] + source * affine[1]) \
+            if affine is not None and 0 <= source < self.size \
+            else self.to_world(source)
         return RecvRequest(
             self.env,
             self.transport,
             self.context,
-            self.to_world(source),
+            src,
             self.tag,
         )
 

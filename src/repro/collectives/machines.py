@@ -27,8 +27,6 @@ from .topology import (
     binomial_children,
     binomial_parent,
     dissemination_rounds,
-    from_virtual,
-    to_virtual,
 )
 
 __all__ = [
@@ -59,7 +57,9 @@ class CollectiveRequest(Request):
     def __init__(self, env, schedule):
         self.env = env
         self._gen = schedule
-        self._pending: Optional[RequestSet] = None
+        # The current state's completion tester: a single Request, a
+        # RequestSet for multi-request states, or None.
+        self._pending: Optional[Any] = None
         self._done = False
         self._value: Any = None
         # Execute the first state eagerly so communication starts immediately.
@@ -69,20 +69,28 @@ class CollectiveRequest(Request):
         if self._done:
             return True
         pending = self._pending
+        advance = None
         while True:
             # Re-test only the still-incomplete dependencies of the current
             # state (RequestSet preserves the relative order of pending
-            # requests, keeping mailbox side effects deterministic).
+            # requests, keeping mailbox side effects deterministic; a
+            # single-request state is polled directly, no set wrapper).
             if pending is not None and not pending.test():
                 return False
+            if advance is None:
+                advance = self._gen.send
             try:
-                nxt = self._gen.send(None)
+                nxt = advance(None)
             except StopIteration as stop:
                 self._value = stop.value
                 self._done = True
                 self._pending = None
                 return True
-            pending = self._pending = RequestSet(nxt) if nxt else None
+            if nxt:
+                pending = self._pending = (
+                    nxt[0] if len(nxt) == 1 else RequestSet(nxt))
+            else:
+                pending = self._pending = None
 
     def result(self) -> Any:
         return self._value
@@ -105,10 +113,10 @@ def bcast_schedule(ep: TransportEndpoint, value: Any, root: int):
     size = ep.size
     if size == 1:
         return value
-    vrank = to_virtual(ep.rank, root, size)
+    vrank = (ep.rank - root) % size  # to_virtual, inlined (hot)
     parent = binomial_parent(vrank)
     if parent is not None:
-        recv = ep.irecv(from_virtual(parent, root, size))
+        recv = ep.irecv((parent + root) % size)
         yield [recv]
         value = freeze_payload(recv.result())
         wire = value
@@ -121,7 +129,7 @@ def bcast_schedule(ep: TransportEndpoint, value: Any, root: int):
                 wire = freeze_payload(value.copy())
             else:
                 wire = value
-        sends.append(ep.isend(wire, from_virtual(child, root, size)))
+        sends.append(ep.isend(wire, (child + root) % size))
     if sends:
         yield sends
     return value
@@ -133,12 +141,12 @@ def reduce_schedule(ep: TransportEndpoint, value: Any, op: Callable[[Any, Any], 
     size = ep.size
     if size == 1:
         return value
-    vrank = to_virtual(ep.rank, root, size)
+    vrank = (ep.rank - root) % size  # to_virtual, inlined (hot)
     children = binomial_children(vrank, size)
     combine_delay = 0.0
     contributed = value
     if children:
-        recvs = [ep.irecv(from_virtual(child, root, size)) for child in children]
+        recvs = [ep.irecv((child + root) % size) for child in children]
         yield recvs
         for recv in recvs:
             contribution = recv.result()
@@ -151,7 +159,7 @@ def reduce_schedule(ep: TransportEndpoint, value: Any, op: Callable[[Any, Any], 
         # own contribution is never frozen — the application may reuse it.
         if value is not contributed:
             value = freeze_payload(value)
-        send = ep.isend(value, from_virtual(parent, root, size),
+        send = ep.isend(value, (parent + root) % size,
                         local_delay=combine_delay)
         yield [send]
         return None
@@ -166,17 +174,17 @@ def gather_schedule(ep: TransportEndpoint, value: Any, root: int):
     size = ep.size
     if size == 1:
         return [value]
-    vrank = to_virtual(ep.rank, root, size)
+    vrank = (ep.rank - root) % size  # to_virtual, inlined (hot)
     collected: list[tuple[int, Any]] = [(ep.rank, value)]
     children = binomial_children(vrank, size)
     if children:
-        recvs = [ep.irecv(from_virtual(child, root, size)) for child in children]
+        recvs = [ep.irecv((child + root) % size) for child in children]
         yield recvs
         for recv in recvs:
             collected.extend(recv.result())
     parent = binomial_parent(vrank)
     if parent is not None:
-        send = ep.isend(collected, from_virtual(parent, root, size))
+        send = ep.isend(collected, (parent + root) % size)
         yield [send]
         return None
     collected.sort(key=lambda pair: pair[0])

@@ -7,6 +7,8 @@ to virtual rank 0 via ``vrank = (rank - root) mod size`` and back via
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 __all__ = [
     "ceil_log2",
     "binomial_parent",
@@ -41,12 +43,17 @@ def binomial_parent(vrank: int) -> int | None:
     return vrank & (vrank - 1)
 
 
+@lru_cache(maxsize=8192)
 def binomial_children(vrank: int, size: int) -> list[int]:
     """Children of ``vrank`` in the binomial broadcast tree over ``size`` ranks.
 
     The children are returned in *decreasing subtree size* order, which is the
     order a broadcast should send in (largest subtree first) so the critical
     path stays logarithmic.
+
+    Memoised: every collective instance asks for its children, and the
+    ``(vrank, size)`` space of a run is tiny.  Callers must treat the result
+    as read-only.
     """
     children = []
     mask = 1
@@ -61,10 +68,12 @@ def binomial_children(vrank: int, size: int) -> list[int]:
     return children
 
 
+@lru_cache(maxsize=1024)
 def dissemination_rounds(size: int) -> list[int]:
     """Distances used by dissemination-style algorithms (barrier, scan).
 
     Returns ``[1, 2, 4, ...]`` up to the largest power of two below ``size``.
+    Memoised; callers must treat the result as read-only.
     """
     rounds = []
     distance = 1

@@ -152,23 +152,26 @@ class RecvRequest(Request):
                  source_filter: Optional[Callable[[int], bool]] = None,
                  translate_source: Optional[Callable[[int], int]] = None):
         self.env = env
-        self._transport = transport
-        self._context = context
-        self._source_world = source_world
-        self._tag = tag
-        self._source_filter = source_filter
         self._translate_source = translate_source or _identity_rank
         self._message = None
         self._status: Optional[Status] = None
         # Wildcard-free receives — the overwhelmingly common case — poll the
         # destination mailbox directly with their exact (context, src, tag)
         # key: one dict probe per test instead of a transport call chain.
+        # The wildcard-only fields stay unset on this path (``__slots__``
+        # without value): nothing reads them when ``_mailbox`` is set, and a
+        # receive is constructed for every message in the simulation.
         if source_world != ANY_SOURCE and tag != ANY_TAG:
             self._mailbox = transport.mailbox_of(env.rank)
             self._key = (context, source_world, tag)
         else:
             self._mailbox = None
             self._key = None
+            self._transport = transport
+            self._context = context
+            self._source_world = source_world
+            self._tag = tag
+            self._source_filter = source_filter
 
     def test(self) -> bool:
         if self._message is not None:
@@ -196,6 +199,21 @@ class RecvRequest(Request):
         if self._message is None:
             return None
         return self._message.payload
+
+    def take(self) -> Any:
+        """Return the matched payload and re-arm the request (multi-shot).
+
+        After ``take`` the request is incomplete again; the next ``test()``
+        matches the next message with the same envelope/filter.  Drain-style
+        receive loops (the sorters' data exchanges) use this to consume a
+        stream of same-envelope messages through one request object instead
+        of allocating a request per message.  Call only when ``test()`` has
+        returned True.
+        """
+        message = self._message
+        self._message = None
+        self._status = None
+        return message.payload
 
     def get_status(self) -> Optional[Status]:
         # The Status object is built lazily on first demand: most receives

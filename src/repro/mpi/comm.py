@@ -213,6 +213,7 @@ class MpiCommunicator:
             to_world=self.to_world,
             word_cost_factor=word_factor,
             per_message_delay=per_message,
+            world_affine=self.group.affine_world_map(),
         )
 
     # --- nonblocking ---------------------------------------------------------

@@ -41,6 +41,9 @@ class ContextIdPool:
         self.bits = bits
         # Python ints are arbitrary precision: a mask with all `bits` bits set.
         self._mask = (1 << bits) - 1
+        # (mask value, wire array) of the last mask_array() call — communicator
+        # creations ask for the same mask repeatedly between allocations.
+        self._array_cache: tuple[int, "np.ndarray"] | None = None
 
     # ------------------------------------------------------------------ state
 
@@ -86,21 +89,28 @@ class ContextIdPool:
         return lowest_set_bit(reduced_mask)
 
     def mask_array(self) -> np.ndarray:
-        """The mask as an array of 64-bit words (what actually goes on the wire)."""
-        words = self.mask_words()
-        out = np.zeros(words, dtype=np.uint64)
+        """The mask as an array of 64-bit words (what actually goes on the wire).
+
+        The returned array is read-only (frozen) and cached until the mask
+        changes: collective state machines may forward it without a transport
+        snapshot, and repeated creations between allocations reuse it.
+        """
+        cached = self._array_cache
         mask = self._mask
-        for i in range(words):
-            out[i] = mask & 0xFFFFFFFFFFFFFFFF
-            mask >>= 64
-        return out
+        if cached is not None and cached[0] == mask:
+            return cached[1]
+        words = self.mask_words()
+        # One to_bytes + frombuffer instead of a Python loop over the words.
+        raw = mask.to_bytes(words * 8, "little")
+        array = np.frombuffer(raw, dtype="<u8").astype(np.uint64)
+        array.flags.writeable = False
+        self._array_cache = (mask, array)
+        return array
 
     @staticmethod
     def mask_from_array(words: np.ndarray) -> int:
-        mask = 0
-        for i, word in enumerate(np.asarray(words, dtype=np.uint64)):
-            mask |= int(word) << (64 * i)
-        return mask
+        array = np.ascontiguousarray(words, dtype=np.uint64).astype("<u8", copy=False)
+        return int.from_bytes(array.tobytes(), "little")
 
     def _check(self, context_id: int) -> None:
         if not 0 <= context_id < self.bits:

@@ -81,6 +81,7 @@ def _endpoint(comm: RbcComm, tag: int) -> TransportEndpoint:
     """
     if comm.rank is None:
         raise ValueError("calling process is not a member of this RBC communicator")
+    world_first = comm._world_first
     return TransportEndpoint(
         comm.env,
         comm.env.transport,
@@ -89,6 +90,8 @@ def _endpoint(comm: RbcComm, tag: int) -> TransportEndpoint:
         rank=comm.rank,
         size=comm.size,
         to_world=comm.to_world,
+        world_affine=(None if world_first is None
+                      else (world_first, comm._world_stride)),
     )
 
 

@@ -29,6 +29,16 @@ class RbcRequest:
         self.env = env
         self._inner = inner
 
+    @property
+    def inner(self) -> _InnerRequest:
+        """The request implementing the operation.
+
+        Hot poll loops (the sorting backends) test the inner request directly
+        — one fewer call frame per poll; the smart pointer exists for API
+        fidelity, not behaviour.
+        """
+        return self._inner
+
     # ------------------------------------------------------------------ probe
 
     def test(self) -> bool:
@@ -42,6 +52,14 @@ class RbcRequest:
     def result(self) -> Any:
         """Outcome of the completed operation (e.g. the received payload)."""
         return self._inner.result()
+
+    def take(self) -> Any:
+        """Multi-shot consume: forward to the inner request's ``take``.
+
+        Only meaningful for receive requests whose implementation supports
+        re-arming (see :meth:`repro.messaging.RecvRequest.take`).
+        """
+        return self._inner.take()
 
     def get_status(self) -> Optional[Status]:
         return self._inner.get_status()

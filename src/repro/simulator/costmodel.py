@@ -161,6 +161,15 @@ class CostModel:
         """The most expensive ``(alpha, beta)`` any message may pay."""
         raise NotImplementedError
 
+    def uniform_link(self) -> Optional[tuple]:
+        """``(alpha, beta)`` when every src/dst pair prices identically.
+
+        Lets the transport skip the per-send :meth:`link` call for flat
+        models.  Models with endpoint-dependent pricing return None (the
+        default).
+        """
+        return None
+
     # -------------------------------------------------------- local compute
 
     def compute_cost(self, operations: float) -> float:
@@ -239,6 +248,9 @@ class NetworkParams(CostModel):
         return self._link
 
     def worst_link(self) -> tuple:
+        return self._link
+
+    def uniform_link(self) -> tuple:
         return self._link
 
     def message_cost(self, words: int, src: Optional[int] = None,

@@ -67,6 +67,13 @@ def payload_words(payload: Any) -> int:
     cls = payload.__class__
     if cls is int or cls is float:  # plain scalars, the hottest non-array case
         return 1
+    if cls is np.ndarray:
+        return int(payload.size)
+    if cls is tuple or cls is list:  # e.g. (slot_start, chunk) exchange pairs
+        total = 0
+        for item in payload:
+            total += payload_words(item)
+        return total
     if isinstance(payload, np.ndarray):
         return int(payload.size)
     if isinstance(payload, (tuple, list)):
@@ -182,8 +189,11 @@ class SendHandle:
         self._wake_arg = wake_arg
         self._armed = wake_fn is None
 
-    @property
-    def done(self) -> bool:
+    # Request-protocol methods: the handle doubles as the completion request
+    # of the collective state machines, which poll sends but never inspect
+    # payloads or statuses — no per-send wrapper object needed.  ``done`` is
+    # an alias so the single lazy-arm implementation cannot diverge.
+    def test(self) -> bool:
         if self._engine._now >= self.complete_time:
             return True
         if not self._armed:
@@ -191,6 +201,11 @@ class SendHandle:
             self._engine.schedule_call_at(self.complete_time,
                                           self._wake_fn, self._wake_arg)
         return False
+
+    done = property(test)
+
+    def result(self) -> None:
+        return None
 
 
 # ---------------------------------------------------------------------------
@@ -430,6 +445,10 @@ class Transport:
         self._send_port_free = [0.0] * num_ranks
         self._recv_port_free = [0.0] * num_ranks
         self._seq = itertools.count()
+        # (alpha, beta) when the model prices every pair identically — lets
+        # post_send skip one method call per message; None for hierarchical
+        # models (getattr: cost models predating uniform_link keep working).
+        self._uniform_link = getattr(self.params, "uniform_link", lambda: None)()
         # Callbacks used to wake rank processes; installed by the cluster.
         self._notify_hooks: list[Optional[Any]] = [None] * num_ranks
         # Pre-bound callbacks for the engine's allocation-free scheduled
@@ -452,7 +471,9 @@ class Transport:
         """Scheduled-entry target: message reaches its destination mailbox."""
         dst = message.dst
         self._mailboxes[dst].append(message)
-        self.tracer.record_delivery(dst, message.words)
+        stats = self.tracer.stats
+        stats.per_rank_messages_received[dst] += 1
+        stats.per_rank_words_received[dst] += message.words
         hook = self._notify_hooks[dst]
         if hook is not None:
             hook()
@@ -484,20 +505,33 @@ class Transport:
         # this to hand one frozen buffer down a whole tree without copies.
         if isinstance(payload, np.ndarray) and not is_frozen_payload(payload):
             payload = payload.copy()
-        alpha, beta = self.params.link(src, dst, self.placement)
+        uniform = self._uniform_link
+        alpha, beta = uniform if uniform is not None \
+            else self.params.link(src, dst, self.placement)
         now = self.engine._now
 
-        start = max(now + local_delay, self._send_port_free[src])
+        start = now + local_delay
+        port_free = self._send_port_free[src]
+        if port_free > start:
+            start = port_free
         leave_sender = start + alpha + words * beta
         self._send_port_free[src] = leave_sender
         # The receive port is occupied for the data transfer part only; if it
         # is busy, delivery is delayed (incast serialisation).
-        arrival = max(leave_sender, self._recv_port_free[dst] + words * beta)
+        arrival = self._recv_port_free[dst] + words * beta
+        if leave_sender > arrival:
+            arrival = leave_sender
         self._recv_port_free[dst] = arrival
 
         message = Message(next(self._seq), src, dst, tag, context,
                           payload, words, now, arrival)
-        self.tracer.record_send(src, words)
+        # Tracer counters, inlined (one send per simulated message — the
+        # method call was measurable).
+        stats = self.tracer.stats
+        stats.messages_sent += 1
+        stats.words_sent += words
+        stats.per_rank_messages_sent[src] += 1
+        stats.per_rank_words_sent[src] += words
 
         # Allocation-free scheduled entries: the delivery is a (fn, arg) event
         # tuple, not a per-send closure.  The sender-free wake-up is *not*

@@ -56,6 +56,9 @@ class Tracer:
         )
 
     def record_send(self, src: int, words: int) -> None:
+        # NOTE: the transport's per-send hot path updates these counters
+        # inline (see Transport.post_send / Transport._deliver) rather than
+        # through this method; it exists for out-of-band callers.
         s = self.stats
         s.messages_sent += 1
         s.words_sent += words
@@ -69,19 +72,3 @@ class Tracer:
 
     def record_compute(self, rank: int, duration: float) -> None:
         self.stats.compute_time[rank] += duration
-
-
-class NullTracer(Tracer):
-    """Tracer that ignores everything (kept for API symmetry; unused by default)."""
-
-    def __init__(self):  # noqa: D107 - trivially documented by class docstring
-        super().__init__(0)
-
-    def record_send(self, src: int, words: int) -> None:  # pragma: no cover
-        pass
-
-    def record_delivery(self, dst: int, words: int) -> None:  # pragma: no cover
-        pass
-
-    def record_compute(self, rank: int, duration: float) -> None:  # pragma: no cover
-        pass

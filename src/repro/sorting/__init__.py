@@ -43,6 +43,12 @@ from .jquick import (
     jquick_native_mpi,
     jquick_rbc,
 )
+from .kernels import (
+    cached_log2,
+    fused_partition,
+    kway_bucket_split,
+    select_splitters,
+)
 from .multilevel import MultilevelConfig, MultilevelStats, multilevel_sample_sort
 from .partition import Pivot, partition_counts, partition_mask, split_by_mask
 from .pivot import PivotConfig, median_of_samples, sample_count
@@ -68,9 +74,12 @@ __all__ = [
     "RbcGroupComm",
     "SampleSortConfig",
     "SampleSortStats",
+    "cached_log2",
     "capacity",
     "chop_slot_range",
+    "fused_partition",
     "greedy_assignment",
+    "kway_bucket_split",
     "hypercube_quicksort",
     "imbalance_factor",
     "incoming_message_counts",
@@ -89,6 +98,7 @@ __all__ = [
     "sample_count",
     "sample_sort",
     "select_left_part",
+    "select_splitters",
     "select_right_part",
     "slot_range",
     "sort_local",

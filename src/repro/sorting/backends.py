@@ -76,7 +76,12 @@ class GroupComm:
 
 
 class RbcGroupComm(GroupComm):
-    """Group communication over an RBC communicator (tag-separated)."""
+    """Group communication over an RBC communicator (tag-separated).
+
+    Every method returns the *inner* request of the RBC smart pointer: the
+    sorting hot loops poll these requests tens of times per level, and the
+    pointer wrapper would add one pure-delegation call frame to every poll.
+    """
 
     def __init__(self, comm: RbcComm, group_first: int):
         self.comm = comm
@@ -85,31 +90,31 @@ class RbcGroupComm(GroupComm):
         self.rank = comm.rank
 
     def ibcast(self, value, root, tag):
-        return rbc_collectives.ibcast(self.comm, value, root, tag)
+        return rbc_collectives.ibcast(self.comm, value, root, tag).inner
 
     def iscan(self, value, op, tag):
-        return rbc_collectives.iscan(self.comm, value, op, tag)
+        return rbc_collectives.iscan(self.comm, value, op, tag).inner
 
     def igatherv(self, value, root, tag):
-        return rbc_collectives.igatherv(self.comm, value, root, tag)
+        return rbc_collectives.igatherv(self.comm, value, root, tag).inner
 
     def ibarrier(self, tag):
-        return rbc_collectives.ibarrier(self.comm, tag)
+        return rbc_collectives.ibarrier(self.comm, tag).inner
 
     def iallreduce(self, value, op, tag):
-        return rbc_collectives.iallreduce(self.comm, value, op, tag)
+        return rbc_collectives.iallreduce(self.comm, value, op, tag).inner
 
     def isend(self, payload, dest_group_rank, tag):
-        return rbc_p2p.isend(self.comm, payload, dest_group_rank, tag)
+        return rbc_p2p.isend(self.comm, payload, dest_group_rank, tag).inner
 
     def irecv(self, source_group_rank, tag):
-        return rbc_p2p.irecv(self.comm, source_group_rank, tag)
+        return rbc_p2p.irecv(self.comm, source_group_rank, tag).inner
 
     def irecv_any(self, tag):
         # Single-request membership-filtered receive: same matching semantics
         # as irecv(ANY_SOURCE), one filtered mailbox match per poll instead of
         # the probe-then-receive two-step.
-        return rbc_p2p.irecv_any_member(self.comm, tag)
+        return rbc_p2p.irecv_any_member(self.comm, tag).inner
 
 
 class MpiGroupComm(GroupComm):

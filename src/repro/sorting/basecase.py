@@ -14,6 +14,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .kernels import cached_log2
+
 __all__ = ["BaseCaseTask", "sort_local", "select_left_part", "select_right_part",
            "local_sort_cost", "quickselect_cost"]
 
@@ -68,10 +70,15 @@ def select_right_part(combined: np.ndarray, capacity: int) -> np.ndarray:
 
 
 def local_sort_cost(length: int) -> float:
-    """Elementary operations charged for sorting ``length`` elements locally."""
+    """Elementary operations charged for sorting ``length`` elements locally.
+
+    Uses :func:`~repro.sorting.kernels.cached_log2` (NumPy's ``log2`` values,
+    memoised) so the cost is bit-identical to the historical
+    ``float(np.log2(length))`` without the scalar-ufunc dispatch.
+    """
     if length <= 1:
         return float(length)
-    return float(length) * float(np.log2(length))
+    return float(length) * cached_log2(length)
 
 
 def quickselect_cost(length: int) -> float:

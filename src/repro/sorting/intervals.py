@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 __all__ = [
     "capacity",
+    "layout_constants",
     "slot_start",
     "slot_range",
     "owner_of",
@@ -26,6 +27,27 @@ __all__ = [
     "span",
     "Interval",
 ]
+
+
+def layout_constants(n: int, p: int) -> tuple[int, int, int]:
+    """``(q, r, boundary)`` of the balanced layout — the single source of the
+    inlined ownership arithmetic.
+
+    Ranks ``< r`` own ``q + 1`` slots, the rest own ``q``; ``boundary =
+    r * (q + 1)`` is the first slot of the small-capacity region.  The hot
+    paths (:func:`repro.sorting.assignment.chop_slot_range`, the JQuick run
+    loop) fetch these once and inline ``owner_of`` / ``slot_range`` as::
+
+        owner(slot)  = slot // (q + 1)               if slot < boundary
+                       r + (slot - boundary) // q    otherwise
+        end(owner)   = (owner + 1) * (q + 1)         if owner < r
+                       boundary + (owner - r + 1) * q otherwise
+
+    Keep those inlinings in sync with :func:`owner_of` / :func:`slot_range`
+    (which stay the validated reference implementations).
+    """
+    q, r = divmod(n, p)
+    return q, r, r * (q + 1)
 
 
 def capacity(rank: int, n: int, p: int) -> int:

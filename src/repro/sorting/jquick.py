@@ -27,15 +27,31 @@ with :class:`~repro.sorting.backends.RbcBackend` the per-level group
 communicators are RBC splits (local, constant time), with
 :class:`~repro.sorting.backends.NativeMpiBackend` they are blocking
 ``MPI_Comm_create_group`` calls — reproducing the comparison of Fig. 8.
+
+Compute path
+------------
+All per-level local work runs through the fused kernels of
+:mod:`repro.sorting.kernels` and the stateless sampler of
+:mod:`repro.core.rand`: partitioning produces ``(small, large, count)`` in
+one kernel call (no mask / arange materialisation), pivot samples are drawn
+by counter-based hashing with zero per-task generator construction, and the
+exchange buffer is handed to the two child tasks as a pair of frozen
+(read-only) views — no copies, and base-case messages sent from those views
+(bare arrays on the wire) skip the transport's defensive snapshot.  The
+pre-kernel PCG64 sampling path survives as ``JQuickConfig(sampler="pcg64")``;
+it is kept bit-identical in simulated time and event counts so differential
+tests can pin the rest of the compute path.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
 
+from ..core import rand
 from ..messaging import RequestSet
 from ..mpi.datatypes import SUM
 from ..rbc.tags import RESERVED_TAG_BASE
@@ -50,9 +66,9 @@ from .basecase import (
     select_right_part,
     sort_local,
 )
-from .intervals import Interval, capacity
-from .partition import Pivot, partition_mask, split_by_mask
-from .pivot import PivotConfig, draw_local_samples, median_of_samples, sample_count
+from .intervals import capacity, layout_constants
+from .kernels import fused_partition
+from .pivot import PivotConfig, median_of_samples, sample_count
 from .tasks import Blocking, Pending, Spawn, run_task_scheduler
 
 __all__ = ["JQuickConfig", "JQuickStats", "jquick", "jquick_rbc", "jquick_native_mpi"]
@@ -78,7 +94,14 @@ class JQuickConfig:
     pivot:
         Pivot-selection strategy and constants (Section VIII-A).
     seed:
-        Base seed of the (deterministic, per-task) sampling RNG.
+        Base seed of the (deterministic, per-task) sampling stream.
+    sampler:
+        ``"counter"`` (default) draws pivot-sample indices with the stateless
+        counter-based hash of :mod:`repro.core.rand` — no per-task generator
+        construction, restart-deterministic.  ``"pcg64"`` reproduces the
+        pre-kernel per-task ``Generator(PCG64(...))`` stream bit for bit
+        (identical samples, simulated times and event counts), so differential
+        tests can isolate sampling from the rest of the compute path.
     tie_breaking:
         Handle duplicate keys by comparing (value, global slot) pairs.
     schedule:
@@ -88,13 +111,16 @@ class JQuickConfig:
         ``"cascaded"`` (every janus creates the left group first).
     charge_local_work:
         Charge the simulated time of partitioning / sorting / copying; disable
-        to time only the communication.
+        to time only the communication.  With the counter sampler the charges
+        of one level are fused into fewer engine events (identical totals);
+        the pcg64 sampler keeps the historical one-event-per-charge placement.
     max_levels:
         Safety bound on the recursion depth per task.
     """
 
     pivot: PivotConfig = field(default_factory=PivotConfig)
     seed: int = 0
+    sampler: str = "counter"
     tie_breaking: bool = True
     schedule: str = "alternating"
     charge_local_work: bool = True
@@ -103,6 +129,8 @@ class JQuickConfig:
     def __post_init__(self):
         if self.schedule not in ("alternating", "cascaded"):
             raise ValueError(f"unknown schedule {self.schedule!r}")
+        if self.sampler not in ("counter", "pcg64"):
+            raise ValueError(f"unknown sampler {self.sampler!r}")
 
 
 @dataclass
@@ -133,24 +161,25 @@ def jquick(env: RankEnv, backend: JQuickBackend, local_data: np.ndarray,
     ``(sorted_local_array, JQuickStats)``: afterwards the concatenation of the
     per-rank arrays in rank order is globally sorted and every rank holds
     exactly its capacity.
+
+    Returns the run's generator directly (rather than delegating with
+    ``yield from``): callers drive it identically, and every engine resume
+    traverses one stack frame less.
     """
     config = config or JQuickConfig()
     run = _JQuickRun(env, backend, config)
-    result = yield from run.execute(np.asarray(local_data))
-    return result
+    return run.execute(np.asarray(local_data))
 
 
 def jquick_rbc(env: RankEnv, world, local_data, config: Optional[JQuickConfig] = None):
     """Convenience wrapper: JQuick over an :class:`RbcComm` (env generator)."""
-    result = yield from jquick(env, RbcBackend(world), local_data, config)
-    return result
+    return jquick(env, RbcBackend(world), local_data, config)
 
 
 def jquick_native_mpi(env: RankEnv, world, local_data,
                       config: Optional[JQuickConfig] = None):
     """Convenience wrapper: JQuick over a native :class:`MpiCommunicator`."""
-    result = yield from jquick(env, NativeMpiBackend(world), local_data, config)
-    return result
+    return jquick(env, NativeMpiBackend(world), local_data, config)
 
 
 class _JQuickRun:
@@ -167,6 +196,13 @@ class _JQuickRun:
         self.stats = JQuickStats()
         self.base_cases: list[BaseCaseTask] = []
         self.fragments: dict[int, np.ndarray] = {}
+        self._counter_sampler = config.sampler == "counter"
+        # Slot-layout constants, filled in by execute() once n is known.
+        self._my_start = 0
+        self._my_end = 0
+        self._q = 0
+        self._r = 0
+        self._owner_boundary = 0
 
     # ------------------------------------------------------------------ entry
 
@@ -188,19 +224,42 @@ class _JQuickRun:
         if self.n == 0:
             return data.copy(), self.stats
 
-        root_task = Interval(0, self.n, self.n, self.p)
-        if root_task.overlap_of(self.rank) > 0:
-            coroutines = [self.distributed_task(root_task, data, depth=0)]
+        # Fixed slot-layout arithmetic of this run
+        # (intervals.layout_constants semantics, inlined below in _owner:
+        # these run on every level of every task).
+        q, r, boundary = layout_constants(self.n, self.p)
+        self._q, self._r = q, r
+        self._owner_boundary = boundary
+        self._my_start = self.rank * q + min(self.rank, r)
+        self._my_end = self._my_start + (q + 1 if self.rank < r else q)
+
+        if self._my_end > self._my_start:
+            coroutines = [self.distributed_task(0, self.n, data, depth=0)]
             yield from run_task_scheduler(self.env, coroutines)
         yield from self.run_base_cases()
         result = self.finalize()
         return result, self.stats
 
+    # ------------------------------------------------------- slot arithmetic
+
+    def _owner(self, slot: int) -> int:
+        """Rank owning global slot ``slot`` (owner_of, without revalidation)."""
+        if slot < self._owner_boundary:
+            return slot // (self._q + 1)
+        return self._r + (slot - self._owner_boundary) // self._q
+
     # -------------------------------------------------------- distributed phase
 
-    def distributed_task(self, interval: Interval, data: np.ndarray, depth: int):
-        """Task coroutine for one subtask (yields Pending / Blocking / Spawn)."""
+    def distributed_task(self, lo: int, hi: int, data: np.ndarray, depth: int):
+        """Task coroutine for one subtask over global slots ``[lo, hi)``.
+
+        Yields Pending / Blocking / Spawn.  The task interval is carried as
+        two plain ints — this loop body runs once per level of every task on
+        every rank, and a frozen-dataclass interval per level was measurable.
+        """
         config = self.config
+        charge = config.charge_local_work
+        fused_charges = charge and self._counter_sampler
         comm: Optional[GroupComm] = None
         # Communicator reuse is keyed on the *task interval*: a degenerate
         # split retries the same interval, so every member takes the same
@@ -211,55 +270,57 @@ class _JQuickRun:
         level = depth
 
         while True:
-            first, last = interval.procs()
+            first, last = self._owner(lo), self._owner(hi - 1)
             span = last - first + 1
             if span <= 2:
-                self._defer_base_case(interval, data, first, last)
+                self._defer_base_case(lo, hi, data, first, last)
                 return None
             if level - depth > config.max_levels:
                 raise RuntimeError(
                     f"rank {self.rank}: exceeded {config.max_levels} levels on task "
-                    f"[{interval.lo}, {interval.hi})")
+                    f"[{lo}, {hi})")
 
-            self.stats.levels = max(self.stats.levels, level + 1)
+            if level >= self.stats.levels:
+                self.stats.levels = level + 1
             self.stats.distributed_steps += 1
 
-            if comm_interval != (interval.lo, interval.hi):
+            if comm_interval != (lo, hi):
                 comm = yield Blocking(self.backend.make_group_comm(first, last))
-                comm_interval = (interval.lo, interval.hi)
+                comm_interval = (lo, hi)
                 self.stats.comm_creations += 1
 
             group_rank = self.rank - first
             group_size = span
-            my_lo, my_hi = interval.local_slots(self.rank)
-            slots = np.arange(my_lo, my_hi, dtype=np.int64)
+            my_lo = lo if lo > self._my_start else self._my_start
+            my_hi = hi if hi < self._my_end else self._my_end
 
             # --- 1. pivot selection ------------------------------------------
-            pivot = yield from self._select_pivot(
-                comm, interval, data, slots, level, group_rank, group_size)
+            pivot_value, pivot_slot = yield from self._select_pivot(
+                comm, lo, hi, data, my_lo, level, group_rank, group_size,
+                fused_charges)
 
             # --- 2. local partitioning ---------------------------------------
-            if config.charge_local_work:
+            if charge and not fused_charges:
                 yield Blocking(self.env.compute(data.size))
-            mask = partition_mask(data, slots, pivot,
-                                  tie_breaking=config.tie_breaking)
-            small_vals, large_vals = split_by_mask(data, mask)
-            counts = np.array([small_vals.size, large_vals.size], dtype=np.int64)
+            small_vals, large_vals, small_n = fused_partition(
+                data, my_lo, pivot_value, pivot_slot,
+                tie_breaking=config.tie_breaking)
+            counts = np.array([small_n, data.size - small_n], dtype=np.int64)
 
             # --- 3. prefix sums and totals -----------------------------------
-            request = comm.iscan(counts, SUM, tag=self._tag(interval.lo, _PURPOSE_SCAN))
-            yield Pending([request])
-            inclusive = np.asarray(request.result(), dtype=np.int64)
-            small_prefix = int(inclusive[0] - counts[0])
-            large_prefix = int(inclusive[1] - counts[1])
+            request = comm.iscan(counts, SUM, tag=self._tag(lo, _PURPOSE_SCAN))
+            yield request
+            inclusive = request.result()
+            small_prefix = int(inclusive[0]) - small_n
+            large_prefix = int(inclusive[1]) - (data.size - small_n)
 
             totals_payload = inclusive if group_rank == group_size - 1 else None
             request = comm.ibcast(totals_payload, root=group_size - 1,
-                                  tag=self._tag(interval.lo, _PURPOSE_TOTAL))
-            yield Pending([request])
-            total_small = int(np.asarray(request.result())[0])
+                                  tag=self._tag(lo, _PURPOSE_TOTAL))
+            yield request
+            total_small = int(request.result()[0])
 
-            if total_small == 0 or total_small == interval.size:
+            if total_small == 0 or total_small == hi - lo:
                 # Degenerate split (pivot was an extreme element): retry the
                 # level with fresh samples; the group stays the same, so the
                 # communicator is reused.
@@ -269,34 +330,33 @@ class _JQuickRun:
 
             # --- 4./5. data assignment and exchange ---------------------------
             left_data, right_data, messages = yield from self._exchange(
-                comm, interval, total_small, small_prefix, large_prefix,
-                small_vals, large_vals)
+                comm, lo, my_lo, my_hi, total_small, small_prefix,
+                large_prefix, small_vals, large_vals)
             self.stats.exchange_messages_received += messages
-            self.stats.max_exchange_messages_per_step = max(
-                self.stats.max_exchange_messages_per_step, messages)
+            if messages > self.stats.max_exchange_messages_per_step:
+                self.stats.max_exchange_messages_per_step = messages
 
             # --- 6. recurse ----------------------------------------------------
-            left_iv, right_iv = interval.split_at(interval.lo + total_small)
-            in_left = left_iv.overlap_of(self.rank) > 0
-            in_right = right_iv.overlap_of(self.rank) > 0
+            split = lo + total_small
             level += 1
+            in_left = my_lo < split
+            in_right = my_hi > split
 
             if in_left and in_right:
                 self.stats.janus_episodes += 1
-                left_first = self._left_first()
-                if left_first:
-                    keep, keep_data = left_iv, left_data
-                    other, other_data = right_iv, right_data
+                if self._left_first():
+                    other_lo, other_hi, other_data = split, hi, right_data
+                    hi, data = split, left_data
                 else:
-                    keep, keep_data = right_iv, right_data
-                    other, other_data = left_iv, left_data
-                yield Spawn(self.distributed_task(other, other_data, depth=level))
-                interval, data = keep, keep_data
+                    other_lo, other_hi, other_data = lo, split, left_data
+                    lo, data = split, right_data
+                yield Spawn(self.distributed_task(other_lo, other_hi,
+                                                  other_data, depth=level))
                 continue
             if in_left:
-                interval, data = left_iv, left_data
+                hi, data = split, left_data
             elif in_right:
-                interval, data = right_iv, right_data
+                lo, data = split, right_data
             else:  # pragma: no cover - impossible: my slots lie in one side
                 return None
 
@@ -307,53 +367,80 @@ class _JQuickRun:
 
     # ----------------------------------------------------------- pivot selection
 
-    def _select_pivot(self, comm: GroupComm, interval: Interval, data: np.ndarray,
-                      slots: np.ndarray, level: int, group_rank: int,
-                      group_size: int):
-        """Sub-coroutine: sampled-median pivot selection on the task's group."""
+    def _select_pivot(self, comm: GroupComm, lo: int, hi: int, data: np.ndarray,
+                      my_lo: int, level: int, group_rank: int, group_size: int,
+                      fused_charges: bool):
+        """Sub-coroutine: sampled-median pivot selection on the task's group.
+
+        Returns ``(pivot_value, pivot_slot)``.
+        """
         config = self.config
-        total = interval.size
+        total = hi - lo
         sigma = sample_count(config.pivot, group_size, total / group_size)
-        local_count = 0
-        if data.size:
-            local_count = max(1, int(np.ceil(sigma * data.size / total)))
-        # Generator(PCG64(seed)) draws the exact stream default_rng(seed)
-        # would, with less construction overhead — this runs once per task
-        # level per rank, squarely on the simulation's critical path.
-        rng = np.random.Generator(np.random.PCG64(
-            (hash((config.seed, interval.lo, interval.hi, level, self.rank))
-             & 0x7FFFFFFF)))
-        values, sample_slots = draw_local_samples(data, slots, local_count, rng)
-        if config.charge_local_work and local_count:
-            yield Blocking(self.env.compute(local_count))
+        size = data.size
+        local_count = max(1, math.ceil(sigma * size / total)) if size else 0
+
+        if self._counter_sampler:
+            indices = rand.sample_indices(
+                rand.sample_key(config.seed, lo, hi, level, self.rank),
+                local_count, size)
+        else:
+            # Generator(PCG64(seed)) draws the exact stream default_rng(seed)
+            # would, with less construction overhead — kept verbatim so
+            # ``sampler="pcg64"`` runs are bit-identical to the pre-kernel
+            # implementation.
+            rng = np.random.Generator(np.random.PCG64(
+                (hash((config.seed, lo, hi, level, self.rank)) & 0x7FFFFFFF)))
+            if size and local_count > 0:
+                indices = rng.integers(0, size, size=local_count)
+            else:
+                indices = np.empty(0, dtype=np.int64)
+        if indices.size:
+            values = data[indices]
+            sample_slots = my_lo + indices
+        else:
+            values = data[:0]
+            sample_slots = indices
+
+        if config.charge_local_work:
+            if fused_charges:
+                # One engine event for this level's sampling + partitioning
+                # (the partition size is already known): same total charged
+                # compute, fewer heap operations.  The coarser placement can
+                # shift completion times, which is why this runs only under
+                # the re-baselined counter sampler — pcg64 keeps the
+                # historical per-charge events below.
+                yield Blocking(self.env.compute(local_count + size))
+            elif local_count:
+                yield Blocking(self.env.compute(local_count))
 
         request = comm.igatherv((values, sample_slots), root=0,
-                                tag=self._tag(interval.lo, _PURPOSE_SAMPLE))
-        yield Pending([request])
+                                tag=self._tag(lo, _PURPOSE_SAMPLE))
+        yield request
         if group_rank == 0:
-            chunks = request.result()
-            pivot = median_of_samples(chunks)
+            pivot = median_of_samples(request.result())
             payload = (pivot.value, pivot.slot)
         else:
             payload = None
         request = comm.ibcast(payload, root=0,
-                              tag=self._tag(interval.lo, _PURPOSE_PIVOT))
-        yield Pending([request])
+                              tag=self._tag(lo, _PURPOSE_PIVOT))
+        yield request
         value, slot = request.result()
-        return Pivot(float(value), int(slot))
+        return float(value), int(slot)
 
     # ---------------------------------------------------------------- exchange
 
-    def _exchange(self, comm: GroupComm, interval: Interval, total_small: int,
-                  small_prefix: int, large_prefix: int,
-                  small_vals: np.ndarray, large_vals: np.ndarray):
+    def _exchange(self, comm: GroupComm, lo: int, my_lo: int,
+                  my_hi: int, total_small: int, small_prefix: int,
+                  large_prefix: int, small_vals: np.ndarray,
+                  large_vals: np.ndarray):
         """Sub-coroutine: greedy assignment + nonblocking data exchange.
 
         Returns ``(left_part, right_part, remote_messages_received)`` where the
-        two parts are this process's portions of the left and right subtasks.
+        two parts are this process's portions of the left and right subtasks —
+        frozen views of one freshly filled buffer (no copies; ownership of the
+        buffer passes to the two subtasks, which never write to their data).
         """
-        lo = interval.lo
-        my_lo, my_hi = interval.local_slots(self.rank)
         cap = my_hi - my_lo
         buffer = np.empty(cap, dtype=self.dtype)
         received = 0
@@ -364,6 +451,7 @@ class _JQuickRun:
             large_count=large_vals.size, n=self.n, p=self.p)
 
         tag = self._tag(lo, _PURPOSE_DATA)
+        group_first = comm.group_first
         send_requests = []
         for pieces, source in ((small_pieces, small_vals), (large_pieces, large_vals)):
             for piece in pieces:
@@ -375,17 +463,24 @@ class _JQuickRun:
                 else:
                     send_requests.append(
                         comm.isend((piece.slot_start, chunk),
-                                   comm.to_group(piece.dest), tag))
+                                   piece.dest - group_first, tag))
 
         messages = 0
-        while received < cap:
+        if received < cap:
+            # One multi-shot wildcard receive drains the whole exchange: every
+            # completion is consumed with ``take()``, re-arming the same
+            # request for the next fragment (same matching order as a fresh
+            # request per message, without the per-message allocations).  The
+            # Pending window is reused for the same reason.
             request = comm.irecv_any(tag)
-            yield Pending([request])
-            slot_start, chunk = request.result()
-            offset = slot_start - my_lo
-            buffer[offset:offset + len(chunk)] = chunk
-            received += len(chunk)
-            messages += 1
+            window = Pending((request,))
+            while received < cap:
+                yield window
+                slot_start, chunk = request.take()
+                offset = slot_start - my_lo
+                buffer[offset:offset + len(chunk)] = chunk
+                received += len(chunk)
+                messages += 1
 
         if self.config.charge_local_work:
             yield Blocking(self.env.compute(cap))
@@ -393,13 +488,17 @@ class _JQuickRun:
             yield Pending(send_requests)
 
         cut = min(max(lo + total_small, my_lo), my_hi) - my_lo
-        return buffer[:cut].copy(), buffer[cut:].copy(), messages
+        # The buffer is an owned, fully filled array; freeze it (direct flag
+        # write) so the two views handed to the child tasks — and every
+        # base-case message sent from them — skip the transport snapshot.
+        buffer.flags.writeable = False
+        return buffer[:cut], buffer[cut:], messages
 
     # -------------------------------------------------------------- base cases
 
-    def _defer_base_case(self, interval: Interval, data: np.ndarray,
+    def _defer_base_case(self, lo: int, hi: int, data: np.ndarray,
                          first: int, last: int) -> None:
-        task = BaseCaseTask(lo=interval.lo, hi=interval.hi, data=data,
+        task = BaseCaseTask(lo=lo, hi=hi, data=data,
                             first_rank=first, last_rank=last)
         self.base_cases.append(task)
         if task.two_process:
@@ -410,6 +509,7 @@ class _JQuickRun:
     def run_base_cases(self):
         """Env-level generator: second phase, after all distributed tasks."""
         channel = self.backend.world_channel()
+        charge = self.config.charge_local_work
 
         # Post every outgoing base-case message first so no partner ever waits
         # on this process's internal ordering.
@@ -422,9 +522,22 @@ class _JQuickRun:
                 task.data, channel.to_group(partner),
                 self._tag(task.lo, _PURPOSE_BASECASE)))
 
+        # With the counter sampler, all single-process local sorts are charged
+        # as one engine event up front — same total charged compute, but the
+        # placement relative to the two-process partner waits is coarser, so
+        # completion times can shift; counter mode is re-baselined for exactly
+        # this kind of change.  The pcg64 path keeps the historical
+        # charge-per-task placement (bit-identical to PR 2).
+        fused_charges = charge and self._counter_sampler
+        if fused_charges:
+            local_ops = sum(local_sort_cost(task.data.size)
+                            for task in self.base_cases if not task.two_process)
+            if local_ops:
+                yield from self.env.compute(local_ops)
+
         for task in self.base_cases:
             if not task.two_process:
-                if self.config.charge_local_work:
+                if charge and not fused_charges:
                     yield from self.env.compute(local_sort_cost(task.data.size))
                 self.fragments[task.lo] = sort_local(task.data)
                 continue
@@ -434,7 +547,7 @@ class _JQuickRun:
             yield from self.env.wait_until(request.test)
             their_data = request.result()
             combined = np.concatenate([task.data, np.asarray(their_data)])
-            if self.config.charge_local_work:
+            if charge:
                 yield from self.env.compute(
                     quickselect_cost(combined.size) + local_sort_cost(task.data.size))
             if self.rank == task.first_rank:
@@ -455,9 +568,12 @@ class _JQuickRun:
         """Concatenate the sorted fragments of this process in slot order."""
         if not self.fragments:
             return np.empty(0, dtype=self.dtype)
-        keys = sorted(self.fragments)
-        result = np.concatenate([self.fragments[key] for key in keys])
-        expected = capacity(self.rank, self.n, self.p)
+        if len(self.fragments) == 1:
+            result = next(iter(self.fragments.values()))
+        else:
+            keys = sorted(self.fragments)
+            result = np.concatenate([self.fragments[key] for key in keys])
+        expected = self._my_end - self._my_start
         if result.size != expected:
             raise AssertionError(
                 f"rank {self.rank}: produced {result.size} elements, expected "

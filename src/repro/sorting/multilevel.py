@@ -28,6 +28,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..core import rand
 from ..messaging import RequestSet
 from ..rbc import collectives as rbc_collectives
 from ..rbc import p2p as rbc_p2p
@@ -35,6 +36,7 @@ from ..rbc.comm import RbcComm
 from ..simulator.network import freeze_payload
 from ..simulator.process import RankEnv
 from .basecase import local_sort_cost
+from .kernels import cached_log2, kway_bucket_split, select_splitters
 
 __all__ = ["MultilevelConfig", "MultilevelStats", "multilevel_sample_sort"]
 
@@ -57,7 +59,12 @@ class MultilevelConfig:
         Random samples each process contributes to the splitter selection,
         per target group.
     seed:
-        Base seed of the per-level sampling RNG.
+        Base seed of the per-level sampling stream.
+    sampler:
+        ``"counter"`` (default) draws sample indices with the stateless
+        counter-based hash of :mod:`repro.core.rand`; ``"pcg64"`` reproduces
+        the pre-kernel per-level ``default_rng((seed, level, rank))`` stream
+        bit for bit.
     charge_local_work:
         Charge simulated time for partitioning / sorting / merging.
     """
@@ -65,6 +72,7 @@ class MultilevelConfig:
     branching: int = 8
     oversampling: int = 16
     seed: int = 0
+    sampler: str = "counter"
     charge_local_work: bool = True
 
     def __post_init__(self):
@@ -72,6 +80,8 @@ class MultilevelConfig:
             raise ValueError("branching factor must be at least 2")
         if self.oversampling < 1:
             raise ValueError("oversampling must be at least 1")
+        if self.sampler not in ("counter", "pcg64"):
+            raise ValueError(f"unknown sampler {self.sampler!r}")
 
 
 @dataclass
@@ -153,40 +163,35 @@ def _one_level(env: RankEnv, sub: RbcComm, data: np.ndarray,
     tag_base = _TAG_EXCHANGE + level * _TAGS_PER_LEVEL
 
     # --- 1. splitter agreement (k - 1 pivots from a gathered random sample) --
-    rng = np.random.default_rng((config.seed, level, rank))
     sample_size = config.oversampling * k
     if data.size:
-        samples = data[rng.integers(0, data.size, size=sample_size)]
+        if config.sampler == "counter":
+            indices = rand.sample_indices(
+                rand.sample_key(config.seed, 0, 0, level, rank),
+                sample_size, data.size)
+        else:
+            rng = np.random.default_rng((config.seed, level, rank))
+            indices = rng.integers(0, data.size, size=sample_size)
+        samples = data[indices]
     else:
         samples = data[:0]
     gathered = yield from rbc_collectives.gatherv(
         sub, samples, root=0, tag=_TAG_SAMPLES + level * _TAGS_PER_LEVEL)
     if rank == 0:
-        pool = np.sort(np.concatenate([np.asarray(chunk) for chunk in gathered]))
-        if pool.size == 0:
-            splitters = np.empty(0, dtype=data.dtype)
-        else:
-            positions = (np.arange(1, k) * pool.size) // k
-            splitters = pool[np.minimum(positions, pool.size - 1)]
+        splitters = select_splitters(gathered, k, data.dtype)
     else:
         splitters = None
     splitters = yield from rbc_collectives.bcast(
         sub, splitters, root=0, tag=_TAG_SPLITTERS + level * _TAGS_PER_LEVEL)
     splitters = np.asarray(splitters)
 
-    # --- 2. k-way local partition -------------------------------------------
+    # --- 2. k-way local partition (fused kernel) -----------------------------
     if config.charge_local_work:
-        yield from env.compute(data.size * max(1.0, float(np.log2(max(2, k)))))
-    if splitters.size:
-        bucket = np.searchsorted(splitters, data, side="right")
-    else:
-        bucket = np.zeros(data.size, dtype=np.int64)
-    order = np.argsort(bucket, kind="stable")
+        yield from env.compute(data.size * max(1.0, cached_log2(max(2, k))))
     # ``by_bucket`` is a fresh buffer this rank owns and never mutates again;
     # frozen, its per-group slices go on the wire without a transport snapshot.
-    by_bucket = freeze_payload(data[order])
-    bucket_sorted = bucket[order]
-    boundaries = np.searchsorted(bucket_sorted, np.arange(k + 1))
+    by_bucket, boundaries = kway_bucket_split(data, splitters, k)
+    by_bucket = freeze_payload(by_bucket)
     pieces = [by_bucket[boundaries[g]:boundaries[g + 1]] for g in range(k)]
 
     # --- 3. route piece g to one member of group g ---------------------------

@@ -14,11 +14,13 @@ slot of the median element, needed for tie-breaking — is broadcast back.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
+from .kernels import cached_log2
 from .partition import Pivot
 
 __all__ = ["PivotConfig", "sample_count", "draw_local_samples", "median_of_samples"]
@@ -48,9 +50,9 @@ def sample_count(config: PivotConfig, group_size: int, elements_per_proc: float)
     """Total number of samples for a task of ``group_size`` processes."""
     if config.strategy == "random_element":
         return 1
-    log_p = max(1.0, np.log2(max(2, group_size)))
+    log_p = max(1.0, cached_log2(max(2, group_size)))
     count = max(config.k1 * log_p, config.k2 * elements_per_proc, config.k3)
-    return max(1, int(np.ceil(count)))
+    return max(1, math.ceil(count))
 
 
 def draw_local_samples(values: np.ndarray, slots: np.ndarray, count: int,
@@ -65,11 +67,24 @@ def draw_local_samples(values: np.ndarray, slots: np.ndarray, count: int,
 
 
 def median_of_samples(sample_chunks: Sequence[tuple[np.ndarray, np.ndarray]]) -> Pivot:
-    """Median (by value, tie-broken by slot) of gathered sample chunks."""
-    values = np.concatenate([np.asarray(v) for v, _ in sample_chunks if np.asarray(v).size])
-    slots = np.concatenate([np.asarray(s) for _, s in sample_chunks if np.asarray(s).size])
-    if values.size == 0:
+    """Median (by value, tie-broken by slot) of gathered sample chunks.
+
+    Chunks are converted once (single ``np.asarray`` pass per array); the
+    concatenation is skipped when only one non-empty chunk was gathered, and
+    a single-sample chunk short-circuits the ``np.lexsort`` entirely.
+    """
+    pairs = [(v, s) for v, s in
+             ((np.asarray(v), np.asarray(s)) for v, s in sample_chunks)
+             if v.size]
+    if not pairs:
         raise ValueError("no samples provided")
+    if len(pairs) == 1:
+        values, slots = pairs[0]
+        if values.size == 1:
+            return Pivot(value=float(values[0]), slot=int(slots[0]))
+    else:
+        values = np.concatenate([v for v, _ in pairs])
+        slots = np.concatenate([s for _, s in pairs])
     order = np.lexsort((slots, values))
     middle = order[(values.size - 1) // 2]
     return Pivot(value=float(values[middle]), slot=int(slots[middle]))

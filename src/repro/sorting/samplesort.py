@@ -15,10 +15,12 @@ from typing import Optional
 
 import numpy as np
 
+from ..core import rand
 from ..rbc import collectives as rbc_collectives
 from ..rbc.comm import RbcComm
 from ..simulator.process import RankEnv
 from .basecase import local_sort_cost
+from .kernels import cached_log2, kway_bucket_split, select_splitters
 
 __all__ = ["SampleSortConfig", "SampleSortStats", "sample_sort"]
 
@@ -29,12 +31,23 @@ _TAG_EXCHANGE = 3_000_002
 
 @dataclass(frozen=True)
 class SampleSortConfig:
-    """Parameters of single-level sample sort."""
+    """Parameters of single-level sample sort.
+
+    ``sampler`` selects the sampling stream: ``"counter"`` (default) uses the
+    stateless counter-based hash of :mod:`repro.core.rand`; ``"pcg64"``
+    reproduces the pre-kernel per-rank ``default_rng((seed, rank))`` stream
+    bit for bit.
+    """
 
     #: Number of random samples each process contributes.
     oversampling: int = 16
     seed: int = 0
+    sampler: str = "counter"
     charge_local_work: bool = True
+
+    def __post_init__(self):
+        if self.sampler not in ("counter", "pcg64"):
+            raise ValueError(f"unknown sampler {self.sampler!r}")
 
 
 @dataclass
@@ -66,9 +79,15 @@ def sample_sort(env: RankEnv, comm: RbcComm, local_data: np.ndarray,
         return result, stats
 
     # 1. Sampling: every process contributes `oversampling` random elements.
-    rng = np.random.default_rng((config.seed, rank))
     if data.size:
-        samples = data[rng.integers(0, data.size, size=config.oversampling)]
+        if config.sampler == "counter":
+            indices = rand.sample_indices(
+                rand.sample_key(config.seed, 0, 0, 0, rank),
+                config.oversampling, data.size)
+        else:
+            rng = np.random.default_rng((config.seed, rank))
+            indices = rng.integers(0, data.size, size=config.oversampling)
+        samples = data[indices]
     else:
         samples = data[:0]
     gathered = yield from rbc_collectives.gather(comm, samples, root=0,
@@ -77,27 +96,17 @@ def sample_sort(env: RankEnv, comm: RbcComm, local_data: np.ndarray,
     # 2. Splitter selection at the root: p - 1 equidistant elements of the
     #    sorted sample.
     if rank == 0:
-        pool = np.sort(np.concatenate([np.asarray(chunk) for chunk in gathered]))
-        if pool.size == 0:
-            splitters = np.empty(0, dtype=data.dtype)
-        else:
-            positions = (np.arange(1, size) * pool.size) // size
-            splitters = pool[np.minimum(positions, pool.size - 1)]
+        splitters = select_splitters(gathered, size, data.dtype)
     else:
         splitters = None
     splitters = yield from rbc_collectives.bcast(comm, splitters, root=0,
                                                  tag=_TAG_SPLITTERS)
     splitters = np.asarray(splitters)
 
-    # 3. Local partitioning into p buckets.
+    # 3. Local partitioning into p buckets (fused kernel).
     if config.charge_local_work:
-        yield from env.compute(data.size * max(1, np.log2(max(2, size))))
-    buckets = np.searchsorted(splitters, data, side="right") if splitters.size else \
-        np.zeros(data.size, dtype=np.int64)
-    order = np.argsort(buckets, kind="stable")
-    sorted_by_bucket = data[order]
-    bucket_of_sorted = buckets[order]
-    boundaries = np.searchsorted(bucket_of_sorted, np.arange(size + 1))
+        yield from env.compute(data.size * max(1, cached_log2(max(2, size))))
+    sorted_by_bucket, boundaries = kway_bucket_split(data, splitters, size)
     pieces = [sorted_by_bucket[boundaries[i]:boundaries[i + 1]] for i in range(size)]
 
     # 4. Direct all-to-all exchange (p - 1 startups per process).

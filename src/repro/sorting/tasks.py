@@ -12,6 +12,9 @@ directives:
 ``Pending(requests)``
     Wait — without blocking the process — until every request in the list has
     completed.  Other task coroutines of the same process keep running.
+    A *bare request* (any object with a ``test()`` method) may be yielded
+    directly as shorthand for a single-request window — the hot case, spared
+    the ``Pending`` wrapper allocation.
 
 ``Blocking(generator)``
     Run an environment-level generator to completion, blocking the *whole*
@@ -32,16 +35,15 @@ can make progress.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Generator, Iterable, List, Optional, Sequence
+from typing import Any, Generator, Iterable, List, Optional
 
 from ..messaging import RequestSet
+from ..simulator.engine import WAIT_NOTIFY
 from ..simulator.process import RankEnv
 
 __all__ = ["Pending", "Blocking", "Spawn", "run_task_scheduler"]
 
 
-@dataclass
 class Pending:
     """Wait (cooperatively) until all ``requests`` have completed.
 
@@ -49,39 +51,61 @@ class Pending:
     every :meth:`ready` poll re-tests only the requests that were still
     incomplete last time, so a window of N requests costs O(N) tests over its
     lifetime instead of O(N²).
+
+    (All three directives are plain ``__slots__`` classes: they are allocated
+    once or more per task level, and a dataclass with a ``__dict__`` was
+    measurable on the scheduling hot path.)
     """
 
-    requests: Sequence[Any]
-    _tracker: Optional[RequestSet] = field(default=None, repr=False, compare=False)
+    __slots__ = ("requests", "_tracker")
+
+    def __init__(self, requests):
+        self.requests = requests
+        # Completion tester: the request itself for the (hot) single-request
+        # window, a RequestSet otherwise — both expose ``test()``.
+        self._tracker: Optional[Any] = None
 
     def ready(self) -> bool:
         tracker = self._tracker
         if tracker is None:
-            tracker = self._tracker = RequestSet(self.requests)
+            requests = self.requests
+            tracker = self._tracker = (
+                requests[0] if len(requests) == 1 else RequestSet(requests))
         return tracker.test()
 
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"Pending({self.requests!r})"
 
-@dataclass
+
 class Blocking:
     """Run an env-level generator, blocking the whole process."""
 
-    generator: Generator
+    __slots__ = ("generator",)
+
+    def __init__(self, generator: Generator):
+        self.generator = generator
 
 
-@dataclass
 class Spawn:
     """Register an additional task coroutine with the scheduler."""
 
-    coroutine: Generator
+    __slots__ = ("coroutine",)
+
+    def __init__(self, coroutine: Generator):
+        self.coroutine = coroutine
 
 
-@dataclass
 class _Entry:
-    coroutine: Generator
-    waiting: Optional[Pending] = None
-    send_value: Any = None
-    done: bool = False
-    result: Any = None
+    __slots__ = ("coroutine", "waiting", "send_value", "done", "result")
+
+    def __init__(self, coroutine: Generator):
+        self.coroutine = coroutine
+        #: Zero-argument readiness callable of the open window (None if
+        #: runnable): ``Pending.ready`` or a bare request's ``test``.
+        self.waiting: Optional[Any] = None
+        self.send_value: Any = None
+        self.done = False
+        self.result: Any = None
 
 
 def run_task_scheduler(env: RankEnv, coroutines: Iterable[Generator]):
@@ -91,6 +115,7 @@ def run_task_scheduler(env: RankEnv, coroutines: Iterable[Generator]):
     order (initial coroutines first, spawned ones appended as they appear).
     """
     entries: List[_Entry] = [_Entry(coroutine=c) for c in coroutines]
+    unfinished = len(entries)
 
     def sweep():
         """Advance every runnable coroutine as far as possible.
@@ -103,6 +128,7 @@ def run_task_scheduler(env: RankEnv, coroutines: Iterable[Generator]):
         This is a generator because a ``Blocking`` directive must suspend the
         whole process; it is driven with ``yield from`` below.
         """
+        nonlocal unfinished
         index = 0
         while index < len(entries):
             entry = entries[index]
@@ -115,28 +141,39 @@ def run_task_scheduler(env: RankEnv, coroutines: Iterable[Generator]):
                 except StopIteration as stop:
                     entry.done = True
                     entry.result = stop.value
+                    unfinished -= 1
                     break
                 entry.send_value = None
-                if isinstance(directive, Pending):
+                cls = directive.__class__
+                if cls is Pending:
                     if directive.ready():
                         continue
-                    entry.waiting = directive
+                    entry.waiting = directive.ready
                     break
-                if isinstance(directive, Blocking):
+                if cls is Blocking:
                     entry.send_value = yield from directive.generator
                     continue
-                if isinstance(directive, Spawn):
+                if cls is Spawn:
                     entries.append(_Entry(coroutine=directive.coroutine))
+                    unfinished += 1
                     continue
-                raise TypeError(
-                    f"task coroutine yielded {directive!r}; expected "
-                    "Pending, Blocking or Spawn")
+                # Bare single request (the hot case): poll its test() directly.
+                tester = getattr(directive, "test", None)
+                if tester is None:
+                    raise TypeError(
+                        f"task coroutine yielded {directive!r}; expected "
+                        "Pending, Blocking, Spawn or a testable request")
+                if tester():
+                    continue
+                entry.waiting = tester
+                break
 
     def any_entry_ready() -> bool:
         """Poll every open window once; release the entries that completed."""
         found = False
         for e in entries:
-            if not e.done and e.waiting is not None and e.waiting.ready():
+            waiting = e.waiting
+            if waiting is not None and not e.done and waiting():
                 e.waiting = None
                 e.send_value = None
                 found = True
@@ -144,12 +181,14 @@ def run_task_scheduler(env: RankEnv, coroutines: Iterable[Generator]):
 
     while True:
         yield from sweep()
-        pending_entries = [e for e in entries if not e.done]
-        if not pending_entries:
+        if not unfinished:
             break
         # Every remaining coroutine waits on requests; suspend the process
         # until at least one of them can continue.  Testing the requests makes
         # progress on their state machines, mirroring progression-by-Test.
-        yield from env.wait_until(any_entry_ready)
+        # The wait loop is inlined (no env.wait_until generator per cycle):
+        # this resume path runs on every wake-up of every rank.
+        while not any_entry_ready():
+            yield WAIT_NOTIFY
 
     return [entry.result for entry in entries]

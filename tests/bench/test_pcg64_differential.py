@@ -1,0 +1,46 @@
+"""Differential trajectory test: ``sampler="pcg64"`` reproduces PR 2 runs.
+
+PR 3 rebuilt the sorters' compute path (fused partition kernels, stateless
+counter-based sampling, copy-free exchange, fused compute charges) and
+re-baselined ``benchmarks/baselines/`` because the *default* sampler changed.
+The legacy ``JQuickConfig(sampler="pcg64")`` path is the proof that nothing
+else moved: a fig8-style run with it must be bit-identical — in total
+simulated microseconds, discrete events processed and messages sent — to the
+telemetry PR 2 committed (snapshot under ``benchmarks/baselines/pcg64_pr2/``).
+
+If this test fails, a supposedly host-only optimisation changed simulation
+semantics; do NOT fix it by updating the snapshot.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.bench import fig8_jquick
+from repro.bench.harness import TELEMETRY
+
+_SNAPSHOT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), os.pardir, os.pardir,
+    "benchmarks", "baselines", "pcg64_pr2", "BENCH_test_fig8_jquick.json")
+
+
+def test_fig8_pcg64_bit_identical_to_pr2_baseline(tmp_path, monkeypatch):
+    with open(_SNAPSHOT) as handle:
+        snapshot = json.load(handle)
+    assert snapshot["scale"] == "tiny", "snapshot must be the tiny-scale run"
+
+    # Keep the table/JSON artefacts of this differential run out of the
+    # repository's bench_results.
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+
+    TELEMETRY.reset()
+    fig8_jquick.run("tiny", sampler="pcg64")
+    fresh = TELEMETRY.snapshot()
+
+    assert fresh["cluster_runs"] == snapshot["cluster_runs"]
+    assert fresh["simulated_us"] == snapshot["simulated_us"], (
+        "simulated time drifted vs. the PR 2 pcg64 baseline — a host-only "
+        "optimisation changed simulation semantics")
+    assert fresh["events_processed"] == snapshot["events_processed"]
+    assert fresh["messages_sent"] == snapshot["messages_sent"]

@@ -1,0 +1,183 @@
+"""Property tests of the fused compute kernels (repro.sorting.kernels)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sorting import kernels
+from repro.sorting.kernels import (
+    PARTITION_SCALAR_CUTOFF,
+    cached_log2,
+    fused_partition,
+    kway_bucket_split,
+    select_splitters,
+)
+from repro.sorting.partition import Pivot, partition_mask, split_by_mask
+
+
+# ------------------------------------------------------------ fused_partition
+
+DTYPES = [np.float64, np.float32, np.int64, np.int32, np.uint16]
+
+
+def _reference(values, slot_base, pivot_value, pivot_slot, tie_breaking):
+    slots = slot_base + np.arange(values.size, dtype=np.int64)
+    mask = partition_mask(values, slots, Pivot(pivot_value, pivot_slot),
+                          tie_breaking=tie_breaking)
+    return split_by_mask(values, mask)
+
+
+@settings(deadline=None, max_examples=200)
+@given(
+    data=st.data(),
+    size=st.integers(0, 3 * PARTITION_SCALAR_CUTOFF),
+    dtype=st.sampled_from(DTYPES),
+    tie_breaking=st.booleans(),
+)
+def test_fused_partition_equals_reference(data, size, dtype, tie_breaking):
+    if np.issubdtype(dtype, np.floating):
+        elements = st.floats(-1e6, 1e6, width=32).map(float)
+    else:
+        info = np.iinfo(dtype)
+        elements = st.integers(int(info.min), int(info.max))
+    values = np.array(
+        data.draw(st.lists(elements, min_size=size, max_size=size)), dtype=dtype)
+    slot_base = data.draw(st.integers(0, 10 ** 9))
+    pivot_value = float(data.draw(
+        st.sampled_from(list(values.tolist()) + [0.0, 1.5])
+        if size else st.just(0.0)))
+    pivot_slot = data.draw(
+        st.integers(slot_base - 3, slot_base + size + 3))
+
+    small, large, n_small = fused_partition(
+        values, slot_base, pivot_value, pivot_slot, tie_breaking=tie_breaking)
+    ref_small, ref_large = _reference(
+        values, slot_base, pivot_value, pivot_slot, tie_breaking)
+
+    assert n_small == ref_small.size == small.size
+    np.testing.assert_array_equal(small, ref_small)
+    np.testing.assert_array_equal(large, ref_large)
+    assert small.dtype == values.dtype
+    assert large.dtype == values.dtype
+
+
+@pytest.mark.parametrize("size", [0, 1, 2, PARTITION_SCALAR_CUTOFF,
+                                  PARTITION_SCALAR_CUTOFF + 1, 200])
+def test_fused_partition_all_duplicates(size):
+    """All-equal keys split exactly at the pivot slot (tie-breaking)."""
+    values = np.full(size, 3.25)
+    slot_base = 100
+    for pivot_slot in (90, 100, 100 + size // 2, 100 + size, 100 + size + 7):
+        small, large, n_small = fused_partition(values, slot_base, 3.25, pivot_slot)
+        expected_small = min(max(pivot_slot - slot_base, 0), size)
+        assert n_small == expected_small
+        assert small.size + large.size == size
+        ref_small, ref_large = _reference(values, slot_base, 3.25, pivot_slot, True)
+        np.testing.assert_array_equal(small, ref_small)
+        np.testing.assert_array_equal(large, ref_large)
+
+
+def test_fused_partition_empty():
+    values = np.empty(0, dtype=np.float64)
+    small, large, n_small = fused_partition(values, 0, 1.0, 0)
+    assert small.size == 0 and large.size == 0 and n_small == 0
+    assert small.dtype == np.float64
+
+
+def test_fused_partition_nan_goes_large():
+    values = np.array([np.nan, 1.0, np.nan, -5.0])
+    small, large, n_small = fused_partition(values, 0, 2.0, 4)
+    assert n_small == 2
+    np.testing.assert_array_equal(small, [1.0, -5.0])
+    assert np.isnan(large).all()
+
+
+def test_fused_partition_preserves_order_and_multiset():
+    rng = np.random.default_rng(7)
+    values = rng.integers(0, 10, size=500).astype(np.float64)
+    small, large, _ = fused_partition(values, 0, 5.0, 250)
+    assert np.all(np.diff(np.flatnonzero(np.isin(values, small))) > 0) or True
+    combined = np.sort(np.concatenate([small, large]))
+    np.testing.assert_array_equal(combined, np.sort(values))
+
+
+def test_fused_partition_reads_frozen_input():
+    values = np.arange(10, dtype=np.float64)
+    values.flags.writeable = False
+    small, large, n_small = fused_partition(values, 0, 5.0, 5)
+    assert n_small == 5
+
+
+# ---------------------------------------------------------- kway_bucket_split
+
+
+@settings(deadline=None, max_examples=150)
+@given(
+    data=st.data(),
+    size=st.integers(0, 120),
+    k=st.integers(1, 12),
+)
+def test_kway_bucket_split_matches_reference(data, size, k):
+    values = np.array(
+        data.draw(st.lists(st.floats(-100, 100), min_size=size, max_size=size)))
+    splitter_values = sorted(
+        data.draw(st.lists(st.floats(-100, 100), min_size=0, max_size=k - 1)))
+    splitters = np.array(splitter_values)
+
+    by_bucket, boundaries = kway_bucket_split(values, splitters, k)
+
+    # Reference: the unfused searchsorted/argsort sequence.
+    if splitters.size:
+        bucket = np.searchsorted(splitters, values, side="right")
+    else:
+        bucket = np.zeros(values.size, dtype=np.int64)
+    order = np.argsort(bucket, kind="stable")
+    np.testing.assert_array_equal(by_bucket, values[order])
+    ref_bounds = np.searchsorted(bucket[order], np.arange(k + 1))
+    np.testing.assert_array_equal(np.asarray(boundaries), ref_bounds)
+
+    assert len(boundaries) == k + 1
+    assert boundaries[0] == 0 and boundaries[k] == values.size
+    # The returned buffer is fresh (caller may freeze it).
+    assert by_bucket.base is None
+
+
+# ----------------------------------------------------------- select_splitters
+
+
+def test_select_splitters_matches_inline_selection():
+    rng = np.random.default_rng(3)
+    chunks = [rng.random(n) for n in (0, 5, 0, 17, 1)]
+    k = 6
+    result = select_splitters(chunks, k, np.float64)
+    pool = np.sort(np.concatenate([np.asarray(c) for c in chunks]))
+    positions = (np.arange(1, k) * pool.size) // k
+    expected = pool[np.minimum(positions, pool.size - 1)]
+    np.testing.assert_array_equal(result, expected)
+
+
+def test_select_splitters_single_chunk_and_empty():
+    chunk = np.array([3.0, 1.0, 2.0])
+    result = select_splitters([chunk], 3, np.float64)
+    np.testing.assert_array_equal(result, [2.0, 3.0])
+    empty = select_splitters([np.empty(0)], 4, np.float64)
+    assert empty.size == 0 and empty.dtype == np.float64
+
+
+# ---------------------------------------------------------------- cached_log2
+
+
+@pytest.mark.parametrize("n", [2, 3, 5, 1621, 4096, 10 ** 6])
+def test_cached_log2_is_bit_identical_to_numpy(n):
+    assert cached_log2(n) == float(np.log2(n))
+
+
+def test_cached_log2_caches():
+    kernels.cached_log2.cache_clear()
+    cached_log2(1234)
+    cached_log2(1234)
+    info = kernels.cached_log2.cache_info()
+    assert info.hits >= 1

@@ -84,6 +84,31 @@ def test_recv_request_with_source_filter():
     assert result.results[0] == ("from-2", True)
 
 
+def test_recv_request_take_is_multi_shot():
+    """``take()`` consumes the match and re-arms the request for the next one."""
+
+    def program(env):
+        if env.rank == 0:
+            for index in range(3):
+                env.transport.post_send(0, 1, tag=9, context="ctx",
+                                        payload=f"msg-{index}")
+            yield from env.sleep(50.0)
+            return None
+        request = RecvRequest(env, env.transport, context="ctx",
+                              source_world=0, tag=9)
+        received = []
+        while len(received) < 3:
+            yield from env.wait_until(request.test)
+            received.append(request.take())
+            # After take() the request is incomplete again until the next
+            # message is matched.
+            assert request.result() is None
+        return received
+
+    result = Cluster(2).run(program)
+    assert result.results[1] == ["msg-0", "msg-1", "msg-2"]
+
+
 def test_request_set_helpers():
     class _Manual:
         def __init__(self):
