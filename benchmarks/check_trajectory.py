@@ -15,8 +15,17 @@ perf trajectory; this script fails CI when a fresh run regresses:
   so any drift is a semantic change (update the baseline deliberately if it
   is an intentional algorithm change).
 
-Baselines without a fresh result are skipped (pass ``--require-all`` to turn
-that into a failure); fresh results without a baseline are reported as new.
+Baselines without a fresh result are skipped as long as their benchmark still
+exists — CI only regenerates a subset of the suite (pass ``--require-all`` to
+turn any missing fresh result into a failure).  Two situations are *hard*
+failures, so a bench can never ship ungated:
+
+* a fresh result with no committed baseline (a new benchmark whose baseline
+  was not committed) — run ``python check_trajectory.py --rebaseline`` and
+  commit the adopted file;
+* a committed baseline whose benchmark no longer exists in any ``bench_*.py``
+  (the bench was deleted or renamed but its baseline stayed behind) —
+  ``--rebaseline`` removes such orphans.
 
 ``--rebaseline`` deliberately adopts the fresh results as the new committed
 baselines (use after an intentional algorithm change, e.g. a new default
@@ -36,8 +45,40 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import re
 import shutil
 import sys
+
+
+def collect_bench_tests(bench_dir: str) -> set:
+    """Names of all test functions defined in ``bench_*.py`` under ``bench_dir``.
+
+    ``BENCH_<name>.json`` files are written per pytest node; the node name is
+    the test function name (plus a sanitised parameter suffix), so a baseline
+    whose name matches no defined test function is orphaned.
+    """
+    tests: set = set()
+    if not os.path.isdir(bench_dir):
+        return tests
+    for name in sorted(os.listdir(bench_dir)):
+        if not (name.startswith("bench_") and name.endswith(".py")):
+            continue
+        with open(os.path.join(bench_dir, name)) as handle:
+            tests.update(re.findall(r"^def\s+(test_\w+)\s*\(", handle.read(),
+                                    flags=re.MULTILINE))
+    return tests
+
+
+def bench_name_of(filename: str) -> str:
+    """``BENCH_<name>.json`` -> ``<name>``."""
+    return filename[len("BENCH_"):-len(".json")]
+
+
+def is_orphaned(filename: str, tests: set) -> bool:
+    """True when no defined test function can have produced ``filename``."""
+    name = bench_name_of(filename)
+    return not any(name == test or name.startswith(test + "_")
+                   for test in tests)
 
 
 def load_dir(path: str) -> dict:
@@ -63,16 +104,29 @@ def main(argv=None) -> int:
                         help="fail when wall_clock_s grows past this factor")
     parser.add_argument("--require-all", action="store_true",
                         help="fail when a baseline has no fresh result")
+    parser.add_argument("--bench-dir", default=here,
+                        help="directory scanned for bench_*.py test "
+                             "definitions (orphaned-baseline detection)")
     parser.add_argument("--rebaseline", action="store_true",
-                        help="adopt the fresh results as the new baselines and "
-                             "print the old->new simulated_us diff")
+                        help="adopt the fresh results as the new baselines, "
+                             "drop orphaned ones and print the old->new "
+                             "simulated_us diff")
     args = parser.parse_args(argv)
 
     baselines = load_dir(args.baselines)
     fresh = load_dir(args.results)
+    tests = collect_bench_tests(args.bench_dir)
+    if not tests:
+        # With zero collected tests every file would look orphaned, and
+        # --rebaseline would silently delete every baseline and result from
+        # one mistyped --bench-dir.  Refuse instead.
+        print(f"no bench_*.py test definitions found under {args.bench_dir}; "
+              "refusing to treat everything as orphaned (check --bench-dir)",
+              file=sys.stderr)
+        return 1
 
     if args.rebaseline:
-        return rebaseline(args.results, args.baselines, baselines, fresh)
+        return rebaseline(args.results, args.baselines, baselines, fresh, tests)
     if not baselines:
         print(f"no baselines under {args.baselines}; nothing to check")
         return 0
@@ -80,6 +134,12 @@ def main(argv=None) -> int:
     failures = []
     checked = 0
     for name, base in baselines.items():
+        if is_orphaned(name, tests):
+            failures.append(
+                f"{name}: baseline is orphaned — no bench_*.py defines a "
+                f"matching test (deleted bench? remove the baseline, or "
+                "run `python check_trajectory.py --rebaseline`)")
+            continue
         current = fresh.get(name)
         if current is None:
             message = f"{name}: no fresh result"
@@ -127,7 +187,17 @@ def main(argv=None) -> int:
             print(f"OK    {name}{improvement}")
 
     for name in sorted(set(fresh) - set(baselines)):
-        print(f"NEW   {name}: no baseline yet (commit one under baselines/)")
+        if is_orphaned(name, tests):
+            failures.append(
+                f"{name}: stale fresh result — no bench_*.py defines a "
+                "matching test (renamed/deleted bench?); run `python "
+                "check_trajectory.py --rebaseline` to drop it, or delete "
+                "the file")
+        else:
+            failures.append(
+                f"{name}: fresh result has no committed baseline — a new "
+                "bench must ship gated; run `python check_trajectory.py "
+                "--rebaseline` and commit the adopted baseline")
 
     if failures:
         print(f"\n{len(failures)} regression(s):", file=sys.stderr)
@@ -139,16 +209,28 @@ def main(argv=None) -> int:
 
 
 def rebaseline(results_dir: str, baselines_dir: str,
-               baselines: dict, fresh: dict) -> int:
-    """Copy fresh results over the committed baselines; print the diff table."""
+               baselines: dict, fresh: dict, tests: set) -> int:
+    """Copy fresh results over the committed baselines; print the diff table.
+
+    Baselines whose benchmark no longer exists (no matching test in any
+    ``bench_*.py``) are deleted, so the orphan check of the gate mode cannot
+    keep failing after a bench is removed or renamed.
+    """
     if not fresh:
         print(f"no fresh results under {results_dir}; run the benchmark suite "
               "first", file=sys.stderr)
         return 1
     os.makedirs(baselines_dir, exist_ok=True)
+    adopted = 0
     print(f"{'benchmark':45s} {'simulated_us old -> new':>32s} "
           f"{'events old -> new':>24s}")
     for name in sorted(fresh):
+        if is_orphaned(name, tests):
+            os.remove(os.path.join(results_dir, name))
+            print(f"DROP  {name}: fresh result is orphaned (no matching "
+                  "bench test), deleted instead of adopted")
+            continue
+        adopted += 1
         current = fresh[name]
         base = baselines.get(name)
         sim_new = current.get("simulated_us")
@@ -166,10 +248,20 @@ def rebaseline(results_dir: str, baselines_dir: str,
         print(f"{name:45s} {sim_col:>32s} {ev_col:>24s}")
         shutil.copyfile(os.path.join(results_dir, name),
                         os.path.join(baselines_dir, name))
-    stale = sorted(set(baselines) - set(fresh))
-    for name in stale:
-        print(f"KEPT  {name}: baseline has no fresh result (not replaced)")
-    print(f"\nrebaselined {len(fresh)} file(s) into {baselines_dir}")
+    removed = 0
+    for name in sorted(baselines):
+        if is_orphaned(name, tests):
+            # Orphans are dropped even when a stale fresh result of the same
+            # name exists — that fresh file was skipped above, so keeping the
+            # baseline would leave the gate failing forever.
+            os.remove(os.path.join(baselines_dir, name))
+            removed += 1
+            print(f"DROP  {name}: orphaned baseline (no bench_*.py defines a "
+                  "matching test)")
+        elif name not in fresh:
+            print(f"KEPT  {name}: baseline has no fresh result (not replaced)")
+    print(f"\nrebaselined {adopted} file(s) into {baselines_dir}"
+          + (f", removed {removed} orphan(s)" if removed else ""))
     return 0
 
 

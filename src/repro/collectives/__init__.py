@@ -16,9 +16,22 @@ native MPI.
 * :mod:`repro.collectives.large` — large-input algorithms (scatter,
   scatter-allgather broadcast, pipelined broadcast, ring reduce-scatter and
   ring allreduce) plus the crossover heuristics for ``algorithm="auto"``.
+* :mod:`repro.collectives.hierarchical` — topology-aware node-leader
+  schedules for hierarchical machines, selected automatically when the
+  executing cluster's placement spans several nodes.
 """
 
 from .endpoint import TransportEndpoint
+from .hierarchical import (
+    Hierarchy,
+    SubgroupEndpoint,
+    build_hierarchy,
+    hier_allreduce_schedule,
+    hier_barrier_schedule,
+    hier_bcast_schedule,
+    hier_reduce_schedule,
+    hierarchy_of,
+)
 from .large import (
     allreduce_ring_schedule,
     bcast_scatter_allgather_schedule,
@@ -49,7 +62,15 @@ from .topology import binomial_children, binomial_parent, ceil_log2
 
 __all__ = [
     "CollectiveRequest",
+    "Hierarchy",
+    "SubgroupEndpoint",
     "TransportEndpoint",
+    "build_hierarchy",
+    "hier_allreduce_schedule",
+    "hier_barrier_schedule",
+    "hier_bcast_schedule",
+    "hier_reduce_schedule",
+    "hierarchy_of",
     "allgather_schedule",
     "allreduce_ring_schedule",
     "allreduce_schedule",

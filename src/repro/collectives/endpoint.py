@@ -130,6 +130,11 @@ class TransportEndpoint:
         """
         return self.env.params
 
+    @property
+    def placement(self):
+        """The cluster-owned rank -> (node, island) placement (world ranks)."""
+        return self.transport.placement
+
     def op_delay(self, words: int) -> float:
         """Local time to apply a reduction operator to ``words`` words."""
         return self.env.params.compute_cost(words)

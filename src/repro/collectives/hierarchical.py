@@ -1,0 +1,342 @@
+"""Topology-aware collective schedules: node-leader trees.
+
+The schedules in :mod:`repro.collectives.machines` are "generic, not
+optimized for a specific network" — a binomial tree treats the link between
+two ranks of one node and the link between two islands identically.  On the
+hierarchical machines of :mod:`repro.simulator.costmodel` that is only
+accidentally efficient: a binomial tree over a block placement happens to
+align with the node structure for root 0 and power-of-two node sizes, and
+degrades badly for rotated roots, offset sub-communicators (RBC ranges rarely
+start at a node boundary) or ragged nodes — every level then crosses node
+boundaries, and with shared node NICs (``ports_per_node``) the concurrent
+inter-node sends of one node serialise on the same port.
+
+This module provides the topology-aware alternative.  Every operation is
+decomposed along the machine hierarchy around per-node *leaders*:
+
+* **bcast** — root → binomial among island leaders → binomial among the node
+  leaders of each island → binomial inside each node;
+* **reduce** — the same tree bottom-up (intra-node reduction first, so only
+  one message per node crosses the node boundary);
+* **allreduce** — hierarchical reduce to rank 0 followed by a hierarchical
+  broadcast;
+* **barrier** — zero-payload hierarchical reduce + broadcast (a tree barrier
+  whose inter-node round count is ``O(log nodes)``, not ``O(log p)``).
+
+Each phase *is* one of the existing generator schedules, run on a
+:class:`SubgroupEndpoint` that remaps subgroup ranks onto the parent
+endpoint's group ranks — so :class:`~repro.collectives.machines.CollectiveRequest`
+drives the composed schedule unchanged, and all forwarding/freezing fast
+paths of the flat schedules apply per phase.
+
+The root of a rooted operation acts as the leader of its own node and island
+(no extra hop into the root's node).  Leader election takes the smallest
+group rank of each node, which handles ragged nodes (a group whose size is
+not a multiple of the node size, or whose range starts mid-node) naturally.
+
+:func:`hierarchy_of` is the selection predicate the RBC layer and
+``algorithm="auto"`` use: it returns a :class:`Hierarchy` only when the
+executing machine's cost model prices links non-uniformly *and* the group
+actually spans more than one node — flat machines never reach the
+hierarchical code path, keeping their schedules bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from .endpoint import TransportEndpoint
+from .machines import (
+    allreduce_schedule,
+    barrier_schedule,
+    bcast_schedule,
+    reduce_schedule,
+)
+
+__all__ = [
+    "Hierarchy",
+    "SubgroupEndpoint",
+    "build_hierarchy",
+    "hierarchy_of",
+    "hier_bcast_schedule",
+    "hier_reduce_schedule",
+    "hier_allreduce_schedule",
+    "hier_barrier_schedule",
+]
+
+
+class Hierarchy:
+    """Node/island structure of one collective group, in group ranks.
+
+    ``node_members[n]`` are the group ranks living on (dense) node ``n`` in
+    ascending order; ``node_of[g]`` is the dense node index of group rank
+    ``g``; ``islands[i]`` are the dense node indices of island ``i``;
+    ``island_of_node[n]`` is the island index of node ``n``.  Dense indices
+    follow first appearance in group-rank order, so they are deterministic
+    for any placement.
+    """
+
+    __slots__ = ("node_members", "node_of", "islands", "island_of_node",
+                 "num_nodes", "num_islands", "nontrivial", "_leaders")
+
+    def __init__(self, node_members, node_of, islands, island_of_node):
+        self.node_members = node_members
+        self.node_of = node_of
+        self.islands = islands
+        self.island_of_node = island_of_node
+        self.num_nodes = len(node_members)
+        self.num_islands = len(islands)
+        # A hierarchy is worth exploiting only when the group spans several
+        # nodes AND at least one tier has real width: either some node holds
+        # more than one rank (intra-node phase exists) or there are several
+        # islands (island phase exists).  One rank per node on one island is
+        # exactly the flat binomial tree.
+        self.nontrivial = self.num_nodes > 1 and (
+            self.num_islands > 1
+            or any(len(members) > 1 for members in node_members))
+        self._leaders: dict = {}
+
+    def leaders_for(self, root: int):
+        """``(node_leaders, island_leaders)`` for a collective rooted at ``root``.
+
+        ``node_leaders[n]`` is the group rank leading node ``n`` (the root for
+        its own node, the smallest member elsewhere); ``island_leaders[i]``
+        leads island ``i`` (the root for its own island, the leader of the
+        island's first node elsewhere).  Cached per root.
+        """
+        cached = self._leaders.get(root)
+        if cached is not None:
+            return cached
+        root_node = self.node_of[root]
+        node_leaders = [members[0] for members in self.node_members]
+        node_leaders[root_node] = root
+        island_leaders = [node_leaders[nodes[0]] for nodes in self.islands]
+        island_leaders[self.island_of_node[root_node]] = root
+        result = (tuple(node_leaders), tuple(island_leaders))
+        self._leaders[root] = result
+        return result
+
+
+def build_hierarchy(placement, world_ranks) -> Hierarchy:
+    """Group the member ``world_ranks`` (indexed by group rank) by node/island."""
+    nodes = placement.nodes
+    islands = placement.islands
+    node_index: dict = {}
+    node_members: list = []
+    node_of: list = []
+    node_island_key: list = []
+    for world in world_ranks:
+        key = nodes[world]
+        idx = node_index.get(key)
+        if idx is None:
+            idx = node_index[key] = len(node_members)
+            node_members.append([])
+            node_island_key.append(islands[world])
+        node_members[idx].append(len(node_of))
+        node_of.append(idx)
+    island_index: dict = {}
+    island_nodes: list = []
+    island_of_node: list = []
+    for node, key in enumerate(node_island_key):
+        idx = island_index.get(key)
+        if idx is None:
+            idx = island_index[key] = len(island_nodes)
+            island_nodes.append([])
+        island_nodes[idx].append(node)
+        island_of_node.append(idx)
+    return Hierarchy(
+        tuple(tuple(members) for members in node_members),
+        tuple(node_of),
+        tuple(tuple(nodes_) for nodes_ in island_nodes),
+        tuple(island_of_node),
+    )
+
+
+def hierarchy_of(ep: TransportEndpoint) -> Optional[Hierarchy]:
+    """The group's hierarchy when it is worth exploiting, else None.
+
+    Flat machines (any cost model with a uniform link price) return None
+    immediately — their collectives must stay on the historical code path
+    bit-identically.  On hierarchical machines the structure is cached on the
+    transport per ``(affine map, size)``, so repeated collectives on the same
+    communicator pay one dictionary probe.
+    """
+    # getattr: duck-typed cost models predating uniform_link keep working
+    # (the transport preserves the same compatibility); a model without the
+    # method stays on the historical flat code path.
+    uniform_link = getattr(ep.cost_model, "uniform_link", None)
+    if uniform_link is None or uniform_link() is not None:
+        return None
+    transport = ep.transport
+    cache = transport._hierarchy_cache
+    affine = ep._affine
+    # The affine key is tagged so it can never collide with a non-affine
+    # group's member tuple (a 3-member group's world ranks (a, b, c) would
+    # otherwise be indistinguishable from an affine (first, stride, size)).
+    if affine is not None:
+        key = ("affine", affine[0], affine[1], ep.size)
+        world_ranks = None
+    else:
+        world_ranks = tuple(ep.to_world(g) for g in range(ep.size))
+        key = world_ranks
+    hierarchy = cache.get(key)
+    if hierarchy is None:
+        if world_ranks is None:
+            first, stride = affine
+            world_ranks = range(first, first + stride * ep.size, stride)
+        hierarchy = cache[key] = build_hierarchy(ep.placement, world_ranks)
+    return hierarchy if hierarchy.nontrivial else None
+
+
+class SubgroupEndpoint:
+    """View of a :class:`TransportEndpoint` restricted to ``members``.
+
+    ``members`` are parent-group ranks in subgroup-rank order; the wrapper
+    translates subgroup ranks on the way in, so any flat schedule runs on the
+    subgroup unchanged (same transport, same context/tag — phases of one
+    hierarchical collective never overlap on a (src, dst) pair, so FIFO
+    matching per envelope is preserved).
+    """
+
+    __slots__ = ("_ep", "_members", "rank", "size")
+
+    def __init__(self, ep, members, rank_index: int):
+        self._ep = ep
+        self._members = members
+        self.rank = rank_index
+        self.size = len(members)
+
+    def isend(self, payload, dest: int, *, local_delay: float = 0.0,
+              words: Optional[int] = None):
+        return self._ep.isend(payload, self._members[dest],
+                              local_delay=local_delay, words=words)
+
+    def irecv(self, source: int):
+        return self._ep.irecv(self._members[source])
+
+    def op_delay(self, words: int) -> float:
+        return self._ep.op_delay(words)
+
+    @property
+    def cost_model(self):
+        return self._ep.cost_model
+
+    @property
+    def placement(self):
+        return self._ep.placement
+
+
+def _subgroup(ep, members, rank: int) -> SubgroupEndpoint:
+    return SubgroupEndpoint(ep, members, members.index(rank))
+
+
+# ---------------------------------------------------------------------------
+# Node-leader schedules.
+# ---------------------------------------------------------------------------
+
+def hier_bcast_schedule(ep: TransportEndpoint, value: Any, root: int,
+                        hierarchy: Optional[Hierarchy] = None):
+    """Node-leader broadcast: islands → node leaders → node members."""
+    h = hierarchy if hierarchy is not None else hierarchy_of(ep)
+    if h is None:
+        result = yield from bcast_schedule(ep, value, root)
+        return result
+    rank = ep.rank
+    node_leaders, island_leaders = h.leaders_for(root)
+    my_node = h.node_of[rank]
+    my_island = h.island_of_node[my_node]
+
+    if h.num_islands > 1 and rank == island_leaders[my_island]:
+        sub = _subgroup(ep, island_leaders, rank)
+        value = yield from bcast_schedule(
+            sub, value, h.island_of_node[h.node_of[root]])
+
+    island_nodes = h.islands[my_island]
+    if len(island_nodes) > 1 and rank == node_leaders[my_node]:
+        members = tuple(node_leaders[n] for n in island_nodes)
+        sub = _subgroup(ep, members, rank)
+        value = yield from bcast_schedule(
+            sub, value, members.index(island_leaders[my_island]))
+
+    members = h.node_members[my_node]
+    if len(members) > 1:
+        sub = _subgroup(ep, members, rank)
+        value = yield from bcast_schedule(
+            sub, value, members.index(node_leaders[my_node]))
+    return value
+
+
+def hier_reduce_schedule(ep: TransportEndpoint, value: Any,
+                         op: Callable[[Any, Any], Any], root: int,
+                         hierarchy: Optional[Hierarchy] = None):
+    """Node-leader reduction (the broadcast tree bottom-up); root gets the
+    result, every other rank returns None."""
+    h = hierarchy if hierarchy is not None else hierarchy_of(ep)
+    if h is None:
+        result = yield from reduce_schedule(ep, value, op, root)
+        return result
+    rank = ep.rank
+    node_leaders, island_leaders = h.leaders_for(root)
+    my_node = h.node_of[rank]
+    my_island = h.island_of_node[my_node]
+
+    members = h.node_members[my_node]
+    if len(members) > 1:
+        leader = node_leaders[my_node]
+        sub = _subgroup(ep, members, rank)
+        value = yield from reduce_schedule(sub, value, op,
+                                           members.index(leader))
+        if rank != leader:
+            return None
+
+    island_nodes = h.islands[my_island]
+    if len(island_nodes) > 1 and rank == node_leaders[my_node]:
+        members = tuple(node_leaders[n] for n in island_nodes)
+        leader = island_leaders[my_island]
+        sub = _subgroup(ep, members, rank)
+        value = yield from reduce_schedule(sub, value, op,
+                                           members.index(leader))
+        if rank != leader:
+            return None
+
+    if h.num_islands > 1 and rank == island_leaders[my_island]:
+        sub = _subgroup(ep, island_leaders, rank)
+        value = yield from reduce_schedule(
+            sub, value, op, h.island_of_node[h.node_of[root]])
+    return value if rank == root else None
+
+
+def hier_allreduce_schedule(ep: TransportEndpoint, value: Any,
+                            op: Callable[[Any, Any], Any],
+                            hierarchy: Optional[Hierarchy] = None):
+    """Hierarchical reduce to rank 0 followed by a hierarchical broadcast."""
+    h = hierarchy if hierarchy is not None else hierarchy_of(ep)
+    if h is None:
+        result = yield from allreduce_schedule(ep, value, op)
+        return result
+    reduced = yield from hier_reduce_schedule(ep, value, op, 0, hierarchy=h)
+    result = yield from hier_bcast_schedule(ep, reduced, 0, hierarchy=h)
+    return result
+
+
+def _token_op(left: Any, right: Any) -> None:
+    """Reduction operator of the barrier's zero-payload token wave."""
+    return None
+
+
+def hier_barrier_schedule(ep: TransportEndpoint,
+                          hierarchy: Optional[Hierarchy] = None):
+    """Tree barrier along the hierarchy: token reduce up, release bcast down.
+
+    ``O(log ranks_per_node)`` shared-memory rounds plus ``O(log nodes)``
+    inter-node rounds — against the dissemination barrier's ``O(log p)``
+    rounds in which *every* rank sends across the machine (ruinous once a
+    node's ranks share a NIC).
+    """
+    h = hierarchy if hierarchy is not None else hierarchy_of(ep)
+    if h is None:
+        yield from barrier_schedule(ep)
+        return None
+    yield from hier_reduce_schedule(ep, None, _token_op, 0, hierarchy=h)
+    yield from hier_bcast_schedule(ep, None, 0, hierarchy=h)
+    return None

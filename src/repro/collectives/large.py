@@ -42,6 +42,7 @@ from ..simulator.costmodel import (
 )
 from ..simulator.network import freeze_payload, payload_words
 from .endpoint import TransportEndpoint
+from .hierarchical import hier_bcast_schedule, hierarchy_of
 from .machines import bcast_schedule
 from .topology import from_virtual, to_virtual
 
@@ -380,7 +381,8 @@ def allreduce_ring_schedule(ep: TransportEndpoint, value: Any,
 # ---------------------------------------------------------------------------
 
 def choose_bcast_algorithm(words: int, size: int, payload: Any = None,
-                           model: Optional[CostModel] = None) -> str:
+                           model: Optional[CostModel] = None,
+                           hierarchical: bool = False) -> str:
     """Pick a broadcast algorithm for a payload of ``words`` machine words.
 
     Vector payloads above the crossover size on more than two processes use
@@ -389,37 +391,48 @@ def choose_bcast_algorithm(words: int, size: int, payload: Any = None,
     (:meth:`~repro.simulator.costmodel.CostModel.bcast_crossover_words`) when
     one is given — hierarchical machines derive it from their link tiers —
     and falls back to :data:`LARGE_BCAST_THRESHOLD_WORDS`.  Non-array
-    payloads always use the binomial tree because they cannot be split into
+    payloads never use scatter-allgather because they cannot be split into
     blocks.
+
+    ``hierarchical=True`` states that the executing machine exposes a
+    non-trivial placement (:func:`repro.collectives.hierarchical.hierarchy_of`):
+    every case that would use the topology-blind binomial tree then uses the
+    node-leader tree instead (it handles arbitrary payloads).
     """
+    small = "hierarchical" if hierarchical else "binomial"
     if payload is not None and not isinstance(payload, np.ndarray):
-        return "binomial"
+        return small
     if payload is not None and np.asarray(payload).ndim != 1:
-        return "binomial"
+        return small
     threshold = (model.bcast_crossover_words(size) if model is not None
                  else LARGE_BCAST_THRESHOLD_WORDS)
     if size > 2 and words >= threshold:
         return "scatter_allgather"
-    return "binomial"
+    return small
 
 
 def choose_allreduce_algorithm(words: int, size: int, payload: Any = None,
-                               model: Optional[CostModel] = None) -> str:
-    """Pick an allreduce algorithm (``"reduce_bcast"`` or ``"ring"``).
+                               model: Optional[CostModel] = None,
+                               hierarchical: bool = False) -> str:
+    """Pick an allreduce algorithm (``"reduce_bcast"``, ``"hierarchical"``
+    or ``"ring"``).
 
     Like :func:`choose_bcast_algorithm`, the crossover consults the machine's
     cost ``model`` when given and falls back to
-    :data:`LARGE_ALLREDUCE_THRESHOLD_WORDS`.
+    :data:`LARGE_ALLREDUCE_THRESHOLD_WORDS`; below it, a machine with a
+    non-trivial placement (``hierarchical=True``) uses the node-leader
+    reduce+bcast instead of the flat one.
     """
+    small = "hierarchical" if hierarchical else "reduce_bcast"
     if payload is not None and not isinstance(payload, np.ndarray):
-        return "reduce_bcast"
+        return small
     if payload is not None and np.asarray(payload).ndim != 1:
-        return "reduce_bcast"
+        return small
     threshold = (model.allreduce_crossover_words(size) if model is not None
                  else LARGE_ALLREDUCE_THRESHOLD_WORDS)
     if size > 2 and words >= threshold:
         return "ring"
-    return "reduce_bcast"
+    return small
 
 
 # ---------------------------------------------------------------------------
@@ -427,27 +440,38 @@ def choose_allreduce_algorithm(words: int, size: int, payload: Any = None,
 # ---------------------------------------------------------------------------
 
 def dispatch_bcast_schedule(ep: TransportEndpoint, value: Any, root: int,
-                            algorithm: str = "binomial",
+                            algorithm: Optional[str] = None,
                             segment_words: int = DEFAULT_SEGMENT_WORDS):
     """Return the schedule implementing ``algorithm`` for a broadcast.
 
-    ``algorithm`` is one of ``"binomial"``, ``"scatter_allgather"``,
-    ``"pipeline"`` or ``"auto"``.  Only the root knows the payload, so under
-    ``"auto"`` the root picks the algorithm and broadcasts its one-word choice
-    down the binomial tree first (the cost of that step is a single
-    ``alpha log p`` term, negligible for the large payloads "auto" is about).
+    ``algorithm`` is one of ``"binomial"``, ``"hierarchical"``,
+    ``"scatter_allgather"``, ``"pipeline"``, ``"auto"`` — or None, which
+    resolves to the node-leader tree when the executing machine exposes a
+    non-trivial placement (:func:`~repro.collectives.hierarchical.hierarchy_of`)
+    and the historical binomial tree otherwise (bit-identical on flat
+    machines).  Only the root knows the payload, so under ``"auto"`` the root
+    picks the algorithm and broadcasts its one-word choice down the binomial
+    tree first (the cost of that step is a single ``alpha log p`` term,
+    negligible for the large payloads "auto" is about).
     """
+    if algorithm is None:
+        hierarchy = hierarchy_of(ep)
+        if hierarchy is not None:
+            return hier_bcast_schedule(ep, value, root, hierarchy)
+        return bcast_schedule(ep, value, root)
     if algorithm == "auto":
         return _auto_bcast_schedule(ep, value, root, segment_words)
     if algorithm == "binomial":
         return bcast_schedule(ep, value, root)
+    if algorithm == "hierarchical":
+        return hier_bcast_schedule(ep, value, root)
     if algorithm == "scatter_allgather":
         return bcast_scatter_allgather_schedule(ep, value, root)
     if algorithm == "pipeline":
         return pipeline_bcast_schedule(ep, value, root, segment_words)
     raise ValueError(
         f"unknown broadcast algorithm {algorithm!r}; expected one of "
-        "'auto', 'binomial', 'scatter_allgather', 'pipeline'")
+        "'auto', 'binomial', 'hierarchical', 'scatter_allgather', 'pipeline'")
 
 
 def _auto_bcast_schedule(ep: TransportEndpoint, value: Any, root: int,
@@ -455,7 +479,8 @@ def _auto_bcast_schedule(ep: TransportEndpoint, value: Any, root: int,
     choice = None
     if ep.rank == root:
         choice = choose_bcast_algorithm(payload_words(value), ep.size, value,
-                                        model=ep.cost_model)
+                                        model=ep.cost_model,
+                                        hierarchical=hierarchy_of(ep) is not None)
     choice = yield from bcast_schedule(ep, choice, root)
     result = yield from dispatch_bcast_schedule(ep, value, root, choice, segment_words)
     return result

@@ -13,12 +13,24 @@ gather, gatherv, barrier and their nonblocking variants) this module also
 provides exscan, allreduce, allgather, alltoallv, scatter(v), allgatherv and
 reduce_scatter, which the sorting algorithms and benchmarks use.
 
-Broadcast and allreduce additionally accept an ``algorithm`` argument selecting
-between the small-input binomial-tree algorithms and the large-input
-algorithms of :mod:`repro.collectives.large` (scatter-allgather or pipelined
-broadcast, ring allreduce); ``algorithm="auto"`` applies the crossover
-heuristic.  This is the "easy to extend ... e.g., for large input sizes"
-extension point the paper describes in Section V-D.
+Broadcast, reduce, allreduce and barrier accept an ``algorithm`` argument
+selecting between the small-input binomial-tree/dissemination algorithms, the
+large-input algorithms of :mod:`repro.collectives.large` (scatter-allgather
+or pipelined broadcast, ring allreduce) and the topology-aware node-leader
+schedules of :mod:`repro.collectives.hierarchical`; ``algorithm="auto"``
+applies the crossover heuristic.  The default (``algorithm=None``) picks the
+node-leader schedule whenever the executing machine's cost model exposes a
+non-trivial placement (several nodes, tiered link prices) and stays on the
+historical flat path — bit-identically — otherwise.  An *explicit*
+``algorithm="hierarchical"`` is portable: on machines without a non-trivial
+placement it falls back to the equivalent flat schedule rather than raising.
+This is the "easy to extend ... e.g., for large input sizes" extension point
+the paper describes in Section V-D.
+
+Topology awareness is deliberately an RBC feature: the simulated native-MPI
+layer (:mod:`repro.mpi.comm`) keeps the topology-blind schedules — it models
+the vendor baseline the paper compares against (making it node-aware is a
+ROADMAP follow-up).
 """
 
 from __future__ import annotations
@@ -26,6 +38,12 @@ from __future__ import annotations
 from typing import Any, Optional, Sequence
 
 from ..collectives.endpoint import TransportEndpoint
+from ..collectives.hierarchical import (
+    hier_allreduce_schedule,
+    hier_barrier_schedule,
+    hier_reduce_schedule,
+    hierarchy_of,
+)
 from ..collectives.large import (
     DEFAULT_SEGMENT_WORDS,
     allreduce_ring_schedule,
@@ -104,14 +122,18 @@ def _request(comm: RbcComm, schedule) -> RbcRequest:
 # ---------------------------------------------------------------------------
 
 def ibcast(comm: RbcComm, value: Any, root: int = 0,
-           tag: Optional[int] = None, *, algorithm: str = "binomial",
+           tag: Optional[int] = None, *, algorithm: Optional[str] = None,
            segment_words: int = DEFAULT_SEGMENT_WORDS) -> RbcRequest:
     """``rbc::Ibcast``: nonblocking broadcast from ``root``.
 
     ``algorithm`` selects the communication pattern: ``"binomial"`` (the
-    default, optimal for small inputs), ``"scatter_allgather"`` or
+    topology-blind tree, optimal for small inputs on flat machines),
+    ``"hierarchical"`` (the node-leader tree), ``"scatter_allgather"`` or
     ``"pipeline"`` for long vectors, or ``"auto"`` to let the root pick based
-    on the payload size.
+    on the payload size.  The default None resolves to ``"hierarchical"`` on
+    machines whose placement spans several nodes and to ``"binomial"``
+    everywhere else (flat machines keep their historical schedules
+    bit-identically).
     """
     ep = _endpoint(comm, _tags.BCAST_TAG if tag is None else tag)
     return _request(comm, dispatch_bcast_schedule(ep, value, root, algorithm,
@@ -119,7 +141,7 @@ def ibcast(comm: RbcComm, value: Any, root: int = 0,
 
 
 def bcast(comm: RbcComm, value: Any, root: int = 0, tag: Optional[int] = None,
-          *, algorithm: str = "binomial",
+          *, algorithm: Optional[str] = None,
           segment_words: int = DEFAULT_SEGMENT_WORDS):
     """``rbc::Bcast`` (generator): blocking broadcast; returns the value."""
     result = yield from ibcast(comm, value, root, tag, algorithm=algorithm,
@@ -132,16 +154,36 @@ def bcast(comm: RbcComm, value: Any, root: int = 0, tag: Optional[int] = None,
 # ---------------------------------------------------------------------------
 
 def ireduce(comm: RbcComm, value: Any, op=None, root: int = 0,
-            tag: Optional[int] = None) -> RbcRequest:
-    """``rbc::Ireduce``: nonblocking reduction to ``root``."""
+            tag: Optional[int] = None, *,
+            algorithm: Optional[str] = None) -> RbcRequest:
+    """``rbc::Ireduce``: nonblocking reduction to ``root``.
+
+    ``algorithm`` is ``"binomial"`` (topology-blind tree),
+    ``"hierarchical"`` (node-leader tree) or None — the default, which picks
+    the node-leader tree on machines with a non-trivial placement and the
+    binomial tree (bit-identically) everywhere else.
+    """
     ep = _endpoint(comm, _tags.REDUCE_TAG if tag is None else tag)
+    if algorithm is None:
+        hierarchy = hierarchy_of(ep)
+        if hierarchy is not None:
+            return _request(comm, hier_reduce_schedule(ep, value, op or SUM,
+                                                       root, hierarchy))
+        algorithm = "binomial"
+    if algorithm == "hierarchical":
+        return _request(comm, hier_reduce_schedule(ep, value, op or SUM, root))
+    if algorithm != "binomial":
+        raise ValueError(
+            f"unknown reduce algorithm {algorithm!r}; expected one of "
+            "'binomial', 'hierarchical'")
     return _request(comm, reduce_schedule(ep, value, op or SUM, root))
 
 
 def reduce(comm: RbcComm, value: Any, op=None, root: int = 0,
-           tag: Optional[int] = None):
+           tag: Optional[int] = None, *, algorithm: Optional[str] = None):
     """``rbc::Reduce`` (generator): blocking reduction; root gets the result."""
-    result = yield from ireduce(comm, value, op, root, tag).wait()
+    result = yield from ireduce(comm, value, op, root, tag,
+                                algorithm=algorithm).wait()
     return result
 
 
@@ -207,15 +249,38 @@ def gatherv(comm: RbcComm, value: Any, root: int = 0, tag: Optional[int] = None)
 # Barrier.
 # ---------------------------------------------------------------------------
 
-def ibarrier(comm: RbcComm, tag: Optional[int] = None) -> RbcRequest:
-    """``rbc::Ibarrier``: nonblocking dissemination barrier."""
+def ibarrier(comm: RbcComm, tag: Optional[int] = None, *,
+             algorithm: Optional[str] = None) -> RbcRequest:
+    """``rbc::Ibarrier``: nonblocking barrier.
+
+    ``algorithm`` is ``"dissemination"`` (the topology-blind default of flat
+    machines), ``"hierarchical"`` (tree barrier along node leaders) or None.
+    The default picks the hierarchical barrier only on machines whose nodes
+    share NICs (``ports_per_node``): that is where the dissemination
+    pattern's all-ranks-send-across-the-machine rounds collapse; with
+    private per-rank ports the dissemination barrier's ``log p`` rounds beat
+    the tree barrier's ``2 log p`` and remain the default.
+    """
     ep = _endpoint(comm, _tags.BARRIER_TAG if tag is None else tag)
+    if algorithm is None:
+        if getattr(ep.cost_model, "ports_per_node", None):
+            hierarchy = hierarchy_of(ep)
+            if hierarchy is not None:
+                return _request(comm, hier_barrier_schedule(ep, hierarchy))
+        algorithm = "dissemination"
+    if algorithm == "hierarchical":
+        return _request(comm, hier_barrier_schedule(ep))
+    if algorithm != "dissemination":
+        raise ValueError(
+            f"unknown barrier algorithm {algorithm!r}; expected one of "
+            "'dissemination', 'hierarchical'")
     return _request(comm, barrier_schedule(ep))
 
 
-def barrier(comm: RbcComm, tag: Optional[int] = None):
+def barrier(comm: RbcComm, tag: Optional[int] = None, *,
+            algorithm: Optional[str] = None):
     """``rbc::Barrier`` (generator): blocking barrier."""
-    yield from ibarrier(comm, tag).wait()
+    yield from ibarrier(comm, tag, algorithm=algorithm).wait()
 
 
 # ---------------------------------------------------------------------------
@@ -223,30 +288,42 @@ def barrier(comm: RbcComm, tag: Optional[int] = None):
 # ---------------------------------------------------------------------------
 
 def iallreduce(comm: RbcComm, value: Any, op=None, tag: Optional[int] = None,
-               *, algorithm: str = "reduce_bcast") -> RbcRequest:
+               *, algorithm: Optional[str] = None) -> RbcRequest:
     """Nonblocking allreduce.
 
-    ``algorithm="reduce_bcast"`` (default) reduces to rank 0 and broadcasts
-    the result (optimal for small inputs); ``"ring"`` uses the bandwidth-
-    optimal ring reduce-scatter + allgather for long vectors; ``"auto"``
-    chooses based on the payload size (which every rank knows, because all
-    ranks contribute the same amount).
+    ``algorithm="reduce_bcast"`` reduces to rank 0 and broadcasts the result
+    (optimal for small inputs on flat machines); ``"hierarchical"`` does the
+    same along node leaders; ``"ring"`` uses the bandwidth-optimal ring
+    reduce-scatter + allgather for long vectors; ``"auto"`` chooses based on
+    the payload size (which every rank knows, because all ranks contribute
+    the same amount).  The default None resolves to ``"hierarchical"`` on
+    machines with a non-trivial placement and to ``"reduce_bcast"``
+    (bit-identically) everywhere else.
     """
     ep = _endpoint(comm, _tags.ALLREDUCE_TAG if tag is None else tag)
-    if algorithm == "auto":
-        algorithm = choose_allreduce_algorithm(payload_words(value), comm.size,
-                                               value, model=ep.cost_model)
+    if algorithm is None:
+        hierarchy = hierarchy_of(ep)
+        if hierarchy is not None:
+            return _request(comm, hier_allreduce_schedule(ep, value, op or SUM,
+                                                          hierarchy))
+        algorithm = "reduce_bcast"
+    elif algorithm == "auto":
+        algorithm = choose_allreduce_algorithm(
+            payload_words(value), comm.size, value, model=ep.cost_model,
+            hierarchical=hierarchy_of(ep) is not None)
+    if algorithm == "hierarchical":
+        return _request(comm, hier_allreduce_schedule(ep, value, op or SUM))
     if algorithm == "ring":
         return _request(comm, allreduce_ring_schedule(ep, value, op or SUM))
     if algorithm != "reduce_bcast":
         raise ValueError(
             f"unknown allreduce algorithm {algorithm!r}; expected one of "
-            "'auto', 'reduce_bcast', 'ring'")
+            "'auto', 'reduce_bcast', 'hierarchical', 'ring'")
     return _request(comm, allreduce_schedule(ep, value, op or SUM))
 
 
 def allreduce(comm: RbcComm, value: Any, op=None, tag: Optional[int] = None,
-              *, algorithm: str = "reduce_bcast"):
+              *, algorithm: Optional[str] = None):
     """Blocking allreduce (generator)."""
     result = yield from iallreduce(comm, value, op, tag, algorithm=algorithm).wait()
     return result

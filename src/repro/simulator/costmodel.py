@@ -79,6 +79,19 @@ class Placement:
             raise ValueError(
                 f"placement is inconsistent: {len(self.nodes)} node entries "
                 f"vs {len(self.islands)} island entries")
+        # A node is a physical box: all of its ranks live on one island.  A
+        # placement violating that has no well-defined link tier for the
+        # node's traffic (and node-leader collectives would elect a leader
+        # whose island differs from its members'), so it is rejected here —
+        # with the first offending rank — rather than mispriced later.
+        node_island: dict = {}
+        for rank, (node, island) in enumerate(zip(self.nodes, self.islands)):
+            seen = node_island.setdefault(node, island)
+            if seen != island:
+                raise ValueError(
+                    f"placement is inconsistent: rank {rank} puts node "
+                    f"{node!r} on island {island!r}, but earlier ranks put it "
+                    f"on island {seen!r} (a node cannot span islands)")
 
     @staticmethod
     def single_node(num_ranks: int) -> "Placement":
@@ -96,6 +109,21 @@ class Placement:
             raise ValueError("nodes_per_island must be positive")
         nodes = tuple(rank // ranks_per_node for rank in range(num_ranks))
         islands = tuple(node // nodes_per_island for node in nodes)
+        return Placement(nodes=nodes, islands=islands)
+
+    @staticmethod
+    def cyclic(num_ranks: int, num_nodes: int,
+               nodes_per_island: Optional[int] = None) -> "Placement":
+        """Round-robin placement: rank r on node r % num_nodes (the batch
+        systems' *cyclic* distribution); node n on island
+        n // nodes_per_island (one island when omitted)."""
+        if num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        if nodes_per_island is not None and nodes_per_island <= 0:
+            raise ValueError("nodes_per_island must be positive")
+        span = num_nodes if nodes_per_island is None else nodes_per_island
+        nodes = tuple(rank % num_nodes for rank in range(num_ranks))
+        islands = tuple(node // span for node in nodes)
         return Placement(nodes=nodes, islands=islands)
 
     @property
@@ -277,6 +305,15 @@ class HierarchicalParams(CostModel):
     cluster is not given an explicit placement.  The defaults are loosely
     SuperMUC-shaped: cheap shared-memory transfers inside a node, InfiniBand
     between nodes, and a pruned (more expensive) tree between islands.
+
+    ``ports_per_node`` models the node's network interfaces: when set, all
+    *inter-node* traffic of a node's ranks serialises on that many shared
+    NIC ports (send side on the source node, receive side on the destination
+    node) instead of on per-rank endpoints — one NIC shared by sixteen ranks
+    behaves very differently from sixteen private ports under incast.  The
+    default ``None`` keeps the historical per-rank-port behaviour
+    bit-identically.  Intra-node transfers are shared-memory copies and never
+    touch the NIC.
     """
 
     intra_node_alpha: float = 0.6
@@ -288,6 +325,7 @@ class HierarchicalParams(CostModel):
     gamma: float = 0.002
     ranks_per_node: int = 16
     nodes_per_island: int = 32
+    ports_per_node: Optional[int] = None
 
     def __post_init__(self):
         for name in ("intra_node_alpha", "intra_node_beta", "inter_node_alpha",
@@ -320,6 +358,9 @@ class HierarchicalParams(CostModel):
             raise ValueError("ranks_per_node must be positive")
         if self.nodes_per_island <= 0:
             raise ValueError("nodes_per_island must be positive")
+        if self.ports_per_node is not None and self.ports_per_node <= 0:
+            raise ValueError("ports_per_node must be positive (or None for "
+                             "per-rank ports)")
         object.__setattr__(self, "_tiers", (
             (self.intra_node_alpha, self.intra_node_beta),
             (self.inter_node_alpha, self.inter_node_beta),
@@ -332,16 +373,40 @@ class HierarchicalParams(CostModel):
 
     @staticmethod
     def supermuc_like(ranks_per_node: int = 16,
-                      nodes_per_island: int = 32) -> "HierarchicalParams":
+                      nodes_per_island: int = 32,
+                      ports_per_node: Optional[int] = None) -> "HierarchicalParams":
         """The default tiers on a configurable machine shape."""
         return HierarchicalParams(ranks_per_node=ranks_per_node,
-                                  nodes_per_island=nodes_per_island)
+                                  nodes_per_island=nodes_per_island,
+                                  ports_per_node=ports_per_node)
+
+    @staticmethod
+    def two_tier(ranks_per_node: int = 8,
+                 ports_per_node: Optional[int] = None) -> "HierarchicalParams":
+        """A 2-tier machine: nodes on one interconnect, no island structure.
+
+        The inter-island link is priced identically to the inter-node link,
+        so island boundaries (if a placement declares any) change nothing —
+        the machine is rank -> node -> network, the common commodity-cluster
+        shape.
+        """
+        return HierarchicalParams(inter_island_alpha=5.0,
+                                  inter_island_beta=0.002,
+                                  ranks_per_node=ranks_per_node,
+                                  nodes_per_island=1 << 30,
+                                  ports_per_node=ports_per_node)
 
     def link(self, src: int, dst: int,
              placement: Optional[Placement] = None) -> tuple:
         if placement is None:
             return self._tiers[2]
         return self._tiers[placement.tier_of(src, dst)]
+
+    def tier_link(self, tier: int) -> tuple:
+        """``(alpha, beta)`` of link tier ``tier`` (0 intra-node, 1 inter-node,
+        2 inter-island).  The transport's shared-NIC path uses this to price a
+        message whose tier it already computed for port ownership."""
+        return self._tiers[tier]
 
     def worst_link(self) -> tuple:
         return self._tiers[2]

@@ -449,6 +449,34 @@ class Transport:
         # post_send skip one method call per message; None for hierarchical
         # models (getattr: cost models predating uniform_link keep working).
         self._uniform_link = getattr(self.params, "uniform_link", lambda: None)()
+        # Shared node NICs: when the cost model declares ports_per_node, all
+        # inter-node traffic of a node's ranks serialises on that many shared
+        # ports per node (send side on the source node, receive side on the
+        # destination node) instead of on the per-rank endpoints above.
+        # Intra-node transfers are shared-memory copies and keep using the
+        # per-rank ports.  None (the default) is bit-identical to the
+        # historical per-rank-only model.
+        ports = getattr(self.params, "ports_per_node", None)
+        if ports:
+            node_index: dict = {}
+            for node in self.placement.nodes:
+                if node not in node_index:
+                    node_index[node] = len(node_index)
+            self._node_of = tuple(node_index[node]
+                                  for node in self.placement.nodes)
+            self._nic_send_free = [[0.0] * ports for _ in node_index]
+            self._nic_recv_free = [[0.0] * ports for _ in node_index]
+            self._tier_link = getattr(self.params, "tier_link", None)
+        else:
+            self._node_of = None
+            self._nic_send_free = None
+            self._nic_recv_free = None
+            self._tier_link = None
+        # Per-communicator Hierarchy views, filled by
+        # repro.collectives.hierarchical.hierarchy_of (keyed by the group's
+        # affine world map or member tuple; the placement is fixed per
+        # transport, so it is not part of the key).
+        self._hierarchy_cache: dict = {}
         # Callbacks used to wake rank processes; installed by the cluster.
         self._notify_hooks: list[Optional[Any]] = [None] * num_ranks
         # Pre-bound callbacks for the engine's allocation-free scheduled
@@ -505,23 +533,52 @@ class Transport:
         # this to hand one frozen buffer down a whole tree without copies.
         if isinstance(payload, np.ndarray) and not is_frozen_payload(payload):
             payload = payload.copy()
-        uniform = self._uniform_link
-        alpha, beta = uniform if uniform is not None \
-            else self.params.link(src, dst, self.placement)
         now = self.engine._now
-
         start = now + local_delay
-        port_free = self._send_port_free[src]
-        if port_free > start:
-            start = port_free
-        leave_sender = start + alpha + words * beta
-        self._send_port_free[src] = leave_sender
-        # The receive port is occupied for the data transfer part only; if it
-        # is busy, delivery is delayed (incast serialisation).
-        arrival = self._recv_port_free[dst] + words * beta
-        if leave_sender > arrival:
-            arrival = leave_sender
-        self._recv_port_free[dst] = arrival
+        nic_send = self._nic_send_free
+        tier = 0 if nic_send is None else self.placement.tier_of(src, dst)
+        if tier == 0:
+            if nic_send is None:
+                uniform = self._uniform_link
+                alpha, beta = uniform if uniform is not None \
+                    else self.params.link(src, dst, self.placement)
+            else:
+                # Intra-node transfer on a shared-NIC machine: shared-memory
+                # copy, serialised on the per-rank ports as always.
+                alpha, beta = self._tier_link(0) if self._tier_link is not None \
+                    else self.params.link(src, dst, self.placement)
+            port_free = self._send_port_free[src]
+            if port_free > start:
+                start = port_free
+            leave_sender = start + alpha + words * beta
+            self._send_port_free[src] = leave_sender
+            # The receive port is occupied for the data transfer part only; if
+            # it is busy, delivery is delayed (incast serialisation).
+            arrival = self._recv_port_free[dst] + words * beta
+            if leave_sender > arrival:
+                arrival = leave_sender
+            self._recv_port_free[dst] = arrival
+        else:
+            # Inter-node (or inter-island) transfer on a shared-NIC machine:
+            # the message occupies one of the source node's send ports and one
+            # of the destination node's receive ports — every rank of a node
+            # competes for the same NICs.  Each side picks the earliest-free
+            # port (first index on ties, deterministic).
+            alpha, beta = self._tier_link(tier) if self._tier_link is not None \
+                else self.params.link(src, dst, self.placement)
+            node_of = self._node_of
+            sends = nic_send[node_of[src]]
+            port = min(range(len(sends)), key=sends.__getitem__)
+            if sends[port] > start:
+                start = sends[port]
+            leave_sender = start + alpha + words * beta
+            sends[port] = leave_sender
+            recvs = self._nic_recv_free[node_of[dst]]
+            port = min(range(len(recvs)), key=recvs.__getitem__)
+            arrival = recvs[port] + words * beta
+            if leave_sender > arrival:
+                arrival = leave_sender
+            recvs[port] = arrival
 
         message = Message(next(self._seq), src, dst, tag, context,
                           payload, words, now, arrival)

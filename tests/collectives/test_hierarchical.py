@@ -1,0 +1,451 @@
+"""Tests of the topology-aware node-leader collectives and per-tier ports.
+
+Covers the hierarchy view (leader election, ragged nodes, offset/strided
+groups), correctness of the node-leader schedules against the flat results,
+the flat-machine bit-identity guarantee of the default algorithm selection,
+and the shared-NIC (``ports_per_node``) transport serialisation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.collectives.hierarchical import build_hierarchy, hierarchy_of
+from repro.mpi import init_mpi
+from repro.rbc import collectives as rbc_collectives
+from repro.rbc import create_rbc_comm
+from repro.rbc.comm import RbcComm
+from repro.simulator import (
+    Cluster,
+    HierarchicalParams,
+    NetworkParams,
+    Placement,
+)
+
+TWO_TIER = HierarchicalParams.two_tier(ranks_per_node=4)
+THREE_TIER = HierarchicalParams(ranks_per_node=4, nodes_per_island=2)
+
+
+# ---------------------------------------------------------------------------
+# Hierarchy construction and leader election.
+# ---------------------------------------------------------------------------
+
+def test_build_hierarchy_block_placement():
+    placement = Placement.regular(8, ranks_per_node=4, nodes_per_island=1)
+    h = build_hierarchy(placement, range(8))
+    assert h.node_members == ((0, 1, 2, 3), (4, 5, 6, 7))
+    assert h.node_of == (0, 0, 0, 0, 1, 1, 1, 1)
+    assert h.islands == ((0,), (1,))
+    assert h.num_islands == 2
+    assert h.nontrivial
+
+
+def test_build_hierarchy_ragged_last_node():
+    """The regression the leader election must survive: a group whose size is
+    not a multiple of the node size elects the smallest member of the small
+    last node, and the root still replaces its own node's leader."""
+    placement = Placement.regular(10, ranks_per_node=4, nodes_per_island=8)
+    h = build_hierarchy(placement, range(10))
+    assert h.node_members == ((0, 1, 2, 3), (4, 5, 6, 7), (8, 9))
+    node_leaders, island_leaders = h.leaders_for(0)
+    assert node_leaders == (0, 4, 8)
+    assert island_leaders == (0,)
+    node_leaders, island_leaders = h.leaders_for(9)
+    assert node_leaders == (0, 4, 9)
+    assert island_leaders == (9,)
+    node_leaders, _ = h.leaders_for(5)
+    assert node_leaders == (0, 5, 8)
+
+
+def test_build_hierarchy_offset_group():
+    """A group starting mid-node (the RBC range case) gets ragged first and
+    last nodes; group ranks are renumbered from 0."""
+    placement = Placement.regular(12, ranks_per_node=4, nodes_per_island=8)
+    h = build_hierarchy(placement, range(3, 3 + 7))  # world 3..9
+    assert h.node_members == ((0,), (1, 2, 3, 4), (5, 6))
+    assert h.nontrivial
+
+
+def test_build_hierarchy_cyclic_placement():
+    placement = Placement.cyclic(8, num_nodes=4)
+    h = build_hierarchy(placement, range(8))
+    assert h.node_members == ((0, 4), (1, 5), (2, 6), (3, 7))
+    assert h.num_islands == 1
+
+
+def test_leaders_respect_islands():
+    h = build_hierarchy(Placement.regular(16, 4, 2), range(16))
+    assert h.islands == ((0, 1), (2, 3))
+    node_leaders, island_leaders = h.leaders_for(6)
+    # Root 6 (node 1) leads its node and its island; the other island is led
+    # by the leader of its first node.
+    assert node_leaders == (0, 6, 8, 12)
+    assert island_leaders == (6, 8)
+
+
+# ---------------------------------------------------------------------------
+# hierarchy_of selection predicate.
+# ---------------------------------------------------------------------------
+
+def _probe_hierarchy(num_ranks, params, placement=None, first=0, last=None,
+                     stride=1):
+    """Run one rank program that reports hierarchy_of on an RBC endpoint."""
+    def program(env):
+        mpi = init_mpi(env, vendor="generic")
+        world = yield from create_rbc_comm(mpi)
+        comm = world if last is None else RbcComm(mpi, first, last, stride)
+        if comm.rank is None:
+            return "non-member"
+        from repro.rbc.collectives import _endpoint
+        from repro.rbc import tags
+        ep = _endpoint(comm, tags.BCAST_TAG)
+        h = hierarchy_of(ep)
+        return None if h is None else h.node_members
+
+    result = Cluster(num_ranks, params, placement=placement).run(program)
+    return next(r for r in result.results if r != "non-member")
+
+
+def test_hierarchy_of_is_none_on_flat_machines():
+    assert _probe_hierarchy(8, NetworkParams.default()) is None
+
+
+def test_hierarchy_of_tolerates_duck_typed_cost_models():
+    """A cost model without uniform_link (pre-dating the method, not a
+    CostModel subclass) must stay on the flat path, not AttributeError."""
+    class Legacy:
+        gamma = 0.002
+
+        def link(self, src, dst, placement=None):
+            return (5.0, 0.002)
+
+        def worst_link(self):
+            return (5.0, 0.002)
+
+        def message_cost(self, words, src=None, dst=None, placement=None):
+            return 5.0 + words * 0.002
+
+        def compute_cost(self, operations):
+            return operations * self.gamma
+
+        def default_placement(self, num_ranks):
+            return Placement.single_node(num_ranks)
+
+    result = Cluster(4, Legacy()).run(
+        _collective_program, "allreduce", 0, None)
+    expected = [float(i * 4 + sum(range(4))) for i in range(5)]
+    assert all(value == expected for value in result.results)
+
+
+def test_hierarchy_of_is_none_on_single_node():
+    assert _probe_hierarchy(
+        8, TWO_TIER, placement=Placement.single_node(8)) is None
+
+
+def test_hierarchy_of_is_none_for_one_rank_per_node_single_island():
+    """One rank per node on one island IS the flat binomial tree."""
+    placement = Placement.regular(6, ranks_per_node=1, nodes_per_island=8)
+    assert _probe_hierarchy(6, TWO_TIER, placement=placement) is None
+
+
+def test_hierarchy_of_nontrivial_on_multi_node():
+    members = _probe_hierarchy(8, TWO_TIER)
+    assert members == ((0, 1, 2, 3), (4, 5, 6, 7))
+
+
+def test_hierarchy_of_subgroup_is_group_local():
+    members = _probe_hierarchy(12, TWO_TIER, first=3, last=9)
+    assert members == ((0,), (1, 2, 3, 4), (5, 6))
+
+
+def test_hierarchy_cache_distinguishes_affine_from_member_tuples():
+    """Regression: an affine group's cache key (first, stride, size) must not
+    collide with a non-affine group whose member tuple holds the same three
+    integers — each communicator must get its own Hierarchy."""
+    from repro.collectives.endpoint import TransportEndpoint
+
+    placement = Placement.regular(6, ranks_per_node=2, nodes_per_island=8)
+    cluster = Cluster(6, TWO_TIER, placement=placement)
+    env = cluster.envs[0]
+
+    def endpoint(members, affine):
+        return TransportEndpoint(
+            env, cluster.transport, context="ctx", tag=1, rank=0,
+            size=len(members), to_world=lambda g: members[g],
+            world_affine=affine)
+
+    # Affine {0, 2, 4}: one rank per node, one island -> trivial (None).
+    # Non-affine members (0, 2, 3): nodes ((0,), (1, 2)) -> nontrivial.
+    # Both would key as (0, 2, 3) without the affine tag; check both
+    # insertion orders.
+    affine_ep = endpoint((0, 2, 4), (0, 2))
+    tuple_ep = endpoint((0, 2, 3), None)
+    assert hierarchy_of(affine_ep) is None
+    h = hierarchy_of(tuple_ep)
+    assert h is not None and h.node_members == ((0,), (1, 2))
+
+    cluster.transport._hierarchy_cache.clear()
+    h = hierarchy_of(tuple_ep)
+    assert h is not None and h.node_members == ((0,), (1, 2))
+    assert hierarchy_of(affine_ep) is None
+
+
+# ---------------------------------------------------------------------------
+# Correctness of the node-leader schedules.
+# ---------------------------------------------------------------------------
+
+def _collective_program(env, operation, root, algorithm, words=5,
+                        first=0, last=None, stride=1):
+    mpi = init_mpi(env, vendor="generic")
+    world = yield from create_rbc_comm(mpi)
+    comm = world if last is None else RbcComm(mpi, first, last, stride)
+    if comm.rank is None:
+        return "non-member"
+    rank, size = comm.rank, comm.size
+    payload = np.arange(words, dtype=np.float64) + rank
+    if operation == "bcast":
+        value = yield from rbc_collectives.bcast(
+            comm, payload if rank == root else None, root,
+            algorithm=algorithm)
+        return np.asarray(value).tolist()
+    if operation == "reduce":
+        value = yield from rbc_collectives.reduce(comm, payload, root=root,
+                                                  algorithm=algorithm)
+        return None if value is None else np.asarray(value).tolist()
+    if operation == "allreduce":
+        value = yield from rbc_collectives.allreduce(comm, payload,
+                                                     algorithm=algorithm)
+        return np.asarray(value).tolist()
+    if operation == "barrier":
+        yield from rbc_collectives.barrier(comm, algorithm=algorithm)
+        return env.now
+    raise ValueError(operation)
+
+
+MACHINES = [
+    pytest.param(8, TWO_TIER, None, id="2tier-aligned"),
+    pytest.param(10, TWO_TIER, None, id="2tier-ragged"),
+    pytest.param(16, THREE_TIER, None, id="3tier"),
+    pytest.param(8, HierarchicalParams.two_tier(ranks_per_node=4,
+                                                ports_per_node=1),
+                 None, id="2tier-nic"),
+    pytest.param(8, TWO_TIER, Placement.cyclic(8, 4), id="cyclic"),
+]
+
+
+@pytest.mark.parametrize("num_ranks,params,placement", MACHINES)
+@pytest.mark.parametrize("root", [0, 1, 5])
+def test_hier_bcast_delivers_root_value(num_ranks, params, placement, root):
+    result = Cluster(num_ranks, params, placement=placement).run(
+        _collective_program, "bcast", root, "hierarchical")
+    expected = [float(root + i) for i in range(5)]
+    assert all(value == expected for value in result.results)
+
+
+@pytest.mark.parametrize("num_ranks,params,placement", MACHINES)
+@pytest.mark.parametrize("root", [0, 5])
+def test_hier_reduce_sums_at_root(num_ranks, params, placement, root):
+    result = Cluster(num_ranks, params, placement=placement).run(
+        _collective_program, "reduce", root, "hierarchical")
+    p = num_ranks
+    expected = [float(i * p + sum(range(p))) for i in range(5)]
+    for rank, value in enumerate(result.results):
+        if rank == root:
+            assert value == expected
+        else:
+            assert value is None
+
+
+@pytest.mark.parametrize("num_ranks,params,placement", MACHINES)
+def test_hier_allreduce_everyone_gets_sum(num_ranks, params, placement):
+    result = Cluster(num_ranks, params, placement=placement).run(
+        _collective_program, "allreduce", 0, "hierarchical")
+    p = num_ranks
+    expected = [float(i * p + sum(range(p))) for i in range(5)]
+    assert all(value == expected for value in result.results)
+
+
+@pytest.mark.parametrize("num_ranks,params,placement", MACHINES)
+def test_hier_barrier_completes(num_ranks, params, placement):
+    result = Cluster(num_ranks, params, placement=placement).run(
+        _collective_program, "barrier", 0, "hierarchical")
+    assert all(t is not None and t > 0 for t in result.results)
+
+
+def test_hier_collectives_on_offset_strided_subgroup():
+    """Node-leader schedules on an RBC range that starts mid-node and strides
+    over every second rank (members world 3, 5, 7, 9, 11, 13)."""
+    result = Cluster(16, TWO_TIER).run(
+        _collective_program, "allreduce", 0, "hierarchical",
+        first=3, last=13, stride=2)
+    p = 6
+    expected = [float(i * p + sum(range(p))) for i in range(5)]
+    for rank, value in enumerate(result.results):
+        if 3 <= rank <= 13 and (rank - 3) % 2 == 0:
+            assert value == expected
+        else:
+            assert value == "non-member"
+
+
+def test_hier_barrier_synchronises_late_arrivals():
+    """No rank may leave the hierarchical barrier before the last one enters."""
+    def program(env):
+        mpi = init_mpi(env, vendor="generic")
+        comm = yield from create_rbc_comm(mpi)
+        yield from env.sleep(100.0 * env.rank)
+        entered = env.now
+        yield from rbc_collectives.barrier(comm, algorithm="hierarchical")
+        return entered, env.now
+
+    result = Cluster(6, TWO_TIER).run(program)
+    last_entry = max(entered for entered, _ in result.results)
+    assert all(left >= last_entry for _, left in result.results)
+
+
+# ---------------------------------------------------------------------------
+# Default selection: hierarchical machines switch, flat machines must not.
+# ---------------------------------------------------------------------------
+
+def _run_counters(num_ranks, params, operation, algorithm, placement=None):
+    cluster = Cluster(num_ranks, params, placement=placement)
+    result = cluster.run(_collective_program, operation, 0, algorithm)
+    return (result.total_time, result.events_processed,
+            result.stats.messages_sent, result.results)
+
+
+@pytest.mark.parametrize("operation", ["bcast", "reduce", "allreduce",
+                                       "barrier"])
+def test_flat_machine_default_is_bit_identical(operation):
+    """On flat machines the default (None) algorithm must reproduce the
+    explicit flat algorithm exactly: simulated time, events, messages."""
+    flat = {"bcast": "binomial", "reduce": "binomial",
+            "allreduce": "reduce_bcast", "barrier": "dissemination"}
+    default = _run_counters(8, NetworkParams.default(), operation, None)
+    explicit = _run_counters(8, NetworkParams.default(), operation,
+                             flat[operation])
+    assert default == explicit
+
+
+@pytest.mark.parametrize("operation", ["bcast", "reduce", "allreduce"])
+def test_hierarchical_machine_default_selects_node_leader(operation):
+    """On a multi-node machine the default must equal the explicit
+    hierarchical schedule (same times, events, messages)."""
+    params = HierarchicalParams.two_tier(ranks_per_node=4)
+    placement = Placement.cyclic(8, 4)
+    default = _run_counters(8, params, operation, None, placement=placement)
+    hier = _run_counters(8, params, operation, "hierarchical",
+                         placement=placement)
+    assert default == hier
+
+
+def test_barrier_default_is_dissemination_without_shared_nics():
+    params = HierarchicalParams.two_tier(ranks_per_node=4)
+    default = _run_counters(8, params, "barrier", None)
+    dissemination = _run_counters(8, params, "barrier", "dissemination")
+    hier = _run_counters(8, params, "barrier", "hierarchical")
+    assert default == dissemination
+    assert default != hier
+
+
+def test_barrier_default_is_hierarchical_with_shared_nics():
+    params = HierarchicalParams.two_tier(ranks_per_node=4, ports_per_node=1)
+    default = _run_counters(8, params, "barrier", None)
+    hier = _run_counters(8, params, "barrier", "hierarchical")
+    assert default == hier
+
+
+def test_unknown_algorithms_rejected():
+    def program(env):
+        mpi = init_mpi(env, vendor="generic")
+        comm = yield from create_rbc_comm(mpi)
+        with pytest.raises(ValueError, match="unknown reduce algorithm"):
+            rbc_collectives.ireduce(comm, 1.0, algorithm="bogus")
+        with pytest.raises(ValueError, match="unknown allreduce algorithm"):
+            rbc_collectives.iallreduce(comm, 1.0, algorithm="bogus")
+        with pytest.raises(ValueError, match="unknown barrier algorithm"):
+            rbc_collectives.ibarrier(comm, algorithm="bogus")
+        with pytest.raises(ValueError, match="unknown broadcast algorithm"):
+            rbc_collectives.ibcast(comm, 1.0, algorithm="bogus")
+        yield from env.sleep(1.0)
+        return True
+
+    assert all(Cluster(2).run(program).results)
+
+
+# ---------------------------------------------------------------------------
+# Shared node NICs (ports_per_node).
+# ---------------------------------------------------------------------------
+
+def _nic_cluster(ports, num_ranks=8, ranks_per_node=2):
+    params = HierarchicalParams.two_tier(ranks_per_node=ranks_per_node,
+                                         ports_per_node=ports)
+    return Cluster(num_ranks, params)
+
+
+def test_inter_node_sends_serialise_on_shared_nic():
+    """Two ranks of one node sending inter-node at the same instant share one
+    NIC: the second transfer starts only when the first has left."""
+    cluster = _nic_cluster(ports=1)
+    transport = cluster.transport
+    alpha = cluster.params.inter_node_alpha
+    first = transport.post_send(0, 2, 0, "ctx", None, 0)
+    second = transport.post_send(1, 3, 0, "ctx", None, 0)
+    assert first.complete_time == pytest.approx(alpha)
+    assert second.complete_time == pytest.approx(2 * alpha)
+
+
+def test_per_rank_ports_do_not_serialise_across_ranks():
+    cluster = _nic_cluster(ports=None)
+    transport = cluster.transport
+    alpha = cluster.params.inter_node_alpha
+    first = transport.post_send(0, 2, 0, "ctx", None, 0)
+    second = transport.post_send(1, 3, 0, "ctx", None, 0)
+    assert first.complete_time == pytest.approx(alpha)
+    assert second.complete_time == pytest.approx(alpha)
+
+
+def test_two_nic_ports_allow_two_concurrent_transfers():
+    cluster = _nic_cluster(ports=2, num_ranks=12, ranks_per_node=3)
+    transport = cluster.transport
+    alpha = cluster.params.inter_node_alpha
+    sends = [transport.post_send(src, src + 3, 0, "ctx", None, 0)
+             for src in range(3)]
+    times = sorted(handle.complete_time for handle in sends)
+    assert times[0] == pytest.approx(alpha)
+    assert times[1] == pytest.approx(alpha)
+    assert times[2] == pytest.approx(2 * alpha)
+
+
+def test_intra_node_traffic_bypasses_the_nic():
+    """Shared-memory transfers use the per-rank ports even while the node's
+    NIC is busy."""
+    cluster = _nic_cluster(ports=1)
+    transport = cluster.transport
+    transport.post_send(0, 2, 0, "ctx", None, 0)          # NIC busy
+    intra = transport.post_send(0, 1, 0, "ctx", None, 0)  # same node
+    assert intra.complete_time == pytest.approx(
+        cluster.params.intra_node_alpha)
+
+
+def test_receive_side_nic_serialises_incast():
+    """Transfers from two different nodes into one node serialise their data
+    phases on the destination node's shared NIC."""
+    cluster = _nic_cluster(ports=1, num_ranks=12, ranks_per_node=2)
+    transport = cluster.transport
+    params = cluster.params
+    words = 1000
+    wire = words * params.inter_node_beta
+    # Ranks 0 (node 0) and 2 (node 1) send to ranks 4 and 5 (both node 2).
+    transport.post_send(0, 4, 0, "ctx", None, words)
+    transport.post_send(2, 5, 0, "ctx", None, words)
+    leave = params.inter_node_alpha + wire
+    engine = cluster.engine
+    arrivals = sorted(time for time, *_ in engine._heap)
+    assert arrivals[0] == pytest.approx(leave)
+    assert arrivals[1] == pytest.approx(leave + wire)
+
+
+def test_nic_machine_runs_collectives_correctly():
+    params = HierarchicalParams.two_tier(ranks_per_node=4, ports_per_node=1)
+    result = Cluster(8, params).run(_collective_program, "allreduce", 0, None)
+    expected = [float(i * 8 + sum(range(8))) for i in range(5)]
+    assert all(value == expected for value in result.results)

@@ -94,6 +94,27 @@ def test_scalar_and_vector_tiers_agree(key, count, size):
     assert np.array_equal(vector, scalar)
 
 
+@pytest.mark.parametrize("count", [rand._SCALAR_DRAWS - 1, rand._SCALAR_DRAWS,
+                                   rand._SCALAR_DRAWS + 1])
+def test_tier_boundary_bit_identical(count, monkeypatch):
+    """Differential test exactly at the scalar-tier boundary (3/4/5 draws).
+
+    Counts of 3 and 4 take the inlined scalar loop, 5 the uint64 vector
+    path; forcing the cutoff to 0 re-runs the same ``(key, count, size)`` on
+    the vector implementation, which must be bit-identical — including sizes
+    near 2**63 where a signed modulo would diverge from the uint64 one.
+    """
+    for key in (0, 1, 2 ** 64 - 1, rand.derive_key(17, count),
+                rand.sample_key(5, 0, 97, 3, 1)):
+        for size in (1, 2, 3, 64, 2 ** 31 - 1, 2 ** 62 + 11):
+            native = rand.sample_indices(key, count, size)
+            with monkeypatch.context() as patch:
+                patch.setattr(rand, "_SCALAR_DRAWS", 0)
+                vector = rand.sample_indices(key, count, size)
+            assert native.dtype == vector.dtype == np.int64
+            assert np.array_equal(native, vector), (key, count, size)
+
+
 def test_prefix_property():
     """Index i of a stream does not depend on how many draws were requested."""
     key = rand.derive_key(42, 7)

@@ -104,6 +104,44 @@ def test_placement_rejects_bad_shape():
         Placement.regular(4, ranks_per_node=1, nodes_per_island=0)
 
 
+def test_placement_rejects_node_spanning_islands():
+    """A node is one physical box: its ranks cannot live on two islands."""
+    with pytest.raises(ValueError, match=r"rank 2.*node 7.*island"):
+        Placement(nodes=(7, 3, 7), islands=(0, 0, 1))
+    # The error names the first offending rank, not just the node.
+    with pytest.raises(ValueError, match="rank 3"):
+        Placement(nodes=(0, 1, 1, 0), islands=(0, 1, 1, 1))
+
+
+def test_placement_regular_ragged_last_node():
+    """num_ranks % ranks_per_node != 0: the last node is smaller, not split."""
+    placement = Placement.regular(10, ranks_per_node=4, nodes_per_island=2)
+    assert placement.nodes == (0, 0, 0, 0, 1, 1, 1, 1, 2, 2)
+    assert placement.islands == (0, 0, 0, 0, 0, 0, 0, 0, 1, 1)
+    assert placement.num_nodes() == 3
+    assert placement.num_islands() == 2
+
+
+def test_placement_cyclic_round_robin():
+    placement = Placement.cyclic(10, num_nodes=4)
+    assert placement.nodes == (0, 1, 2, 3, 0, 1, 2, 3, 0, 1)
+    assert placement.num_islands() == 1
+    two_islands = Placement.cyclic(8, num_nodes=4, nodes_per_island=2)
+    assert two_islands.islands == (0, 0, 1, 1, 0, 0, 1, 1)
+    with pytest.raises(ValueError):
+        Placement.cyclic(8, num_nodes=0)
+    with pytest.raises(ValueError):
+        Placement.cyclic(8, num_nodes=2, nodes_per_island=0)
+
+
+def test_placement_shorter_than_communicator_rejected():
+    """A placement covering fewer ranks than the cluster routes must fail
+    loudly at construction, not index-error mid-simulation."""
+    short = Placement.regular(4, ranks_per_node=2, nodes_per_island=2)
+    with pytest.raises(ValueError, match="placement covers 4"):
+        Cluster(6, HierarchicalParams(), placement=short)
+
+
 # ---------------------------------------------------------------------------
 # HierarchicalParams.
 # ---------------------------------------------------------------------------
@@ -143,6 +181,35 @@ def test_hierarchical_rejects_bad_shape():
         HierarchicalParams(ranks_per_node=0)
     with pytest.raises(ValueError, match="nodes_per_island"):
         HierarchicalParams(nodes_per_island=-1)
+
+
+def test_hierarchical_ports_per_node_validation():
+    assert HierarchicalParams().ports_per_node is None
+    assert HierarchicalParams(ports_per_node=2).ports_per_node == 2
+    with pytest.raises(ValueError, match="ports_per_node"):
+        HierarchicalParams(ports_per_node=0)
+    with pytest.raises(ValueError, match="ports_per_node"):
+        HierarchicalParams(ports_per_node=-1)
+
+
+def test_hierarchical_tier_link():
+    params = HierarchicalParams(
+        intra_node_alpha=1.0, intra_node_beta=0.001,
+        inter_node_alpha=2.0, inter_node_beta=0.002,
+        inter_island_alpha=3.0, inter_island_beta=0.003)
+    assert params.tier_link(0) == (1.0, 0.001)
+    assert params.tier_link(1) == (2.0, 0.002)
+    assert params.tier_link(2) == (3.0, 0.003)
+
+
+def test_two_tier_preset_has_no_island_surcharge():
+    params = HierarchicalParams.two_tier(ranks_per_node=8, ports_per_node=1)
+    assert params.tier_link(1) == params.tier_link(2)
+    assert params.ranks_per_node == 8
+    assert params.ports_per_node == 1
+    placement = params.default_placement(16)
+    assert placement.num_nodes() == 2
+    assert placement.num_islands() == 1
 
 
 def test_hierarchical_default_placement_uses_shape():

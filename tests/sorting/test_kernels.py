@@ -111,6 +111,42 @@ def test_fused_partition_reads_frozen_input():
     assert n_small == 5
 
 
+@pytest.mark.parametrize("size", [PARTITION_SCALAR_CUTOFF - 1,
+                                  PARTITION_SCALAR_CUTOFF,
+                                  PARTITION_SCALAR_CUTOFF + 1])
+@pytest.mark.parametrize("tie_breaking", [True, False])
+def test_fused_partition_tiers_bit_identical_at_boundary(size, tie_breaking,
+                                                         monkeypatch):
+    """Differential test exactly at the scalar/vector tier boundary.
+
+    Sizes 23/24 take the scalar (``tolist`` loop) tier, 25 the vector tier;
+    forcing the cutoff to 0 re-runs the *same* inputs on the vector tier, and
+    both must agree bit for bit (including a pivot replicated many times, so
+    the tie-breaking cut is exercised on both sides of the boundary).
+    """
+    rng = np.random.default_rng(100 + size)
+    values = rng.random(size)
+    values[rng.integers(0, size, size=size // 3)] = 0.5  # replicated pivot
+    slot_base = 777
+    for pivot_slot in (slot_base - 1, slot_base, slot_base + size // 2,
+                       slot_base + size, slot_base + size + 2):
+        scalar = fused_partition(values, slot_base, 0.5, pivot_slot,
+                                 tie_breaking=tie_breaking)
+        with monkeypatch.context() as patch:
+            patch.setattr(kernels, "PARTITION_SCALAR_CUTOFF", 0)
+            vector = fused_partition(values, slot_base, 0.5, pivot_slot,
+                                     tie_breaking=tie_breaking)
+        assert scalar[2] == vector[2]
+        np.testing.assert_array_equal(scalar[0], vector[0])
+        np.testing.assert_array_equal(scalar[1], vector[1])
+        assert scalar[0].dtype == vector[0].dtype == np.float64
+        # Both tiers must also match the unfused reference implementation.
+        ref_small, ref_large = _reference(values, slot_base, 0.5, pivot_slot,
+                                          tie_breaking)
+        np.testing.assert_array_equal(scalar[0], ref_small)
+        np.testing.assert_array_equal(scalar[1], ref_large)
+
+
 # ---------------------------------------------------------- kway_bucket_split
 
 

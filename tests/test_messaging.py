@@ -109,6 +109,74 @@ def test_recv_request_take_is_multi_shot():
     assert result.results[1] == ["msg-0", "msg-1", "msg-2"]
 
 
+def test_take_drain_reports_per_message_status_with_wildcards():
+    """Multi-shot drain with a wildcard source (and tag): every drained
+    message's Status must carry that message's actual (src, tag, count) —
+    translated to the communicator's rank space — not the match key of the
+    request or a stale status of a previously drained message."""
+    from repro.simulator import ANY_SOURCE, ANY_TAG
+
+    def program(env):
+        if env.rank in (1, 2, 3):
+            # Staggered sends so the arrival order (and hence the drain
+            # order) is deterministic: rank 3 first, then 1, then 2.
+            delay = {3: 1.0, 1: 10.0, 2: 20.0}[env.rank]
+            yield from env.sleep(delay)
+            env.transport.post_send(env.rank, 0, tag=env.rank * 7,
+                                    context="ctx",
+                                    payload=np.arange(env.rank, dtype=float))
+            return None
+        request = RecvRequest(env, env.transport, context="ctx",
+                              source_world=ANY_SOURCE, tag=ANY_TAG,
+                              source_filter=lambda world: world != 0,
+                              translate_source=lambda world: world + 100)
+        drained = []
+        while len(drained) < 3:
+            yield from env.wait_until(request.test)
+            status = request.get_status()
+            payload = request.take()
+            drained.append((status.source, status.tag, status.count,
+                            payload.size))
+            # take() re-arms the request: no stale status may leak into the
+            # next drained message.
+            assert request.get_status() is None
+            assert request.result() is None
+        return drained
+
+    result = Cluster(4).run(program)
+    assert result.results[0] == [
+        (103, 21, 3, 3),
+        (101, 7, 1, 1),
+        (102, 14, 2, 2),
+    ]
+
+
+def test_take_drain_status_not_cached_across_rearm():
+    """A Status obtained (and cached) before ``take()`` must not be returned
+    for the *next* drained message."""
+    from repro.simulator import ANY_SOURCE
+
+    def program(env):
+        if env.rank in (1, 2):
+            yield from env.sleep(5.0 * env.rank)
+            env.transport.post_send(env.rank, 0, tag=4, context="ctx",
+                                    payload=f"from-{env.rank}")
+            return None
+        request = RecvRequest(env, env.transport, context="ctx",
+                              source_world=ANY_SOURCE, tag=4)
+        yield from env.wait_until(request.test)
+        first = request.get_status()
+        assert first is request.get_status()  # cached while matched
+        assert request.take() == "from-1"
+        yield from env.wait_until(request.test)
+        second = request.get_status()
+        assert request.take() == "from-2"
+        return first.source, second.source
+
+    result = Cluster(3).run(program)
+    assert result.results[0] == (1, 2)
+
+
 def test_request_set_helpers():
     class _Manual:
         def __init__(self):
