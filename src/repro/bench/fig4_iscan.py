@@ -10,16 +10,21 @@ of double elements per process swept from 2^0 to 2^18, and observes
 
 We reproduce the same sweep at a reduced process count (the simulator replaces
 the 32 768-core machine) and check the same two qualitative properties.
+
+The grid is declared as an :class:`~repro.experiments.ExperimentSpec`
+(:func:`spec`) and executed by the experiment runner; :func:`run` is the thin
+historical wrapper producing the same table, rows and telemetry as the
+hand-written loops it replaced.  ``python -m repro.experiments run fig4_grid``
+sweeps the same grid across several machine presets.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from .harness import Measurement, collective_program, repeat_max_duration
 from .tables import Table
 
-__all__ = ["PRESETS", "run"]
+__all__ = ["PRESETS", "spec", "run"]
 
 PRESETS = {
     # p, exponent range of n/p, repetitions
@@ -35,33 +40,51 @@ _IMPLS = (
 )
 
 
-def run(scale: str = "small", *, num_ranks: Optional[int] = None,
-        repetitions: Optional[int] = None) -> Table:
-    """Run the Fig. 4 sweep; returns one row per (implementation, n/p)."""
+def spec(scale: str = "small", *, num_ranks: Optional[int] = None,
+         repetitions: Optional[int] = None, machine: str = "flat"):
+    """The Fig. 4 sweep as a declarative experiment grid."""
+    from ..experiments.spec import ExperimentSpec, Grid
+
     preset = dict(PRESETS[scale])
     if num_ranks is not None:
         preset["num_ranks"] = num_ranks
     if repetitions is not None:
         preset["repetitions"] = repetitions
 
-    p = preset["num_ranks"]
+    grid = Grid(
+        fixed=dict(kind="collective", operation="scan", machine=machine,
+                   num_ranks=preset["num_ranks"],
+                   repetitions=preset["repetitions"]),
+        axes={
+            "impl": [dict(impl=impl, vendor=vendor, label=label)
+                     for label, impl, vendor in _IMPLS],
+            "words": [2 ** exponent for exponent in preset["exponents"]],
+        },
+    )
+    return ExperimentSpec(
+        name=f"fig4_iscan_{scale}",
+        description="Fig. 4 — Iscan sweep (RBC vs Intel MPI vs IBM MPI)",
+        grids=[grid],
+    )
+
+
+def run(scale: str = "small", *, num_ranks: Optional[int] = None,
+        repetitions: Optional[int] = None) -> Table:
+    """Run the Fig. 4 sweep; returns one row per (implementation, n/p)."""
+    from ..experiments.runner import run_spec
+
+    experiment = spec(scale, num_ranks=num_ranks, repetitions=repetitions)
+    p = experiment.grids[0].fixed["num_ranks"]
+    words = experiment.grids[0].axes["words"]
     table = Table(
         title=f"Fig. 4 — Iscan on p={p} simulated cores (paper: p=2^15)",
         columns=["impl", "n_per_proc", "time_ms"],
     )
     table.add_note("paper sweeps n/p in 2^0..2^18 on 32768 cores; "
-                   f"this run uses p={p} and n/p in "
-                   f"{[2 ** e for e in preset['exponents']]}")
+                   f"this run uses p={p} and n/p in {words}")
 
-    for label, impl, vendor in _IMPLS:
-        for exponent in preset["exponents"]:
-            words = 2 ** exponent
-            measurement = repeat_max_duration(
-                p,
-                lambda rep: (collective_program, (), dict(
-                    operation="scan", impl=impl, vendor=vendor, words=words)),
-                repetitions=preset["repetitions"],
-            )
-            table.add_row(impl=label, n_per_proc=words,
-                          time_ms=measurement.mean_ms)
+    for result in run_spec(experiment).results:
+        table.add_row(impl=result.scenario.label,
+                      n_per_proc=result.scenario.words,
+                      time_ms=result.measurement().mean_ms)
     return table

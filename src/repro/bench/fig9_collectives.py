@@ -5,16 +5,21 @@ for IBM MPI and Intel MPI, each against RBC, over n/p from 2^0 to 2^18 (gather
 only to 2^10).  The observation backing Section VIII-B: RBC's collectives
 perform similarly to their native counterparts, i.e. range-based communicator
 creation comes with no hidden overhead in the collective operations.
+
+The grid is declared as an :class:`~repro.experiments.ExperimentSpec` — one
+:class:`~repro.experiments.Grid` per panel, so gather's shorter payload sweep
+stays declarative — and executed by the experiment runner; :func:`run` is the
+thin historical wrapper.  ``python -m repro.experiments run fig9_grid``
+sweeps a panel subset across several machine presets.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from .harness import collective_program, repeat_max_duration
 from .tables import Table
 
-__all__ = ["PRESETS", "run"]
+__all__ = ["PRESETS", "PANELS", "spec", "run"]
 
 PRESETS = {
     "tiny": dict(num_ranks=64, exponents=range(0, 11, 4),
@@ -38,34 +43,54 @@ PANELS = (
 )
 
 
-def run(scale: str = "small", *, num_ranks: Optional[int] = None,
-        panels=PANELS) -> Table:
-    """Run the Fig. 9 sweep; one row per (panel, implementation, n/p)."""
+def spec(scale: str = "small", *, num_ranks: Optional[int] = None,
+         panels=PANELS, machine: str = "flat"):
+    """The Fig. 9 sweep as a declarative experiment grid (one per panel)."""
+    from ..experiments.spec import ExperimentSpec, Grid
+
     preset = dict(PRESETS[scale])
     if num_ranks is not None:
         preset["num_ranks"] = num_ranks
-    p = preset["num_ranks"]
 
+    grids = []
+    for panel, operation, vendor in panels:
+        exponents = (preset["gather_exponents"] if operation == "gather"
+                     else preset["exponents"])
+        grids.append(Grid(
+            fixed=dict(kind="collective", operation=operation, vendor=vendor,
+                       label=panel, machine=machine,
+                       num_ranks=preset["num_ranks"],
+                       repetitions=preset["repetitions"]),
+            axes={
+                "impl": ["mpi", "rbc"],
+                "words": [2 ** exponent for exponent in exponents],
+            },
+        ))
+    return ExperimentSpec(
+        name=f"fig9_collectives_{scale}",
+        description="Fig. 9 — nonblocking collectives, RBC vs native MPI",
+        grids=grids,
+    )
+
+
+def run(scale: str = "small", *, num_ranks: Optional[int] = None,
+        panels=PANELS) -> Table:
+    """Run the Fig. 9 sweep; one row per (panel, implementation, n/p)."""
+    from ..experiments.runner import run_spec
+
+    experiment = spec(scale, num_ranks=num_ranks, panels=panels)
+    p = experiment.grids[0].fixed["num_ranks"]
     table = Table(
         title=f"Fig. 9 — nonblocking collectives on p={p} simulated cores",
         columns=["panel", "operation", "vendor", "impl", "n_per_proc", "time_ms"],
     )
     table.add_note("paper: p=2^15; gather swept only to n/p=2^10 (root memory)")
 
-    for panel, operation, vendor in panels:
-        exponents = (preset["gather_exponents"] if operation == "gather"
-                     else preset["exponents"])
-        for impl in ("mpi", "rbc"):
-            for exponent in exponents:
-                words = 2 ** exponent
-                measurement = repeat_max_duration(
-                    p,
-                    lambda rep: (collective_program, (), dict(
-                        operation=operation, impl=impl, vendor=vendor,
-                        words=words)),
-                    repetitions=preset["repetitions"],
-                )
-                table.add_row(panel=panel, operation=operation, vendor=vendor,
-                              impl="RBC" if impl == "rbc" else "MPI",
-                              n_per_proc=words, time_ms=measurement.mean_ms)
+    for result in run_spec(experiment).results:
+        scenario = result.scenario
+        table.add_row(panel=scenario.label, operation=scenario.operation,
+                      vendor=scenario.vendor,
+                      impl="RBC" if scenario.impl == "rbc" else "MPI",
+                      n_per_proc=scenario.words,
+                      time_ms=result.measurement().mean_ms)
     return table

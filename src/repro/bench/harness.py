@@ -94,6 +94,19 @@ class BenchTelemetry:
         self.events_processed += result.events_processed
         self.messages_sent += result.stats.messages_sent
 
+    def merge(self, snapshot: dict) -> None:
+        """Fold another telemetry :meth:`snapshot` into this sink.
+
+        The experiment runner executes scenarios in worker processes whose
+        cluster runs this process's observer never sees; merging their
+        snapshots keeps the ``BENCH_*.json`` trajectory complete for
+        parallel sweeps.
+        """
+        self.cluster_runs += int(snapshot.get("cluster_runs", 0))
+        self.simulated_us += float(snapshot.get("simulated_us", 0.0))
+        self.events_processed += int(snapshot.get("events_processed", 0))
+        self.messages_sent += int(snapshot.get("messages_sent", 0))
+
     def snapshot(self) -> dict:
         return {
             "cluster_runs": self.cluster_runs,
@@ -110,12 +123,15 @@ add_run_observer(TELEMETRY.record)
 
 def write_bench_json(name: str, *, wall_clock_s: float,
                      telemetry: Optional[BenchTelemetry] = None,
-                     extra: Optional[dict] = None) -> str:
+                     extra: Optional[dict] = None,
+                     directory: Optional[str] = None) -> str:
     """Write ``BENCH_<name>.json`` under the results directory; returns its path.
 
     The payload always contains wall-clock seconds, total simulated time and
     events processed (``extra`` merges additional keys), plus a schema marker
-    so downstream tooling can evolve the format.
+    so downstream tooling can evolve the format.  ``directory`` overrides the
+    default results directory (the experiment CLI writes into its own output
+    directory so sweep results never collide with the gated benchmark suite).
     """
     telemetry = telemetry if telemetry is not None else TELEMETRY
     payload = {
@@ -127,7 +143,8 @@ def write_bench_json(name: str, *, wall_clock_s: float,
     }
     if extra:
         payload.update(extra)
-    path = os.path.join(results_dir(), f"BENCH_{name}.json")
+    path = os.path.join(directory if directory is not None else results_dir(),
+                        f"BENCH_{name}.json")
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2, default=str)
         handle.write("\n")

@@ -58,6 +58,7 @@ __all__ = [
     "SubgroupEndpoint",
     "build_hierarchy",
     "hierarchy_of",
+    "barrier_hierarchy_of",
     "hier_bcast_schedule",
     "hier_reduce_schedule",
     "hier_allreduce_schedule",
@@ -186,6 +187,23 @@ def hierarchy_of(ep: TransportEndpoint) -> Optional[Hierarchy]:
             world_ranks = range(first, first + stride * ep.size, stride)
         hierarchy = cache[key] = build_hierarchy(ep.placement, world_ranks)
     return hierarchy if hierarchy.nontrivial else None
+
+
+def barrier_hierarchy_of(ep: TransportEndpoint) -> Optional[Hierarchy]:
+    """The hierarchy a *barrier* should exploit, else None.
+
+    Stricter than :func:`hierarchy_of`: the node-leader tree barrier only
+    pays off on machines whose nodes share NIC ports (``ports_per_node``),
+    where the dissemination pattern's all-ranks-send-across-the-machine
+    rounds serialise on the node ports.  With private per-rank ports the
+    dissemination barrier's ``log p`` rounds beat the tree barrier's
+    ``2 log p`` and remain the default.  This is the single selection rule
+    shared by the RBC layer and the node-aware vendor MPI layer — one place
+    to change, so the two baselines can never desynchronise.
+    """
+    if not getattr(ep.cost_model, "ports_per_node", None):
+        return None
+    return hierarchy_of(ep)
 
 
 class SubgroupEndpoint:

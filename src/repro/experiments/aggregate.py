@@ -1,0 +1,95 @@
+"""Figure-grade aggregation of sweep results.
+
+Turns a stream of :class:`~repro.experiments.runner.ScenarioResult` objects
+into the paper's statistics — per scenario the *max over ranks* is taken
+inside the simulation and the *mean over repetitions/seeds* here — and emits
+them as :class:`repro.bench.tables.Table` rows (the same container the
+``fig*`` drivers archive), plus CSV for external plotting tools.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from typing import Iterable, Optional, Sequence
+
+from ..bench.tables import Table
+from .runner import ScenarioResult
+
+__all__ = ["RESULT_COLUMNS", "aggregate_results", "write_csv", "write_results_json"]
+
+#: Default column set of an aggregate table: the scenario coordinates the
+#: paper's figures index by, then the timing statistics.
+RESULT_COLUMNS = (
+    "scenario_id", "label", "kind", "machine", "num_ranks", "operation",
+    "impl", "vendor", "n_per_proc", "time_ms", "min_ms", "max_ms",
+    "repetitions", "messages", "simulated_us", "status",
+)
+
+
+def _row_of(result: ScenarioResult) -> dict:
+    scenario = result.scenario
+    row = {
+        "scenario_id": scenario.scenario_id,
+        "label": scenario.label if scenario.label is not None
+        else f"{scenario.impl}/{scenario.vendor}",
+        "kind": scenario.kind,
+        "machine": scenario.machine,
+        "num_ranks": scenario.num_ranks,
+        "operation": scenario.operation if scenario.kind == "collective"
+        else "jquick",
+        "impl": scenario.impl,
+        "vendor": scenario.vendor,
+        "n_per_proc": scenario.words if scenario.kind == "collective"
+        else scenario.n_per_proc,
+        "repetitions": scenario.repetitions,
+        "status": "failed" if not result.ok
+        else ("cached" if result.cached else "ok"),
+        "simulated_us": result.telemetry.get("simulated_us"),
+    }
+    if result.ok:
+        measurement = result.measurement()
+        row.update(time_ms=measurement.mean_ms, min_ms=measurement.min_ms,
+                   max_ms=measurement.max_ms, messages=measurement.messages)
+    else:
+        row.update(time_ms=None, min_ms=None, max_ms=None, messages=None)
+    return row
+
+
+def aggregate_results(results: Iterable[ScenarioResult], *,
+                      title: str = "Experiment sweep",
+                      columns: Sequence[str] = RESULT_COLUMNS,
+                      notes: Optional[Sequence[str]] = None) -> Table:
+    """One table row per scenario (max-over-ranks, mean-over-repetitions)."""
+    table = Table(title=title, columns=list(columns))
+    for result in results:
+        row = _row_of(result)
+        table.add_row(**{column: row.get(column) for column in columns})
+    for note in notes or ():
+        table.add_note(note)
+    return table
+
+
+def write_csv(table: Table, path: str) -> str:
+    """Write ``table`` as CSV (empty cells for None); returns ``path``."""
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(table.columns),
+                                extrasaction="ignore", restval="")
+        writer.writeheader()
+        for row in table.rows:
+            writer.writerow({key: ("" if value is None else value)
+                             for key, value in row.items()
+                             if key in table.columns})
+    return path
+
+
+def write_results_json(results: Sequence[ScenarioResult], path: str) -> str:
+    """Archive the raw per-scenario results (timings, telemetry, errors)."""
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump([result.to_dict() for result in results], handle,
+                  indent=2, default=str)
+        handle.write("\n")
+    return path

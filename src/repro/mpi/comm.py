@@ -13,6 +13,14 @@ from __future__ import annotations
 from typing import Any, Callable, Optional, Sequence
 
 from ..collectives.endpoint import TransportEndpoint
+from ..collectives.hierarchical import (
+    barrier_hierarchy_of,
+    hier_allreduce_schedule,
+    hier_barrier_schedule,
+    hier_bcast_schedule,
+    hier_reduce_schedule,
+    hierarchy_of,
+)
 from ..collectives.large import reduce_scatter_ring_schedule, scatter_schedule
 from ..collectives.machines import (
     CollectiveRequest,
@@ -216,18 +224,45 @@ class MpiCommunicator:
             world_affine=self.group.affine_world_map(),
         )
 
+    def _hierarchy(self, ep: TransportEndpoint):
+        """The group's node/island hierarchy, when this vendor exploits it.
+
+        Production MPIs are node-aware (``VendorModel.node_aware``); for them
+        bcast/reduce/allreduce/barrier run the node-leader schedules of
+        :mod:`repro.collectives.hierarchical` whenever the machine prices
+        links non-uniformly and the group spans several nodes.  On flat
+        machines :func:`hierarchy_of` returns None without touching any
+        cache, so the historical topology-blind path is taken bit-identically
+        — and topology-blind vendors never leave it.
+        """
+        if not self.vendor.node_aware:
+            return None
+        return hierarchy_of(ep)
+
     # --- nonblocking ---------------------------------------------------------
 
     def ibcast(self, value: Any, root: int = 0) -> CollectiveRequest:
         ep = self._collective_endpoint("bcast")
+        hierarchy = self._hierarchy(ep)
+        if hierarchy is not None:
+            return CollectiveRequest(
+                self._env, hier_bcast_schedule(ep, value, root, hierarchy))
         return CollectiveRequest(self._env, bcast_schedule(ep, value, root))
 
     def ireduce(self, value: Any, op=SUM, root: int = 0) -> CollectiveRequest:
         ep = self._collective_endpoint("reduce")
+        hierarchy = self._hierarchy(ep)
+        if hierarchy is not None:
+            return CollectiveRequest(
+                self._env, hier_reduce_schedule(ep, value, op, root, hierarchy))
         return CollectiveRequest(self._env, reduce_schedule(ep, value, op, root))
 
     def iallreduce(self, value: Any, op=SUM) -> CollectiveRequest:
         ep = self._collective_endpoint("allreduce")
+        hierarchy = self._hierarchy(ep)
+        if hierarchy is not None:
+            return CollectiveRequest(
+                self._env, hier_allreduce_schedule(ep, value, op, hierarchy))
         return CollectiveRequest(self._env, allreduce_schedule(ep, value, op))
 
     def iscan(self, value: Any, op=SUM) -> CollectiveRequest:
@@ -268,6 +303,11 @@ class MpiCommunicator:
 
     def ibarrier(self) -> CollectiveRequest:
         ep = self._collective_endpoint("barrier")
+        if self.vendor.node_aware:
+            hierarchy = barrier_hierarchy_of(ep)
+            if hierarchy is not None:
+                return CollectiveRequest(
+                    self._env, hier_barrier_schedule(ep, hierarchy))
         return CollectiveRequest(self._env, barrier_schedule(ep))
 
     # --- blocking wrappers ---------------------------------------------------

@@ -63,6 +63,14 @@ class VendorModel:
     collective_message_overhead:
         Extra per-message software delay (microseconds) inside vendor
         nonblocking collectives.
+    node_aware:
+        Whether this vendor's collectives exploit the machine hierarchy
+        (node-leader schedules on machines with a non-trivial placement).
+        Real production MPIs are node-aware — SMP-optimised trees have been
+        standard for decades — so modelling them topology-blind would flatter
+        RBC on hierarchical machines.  On *flat* machines the flag is inert:
+        the schedule-selection predicate never fires there, so the historical
+        flat code path is taken bit-identically.
     """
 
     name: str
@@ -73,6 +81,7 @@ class VendorModel:
     context_mask_words: int = 64
     collective_word_factor: Dict[str, float] = field(default_factory=dict)
     collective_message_overhead: float = 0.0
+    node_aware: bool = False
 
     def group_construction_cost(self, group_size: int) -> float:
         """Local cost of materialising a group of ``group_size`` processes."""
@@ -116,6 +125,7 @@ INTEL_MPI = VendorModel(
         "allgather": 1.5,
     },
     collective_message_overhead=0.5,
+    node_aware=True,
 )
 
 #: Calibrated to reproduce the IBM MPI curves: create_group slower by orders
@@ -138,6 +148,7 @@ IBM_MPI = VendorModel(
         "allgather": 1.3,
     },
     collective_message_overhead=0.3,
+    node_aware=True,
 )
 
 VENDORS: Dict[str, VendorModel] = {

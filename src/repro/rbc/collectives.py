@@ -27,10 +27,11 @@ placement it falls back to the equivalent flat schedule rather than raising.
 This is the "easy to extend ... e.g., for large input sizes" extension point
 the paper describes in Section V-D.
 
-Topology awareness is deliberately an RBC feature: the simulated native-MPI
-layer (:mod:`repro.mpi.comm`) keeps the topology-blind schedules — it models
-the vendor baseline the paper compares against (making it node-aware is a
-ROADMAP follow-up).
+The simulated native-MPI layer (:mod:`repro.mpi.comm`) applies the same
+node-leader schedules for vendors whose model declares
+``VendorModel.node_aware`` (Intel and IBM MPI — real production MPIs ship
+SMP-optimised trees, so a topology-blind baseline would flatter RBC on
+hierarchical machines); the generic vendor stays topology-blind.
 """
 
 from __future__ import annotations
@@ -39,6 +40,7 @@ from typing import Any, Optional, Sequence
 
 from ..collectives.endpoint import TransportEndpoint
 from ..collectives.hierarchical import (
+    barrier_hierarchy_of,
     hier_allreduce_schedule,
     hier_barrier_schedule,
     hier_reduce_schedule,
@@ -263,10 +265,9 @@ def ibarrier(comm: RbcComm, tag: Optional[int] = None, *,
     """
     ep = _endpoint(comm, _tags.BARRIER_TAG if tag is None else tag)
     if algorithm is None:
-        if getattr(ep.cost_model, "ports_per_node", None):
-            hierarchy = hierarchy_of(ep)
-            if hierarchy is not None:
-                return _request(comm, hier_barrier_schedule(ep, hierarchy))
+        hierarchy = barrier_hierarchy_of(ep)
+        if hierarchy is not None:
+            return _request(comm, hier_barrier_schedule(ep, hierarchy))
         algorithm = "dissemination"
     if algorithm == "hierarchical":
         return _request(comm, hier_barrier_schedule(ep))

@@ -19,7 +19,14 @@ Public entry points:
 """
 
 from .cluster import Cluster, ClusterResult, run_program
-from .costmodel import CostModel, HierarchicalParams, NetworkParams, Placement
+from .costmodel import (
+    MACHINE_PRESETS,
+    CostModel,
+    HierarchicalParams,
+    NetworkParams,
+    Placement,
+    machine_preset,
+)
 from .engine import Engine, Sleep, WaitNotify, run_processes
 from .errors import (
     DeadlockError,
@@ -51,6 +58,7 @@ __all__ = [
     "HierarchicalParams",
     "IndexedMailbox",
     "LinearScanMailbox",
+    "MACHINE_PRESETS",
     "Message",
     "NetworkParams",
     "Placement",
@@ -64,6 +72,7 @@ __all__ = [
     "Tracer",
     "Transport",
     "WaitNotify",
+    "machine_preset",
     "payload_words",
     "run_processes",
     "run_program",

@@ -31,6 +31,8 @@ __all__ = [
     "CostModel",
     "NetworkParams",
     "HierarchicalParams",
+    "MACHINE_PRESETS",
+    "machine_preset",
 ]
 
 #: Default payload size (words) above which ``algorithm="auto"`` switches a
@@ -381,6 +383,51 @@ class HierarchicalParams(CostModel):
                                   ports_per_node=ports_per_node)
 
     @staticmethod
+    def fat_tree(ranks_per_node: int = 16,
+                 nodes_per_pod: int = 16,
+                 ports_per_node: Optional[int] = None) -> "HierarchicalParams":
+        """A full-bisection fat-tree (folded Clos) fabric.
+
+        Pods take the island slot of the three-tier model: messages inside a
+        pod turn around at the leaf/aggregation switches, messages between
+        pods climb to the spine — one extra switch traversal per direction,
+        so a higher startup.  The fabric is non-blocking (full bisection), so
+        the per-word cost is *identical* on both network tiers; only the
+        latency distinguishes them.
+        """
+        return HierarchicalParams(intra_node_alpha=0.5,
+                                  intra_node_beta=0.0004,
+                                  inter_node_alpha=3.5,
+                                  inter_node_beta=0.0016,
+                                  inter_island_alpha=5.5,
+                                  inter_island_beta=0.0016,
+                                  ranks_per_node=ranks_per_node,
+                                  nodes_per_island=nodes_per_pod,
+                                  ports_per_node=ports_per_node)
+
+    @staticmethod
+    def dragonfly(ranks_per_node: int = 16,
+                  nodes_per_group: int = 16,
+                  ports_per_node: Optional[int] = None) -> "HierarchicalParams":
+        """A dragonfly topology: all-to-all groups, tapered global links.
+
+        Groups take the island slot: routers inside a group are fully
+        connected (one cheap local hop), while traffic between groups crosses
+        a long optical *global* link.  Global bandwidth is tapered — fewer
+        global links than local ones — so unlike the fat-tree the inter-group
+        tier pays both a higher startup and a ~3x higher per-word cost.
+        """
+        return HierarchicalParams(intra_node_alpha=0.5,
+                                  intra_node_beta=0.0004,
+                                  inter_node_alpha=3.0,
+                                  inter_node_beta=0.0015,
+                                  inter_island_alpha=7.0,
+                                  inter_island_beta=0.0045,
+                                  ranks_per_node=ranks_per_node,
+                                  nodes_per_island=nodes_per_group,
+                                  ports_per_node=ports_per_node)
+
+    @staticmethod
     def two_tier(ranks_per_node: int = 8,
                  ports_per_node: Optional[int] = None) -> "HierarchicalParams":
         """A 2-tier machine: nodes on one interconnect, no island structure.
@@ -440,3 +487,42 @@ class HierarchicalParams(CostModel):
             return DEFAULT_ALLREDUCE_CROSSOVER_WORDS
         log_p = max(1.0, math.log2(size))
         return max(1, int(size * alpha / (beta * max(1.0, log_p - 1.0))))
+
+
+# ---------------------------------------------------------------------------
+# Named machine presets.
+# ---------------------------------------------------------------------------
+
+def _shared_nic() -> HierarchicalParams:
+    """The SuperMUC-shaped machine with one NIC shared by each node's ranks."""
+    return HierarchicalParams.supermuc_like(ports_per_node=1)
+
+
+#: Named machine presets: ``name -> zero-argument factory``.  This is the
+#: table declarative layers (``repro.experiments`` scenario specs, benchmark
+#: sweeps) resolve machine names through; every entry returns a *validated*
+#: cost model whose :meth:`CostModel.default_placement` describes the machine
+#: shape it was calibrated for.
+MACHINE_PRESETS = {
+    "flat": NetworkParams.default,
+    "latency_bound": NetworkParams.latency_bound,
+    "bandwidth_bound": NetworkParams.bandwidth_bound,
+    "supermuc": HierarchicalParams.supermuc_like,
+    "two_tier": HierarchicalParams.two_tier,
+    "shared_nic": _shared_nic,
+    "fat_tree": HierarchicalParams.fat_tree,
+    "dragonfly": HierarchicalParams.dragonfly,
+}
+
+
+def machine_preset(name) -> CostModel:
+    """Instantiate the machine preset ``name`` (or pass a model through)."""
+    if isinstance(name, CostModel):
+        return name
+    try:
+        factory = MACHINE_PRESETS[str(name)]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown machine preset {name!r}; expected one of "
+            f"{sorted(MACHINE_PRESETS)}") from exc
+    return factory()

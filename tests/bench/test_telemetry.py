@@ -1,0 +1,151 @@
+"""BenchTelemetry / ``BENCH_*.json`` schema: round-trips, observer counting,
+and `check_trajectory.py` compatibility of runner-produced files."""
+
+import importlib.util
+import json
+import os
+import shutil
+
+import pytest
+
+from repro.bench.harness import TELEMETRY, BenchTelemetry, write_bench_json
+from repro.experiments import ExperimentSpec, run_spec
+from repro.simulator import run_program
+from repro.simulator.cluster import add_run_observer, remove_run_observer
+
+_TRAJECTORY = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir,
+                           "benchmarks", "check_trajectory.py")
+
+
+@pytest.fixture(scope="module")
+def trajectory():
+    spec = importlib.util.spec_from_file_location("check_trajectory", _TRAJECTORY)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _ping(env):
+    yield from env.compute(10)
+    return env.now
+
+
+# ---------------------------------------------------------------------------
+# Observer counting.
+# ---------------------------------------------------------------------------
+
+def test_observer_counts_every_cluster_run():
+    telemetry = BenchTelemetry()
+    add_run_observer(telemetry.record)
+    try:
+        for _ in range(3):
+            run_program(4, _ping)
+    finally:
+        remove_run_observer(telemetry.record)
+    assert telemetry.cluster_runs == 3
+    assert telemetry.simulated_us > 0
+    assert telemetry.events_processed > 0
+
+    # Removed observers stop counting; reset() zeroes every counter.
+    run_program(4, _ping)
+    assert telemetry.cluster_runs == 3
+    telemetry.reset()
+    assert telemetry.snapshot() == {"cluster_runs": 0, "simulated_us": 0.0,
+                                    "events_processed": 0, "messages_sent": 0}
+
+
+def test_global_telemetry_observes_direct_cluster_runs():
+    before = TELEMETRY.snapshot()
+    run_program(4, _ping)
+    after = TELEMETRY.snapshot()
+    assert after["cluster_runs"] == before["cluster_runs"] + 1
+
+
+def test_merge_accumulates_snapshots():
+    telemetry = BenchTelemetry()
+    telemetry.merge({"cluster_runs": 2, "simulated_us": 10.5,
+                     "events_processed": 7, "messages_sent": 3})
+    telemetry.merge({"cluster_runs": 1, "simulated_us": 0.5})
+    assert telemetry.snapshot() == {"cluster_runs": 3, "simulated_us": 11.0,
+                                    "events_processed": 7, "messages_sent": 3}
+
+
+# ---------------------------------------------------------------------------
+# write_bench_json round-trip.
+# ---------------------------------------------------------------------------
+
+def test_write_bench_json_round_trip(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    telemetry = BenchTelemetry()
+    add_run_observer(telemetry.record)
+    try:
+        run_program(4, _ping)
+    finally:
+        remove_run_observer(telemetry.record)
+
+    path = write_bench_json("round_trip", wall_clock_s=1.25,
+                            telemetry=telemetry, extra={"scale": "tiny"})
+    assert os.path.basename(path) == "BENCH_round_trip.json"
+    with open(path) as handle:
+        payload = json.load(handle)
+    assert payload["schema"] == "repro-bench-result/v1"
+    assert payload["name"] == "round_trip"
+    assert payload["wall_clock_s"] == 1.25
+    assert payload["scale"] == "tiny"
+    for key, value in telemetry.snapshot().items():
+        assert payload[key] == value
+
+    # The snapshot written is exactly what merge() restores.
+    restored = BenchTelemetry()
+    restored.merge(payload)
+    assert restored.snapshot() == telemetry.snapshot()
+
+
+def test_write_bench_json_directory_override(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "default"))
+    explicit = tmp_path / "explicit"
+    explicit.mkdir()
+    path = write_bench_json("placed", wall_clock_s=0.0,
+                            telemetry=BenchTelemetry(),
+                            directory=str(explicit))
+    assert os.path.dirname(path) == str(explicit)
+    assert not os.path.exists(tmp_path / "default")
+
+
+# ---------------------------------------------------------------------------
+# check_trajectory compatibility of runner-produced files.
+# ---------------------------------------------------------------------------
+
+def test_runner_bench_json_passes_trajectory_gate(tmp_path, trajectory):
+    """A sweep's BENCH file must be comparable by the trajectory gate:
+    identical re-runs pass, simulated_us drift fails."""
+    spec = ExperimentSpec.load("smoke").override(num_ranks=8)
+    run = run_spec(spec, workers=2)
+    assert run.failed == 0
+
+    results = tmp_path / "results"
+    baselines = tmp_path / "baselines"
+    bench_dir = tmp_path / "benches"
+    for directory in (results, baselines, bench_dir):
+        directory.mkdir()
+    # The gate matches BENCH names against bench_*.py test definitions.
+    (bench_dir / "bench_sweeps.py").write_text(
+        "def test_smoke(benchmark, scale):\n    pass\n")
+
+    path = write_bench_json("test_smoke", wall_clock_s=run.wall_clock_s,
+                            telemetry=run.telemetry(),
+                            extra={"scale": "tiny"},
+                            directory=str(results))
+    shutil.copy(path, baselines / os.path.basename(path))
+
+    argv = ["--results", str(results), "--baselines", str(baselines),
+            "--bench-dir", str(bench_dir)]
+    assert trajectory.main(argv) == 0
+
+    # Simulated-time drift (a semantic change) must fail the gate.
+    with open(path) as handle:
+        payload = json.load(handle)
+    payload["simulated_us"] += 1.0
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+    assert trajectory.main(argv) == 1

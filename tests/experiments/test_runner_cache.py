@@ -1,0 +1,239 @@
+"""Runner + cache: equivalence with the hand-written benches, parallelism,
+failure capture, incremental re-runs."""
+
+import pytest
+
+from repro.bench.harness import (
+    TELEMETRY,
+    collective_program,
+    repeat_max_duration,
+)
+from repro.experiments import (
+    ExperimentSpec,
+    Grid,
+    ResultCache,
+    Scenario,
+    execute_scenario,
+    run_scenarios,
+    run_spec,
+)
+from repro.simulator import machine_preset
+
+
+def _collective(machine="flat", words=16, **overrides):
+    config = dict(kind="collective", machine=machine, operation="scan",
+                  impl="rbc", vendor="ibm", words=words, num_ranks=16,
+                  repetitions=2)
+    config.update(overrides)
+    return Scenario.from_dict(config)
+
+
+# ---------------------------------------------------------------------------
+# Single-scenario execution.
+# ---------------------------------------------------------------------------
+
+def test_collective_scenario_matches_hand_written_bench():
+    """The overlap guarantee: a flat scenario cell reproduces the exact
+    ``repeat_max_duration`` measurement of the single-config benches."""
+    scenario = _collective()
+    result = execute_scenario(scenario)
+    assert result.ok
+
+    expected = repeat_max_duration(
+        scenario.num_ranks,
+        lambda rep: (collective_program, (), dict(
+            operation="scan", impl="rbc", vendor="ibm", words=16)),
+        repetitions=2)
+    assert result.measurement() == expected
+    assert result.time_ms == expected.mean_ms
+
+
+def test_hierarchical_machine_cell_matches_direct_run():
+    scenario = _collective(machine="fat_tree", words=256)
+    result = execute_scenario(scenario)
+    expected = repeat_max_duration(
+        16,
+        lambda rep: (collective_program, (), dict(
+            operation="scan", impl="rbc", vendor="ibm", words=256)),
+        repetitions=2, params=machine_preset("fat_tree"))
+    assert result.measurement() == expected
+
+
+def test_scenario_telemetry_counts_only_its_own_runs():
+    result = execute_scenario(_collective())
+    assert result.telemetry["cluster_runs"] == 2  # one per repetition
+    assert result.telemetry["simulated_us"] > 0
+    assert result.telemetry["events_processed"] > 0
+
+
+def test_jquick_scenario_is_deterministic():
+    scenario = Scenario.from_dict(dict(
+        kind="jquick", machine="two_tier", impl="rbc", vendor="generic",
+        num_ranks=8, n_per_proc=32, repetitions=2, seed=11))
+    first = execute_scenario(scenario)
+    second = execute_scenario(scenario)
+    assert first.ok, first.error
+    assert first.durations_us == second.durations_us
+    assert first.durations_us[0] != first.durations_us[1]  # per-rep seeds
+
+
+def test_failures_are_captured_not_raised():
+    broken = Scenario(machine="not-a-machine")  # bypasses from_dict validation
+    result = execute_scenario(broken)
+    assert not result.ok
+    assert "not-a-machine" in result.error
+    with pytest.raises(RuntimeError, match="failed"):
+        result.measurement()
+
+
+def test_parallel_run_captures_failures_like_the_serial_path():
+    """One invalid scenario must not abort the pool or lose other results."""
+    scenarios = [Scenario(machine="not-a-machine"), _collective()]
+    serial = list(run_scenarios(scenarios, workers=1))
+    parallel = list(run_scenarios(scenarios, workers=2))
+    for results in (serial, parallel):
+        assert [r.ok for r in results] == [False, True]
+        assert "not-a-machine" in results[0].error
+    assert serial[1].durations_us == parallel[1].durations_us
+
+
+# ---------------------------------------------------------------------------
+# Sweeps: ordering, parallelism, telemetry routing.
+# ---------------------------------------------------------------------------
+
+def _mini_spec():
+    return ExperimentSpec(name="mini", grids=[Grid(
+        fixed=dict(kind="collective", operation="bcast", impl="rbc",
+                   vendor="generic", num_ranks=16, repetitions=1),
+        axes={"machine": ["flat", "fat_tree"], "words": [4, 64]},
+    )])
+
+
+def test_parallel_run_equals_serial_run():
+    spec = _mini_spec()
+    serial = run_spec(spec, workers=1)
+    parallel = run_spec(spec, workers=2)
+    assert [r.scenario.scenario_id for r in serial.results] == \
+        [r.scenario.scenario_id for r in parallel.results]
+    assert [r.durations_us for r in serial.results] == \
+        [r.durations_us for r in parallel.results]
+    assert serial.telemetry().snapshot() == parallel.telemetry().snapshot()
+
+
+def test_parallel_run_feeds_global_telemetry():
+    """Worker-process simulations must land in the BENCH_*.json sink."""
+    before = TELEMETRY.snapshot()
+    run = run_spec(_mini_spec(), workers=2)
+    after = TELEMETRY.snapshot()
+    executed = run.telemetry().snapshot()
+    assert executed["cluster_runs"] == 4
+    assert after["cluster_runs"] - before["cluster_runs"] == 4
+    assert after["simulated_us"] - before["simulated_us"] == \
+        pytest.approx(executed["simulated_us"])
+
+
+def test_progress_callback_sees_every_result():
+    seen = []
+    run_spec(_mini_spec(), progress=seen.append)
+    assert len(seen) == 4
+
+
+# ---------------------------------------------------------------------------
+# Cache.
+# ---------------------------------------------------------------------------
+
+def test_second_run_hits_cache_for_all_unchanged_scenarios(tmp_path):
+    spec = _mini_spec()
+    cache = ResultCache(str(tmp_path))
+    first = run_spec(spec, cache=cache)
+    assert (first.executed, first.cached) == (4, 0)
+
+    second = run_spec(spec, cache=cache)
+    assert (second.executed, second.cached) == (0, 4)
+    assert [r.durations_us for r in first.results] == \
+        [r.durations_us for r in second.results]
+    # Cache hits ran no fresh simulation: the executed-telemetry is empty.
+    assert second.telemetry().cluster_runs == 0
+
+    forced = run_spec(spec, cache=cache, force=True)
+    assert (forced.executed, forced.cached) == (4, 0)
+
+
+def test_changed_scenario_misses_cache(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    run_spec(_mini_spec(), cache=cache)
+    grown = _mini_spec()
+    grown.grids[0].axes["words"] = [4, 64, 256]
+    rerun = run_spec(grown, cache=cache)
+    assert (rerun.executed, rerun.cached) == (2, 4)
+
+
+def test_code_fingerprint_partitions_the_cache(tmp_path):
+    scenario = _collective()
+    cache = ResultCache(str(tmp_path), fingerprint="aaaa")
+    cache.put(execute_scenario(scenario))
+    assert cache.get(scenario) is not None
+    other_code = ResultCache(str(tmp_path), fingerprint="bbbb")
+    assert other_code.get(scenario) is None
+    assert cache.key(scenario).endswith("-aaaa")
+    removed = other_code.prune()
+    assert len(removed) == 1
+    assert cache.get(scenario) is None
+
+
+def test_cache_rejects_failed_results_and_tampered_entries(tmp_path):
+    cache = ResultCache(str(tmp_path), fingerprint="aaaa")
+    failed = execute_scenario(Scenario(machine="nope"))
+    with pytest.raises(ValueError, match="failed"):
+        cache.put(failed)
+
+    scenario = _collective()
+    path = cache.put(execute_scenario(scenario))
+    # A hand-edited entry whose stored scenario no longer matches is a miss.
+    import json
+    with open(path) as handle:
+        data = json.load(handle)
+    data["scenario"]["words"] = 999
+    with open(path, "w") as handle:
+        json.dump(data, handle)
+    assert cache.get(scenario) is None
+
+
+def test_cached_results_marked_cached(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    scenario = _collective()
+    assert cache.get(scenario) is None
+    fresh = execute_scenario(scenario)
+    cache.put(fresh)
+    assert not fresh.cached
+    hit = cache.get(scenario)
+    assert hit.cached and hit.durations_us == fresh.durations_us
+
+
+# ---------------------------------------------------------------------------
+# The acceptance grid: the shipped fig4 spec, downscaled.
+# ---------------------------------------------------------------------------
+
+def test_shipped_fig4_grid_runs_parallel_and_matches_single_config_cells():
+    spec = ExperimentSpec.load("fig4_grid").override(num_ranks=16,
+                                                    words=[1, 64])
+    scenarios = spec.scenarios()
+    assert len(scenarios) >= 12
+    assert len({s.machine for s in scenarios}) >= 3
+
+    run = run_spec(spec, workers=2)
+    assert run.failed == 0
+
+    # Overlapping cells (the flat machine) must reproduce the exact numbers
+    # of the single-configuration fig4 bench path.
+    flat = [r for r in run.results if r.scenario.machine == "flat"]
+    assert flat
+    for result in flat:
+        scenario = result.scenario
+        expected = repeat_max_duration(
+            scenario.num_ranks,
+            lambda rep: (collective_program, (), dict(
+                operation="scan", impl=scenario.impl, vendor=scenario.vendor,
+                words=scenario.words)),
+            repetitions=scenario.repetitions)
+        assert result.measurement() == expected

@@ -1,0 +1,103 @@
+"""Node-aware vendor collectives (``VendorModel.node_aware``).
+
+Real vendor MPIs ship SMP-optimised collectives, so the simulated native-MPI
+baseline uses the node-leader schedules on hierarchical machines for Intel
+and IBM MPI.  Flat machines must stay on the historical topology-blind path
+bit-identically, and the generic vendor stays topology-blind everywhere.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.mpi import init_mpi
+from repro.mpi.vendor import GENERIC, IBM_MPI, INTEL_MPI
+from repro.simulator import HierarchicalParams, Placement, run_program
+
+
+def _collective_times(params=None, placement=None, vendor="intel", *,
+                      operation="reduce", num_ranks=32, words=256):
+    def program(env):
+        world = init_mpi(env, vendor=vendor)
+        payload = np.zeros(words)
+        start = env.now
+        if operation == "reduce":
+            request = world.ireduce(payload)
+        elif operation == "bcast":
+            request = world.ibcast(payload if world.rank == 0 else None)
+        elif operation == "allreduce":
+            request = world.iallreduce(payload)
+        else:  # barrier
+            request = world.ibarrier()
+        yield from env.wait_until(request.test)
+        return env.now - start
+
+    result = run_program(num_ranks, program, params=params,
+                         placement=placement)
+    return max(result.results), result.total_time
+
+
+def test_default_flags():
+    assert INTEL_MPI.node_aware and IBM_MPI.node_aware
+    assert not GENERIC.node_aware
+
+
+@pytest.mark.parametrize("operation", ["bcast", "reduce", "allreduce"])
+@pytest.mark.parametrize("vendor", [INTEL_MPI, IBM_MPI, GENERIC])
+def test_flat_machines_are_bit_identical(operation, vendor):
+    """node_aware is inert on flat machines: forcing the flag off must not
+    change a single bit of the simulated time."""
+    blind = dataclasses.replace(vendor, node_aware=False)
+    aware = dataclasses.replace(vendor, node_aware=True)
+    assert _collective_times(vendor=blind, operation=operation) == \
+        _collective_times(vendor=aware, operation=operation)
+
+
+@pytest.mark.parametrize("operation", ["reduce", "allreduce"])
+def test_node_aware_vendor_wins_on_cyclic_hierarchical_machine(operation):
+    """On a cyclic placement the binomial tree crosses node boundaries on its
+    cheap low-distance edges; the node-leader schedule sends one message per
+    node instead and must be faster."""
+    params = HierarchicalParams.supermuc_like(ranks_per_node=8)
+    placement = Placement.cyclic(32, 4)
+    blind = dataclasses.replace(INTEL_MPI, node_aware=False)
+    aware_time, _ = _collective_times(params, placement, INTEL_MPI,
+                                      operation=operation)
+    blind_time, _ = _collective_times(params, placement, blind,
+                                      operation=operation)
+    assert aware_time < blind_time
+
+
+def test_generic_vendor_stays_topology_blind_on_hierarchical_machines():
+    params = HierarchicalParams.supermuc_like(ranks_per_node=8)
+    placement = Placement.cyclic(32, 4)
+    blind_generic = dataclasses.replace(GENERIC, node_aware=False)
+    assert _collective_times(params, placement, GENERIC, operation="reduce") \
+        == _collective_times(params, placement, blind_generic,
+                             operation="reduce")
+    # ... and opting the generic vendor in changes its hierarchical times.
+    aware_generic = dataclasses.replace(GENERIC, node_aware=True)
+    assert _collective_times(params, placement, aware_generic,
+                             operation="reduce") \
+        != _collective_times(params, placement, GENERIC, operation="reduce")
+
+
+def test_barrier_switches_only_on_shared_nic_machines():
+    placement = Placement.cyclic(32, 4)
+    blind = dataclasses.replace(INTEL_MPI, node_aware=False)
+
+    # Private per-rank ports: dissemination stays the default for node-aware
+    # vendors too (its log p rounds beat the tree barrier's 2 log p).
+    ports = HierarchicalParams.supermuc_like(ranks_per_node=8)
+    assert _collective_times(ports, placement, INTEL_MPI, operation="barrier") \
+        == _collective_times(ports, placement, blind, operation="barrier")
+
+    # One shared NIC per node: the dissemination barrier serialises all eight
+    # ranks of a node on one port, and the node-aware tree barrier must win.
+    nic = HierarchicalParams.supermuc_like(ranks_per_node=8, ports_per_node=1)
+    aware_time, _ = _collective_times(nic, placement, INTEL_MPI,
+                                      operation="barrier")
+    blind_time, _ = _collective_times(nic, placement, blind,
+                                      operation="barrier")
+    assert aware_time < blind_time

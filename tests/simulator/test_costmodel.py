@@ -308,3 +308,59 @@ def test_hierarchical_differs_from_flat_for_same_program():
     hier = Cluster(8, HierarchicalParams(ranks_per_node=2,
                                          nodes_per_island=2)).run(bcast_like).total_time
     assert flat != hier
+
+
+# ---------------------------------------------------------------------------
+# Named machine presets (fat-tree, dragonfly, registry).
+# ---------------------------------------------------------------------------
+
+def test_fat_tree_preset_is_valid_and_full_bisection():
+    params = HierarchicalParams.fat_tree()
+    # Full bisection: the per-word price is identical on both network tiers;
+    # only the spine traversal's extra startup distinguishes them.
+    assert params.inter_island_beta == params.inter_node_beta
+    assert params.inter_island_alpha > params.inter_node_alpha
+    assert params.intra_node_alpha < params.inter_node_alpha
+    shaped = HierarchicalParams.fat_tree(ranks_per_node=4, nodes_per_pod=2,
+                                         ports_per_node=1)
+    placement = shaped.default_placement(16)
+    assert placement.num_nodes() == 4 and placement.num_islands() == 2
+    assert shaped.ports_per_node == 1
+
+
+def test_dragonfly_preset_is_valid_and_tapered():
+    params = HierarchicalParams.dragonfly()
+    # Tapered global links: crossing groups costs more per word AND per
+    # message than the all-to-all links inside a group.
+    assert params.inter_island_beta > params.inter_node_beta
+    assert params.inter_island_alpha > params.inter_node_alpha
+    shaped = HierarchicalParams.dragonfly(ranks_per_node=2, nodes_per_group=2)
+    placement = shaped.default_placement(8)
+    assert placement.num_nodes() == 4 and placement.num_islands() == 2
+
+
+def test_machine_preset_registry_is_complete_and_valid():
+    from repro.simulator import MACHINE_PRESETS, machine_preset
+
+    assert {"flat", "latency_bound", "bandwidth_bound", "supermuc",
+            "two_tier", "shared_nic", "fat_tree", "dragonfly"} \
+        == set(MACHINE_PRESETS)
+    for name in MACHINE_PRESETS:
+        model = machine_preset(name)
+        assert isinstance(model, CostModel), name
+        alpha, beta = model.worst_link()
+        assert alpha >= 0 and beta >= 0
+        # Every preset constructed through the registry passed validation
+        # (construction raises otherwise) and prices a 1-word message.
+        assert model.message_cost(1) > 0
+
+
+def test_machine_preset_lookup():
+    from repro.simulator import machine_preset
+
+    assert isinstance(machine_preset("flat"), NetworkParams)
+    assert machine_preset("shared_nic").ports_per_node == 1
+    model = NetworkParams.bandwidth_bound()
+    assert machine_preset(model) is model  # pass-through
+    with pytest.raises(KeyError, match="unknown machine preset"):
+        machine_preset("fat-tree")  # underscores, not dashes

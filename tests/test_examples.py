@@ -1,4 +1,10 @@
-"""Every example script must run end to end (at a reduced size)."""
+"""Every script in ``examples/`` must run end to end at a tiny size.
+
+``TINY`` registers, per example, the reduced command-line arguments and the
+output lines proving the script did its job.  The completeness test fails
+whenever a script exists in ``examples/`` without a registration (or a
+registration outlives its script), so new examples cannot ship untested.
+"""
 
 import os
 import subprocess
@@ -7,6 +13,23 @@ import sys
 import pytest
 
 EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+#: script name -> (tiny argv, substrings its stdout must contain).
+TINY = {
+    "quickstart.py": ((8,), ["both halves received their root's value"]),
+    "jquick_sorting.py": ((16, 8), ["result verified", "speedup of RBC over"]),
+    "overlapping_communicators.py": ((64,), ["cascade penalty"]),
+    "range_broadcast.py": ((64, 16), ["Intel/RBC"]),
+    "compare_sorters.py": ((16, 16, "uniform"),
+                           ["jquick", "hypercube", "samplesort", "multilevel"]),
+    "quickhull_points.py": ((8, 64, "disc"),
+                            ["matches sequential hull: yes",
+                             "RBC communicator splits"]),
+    "large_collectives.py": ((8,), ["auto picks", "scatter_allgather"]),
+    "sweep_machines.py": ((16, 2),
+                          ["sweep complete: second run served entirely "
+                           "from the result cache"]),
+}
 
 
 def _run_example(name, *args):
@@ -20,40 +43,18 @@ def _run_example(name, *args):
     return completed.stdout
 
 
-def test_quickstart_example():
-    output = _run_example("quickstart.py", 8)
-    assert "both halves received their root's value" in output
+def test_every_example_script_is_registered():
+    scripts = {name for name in os.listdir(EXAMPLES_DIR)
+               if name.endswith(".py")}
+    assert scripts == set(TINY), (
+        "examples/ and the TINY registry disagree — register a tiny "
+        f"configuration for: {sorted(scripts ^ set(TINY))}")
 
 
-def test_jquick_sorting_example():
-    output = _run_example("jquick_sorting.py", 16, 8)
-    assert "result verified" in output
-    assert "speedup of RBC over" in output
-
-
-def test_overlapping_communicators_example():
-    output = _run_example("overlapping_communicators.py", 64)
-    assert "cascade penalty" in output
-
-
-def test_range_broadcast_example():
-    output = _run_example("range_broadcast.py", 64, 16)
-    assert "Intel/RBC" in output
-
-
-def test_compare_sorters_example():
-    output = _run_example("compare_sorters.py", 16, 16, "uniform")
-    assert "jquick" in output and "hypercube" in output and "samplesort" in output
-    assert "multilevel" in output
-
-
-def test_quickhull_example():
-    output = _run_example("quickhull_points.py", 8, 64, "disc")
-    assert "matches sequential hull: yes" in output
-    assert "RBC communicator splits" in output
-
-
-def test_large_collectives_example():
-    output = _run_example("large_collectives.py", 8)
-    assert "auto picks" in output
-    assert "scatter_allgather" in output
+@pytest.mark.parametrize("name", sorted(TINY))
+def test_example_runs_end_to_end(name):
+    args, expected = TINY[name]
+    output = _run_example(name, *args)
+    for substring in expected:
+        assert substring in output, (
+            f"{name} output is missing {substring!r}\nstdout:\n{output}")
