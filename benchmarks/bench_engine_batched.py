@@ -1,0 +1,196 @@
+"""Batched-core + SPMD lockstep speedup gates.
+
+The batched event core executes maximal same-timestamp runs in one bucket
+pass, and SPMD lockstep pricing collapses a whole collective phase into a
+handful of events (one fused wake-up per phase timestamp instead of one
+event per message).  This benchmark drives identical workloads down both
+paths and gates the combined speedup:
+
+* **baseline** — ``reference_engine=True`` (the original tuple-heap
+  scheduler) with lockstep pricing off: bit-identical to the pre-batchcore
+  engine, so the comparison is a load-controlled A/B against the previous
+  engine generation on the same machine and interpreter.
+* **batched** — the default core with lockstep pricing on.
+
+Both sides must agree on every simulation observable (times, results,
+message statistics) — the gates measure *wall-clock only* wins.
+
+Two engine-level patterns (collective analogues of ``bench_engine.py``'s
+point-to-point pingpong/incast, gated at >= 3x) plus fig4/fig9-style
+collective sweeps (gated at >= 2.5x).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import collective_program
+from repro.mpi import init_mpi
+from repro.rbc import collectives as rbc_collectives
+from repro.rbc import create_rbc_comm
+from repro.simulator import Cluster
+
+SCALES = {
+    "tiny": dict(num_ranks=64, reps=60, fig_ranks=128, fig_reps=4,
+                 fig_words=256),
+    "small": dict(num_ranks=64, reps=150, fig_ranks=256, fig_reps=4,
+                  fig_words=512),
+    "paper": dict(num_ranks=128, reps=300, fig_ranks=512, fig_reps=4,
+                  fig_words=1024),
+}
+
+#: Wall-clock samples per side; the best (minimum) of these is compared, so
+#: a single scheduler hiccup cannot fail the gate.
+SAMPLES = 3
+
+
+def _collective_loop(env, *, op, reps, lockstep):
+    """Barrier, then ``reps`` back-to-back collectives on the world group."""
+    env.lockstep_collectives = lockstep
+    world_mpi = init_mpi(env, vendor="generic")
+    world_rbc = yield from create_rbc_comm(world_mpi)
+    payload = float(env.rank + 1)
+    yield from rbc_collectives.barrier(world_rbc)
+    start = env.now
+    for _ in range(reps):
+        if op == "barrier":
+            request = rbc_collectives.ibarrier(world_rbc)
+        else:  # allreduce
+            request = rbc_collectives.iallreduce(world_rbc, payload)
+        yield from env.wait_until(request.test)
+    return env.now - start
+
+
+def _best_wall(run_once):
+    """(result, best wall-clock over SAMPLES runs)."""
+    result, best = None, float("inf")
+    for _ in range(SAMPLES):
+        started = time.perf_counter()
+        result = run_once()
+        best = min(best, time.perf_counter() - started)
+    return result, best
+
+
+def _observables(result):
+    return (
+        result.total_time,
+        tuple(result.finish_times),
+        tuple(result.results),
+        result.stats.messages_sent,
+        result.stats.words_sent,
+        tuple(result.stats.per_rank_messages_received),
+    )
+
+
+def _speedup_gate(name, baseline_run, batched_run, minimum):
+    baseline, baseline_s = _best_wall(baseline_run)
+    batched, batched_s = _best_wall(batched_run)
+    assert _observables(baseline) == _observables(batched), (
+        f"{name}: the batched+lockstep path changed simulation observables")
+    speedup = baseline_s / batched_s if batched_s > 0 else float("inf")
+    print(f"\n{name}: reference {baseline_s * 1e3:.1f} ms, "
+          f"batched+lockstep {batched_s * 1e3:.1f} ms, "
+          f"speedup {speedup:.1f}x "
+          f"(events {baseline.events_processed} -> "
+          f"{batched.events_processed})")
+    assert speedup >= minimum, (
+        f"{name}: expected >= {minimum}x wall-clock speedup from the batched "
+        f"core + lockstep pricing, got {speedup:.2f}x")
+    return speedup
+
+
+@pytest.mark.parametrize("op", ["barrier", "allreduce"])
+def test_engine_lockstep_speedup(benchmark, scale, op):
+    """Engine-level gate: repeated world collectives, >= 3x wall-clock.
+
+    ``barrier`` is the latency-chain analogue of pingpong (every rank in
+    every dissemination round), ``allreduce`` the root-contention analogue
+    of incast (tree fan-in to rank 0, then fan-out).
+    """
+    cfg = SCALES[scale]
+
+    def baseline():
+        return Cluster(cfg["num_ranks"], reference_engine=True).run(
+            _collective_loop, op=op, reps=cfg["reps"], lockstep=False)
+
+    def batched():
+        return Cluster(cfg["num_ranks"]).run(
+            _collective_loop, op=op, reps=cfg["reps"], lockstep=True)
+
+    speedup = benchmark.pedantic(
+        lambda: _speedup_gate(f"lockstep-{op}", baseline, batched, 3.0),
+        rounds=1, iterations=1)
+    assert speedup >= 3.0
+
+
+def test_fig4_style_scan_speedup(benchmark, scale):
+    """Fig. 4 analogue (Iscan sweep slice), >= 2.5x wall-clock."""
+    cfg = SCALES[scale]
+
+    def run(reference, lockstep):
+        def once():
+            return Cluster(cfg["fig_ranks"], reference_engine=reference).run(
+                collective_program, operation="scan", impl="rbc",
+                vendor="ibm", words=cfg["fig_words"],
+                repetitions=cfg["fig_reps"], lockstep=lockstep)
+        return once
+
+    speedup = benchmark.pedantic(
+        lambda: _speedup_gate("fig4-scan", run(True, False),
+                              run(False, True), 2.5),
+        rounds=1, iterations=1)
+    assert speedup >= 2.5
+
+
+def test_fig9_style_collectives_speedup(benchmark, scale):
+    """Fig. 9 analogue (all four ops, both impls), >= 2.5x wall-clock.
+
+    Repetitions are barrier-separated (``sync_each``), which keeps every
+    collective phase inside the lockstep contract: back-to-back tree
+    collectives with fig-sized payloads can overlap phases in time on a
+    receive port, which lockstep pricing rejects rather than misprices.
+    """
+    cfg = SCALES[scale]
+    jobs = [(operation, impl, vendor)
+            for operation in ("bcast", "reduce", "scan", "gather")
+            for impl, vendor in (("rbc", "generic"), ("mpi", "intel"))]
+
+    def sweep(reference, lockstep):
+        def once():
+            results = []
+            for operation, impl, vendor in jobs:
+                cluster = Cluster(cfg["fig_ranks"],
+                                  reference_engine=reference)
+                results.append(cluster.run(
+                    collective_program, operation=operation, impl=impl,
+                    vendor=vendor, words=cfg["fig_words"],
+                    repetitions=cfg["fig_reps"], sync_each=True,
+                    lockstep=lockstep))
+            return _SweepResult(results)
+        return once
+
+    speedup = benchmark.pedantic(
+        lambda: _speedup_gate("fig9-collectives", sweep(True, False),
+                              sweep(False, True), 2.5),
+        rounds=1, iterations=1)
+    assert speedup >= 2.5
+
+
+class _SweepResult:
+    """Folds a list of ClusterResults into one comparable observable set."""
+
+    def __init__(self, results):
+        self.results = [tuple(r.results) for r in results]
+        self.total_time = sum(r.total_time for r in results)
+        self.finish_times = [tuple(r.finish_times) for r in results]
+        self.events_processed = sum(r.events_processed for r in results)
+        self.stats = _SweepStats(results)
+
+
+class _SweepStats:
+    def __init__(self, results):
+        self.messages_sent = sum(r.stats.messages_sent for r in results)
+        self.words_sent = sum(r.stats.words_sent for r in results)
+        self.per_rank_messages_received = [
+            tuple(r.stats.per_rank_messages_received) for r in results]

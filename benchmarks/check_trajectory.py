@@ -115,6 +115,11 @@ def main(argv=None) -> int:
 
     baselines = load_dir(args.baselines)
     fresh = load_dir(args.results)
+    # State where every file came from, so a run against the wrong --results
+    # (or an empty bench_results/ after a clean checkout) is obvious from the
+    # output rather than silently reporting "nothing to check".
+    print(f"fresh results: {len(fresh)} file(s) from {args.results}")
+    print(f"baselines:     {len(baselines)} file(s) from {args.baselines}")
     tests = collect_bench_tests(args.bench_dir)
     if not tests:
         # With zero collected tests every file would look orphaned, and

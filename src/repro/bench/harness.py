@@ -197,15 +197,35 @@ def ratio(numerator: Optional[float], denominator: Optional[float]) -> Optional[
 # ---------------------------------------------------------------------------
 
 def collective_program(env, *, operation: str, impl: str, vendor: str,
-                       words: int, repetitions: int = 1):
+                       words: int, repetitions: int = 1,
+                       lockstep: Optional[bool] = None,
+                       sync_each: bool = False):
     """Rank program measuring one (nonblocking) collective operation.
 
     ``impl`` is ``"rbc"`` (the RBC library on top of the simulated MPI
     point-to-point layer) or ``"mpi"`` (the vendor's native nonblocking
     collective).  Returns the measured duration in microseconds.
+
+    ``sync_each`` inserts a barrier between repetitions (inside the timed
+    region), keeping every collective phase barrier-separated — the paper's
+    figures use back-to-back repetitions, so this is off by default and
+    exists for engine benchmarks that need many in-contract phases per
+    simulation.
+
+    ``lockstep`` controls SPMD lockstep pricing (:mod:`repro.core.spmd`).
+    The default (None) enables it for single-repetition and barrier-
+    separated runs, which are inside the lockstep contract: phases whose
+    member ports nothing else touches.  Unsynchronised repetition loops
+    can overlap phases in time on a receive port (large payloads, tree
+    collectives), which lockstep pricing rejects rather than price
+    wrongly — so multi-repetition runs without ``sync_each`` default to
+    the event-by-event schedules.  Pass ``True``/``False`` to force
+    either path.
     """
     if operation not in COLLECTIVE_OPS:
         raise ValueError(f"unknown collective {operation!r}")
+    env.lockstep_collectives = (repetitions == 1 or sync_each) \
+        if lockstep is None else lockstep
     world_mpi = init_mpi(env, vendor=vendor)
     world_rbc = yield from create_rbc_comm(world_mpi)
     rank = world_mpi.rank
@@ -217,7 +237,9 @@ def collective_program(env, *, operation: str, impl: str, vendor: str,
     yield from rbc_collectives.barrier(world_rbc)
 
     start = env.now
-    for _ in range(repetitions):
+    for repetition in range(repetitions):
+        if sync_each and repetition:
+            yield from rbc_collectives.barrier(world_rbc)
         if impl == "rbc":
             if operation == "bcast":
                 request = rbc_collectives.ibcast(

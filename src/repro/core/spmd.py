@@ -1,0 +1,945 @@
+"""SPMD lockstep execution of flat collective phases.
+
+The simulator's collectives are *state machines*: every rank walks a
+generator that posts point-to-point sends/receives and re-polls them on each
+notification.  That is faithful, but for the homogeneous phases of the fig
+benches (every rank of a communicator inside the same bcast/reduce/
+allreduce/scan/gather/barrier) it burns the wall clock on per-rank generator
+resumes, mailbox traffic, and wake-up polling whose *outcome* is completely
+determined by the join times of the participants.
+
+This module prices such a phase in one pass instead.  Each rank calls
+:func:`join_lockstep` at the moment it would have constructed the native
+``CollectiveRequest``; the coordinator records the join time and resolves a
+rank as soon as its *dependency cone* (the set of ranks whose joins can
+influence it) has joined:
+
+* scan — cone of rank ``i`` is ``{0..i}``: ranks resolve as a growing
+  consecutive prefix;
+* bcast — cone is the rank's tree ancestors: ranks resolve top-down;
+* reduce / gather — cone is the rank's subtree: ranks resolve bottom-up;
+* allreduce / barrier — cone is everyone: priced at the last join.
+
+Resolution replays the *exact* float arithmetic of
+``Transport.post_send`` — same operand order, same port bookkeeping, same
+payload-snapshot and freeze semantics, same tracer counters — so every
+timestamp, result value, and statistic is bit-identical to the native state
+machines.  Only the event count drops: each rank gets exactly one wake-up at
+its native finish time, posted through :meth:`Engine.charge_batch` (one
+event per distinct finish time on the batched core) instead of one event per
+message hop.
+
+The contract
+------------
+Lockstep pricing writes a rank's send/receive port state *before* that rank
+wakes, which is only sound when nothing else touches the member ports
+between the collective's first join and its last wake.  Programs therefore
+opt in explicitly (``env.lockstep_collectives = True``) and must keep member
+ports quiet between lockstep collectives — a barrier-separated collective is
+always fine, and so are repetition loops whose phases do not overlap in time
+on any receive port.  Unsynchronised back-to-back repetitions *can* overlap
+when transfer times outlast a leaf's turnaround (a fast rank's next-phase
+send reaches a parent port before the previous phase's deeper-subtree
+traffic): the coordinator tracks receive-port post times globally across
+phases and raises :class:`LockstepError` instead of diverging silently.
+Interleaving point-to-point traffic with a skewed collective is likewise
+out of contract.  :func:`lockstep_eligible` additionally
+requires a flat machine (uniform link, no shared-NIC pools), a group of more
+than one rank, and runtime checks (:class:`LockstepError`) reject phase
+shapes whose native port-write order cannot be reproduced.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from operator import itemgetter
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from ..collectives.topology import (
+    binomial_children,
+    binomial_parent,
+    dissemination_rounds,
+)
+from ..messaging import Request
+from ..simulator.network import freeze_payload, is_frozen_payload, payload_words
+
+__all__ = [
+    "LockstepError",
+    "LockstepRequest",
+    "lockstep_eligible",
+    "join_lockstep",
+    "SpmdCoordinator",
+]
+
+
+#: Sort key for (post, leave, wire, payload) edge tuples.
+_EDGE_POST = itemgetter(0)
+
+
+class LockstepError(RuntimeError):
+    """A lockstep phase cannot mirror the native execution exactly.
+
+    Raised when participants disagree on the phase shape or when the native
+    port-write order is ambiguous (e.g. two messages posted to one receive
+    port at the same instant).  The fix is to run the offending collective
+    with ``lockstep=False``.
+    """
+
+
+class LockstepRequest(Request):
+    """Request-protocol handle for one rank's share of a lockstep phase.
+
+    ``test()`` stays false until the phase has priced this rank *and* virtual
+    time has reached the rank's native finish time; the coordinator schedules
+    a wake-up at exactly that time, so a rank blocked in ``wait_until`` on
+    this request resumes precisely when the native state machine would have.
+    """
+
+    __slots__ = ("env", "_engine", "finish_time", "_value", "_ready")
+
+    def __init__(self, env):
+        self.env = env
+        self._engine = env.engine
+        self.finish_time = 0.0
+        self._value: Any = None
+        self._ready = False
+
+    def test(self) -> bool:
+        return self._ready and self._engine._now >= self.finish_time
+
+    def result(self) -> Any:
+        return self._value
+
+
+def lockstep_eligible(ep) -> bool:
+    """True when collectives on ``ep`` may be priced in lockstep.
+
+    Requires the program's explicit opt-in (``env.lockstep_collectives``),
+    a flat machine (uniform link on per-rank ports — shared-NIC models
+    serialise traffic on node-level resources the lockstep pricer does not
+    mirror), and a non-trivial group.
+    """
+    env = ep.env
+    if not getattr(env, "lockstep_collectives", False):
+        return False
+    if ep.size <= 1:
+        return False
+    transport = ep.transport
+    return transport._uniform_link is not None and transport._node_of is None
+
+
+def join_lockstep(ep, kind: str, value: Any = None,
+                  op: Optional[Callable[[Any, Any], Any]] = None,
+                  root: int = 0) -> LockstepRequest:
+    """Enter this rank into the lockstep phase ``kind`` on ``ep``'s group.
+
+    Must be called at the instant the native schedule would have been
+    constructed.  Returns a request completing at the rank's native finish
+    time with the native result value.
+    """
+    transport = ep.transport
+    coordinator = getattr(transport, "_spmd_coordinator", None)
+    if coordinator is None:
+        coordinator = transport._spmd_coordinator = SpmdCoordinator()
+    return coordinator.join(ep, kind, value, op, root)
+
+
+class SpmdCoordinator:
+    """Tracks in-flight lockstep phases of one transport.
+
+    Phases are keyed by ``(context, tag, kind, root)``.  MPI collectives get
+    a fresh context per invocation; RBC collectives reuse a per-operation tag
+    across repetitions, and ranks priced early (e.g. leaves of a reduce) may
+    start the next repetition before the current phase has resolved every
+    member.  Each key therefore holds a list of live *generations* in start
+    order: a joining rank enters the first generation it has not joined yet,
+    matching the SPMD property that every rank passes through repetitions in
+    the same order.  A fully resolved generation is retired during its last
+    join, before any member wakes.
+    """
+
+    __slots__ = ("_phases", "_recv_logs", "_live_first_joins")
+
+    _KINDS = {
+        "bcast": lambda *a: _BcastPhase(*a),
+        "reduce": lambda *a: _ReducePhase(*a),
+        "allreduce": lambda *a: _AllreducePhase(*a),
+        "scan": lambda *a: _ScanPhase(*a),
+        "gather": lambda *a: _GatherPhase(*a),
+        "barrier": lambda *a: _BarrierPhase(*a),
+    }
+
+    def __init__(self):
+        self._phases: dict = {}
+        # Per receive port (world rank): log of recently applied mirrored
+        # writes, shared across *all* phases and generations of this
+        # transport.  Native port writes fold in global chronological post
+        # order; phases that overlap in time on one port (unsynchronised
+        # repetitions whose transfer times outlast a leaf's turnaround)
+        # apply writes out of that order.  The log lets such a write be
+        # priced at its correct insertion point — and verified not to
+        # change any already-applied later write — so benign overtakes
+        # stay bit-identical and genuinely diverging ones raise instead of
+        # silently mispricing.  Entries are [post, leave, wire,
+        # free_before, arrival, cap]; see ``_PhaseBase._recv_side`` and
+        # ``_PhaseBase._commit_caps``.
+        self._recv_logs: dict = {}
+        # First-join times of live (unresolved) phases: every write a live
+        # phase can still produce posts at or after its first join, and
+        # future phases post at or after the current virtual time — so
+        # min(now, *live_first_joins) bounds how far back a port log can
+        # still be overtaken, and older entries are pruned.
+        self._live_first_joins: list = []
+
+    def join(self, ep, kind: str, value, op, root) -> LockstepRequest:
+        key = (ep.context, ep.tag, kind, root)
+        generations = self._phases.get(key)
+        if generations is None:
+            generations = self._phases[key] = []
+        phase = None
+        for live in generations:
+            if ep.rank < live.size and live.joined[ep.rank] is None:
+                phase = live
+                break
+        if phase is None:
+            try:
+                factory = self._KINDS[kind]
+            except KeyError:
+                raise LockstepError(f"unknown lockstep kind: {kind!r}") from None
+            phase = factory(ep, op, root, self)
+            phase.first_join = ep.env.engine._now
+            self._live_first_joins.append(phase.first_join)
+            generations.append(phase)
+        request = phase.join(ep, value, op)
+        if phase.resolved_count == phase.size:
+            self._live_first_joins.remove(phase.first_join)
+            generations.remove(phase)
+            if not generations:
+                del self._phases[key]
+        return request
+
+
+# ---------------------------------------------------------------------------
+# Phase machinery.
+# ---------------------------------------------------------------------------
+
+class _PhaseBase:
+    """Shared state and the exact ``post_send`` float mirror.
+
+    All pricing happens in *group* ranks; ``self.world`` maps them to world
+    ranks for the transport's port and tracer arrays.
+    """
+
+    kind = "?"
+
+    def __init__(self, ep, op, root, coordinator):
+        env = ep.env
+        transport = ep.transport
+        self.engine = env.engine
+        self.transport = transport
+        self.stats = transport.tracer.stats
+        self.size = ep.size
+        self.root = root
+        self.op = op
+        link = transport._uniform_link
+        if link is None:  # pragma: no cover - guarded by lockstep_eligible
+            raise LockstepError("lockstep requires a uniform link model")
+        self.alpha, self.beta = link
+        self.factor = ep.word_cost_factor
+        self.pmd = ep.per_message_delay
+        self.compute_cost = env.params.compute_cost
+        affine = ep._affine
+        if affine is not None:
+            first, stride = affine
+            self.world = [first + i * stride for i in range(ep.size)]
+        else:
+            self.world = [ep.to_world(i) for i in range(ep.size)]
+        self.joined: list = [None] * ep.size
+        self.values: list = [None] * ep.size
+        self.requests: list = [None] * ep.size
+        self.procs: list = [None] * ep.size
+        self.joined_count = 0
+        self.resolved_count = 0
+        self._wakes: list = []
+        # Log entries appended by _recv_side that still need their cap (the
+        # committed value their arrival folded into) via _commit_caps.
+        self._cap_pending: list = []
+        # Coordinator-shared receive-port write logs (see SpmdCoordinator).
+        # Posts tied at the same instant are serialised in application
+        # order: for collectives entered from a common time the tied
+        # messages are identical (same leave, same wire words) and every
+        # serialisation yields the same arrival sequence, so this is
+        # bit-identical to the event engine; staggered repeats can tie
+        # *distinct* messages, where the analytic order is a canonical
+        # choice rather than a replay of the engine's queue order.
+        self.coordinator = coordinator
+        # Hot-path caches (bound once; _recv_side runs per tree edge).
+        self._recv_logs = coordinator._recv_logs
+        self._recv_free = transport._recv_port_free
+        self._recvd_by_rank = self.stats.per_rank_messages_received
+        self._recvd_words_by_rank = self.stats.per_rank_words_received
+
+    # ------------------------------------------------------------------ joins
+
+    def join(self, ep, value, op) -> LockstepRequest:
+        rank = ep.rank
+        if ep.size != self.size:
+            raise LockstepError(
+                f"lockstep {self.kind}: rank {rank} joined with group size "
+                f"{ep.size}, phase opened with {self.size}")
+        if op is not self.op:
+            raise LockstepError(
+                f"lockstep {self.kind}: rank {rank} joined with a different "
+                f"reduction operator")
+        if ep.word_cost_factor != self.factor or ep.per_message_delay != self.pmd:
+            raise LockstepError(
+                f"lockstep {self.kind}: rank {rank} joined with different "
+                f"vendor cost parameters")
+        if ep.env.rank != self.world[rank]:
+            raise LockstepError(
+                f"lockstep {self.kind}: world rank {ep.env.rank} joined as "
+                f"group rank {rank}, but the phase maps it to world rank "
+                f"{self.world[rank]} — two groups are sharing one "
+                f"(context, tag)")
+        if self.joined[rank] is not None:
+            raise LockstepError(
+                f"lockstep {self.kind}: rank {rank} joined twice — interleaved "
+                f"collectives on one (context, tag) are not lockstep-safe")
+        self.joined[rank] = self.engine._now
+        self.joined_count += 1
+        self.values[rank] = value
+        self.procs[rank] = ep.env._proc
+        request = self.requests[rank] = LockstepRequest(ep.env)
+        self.on_join(rank)
+        self._flush_wakes()
+        return request
+
+    def on_join(self, rank: int) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    # --------------------------------------------------------------- plumbing
+
+    def _finish(self, rank: int, finish: float, value) -> None:
+        """Mark ``rank`` priced: result ``value``, wake at ``finish``."""
+        request = self.requests[rank]
+        request.finish_time = finish
+        request._value = value
+        request._ready = True
+        self.resolved_count += 1
+        self._wakes.append((finish, self.procs[rank]))
+
+    def _flush_wakes(self) -> None:
+        wakes = self._wakes
+        if wakes:
+            self._wakes = []
+            self.engine.charge_batch(
+                [w[0] for w in wakes], [w[1] for w in wakes])
+
+    def _wire_words(self, words: int) -> int:
+        factor = self.factor
+        return words if factor == 1.0 else int(round(words * factor))
+
+    def _send_side(self, src: int, post_time: float, local_delay: float,
+                   wire: int) -> float:
+        """Mirror the sender half of ``post_send``; returns the leave time.
+
+        ``local_delay`` must already include the per-message delay, exactly
+        as ``TransportEndpoint.isend`` folds it in before the transport adds
+        it to ``now``.
+        """
+        world = self.world[src]
+        start = post_time + local_delay
+        port_free = self.transport._send_port_free[world]
+        if port_free > start:
+            start = port_free
+        leave = start + self.alpha + wire * self.beta
+        self.transport._send_port_free[world] = leave
+        stats = self.stats
+        stats.messages_sent += 1
+        stats.words_sent += wire
+        stats.per_rank_messages_sent[world] += 1
+        stats.per_rank_words_sent[world] += wire
+        return leave
+
+    def _recv_side(self, dst: int, leave: float, wire: int,
+                   post_time: float) -> float:
+        """Mirror the receiver half of ``post_send``; returns the arrival.
+
+        Native receive-port writes fold in chronological *post* order
+        across all traffic sharing the port.  Eagerly priced phases can
+        apply writes out of that order (a later phase's early leaf posts
+        before an earlier phase's deep-subtree send); the per-port log
+        re-inserts such a write at its native position and verifies the
+        fold of every already-applied later write is unchanged — raising
+        :class:`LockstepError` when the native interleaving cannot be
+        reproduced.
+        """
+        world = self.world[dst]
+        logs = self._recv_logs
+        log = logs.get(world)
+        if log is None:
+            log = logs[world] = []
+        beta = self.beta
+        if not log or post_time >= log[-1][0]:
+            # In native post order: fold onto the live port state.
+            recv_free = self._recv_free
+            free_before = recv_free[world]
+            arrival = free_before + wire * beta
+            if leave > arrival:
+                arrival = leave
+            recv_free[world] = arrival
+            entry = [post_time, leave, wire, free_before, arrival, None]
+            if len(log) >= 24:
+                self._prune(log)
+            log.append(entry)
+        else:
+            # Out of native order: re-insert at the native position and
+            # re-fold the already-applied later writes.  A later write's
+            # arrival may *grow* without diverging as long as it stays at
+            # or below its cap — the committed value its consumer folded
+            # it into (always a ``max``), recorded by ``_commit_caps``.
+            index = len(log)
+            while index > 0 and log[index - 1][0] > post_time:
+                index -= 1
+            free_before = log[index][3]
+            arrival = free_before + wire * beta
+            if leave > arrival:
+                arrival = leave
+            entry = [post_time, leave, wire, free_before, arrival, None]
+            free = arrival
+            changed_to_end = True
+            for later in log[index:]:
+                later[3] = free
+                refold = free + later[2] * beta
+                if later[1] > refold:
+                    refold = later[1]
+                if refold == later[4]:
+                    # Fold re-converged; everything downstream is untouched.
+                    changed_to_end = False
+                    break
+                cap = later[5]
+                if cap is None or refold > cap:
+                    raise LockstepError(
+                        f"lockstep {self.kind}: receive-port contention on "
+                        f"world rank {world} spans overlapping collective "
+                        f"phases (a write posted at {post_time} changes the "
+                        f"arrival of a later write posted at {later[0]} "
+                        f"beyond what its phase observed); run this "
+                        f"workload with lockstep disabled")
+                later[4] = refold
+                free = refold
+            if changed_to_end:
+                self._recv_free[world] = free
+            log.insert(index, entry)
+        self._cap_pending.append(entry)
+        self._recvd_by_rank[world] += 1
+        self._recvd_words_by_rank[world] += wire
+        return arrival
+
+    def _prune(self, log: list) -> None:
+        """Drop log entries that can no longer be overtaken.
+
+        A live phase only produces writes posted at or after its first
+        join, and any future phase posts at or after the current virtual
+        time — so ``min(now, *live_first_joins)`` bounds how far back a
+        port log can still see an out-of-order insertion.  Called off the
+        hot path (only once a log grows past a small threshold).
+        """
+        bound = self.engine._now
+        live = self.coordinator._live_first_joins
+        if live:
+            earliest = min(live)
+            if earliest < bound:
+                bound = earliest
+        drop = 0
+        for entry in log:
+            if entry[0] >= bound:
+                break
+            drop += 1
+        if drop:
+            del log[:drop]
+
+    def _commit_caps(self, cap: float) -> None:
+        """Record the committed value the pending arrivals folded into.
+
+        Every ``_recv_side`` arrival is consumed through a ``max`` by its
+        phase (a tree entry, a round resume, or the arrival itself); the
+        cap is that committed result.  A later out-of-order insertion may
+        re-fold the arrival upward bit-identically iff it stays at or
+        below the cap.
+        """
+        pending = self._cap_pending
+        for entry in pending:
+            entry[5] = cap
+        del pending[:]
+
+    # Tree helpers (vrank rotation for rooted collectives).
+
+    def _children(self, rank: int) -> list[int]:
+        if self.root == 0:
+            return binomial_children(rank, self.size)
+        return _rotated_children(rank, self.root, self.size)
+
+    def _parent(self, rank: int) -> Optional[int]:
+        if self.root == 0:
+            return binomial_parent(rank)
+        return _rotated_parent(rank, self.root, self.size)
+
+
+@lru_cache(maxsize=8192)
+def _rotated_children(rank: int, root: int, size: int) -> tuple[int, ...]:
+    vrank = (rank - root) % size
+    return tuple((c + root) % size for c in binomial_children(vrank, size))
+
+
+@lru_cache(maxsize=8192)
+def _rotated_parent(rank: int, root: int, size: int) -> Optional[int]:
+    parent = binomial_parent((rank - root) % size)
+    return None if parent is None else (parent + root) % size
+
+
+# ---------------------------------------------------------------------------
+# Scan (dissemination / Hillis-Steele): resolve the consecutive prefix.
+# ---------------------------------------------------------------------------
+
+class _ScanPhase(_PhaseBase):
+    kind = "scan"
+
+    def __init__(self, ep, op, root, coordinator):
+        super().__init__(ep, op, root, coordinator)
+        self.rounds = dissemination_rounds(self.size)
+        # rank -> {distance: (leave, wire, sent_value, post_time)} of its
+        # priced sends, consumed by the receivers at rank + distance.
+        self.sends: list = [None] * self.size
+        self.frontier = 0
+
+    def on_join(self, rank: int) -> None:
+        # Rank i depends on ranks 0..i-1 only (messages always flow from
+        # lower to higher ranks), so the resolved set is always a prefix.
+        while self.frontier < self.size and \
+                self.joined[self.frontier] is not None:
+            self._resolve(self.frontier)
+            self.frontier += 1
+
+    def _resolve(self, rank: int) -> None:
+        size = self.size
+        op = self.op
+        pmd = self.pmd
+        factor = self.factor
+        alpha = self.alpha
+        beta = self.beta
+        world_rank = self.world[rank]
+        send_free = self.transport._send_port_free
+        stats = self.stats
+        recv_side = self._recv_side
+        commit_caps = self._commit_caps
+        compute_cost = self.compute_cost
+        sends = self.sends
+        resume = self.joined[rank]
+        value = self.values[rank]
+        acc = value
+        pending_delay = 0.0
+        my_sends: dict = {}
+        nsent = 0
+        wsent = 0
+        for distance in self.rounds:
+            leave = None
+            arrival = None
+            if rank + distance < size:
+                if acc is not value:
+                    acc = freeze_payload(acc)
+                words = payload_words(acc)
+                wire = words if factor == 1.0 else int(round(words * factor))
+                # Sender half of post_send inlined (same float operand
+                # order as _send_side).
+                local_delay = pending_delay + pmd
+                start = resume + local_delay
+                port_free = send_free[world_rank]
+                if port_free > start:
+                    start = port_free
+                leave = start + alpha + wire * beta
+                send_free[world_rank] = leave
+                nsent += 1
+                wsent += wire
+                my_sends[distance] = (leave, wire, acc, resume)
+            pending_delay = 0.0
+            if rank - distance >= 0:
+                s_leave, s_wire, s_value, s_post = \
+                    sends[rank - distance][distance]
+                arrival = recv_side(rank, s_leave, s_wire, s_post)
+                pending_delay = compute_cost(payload_words(s_value))
+                acc = op(s_value, acc)
+            if leave is not None or arrival is not None:
+                if leave is not None and leave > resume:
+                    resume = leave
+                if arrival is not None and arrival > resume:
+                    resume = arrival
+            commit_caps(resume)
+        stats.messages_sent += nsent
+        stats.words_sent += wsent
+        stats.per_rank_messages_sent[world_rank] += nsent
+        stats.per_rank_words_sent[world_rank] += wsent
+        sends[rank] = my_sends
+        self._finish(rank, resume, acc)
+
+
+# ---------------------------------------------------------------------------
+# Broadcast (binomial tree): resolve top-down.
+# ---------------------------------------------------------------------------
+
+class _BcastPhase(_PhaseBase):
+    kind = "bcast"
+
+    def __init__(self, ep, op, root, coordinator):
+        super().__init__(ep, op, root, coordinator)
+        # rank -> (arrival, post_time) of the message from its parent; set
+        # when the parent resolves.
+        self.arrivals: list = [None] * self.size
+        self.wire_value: Any = None
+        self.wire_words_cached: Optional[int] = None
+
+    def on_join(self, rank: int) -> None:
+        if rank == self.root or self.arrivals[rank] is not None:
+            self._cascade(rank)
+
+    def _cascade(self, rank: int) -> None:
+        stack = [rank]
+        while stack:
+            current = stack.pop()
+            self._resolve(current)
+            for child in self._children(current):
+                if self.joined[child] is not None:
+                    stack.append(child)
+
+    def _resolve(self, rank: int) -> None:
+        entry = self.joined[rank]
+        if rank != self.root:
+            arrival = self.arrivals[rank][0]
+            if arrival > entry:
+                entry = arrival
+        finish = entry
+        for child in self._children(rank):
+            if self.wire_words_cached is None:
+                # Lazy snapshot of the root payload, once for the whole tree
+                # (mirrors bcast_schedule's `wire` fast path).
+                root_value = self.values[self.root]
+                if isinstance(root_value, np.ndarray) and \
+                        not is_frozen_payload(root_value):
+                    self.wire_value = freeze_payload(root_value.copy())
+                else:
+                    self.wire_value = root_value
+                self.wire_words_cached = self._wire_words(
+                    payload_words(self.wire_value))
+            wire = self.wire_words_cached
+            leave = self._send_side(rank, entry, self.pmd, wire)
+            arrival = self._recv_side(child, leave, wire, entry)
+            # The arrival is consumed verbatim as the child's entry floor,
+            # so it admits no growth: cap = arrival.
+            self._commit_caps(arrival)
+            self.arrivals[child] = (arrival, entry)
+            if leave > finish:
+                finish = leave
+        if rank == self.root:
+            result = self.values[rank]
+        else:
+            result = self.wire_value
+        self._finish(rank, finish, result)
+
+
+# ---------------------------------------------------------------------------
+# Reduce / gather (binomial tree): resolve bottom-up.
+# ---------------------------------------------------------------------------
+
+class _TreeUpPhase(_PhaseBase):
+    """Bottom-up resolution shared by reduce and gather.
+
+    A rank is priced once it has joined and all of its children are priced;
+    pricing applies the children's receive-port writes in native post order
+    (sorted by post time — out-of-resolution-order posts are the norm here,
+    since subtrees resolve independently).
+    """
+
+    def __init__(self, ep, op, root, coordinator):
+        super().__init__(ep, op, root, coordinator)
+        # rank -> (post_time, leave, wire, payload-ish) of its send to the
+        # parent; shape of the last field differs per subclass.
+        self.up_send: list = [None] * self.size
+
+    def on_join(self, rank: int) -> None:
+        self._cascade_up(rank)
+
+    def _cascade_up(self, rank: int) -> None:
+        stack = [rank]
+        while stack:
+            current = stack.pop()
+            if self.joined[current] is None or \
+                    self.up_send[current] is not None or \
+                    self._priced(current):
+                continue
+            children = self._children(current)
+            if any(self.up_send[child] is None for child in children):
+                continue
+            self._resolve(current, children)
+            parent = self._parent(current)
+            if parent is not None:
+                stack.append(parent)
+
+    def _priced(self, rank: int) -> bool:
+        request = self.requests[rank]
+        return request is not None and request._ready
+
+    def _entry_time(self, rank: int, children: list[int]) -> float:
+        """max(join, child arrivals), with port writes in native post order."""
+        entry = self.joined[rank]
+        if children:
+            edges = sorted((self.up_send[child] for child in children),
+                           key=_EDGE_POST)
+            for post_time, leave, wire, _payload in edges:
+                arrival = self._recv_side(rank, leave, wire, post_time)
+                if arrival > entry:
+                    entry = arrival
+        # Only the max of (join, arrivals) is committed downstream.
+        self._commit_caps(entry)
+        return entry
+
+    def _resolve(self, rank: int, children: list[int]) -> None:
+        raise NotImplementedError  # pragma: no cover - interface
+
+
+class _ReducePhase(_TreeUpPhase):
+    kind = "reduce"
+
+    def _resolve(self, rank: int, children: list[int]) -> None:
+        entry = self._entry_time(rank, children)
+        value = self.values[rank]
+        contributed = value
+        combine_delay = 0.0
+        for child in children:
+            contribution = self.up_send[child][3]
+            combine_delay += self.compute_cost(payload_words(contribution))
+            value = self.op(value, contribution)
+        parent = self._parent(rank)
+        if parent is None:
+            self._finish(rank, entry, value)
+            return
+        if value is not contributed:
+            value = freeze_payload(value)
+        wire = self._wire_words(payload_words(value))
+        leave = self._send_side(rank, entry, combine_delay + self.pmd, wire)
+        self.up_send[rank] = (entry, leave, wire, value)
+        self._finish(rank, leave, None)
+
+
+class _GatherPhase(_TreeUpPhase):
+    kind = "gather"
+
+    def _resolve(self, rank: int, children: list[int]) -> None:
+        entry = self._entry_time(rank, children)
+        # Native payload is a list of (group_rank, value) pairs; only its
+        # word count matters for pricing, and only the root materialises the
+        # final list.  payload_words(list of pairs) = sum(1 + words(value)).
+        words = 1 + payload_words(self.values[rank])
+        for child in children:
+            words += self.up_send[child][3]
+        parent = self._parent(rank)
+        if parent is None:
+            result = list(self.values)
+            self._finish(rank, entry, result)
+            return
+        wire = self._wire_words(words)
+        leave = self._send_side(rank, entry, self.pmd, wire)
+        self.up_send[rank] = (entry, leave, wire, words)
+        self._finish(rank, leave, None)
+
+
+# ---------------------------------------------------------------------------
+# Allreduce: reduce to vrank 0 then bcast, composed on one endpoint.
+# ---------------------------------------------------------------------------
+
+class _AllreducePhase(_PhaseBase):
+    kind = "allreduce"
+
+    def __init__(self, ep, op, root, coordinator):
+        super().__init__(ep, op, 0, coordinator)
+        self.up_send: list = [None] * self.size
+
+    def on_join(self, rank: int) -> None:
+        # The bcast half needs every rank's reduce completion, and the
+        # reduce root's cone is everyone — price the whole phase at the last
+        # join (cheaper than cascading, identical outcome).
+        if self.joined_count < self.size:
+            return
+        self._resolve_all()
+
+    def _resolve_all(self) -> None:
+        size = self.size
+        joined = self.joined
+        values = self.values
+        up_send = self.up_send
+        world = self.world
+        alpha = self.alpha
+        beta = self.beta
+        pmd = self.pmd
+        factor = self.factor
+        op = self.op
+        compute_cost = self.compute_cost
+        send_free = self.transport._send_port_free
+        stats = self.stats
+        sent_by_rank = stats.per_rank_messages_sent
+        sent_words_by_rank = stats.per_rank_words_sent
+        recv_side = self._recv_side
+        commit_caps = self._commit_caps
+        nsent = 0
+        wsent = 0
+        # --- reduce half (bottom-up over vranks, root 0). ---------------
+        # A binomial child always carries a larger vrank than its parent, so
+        # descending rank order is a topological order of the tree: one pass
+        # prices every rank after all of its children.  The sender half of
+        # ``post_send`` is inlined with the exact float operand order of
+        # ``_send_side`` (this pass dominates the allreduce gate); receives
+        # go through ``_recv_side`` for the cross-phase port log.
+        reduce_done = [0.0] * size   # rank -> time its reduce part ends
+        reduced = None
+        for rank in range(size - 1, -1, -1):
+            children = binomial_children(rank, size)
+            entry = joined[rank]
+            value = values[rank]
+            contributed = value
+            combine_delay = 0.0
+            if children:
+                edges = sorted((up_send[child] for child in children),
+                               key=_EDGE_POST)
+                for post_time, leave, wire, _payload in edges:
+                    arrival = recv_side(rank, leave, wire, post_time)
+                    if arrival > entry:
+                        entry = arrival
+                commit_caps(entry)
+                for child in children:
+                    contribution = up_send[child][3]
+                    combine_delay += compute_cost(payload_words(contribution))
+                    value = op(value, contribution)
+            if rank == 0:
+                reduce_done[0] = entry
+                reduced = value
+            else:
+                if value is not contributed:
+                    value = freeze_payload(value)
+                words = payload_words(value)
+                wire = words if factor == 1.0 else int(round(words * factor))
+                local_delay = combine_delay + pmd
+                src = world[rank]
+                start = entry + local_delay
+                port_free = send_free[src]
+                if port_free > start:
+                    start = port_free
+                leave = start + alpha + wire * beta
+                send_free[src] = leave
+                nsent += 1
+                wsent += wire
+                sent_by_rank[src] += 1
+                sent_words_by_rank[src] += wire
+                up_send[rank] = (entry, leave, wire, value)
+                reduce_done[rank] = leave
+        # --- bcast half (top-down over vranks, root 0). ------------------
+        if isinstance(reduced, np.ndarray) and not is_frozen_payload(reduced):
+            wire_value = freeze_payload(reduced.copy())
+        else:
+            wire_value = reduced
+        words = payload_words(wire_value)
+        wire = words if factor == 1.0 else int(round(words * factor))
+        arrivals: list = [None] * size
+        stack = [0]
+        finish = self._finish
+        while stack:
+            rank = stack.pop()
+            if rank == 0:
+                entry = reduce_done[0]
+                result = reduced
+            else:
+                entry = reduce_done[rank]
+                arrival = arrivals[rank]
+                if arrival > entry:
+                    entry = arrival
+                result = wire_value
+            done = entry
+            src = world[rank]
+            for child in binomial_children(rank, size):
+                start = entry + pmd
+                port_free = send_free[src]
+                if port_free > start:
+                    start = port_free
+                leave = start + alpha + wire * beta
+                send_free[src] = leave
+                nsent += 1
+                wsent += wire
+                sent_by_rank[src] += 1
+                sent_words_by_rank[src] += wire
+                arrival = recv_side(child, leave, wire, entry)
+                arrivals[child] = arrival
+                commit_caps(arrival)
+                if leave > done:
+                    done = leave
+                stack.append(child)
+            finish(rank, done, result)
+        stats.messages_sent += nsent
+        stats.words_sent += wsent
+
+
+# ---------------------------------------------------------------------------
+# Barrier (dissemination with wraparound): priced at the last join.
+# ---------------------------------------------------------------------------
+
+class _BarrierPhase(_PhaseBase):
+    kind = "barrier"
+
+    def on_join(self, rank: int) -> None:
+        if self.joined_count < self.size:
+            return
+        size = self.size
+        world = self.world
+        alpha = self.alpha
+        send_free = self.transport._send_port_free
+        stats = self.stats
+        sent_by_rank = stats.per_rank_messages_sent
+        recv_side = self._recv_side
+        commit_caps = self._commit_caps
+        finish = self._finish
+        resume = list(self.joined)
+        local_delay = 0.0 + self.pmd  # isend(None): local_delay defaults 0.0
+        nsent = 0
+        for distance in dissemination_rounds(size):
+            # Sender half of post_send inlined for the all-zero-word round
+            # (same float operand order as _send_side with wire = 0:
+            # ``start + alpha + 0 * beta`` folds to ``start + alpha + 0.0``,
+            # and ``x + 0.0 == x`` for the non-negative times here).
+            leaves = []
+            append = leaves.append
+            for rank_ in range(size):
+                start = resume[rank_] + local_delay
+                src = world[rank_]
+                port_free = send_free[src]
+                if port_free > start:
+                    start = port_free
+                leave = start + alpha
+                send_free[src] = leave
+                nsent += 1
+                sent_by_rank[src] += 1
+                append(leave)
+            posts = list(resume)
+            for rank_ in range(size):
+                source = rank_ - distance
+                if source < 0:
+                    source += size
+                arrival = recv_side(rank_, leaves[source], 0, posts[source])
+                new_resume = resume[rank_]
+                if leaves[rank_] > new_resume:
+                    new_resume = leaves[rank_]
+                if arrival > new_resume:
+                    new_resume = arrival
+                resume[rank_] = new_resume
+                commit_caps(new_resume)
+        stats.messages_sent += nsent
+        for rank_ in range(size):
+            finish(rank_, resume[rank_], None)

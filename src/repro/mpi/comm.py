@@ -45,6 +45,23 @@ from .vendor import VendorModel
 __all__ = ["MpiCommunicator"]
 
 
+# repro.core.spmd cannot be imported at module load time: repro.core's
+# package __init__ re-exports the RBC facade, which imports this module.
+# Cached on first use.
+_spmd = None
+
+
+def _lockstep_eligible(ep) -> bool:
+    if not getattr(ep.env, "lockstep_collectives", False):
+        return False
+    global _spmd
+    if _spmd is None:
+        from ..core import spmd
+        _spmd = spmd
+    return _spmd.lockstep_eligible(ep)
+
+
+
 class MpiCommunicator:
     """A simulated MPI communicator (group + context id) as seen by one rank."""
 
@@ -247,6 +264,8 @@ class MpiCommunicator:
         if hierarchy is not None:
             return CollectiveRequest(
                 self._env, hier_bcast_schedule(ep, value, root, hierarchy))
+        if _lockstep_eligible(ep):
+            return _spmd.join_lockstep(ep, "bcast", value, None, root)
         return CollectiveRequest(self._env, bcast_schedule(ep, value, root))
 
     def ireduce(self, value: Any, op=SUM, root: int = 0) -> CollectiveRequest:
@@ -255,6 +274,8 @@ class MpiCommunicator:
         if hierarchy is not None:
             return CollectiveRequest(
                 self._env, hier_reduce_schedule(ep, value, op, root, hierarchy))
+        if _lockstep_eligible(ep):
+            return _spmd.join_lockstep(ep, "reduce", value, op, root)
         return CollectiveRequest(self._env, reduce_schedule(ep, value, op, root))
 
     def iallreduce(self, value: Any, op=SUM) -> CollectiveRequest:
@@ -263,10 +284,14 @@ class MpiCommunicator:
         if hierarchy is not None:
             return CollectiveRequest(
                 self._env, hier_allreduce_schedule(ep, value, op, hierarchy))
+        if _lockstep_eligible(ep):
+            return _spmd.join_lockstep(ep, "allreduce", value, op)
         return CollectiveRequest(self._env, allreduce_schedule(ep, value, op))
 
     def iscan(self, value: Any, op=SUM) -> CollectiveRequest:
         ep = self._collective_endpoint("scan")
+        if _lockstep_eligible(ep):
+            return _spmd.join_lockstep(ep, "scan", value, op)
         return CollectiveRequest(self._env, scan_schedule(ep, value, op))
 
     def iexscan(self, value: Any, op=SUM) -> CollectiveRequest:
@@ -275,6 +300,8 @@ class MpiCommunicator:
 
     def igather(self, value: Any, root: int = 0) -> CollectiveRequest:
         ep = self._collective_endpoint("gather")
+        if _lockstep_eligible(ep):
+            return _spmd.join_lockstep(ep, "gather", value, None, root)
         return CollectiveRequest(self._env, gather_schedule(ep, value, root))
 
     def igatherv(self, value: Any, root: int = 0) -> CollectiveRequest:
@@ -308,6 +335,8 @@ class MpiCommunicator:
             if hierarchy is not None:
                 return CollectiveRequest(
                     self._env, hier_barrier_schedule(ep, hierarchy))
+        if _lockstep_eligible(ep):
+            return _spmd.join_lockstep(ep, "barrier")
         return CollectiveRequest(self._env, barrier_schedule(ep))
 
     # --- blocking wrappers ---------------------------------------------------

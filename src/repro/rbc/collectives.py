@@ -98,11 +98,22 @@ def _endpoint(comm: RbcComm, tag: int) -> TransportEndpoint:
     communicator (RBC has no context of its own) and are separated from other
     traffic purely by ``tag`` — which is why overlapping RBC communicators
     must use distinct tags for simultaneous collectives.
+
+    Endpoints are immutable, so each communicator caches one per tag —
+    repetition loops hit the cache instead of rebuilding the adapter (and
+    re-resolving the context/rank translation) on every collective call.
     """
+    try:
+        cache = comm._ep_cache
+    except AttributeError:
+        cache = comm._ep_cache = {}
+    ep = cache.get(tag)
+    if ep is not None:
+        return ep
     if comm.rank is None:
         raise ValueError("calling process is not a member of this RBC communicator")
     world_first = comm._world_first
-    return TransportEndpoint(
+    ep = TransportEndpoint(
         comm.env,
         comm.env.transport,
         context=comm.mpi_context(),
@@ -113,10 +124,31 @@ def _endpoint(comm: RbcComm, tag: int) -> TransportEndpoint:
         world_affine=(None if world_first is None
                       else (world_first, comm._world_stride)),
     )
+    cache[tag] = ep
+    return ep
 
 
 def _request(comm: RbcComm, schedule) -> RbcRequest:
     return RbcRequest(comm.env, CollectiveRequest(comm.env, schedule))
+
+
+# repro.core.spmd cannot be imported at module load time: repro.core's
+# package __init__ re-exports this very module.  Cached on first use.
+_spmd = None
+
+
+def _lockstep_eligible(ep) -> bool:
+    if not getattr(ep.env, "lockstep_collectives", False):
+        return False
+    global _spmd
+    if _spmd is None:
+        from ..core import spmd
+        _spmd = spmd
+    return _spmd.lockstep_eligible(ep)
+
+
+def _lockstep(comm: RbcComm, ep, kind, value=None, op=None, root=0) -> RbcRequest:
+    return RbcRequest(comm.env, _spmd.join_lockstep(ep, kind, value, op, root))
 
 
 # ---------------------------------------------------------------------------
@@ -138,6 +170,8 @@ def ibcast(comm: RbcComm, value: Any, root: int = 0,
     bit-identically).
     """
     ep = _endpoint(comm, _tags.BCAST_TAG if tag is None else tag)
+    if algorithm is None and _lockstep_eligible(ep) and hierarchy_of(ep) is None:
+        return _lockstep(comm, ep, "bcast", value, None, root)
     return _request(comm, dispatch_bcast_schedule(ep, value, root, algorithm,
                                                   segment_words))
 
@@ -171,6 +205,8 @@ def ireduce(comm: RbcComm, value: Any, op=None, root: int = 0,
         if hierarchy is not None:
             return _request(comm, hier_reduce_schedule(ep, value, op or SUM,
                                                        root, hierarchy))
+        if _lockstep_eligible(ep):
+            return _lockstep(comm, ep, "reduce", value, op or SUM, root)
         algorithm = "binomial"
     if algorithm == "hierarchical":
         return _request(comm, hier_reduce_schedule(ep, value, op or SUM, root))
@@ -196,6 +232,8 @@ def reduce(comm: RbcComm, value: Any, op=None, root: int = 0,
 def iscan(comm: RbcComm, value: Any, op=None, tag: Optional[int] = None) -> RbcRequest:
     """``rbc::Iscan``: nonblocking inclusive prefix reduction."""
     ep = _endpoint(comm, _tags.SCAN_TAG if tag is None else tag)
+    if _lockstep_eligible(ep):
+        return _lockstep(comm, ep, "scan", value, op or SUM)
     return _request(comm, scan_schedule(ep, value, op or SUM))
 
 
@@ -225,6 +263,8 @@ def igather(comm: RbcComm, value: Any, root: int = 0,
             tag: Optional[int] = None) -> RbcRequest:
     """``rbc::Igather``: nonblocking gather; root receives a list ordered by rank."""
     ep = _endpoint(comm, _tags.GATHER_TAG if tag is None else tag)
+    if _lockstep_eligible(ep):
+        return _lockstep(comm, ep, "gather", value, None, root)
     return _request(comm, gather_schedule(ep, value, root))
 
 
@@ -238,6 +278,8 @@ def igatherv(comm: RbcComm, value: Any, root: int = 0,
              tag: Optional[int] = None) -> RbcRequest:
     """``rbc::Igatherv``: like igather but contributions may differ in size."""
     ep = _endpoint(comm, _tags.GATHERV_TAG if tag is None else tag)
+    if _lockstep_eligible(ep):
+        return _lockstep(comm, ep, "gather", value, None, root)
     return _request(comm, gather_schedule(ep, value, root))
 
 
@@ -268,6 +310,8 @@ def ibarrier(comm: RbcComm, tag: Optional[int] = None, *,
         hierarchy = barrier_hierarchy_of(ep)
         if hierarchy is not None:
             return _request(comm, hier_barrier_schedule(ep, hierarchy))
+        if _lockstep_eligible(ep):
+            return _lockstep(comm, ep, "barrier")
         algorithm = "dissemination"
     if algorithm == "hierarchical":
         return _request(comm, hier_barrier_schedule(ep))
@@ -307,6 +351,8 @@ def iallreduce(comm: RbcComm, value: Any, op=None, tag: Optional[int] = None,
         if hierarchy is not None:
             return _request(comm, hier_allreduce_schedule(ep, value, op or SUM,
                                                           hierarchy))
+        if _lockstep_eligible(ep):
+            return _lockstep(comm, ep, "allreduce", value, op or SUM)
         algorithm = "reduce_bcast"
     elif algorithm == "auto":
         algorithm = choose_allreduce_algorithm(

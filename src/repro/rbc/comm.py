@@ -33,7 +33,7 @@ class RbcComm:
     """
 
     __slots__ = ("mpi_comm", "first", "last", "stride", "_size", "_my_rank",
-                 "_world_first", "_world_stride", "_member_pred")
+                 "_world_first", "_world_stride", "_member_pred", "_ep_cache")
 
     def __init__(self, mpi_comm: MpiCommunicator, first: int, last: int, stride: int = 1):
         if stride <= 0:

@@ -77,9 +77,10 @@ class Cluster:
     (flat: everything on one node; hierarchical: dense block placement of
     the model's machine shape).
 
-    ``reference_engine=True`` runs the simulation on the engine's heap-only
-    reference scheduling path instead of the run-queue fast path; differential
-    tests use it to prove both paths are bit-identical.
+    ``reference_engine=True`` runs the simulation on the engine's tuple-heap
+    reference event core instead of the default batched bucket-queue core
+    (:mod:`repro.simulator.batchcore`); differential tests use it to prove
+    both cores are bit-identical.
 
     A cluster instance is single-use: build it, call :meth:`run`, inspect the
     result.  (Re-running would need fresh engine state; constructing a new

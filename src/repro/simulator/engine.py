@@ -16,32 +16,37 @@ commands exist:
     and the blocked primitive then re-checks its condition.
 
 The simulation is fully deterministic: events with equal timestamps are
-ordered by their insertion sequence number.
+ordered by their insertion sequence.
 
 Scheduling internals
 --------------------
-Events are plain tuples ``(time, seq, kind, fn_or_proc, arg)`` on a binary
-heap — tuple comparison happens in C and never looks past ``seq`` because
-sequence numbers are unique.  Process wake-ups (:meth:`Engine.notify` and
-remembered notifications) do not round-trip through the heap at all: they are
-appended to an immediate *run queue*, a FIFO of ``(time, seq, proc)`` entries
-drained in between heap events.  Because run-queue entries carry sequence
-numbers from the same counter as heap events, the engine merges the two
-sorted streams and the observable execution order — and therefore every
-simulated timestamp — is exactly the one the heap-only scheduler produces.
+Event storage and the drain loop live in a pluggable *event core*
+(:mod:`repro.simulator.batchcore`).  The default is :class:`~repro.simulator
+.batchcore.BatchedCore`, a bucket/calendar queue that executes maximal
+same-timestamp runs of events in one pass and lets most pushes skip
+``heapq`` entirely.  ``Engine(reference=True)`` selects
+:class:`~repro.simulator.batchcore.HeapCore`, the original tuple-heap
+scheduler; differential tests drive both cores over the same workload and
+require bit-identical execution order, timestamps, and results.
 
-``Engine(reference=True)`` disables the run queue and routes every wake-up
-through the heap (the original scheduling path); differential tests drive
-both modes over the same workload and require bit-identical results.
+:meth:`Engine.charge_batch` posts wake-ups for many processes in one call —
+SPMD lockstep phases (:mod:`repro.core.spmd`) use it to schedule one event
+per phase timestamp instead of one per rank.
 """
 
 from __future__ import annotations
 
-import heapq
-from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
-from .errors import DeadlockError, RankFailedError, SimulationLimitError
+from .batchcore import (
+    KIND_ACTION,
+    KIND_CALL,
+    KIND_STEP,
+    BatchedCore,
+    EventCore,
+    HeapCore,
+)
+from .errors import DeadlockError, RankFailedError
 
 __all__ = [
     "Command",
@@ -66,9 +71,15 @@ class Sleep(Command):
     __slots__ = ("duration",)
 
     def __init__(self, duration: float):
-        if duration < 0:
-            raise ValueError(f"negative sleep duration: {duration}")
-        self.duration = float(duration)
+        duration = float(duration)
+        # A plain `duration < 0` check lets NaN through (every comparison
+        # with NaN is false) and NaN would poison the event queue ordering;
+        # +inf would park the process forever.  Reject both explicitly.
+        if not (0.0 <= duration < float("inf")):
+            raise ValueError(
+                f"sleep duration must be finite and non-negative: {duration}"
+            )
+        self.duration = duration
 
     def __repr__(self):  # pragma: no cover - debugging aid
         return f"Sleep({self.duration})"
@@ -86,12 +97,6 @@ class WaitNotify(Command):
 #: Shared ``WaitNotify`` instance — the command carries no state, so blocking
 #: primitives yield this singleton instead of allocating one per suspension.
 WAIT_NOTIFY = WaitNotify()
-
-# Event kinds (third tuple field).  STEP covers every process continuation:
-# the initial step, wake-ups after notify, and resumes after a Sleep.
-_KIND_STEP = 0    # a = SimProcess, b unused
-_KIND_ACTION = 1  # a = zero-argument callable, b unused
-_KIND_CALL = 2    # a = one-argument callable, b = its argument
 
 
 class SimProcess:
@@ -147,19 +152,21 @@ class Engine:
     max_time:
         Safety limit on virtual time.
     reference:
-        Disable the run-queue fast path: every process wake-up round-trips
-        through the event heap, as in the original scheduler.  The observable
-        behaviour (execution order, timestamps, event counts) is identical in
-        both modes; the reference mode exists so differential tests can prove
-        that.
+        Use the original tuple-heap event core instead of the batched
+        bucket-queue core.  The observable behaviour (execution order,
+        timestamps, results) is identical in both modes; the reference mode
+        exists so differential tests can prove that.
+    core:
+        Explicit :class:`~repro.simulator.batchcore.EventCore` instance to
+        run on, overriding ``reference``.  Test hook.
     """
 
     def __init__(self, *, max_events: int = 200_000_000, max_time: float = 1e15,
-                 reference: bool = False):
+                 reference: bool = False, core: Optional[EventCore] = None):
         self._now = 0.0
-        self._heap: list[tuple] = []
-        self._runq: deque[tuple] = deque()
-        self._seq = 0
+        if core is None:
+            core = HeapCore() if reference else BatchedCore()
+        self._core = core
         self._processes: list[SimProcess] = []
         self._events_processed = 0
         self._max_events = max_events
@@ -179,8 +186,22 @@ class Engine:
 
     @property
     def reference(self) -> bool:
-        """True when the heap-only reference scheduling path is active."""
+        """True when the heap-only reference event core is active."""
         return self._reference
+
+    @property
+    def core(self) -> EventCore:
+        """The active event core."""
+        return self._core
+
+    @property
+    def _heap(self) -> list[tuple]:
+        """Sorted snapshot of pending events as ``(time, seq, kind, a, b)``.
+
+        Kept for introspection and historical callers; the live storage
+        belongs to the event core and this is a copy, not the real queue.
+        """
+        return self._core.events()
 
     # ------------------------------------------------------------- scheduling
 
@@ -192,20 +213,34 @@ class Engine:
         """Run ``action()`` at absolute virtual time ``time``."""
         if time < self._now:
             raise ValueError(f"cannot schedule in the past: {time} < {self._now}")
-        self._seq += 1
-        heapq.heappush(self._heap, (time, self._seq, _KIND_ACTION, action, None))
+        self._core.push(time, KIND_ACTION, action, None)
 
     def schedule_call_at(self, time: float, fn: Callable[[Any], None], arg: Any) -> None:
         """Run ``fn(arg)`` at absolute virtual time ``time``.
 
         Allocation-free variant of :meth:`schedule_at` for hot callers (the
         transport's deliver / sender-free events): callee and argument are
-        stored directly in the event tuple instead of a closure.
+        stored directly in the event instead of a closure.
         """
         if time < self._now:
             raise ValueError(f"cannot schedule in the past: {time} < {self._now}")
-        self._seq += 1
-        heapq.heappush(self._heap, (time, self._seq, _KIND_CALL, fn, arg))
+        self._core.push(time, KIND_CALL, fn, arg)
+
+    def charge_batch(self, times: Iterable[float], procs: Iterable[SimProcess]) -> None:
+        """Schedule wake-up notifications for many processes in one call.
+
+        ``times[i]`` is the absolute virtual time at which ``procs[i]`` is
+        notified.  Wake-ups sharing a timestamp are fused into a single
+        event (one event per distinct time) on *both* cores, so differential
+        runs see equal event counts.  Within one timestamp, processes are
+        notified in the given order.
+        """
+        now = self._now
+        times = list(times)
+        for time in times:
+            if time < now:
+                raise ValueError(f"cannot schedule in the past: {time} < {now}")
+        self._core.charge_batch(self, times, list(procs))
 
     # -------------------------------------------------------------- processes
 
@@ -236,12 +271,8 @@ class Engine:
             proc._pending_notify = True
 
     def _schedule_step(self, proc: SimProcess) -> None:
-        """Queue a zero-delay continuation of ``proc``, preserving seq order."""
-        self._seq += 1
-        if self._reference:
-            heapq.heappush(self._heap, (self._now, self._seq, _KIND_STEP, proc, None))
-        else:
-            self._runq.append((self._now, self._seq, proc))
+        """Queue a zero-delay continuation of ``proc``."""
+        self._core.push(self._now, KIND_STEP, proc, None)
 
     # ------------------------------------------------------------------- run
 
@@ -251,73 +282,14 @@ class Engine:
         Returns the final virtual time.  Raises :class:`DeadlockError` if the
         event queue drains while simulated processes are still blocked.
         """
-        heap = self._heap
-        runq = self._runq
-        heappop = heapq.heappop
-        max_events = self._max_events
-        max_time = self._max_time
-        step = self._step
-        RUNNABLE = SimProcess.RUNNABLE
-        FINISHED = SimProcess.FINISHED
-        FAILED = SimProcess.FAILED
-        # float('inf') folds the "no deadline" case into one cheap compare.
-        until_bound = float("inf") if until is None else until
-        events = self._events_processed
-
-        try:
-            while heap or runq:
-                # Merge the two seq-sorted streams: the run queue holds
-                # zero-delay continuations enqueued at the current time, the
-                # heap everything timed.  Whichever holds the
-                # (time, seq)-smallest entry goes next.
-                use_runq = bool(runq)
-                if use_runq and heap:
-                    h = heap[0]
-                    r = runq[0]
-                    ht = h[0]
-                    rt = r[0]
-                    if ht < rt or (ht == rt and h[1] < r[1]):
-                        use_runq = False
-                event_time = runq[0][0] if use_runq else heap[0][0]
-                if event_time > until_bound:
-                    self._now = until
-                    return until
-                events += 1
-                if events > max_events:
-                    raise SimulationLimitError(
-                        f"event limit exceeded ({max_events}); likely livelock"
-                    )
-                if event_time > max_time:
-                    raise SimulationLimitError(
-                        f"virtual time limit exceeded ({max_time})"
-                    )
-                self._now = event_time
-                if use_runq:
-                    proc = runq.popleft()[2]
-                    state = proc.state
-                    if state is not FINISHED and state is not FAILED:
-                        proc.state = RUNNABLE
-                        step(proc, None)
-                else:
-                    event = heappop(heap)
-                    kind = event[2]
-                    if kind == _KIND_STEP:
-                        proc = event[3]
-                        state = proc.state
-                        if state is not FINISHED and state is not FAILED:
-                            proc.state = RUNNABLE
-                            step(proc, None)
-                    elif kind == _KIND_CALL:
-                        event[3](event[4])
-                    else:  # _KIND_ACTION
-                        event[3]()
-        finally:
-            self._events_processed = events
-
+        final = self._core.run(self, until)
+        if self._core:
+            # Stopped at the `until` bound with events still pending.
+            return final
         blocked = [p.pid for p in self._processes if not p.done]
         if blocked:
             raise DeadlockError(blocked)
-        return self._now
+        return final
 
     # --------------------------------------------------------------- stepping
 
@@ -350,11 +322,7 @@ class Engine:
                 proc.state = SimProcess.WAITING
         elif isinstance(command, Sleep):
             proc.state = SimProcess.SLEEPING
-            self._seq += 1
-            heapq.heappush(
-                self._heap,
-                (self._now + command.duration, self._seq, _KIND_STEP, proc, None),
-            )
+            self._core.push(self._now + command.duration, KIND_STEP, proc, None)
         else:
             raise TypeError(
                 f"process {proc.pid} yielded {command!r}; expected a Command"

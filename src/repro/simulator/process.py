@@ -26,7 +26,8 @@ class RankEnv:
     RBC layers can post and match messages.
     """
 
-    __slots__ = ("rank", "size", "engine", "transport", "params", "_proc")
+    __slots__ = ("rank", "size", "engine", "transport", "params", "_proc",
+                 "lockstep_collectives")
 
     def __init__(self, rank: int, size: int, engine: Engine, transport: Transport):
         self.rank = rank
@@ -35,6 +36,10 @@ class RankEnv:
         self.transport = transport
         self.params: CostModel = transport.params
         self._proc = None  # filled in by the cluster once the process exists
+        # Opt-in for SPMD lockstep collective pricing (repro.core.spmd).
+        # Only programs that keep member ports quiet between collectives may
+        # enable it; see the module docstring over there for the contract.
+        self.lockstep_collectives = False
 
     # ------------------------------------------------------------------ time
 

@@ -116,6 +116,17 @@ class JQuickConfig:
         the pcg64 sampler keeps the historical one-event-per-charge placement.
     max_levels:
         Safety bound on the recursion depth per task.
+    lockstep_size_agreement:
+        Price the initial world-level size-agreement allreduce with the SPMD
+        lockstep pricer (:mod:`repro.core.spmd`) — every rank reaches it in
+        the same phase, so the pricing is bit-identical to the event-by-event
+        schedule with fewer engine events.  The group-level collectives of
+        the recursion are never lockstepped: a janus rank participates in two
+        groups at once and interleaves exchange traffic with them.  Like the
+        fused compute charges, this only applies under the counter sampler —
+        ``sampler="pcg64"`` keeps the historical event-by-event schedule so
+        its telemetry (event counts included) stays bit-identical to the
+        PR 2 snapshot.
     """
 
     pivot: PivotConfig = field(default_factory=PivotConfig)
@@ -125,6 +136,7 @@ class JQuickConfig:
     schedule: str = "alternating"
     charge_local_work: bool = True
     max_levels: int = 300
+    lockstep_size_agreement: bool = True
 
     def __post_init__(self):
         if self.schedule not in ("alternating", "cascaded"):
@@ -212,8 +224,21 @@ class _JQuickRun:
         world = self.backend.world_channel()
 
         # Agree on the global input size and validate the balanced layout.
-        request = world.iallreduce(int(data.size), SUM, tag=_TAG_BASE - 1)
-        yield from self.env.wait_until(request.test)
+        # This is the one world-level collective every rank reaches in the
+        # same phase, so it may be priced in SPMD lockstep; the group-level
+        # collectives deeper in the recursion must not (a janus rank serves
+        # two groups at once and interleaves exchange point-to-point traffic
+        # with them, violating the quiet-ports lockstep contract).  The pcg64
+        # path keeps the event-by-event schedule — its trajectory pins the
+        # historical event counts, which phase fusion would shrink.
+        saved_lockstep = self.env.lockstep_collectives
+        self.env.lockstep_collectives = (self.config.lockstep_size_agreement
+                                         and self._counter_sampler)
+        try:
+            request = world.iallreduce(int(data.size), SUM, tag=_TAG_BASE - 1)
+            yield from self.env.wait_until(request.test)
+        finally:
+            self.env.lockstep_collectives = saved_lockstep
         self.n = int(request.result())
         expected = capacity(self.rank, self.n, self.p) if self.n else 0
         if data.size != expected:

@@ -1,0 +1,280 @@
+"""Differential tests for SPMD lockstep collective pricing.
+
+:mod:`repro.core.spmd` prices a whole collective phase analytically — one
+closed-form pass over the group instead of one simulated event per message —
+and posts a single fused wake-up per phase timestamp.  Its contract is that
+for collectives entered from a common phase the pricing is *bit-identical*
+to the event-by-event schedules: same finish times, same results, same
+simulated time, same tracer statistics.  These tests prove that by running
+identical programs with lockstep on and off and comparing every observable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import spmd
+from repro.mpi import init_mpi
+from repro.mpi.datatypes import SUM
+from repro.rbc import collectives as rbc
+from repro.rbc import create_rbc_comm
+from repro.simulator import Cluster
+from repro.simulator.costmodel import HierarchicalParams
+from repro.simulator.errors import RankFailedError
+
+OPS = ("bcast", "reduce", "scan", "gather", "allreduce", "barrier")
+
+
+def _collective_loop(env, *, op, impl, words, reps, lockstep, root=0,
+                     vendor="generic"):
+    """Rank program: barrier, then ``reps`` back-to-back collectives.
+
+    Returns (duration, per-repetition result digests) so value equality is
+    asserted alongside the timing.
+    """
+    env.lockstep_collectives = lockstep
+    world_mpi = init_mpi(env, vendor=vendor)
+    world_rbc = yield from create_rbc_comm(world_mpi)
+    payload = (np.ones(words) * (env.rank + 1)) if words else np.zeros(0)
+    yield from rbc.barrier(world_rbc)
+    start = env.now
+    digests = []
+    for _ in range(reps):
+        if impl == "rbc":
+            request = {
+                "bcast": lambda: rbc.ibcast(
+                    world_rbc, payload if env.rank == root else None, root),
+                "reduce": lambda: rbc.ireduce(world_rbc, payload, root=root),
+                "scan": lambda: rbc.iscan(world_rbc, payload),
+                "gather": lambda: rbc.igather(world_rbc, payload, root=root),
+                "allreduce": lambda: rbc.iallreduce(world_rbc, payload),
+                "barrier": lambda: rbc.ibarrier(world_rbc),
+            }[op]()
+        else:
+            request = {
+                "bcast": lambda: world_mpi.ibcast(
+                    payload if env.rank == root else None, root),
+                "reduce": lambda: world_mpi.ireduce(payload, root=root),
+                "scan": lambda: world_mpi.iscan(payload),
+                "gather": lambda: world_mpi.igather(payload, root=root),
+                "allreduce": lambda: world_mpi.iallreduce(payload),
+                "barrier": lambda: world_mpi.ibarrier(),
+            }[op]()
+        yield from env.wait_until(request.test)
+        value = request.result()
+        if isinstance(value, list):
+            digests.append(tuple(float(np.sum(part)) for part in value))
+        elif value is not None:
+            digests.append(float(np.sum(value)))
+        else:
+            digests.append(None)
+    return (env.now - start, tuple(digests))
+
+
+def _observables(result):
+    return (
+        result.total_time,
+        tuple(result.finish_times),
+        tuple(result.results),
+        result.stats.messages_sent,
+        result.stats.words_sent,
+        tuple(result.stats.per_rank_messages_sent),
+        tuple(result.stats.per_rank_messages_received),
+        tuple(result.stats.per_rank_words_sent),
+        tuple(result.stats.per_rank_words_received),
+    )
+
+
+def _run(num_ranks, *, reference=False, **kwargs):
+    cluster = Cluster(num_ranks, reference_engine=reference)
+    return cluster.run(_collective_loop, **kwargs)
+
+
+@pytest.mark.parametrize("impl", ["rbc", "mpi"])
+@pytest.mark.parametrize("op", OPS)
+@pytest.mark.parametrize("num_ranks,root,words", [
+    (5, 2, 0),    # non-power-of-two, rotated root, empty payload
+    (7, 0, 8),    # non-power-of-two with two leaf children per parent
+    (16, 15, 8),  # power of two, last-rank root
+])
+def test_lockstep_bit_identical_to_native(impl, op, num_ranks, root, words):
+    """Lockstep either prices bit-identically or refuses honestly.
+
+    Back-to-back repetitions can overlap phases in time on a receive port
+    (a fast leaf's next-repetition send posts before the previous phase's
+    deep-subtree traffic), in which case the native port interleaving
+    cannot be mirrored by eager phase pricing; the coordinator must raise
+    :class:`LockstepError` rather than diverge silently.  When that
+    happens, the single-phase variant of the same configuration must
+    still price exactly.
+    """
+    native = _run(num_ranks, op=op, impl=impl, words=words, reps=2,
+                  lockstep=False, root=root)
+    try:
+        lockstep = _run(num_ranks, op=op, impl=impl, words=words, reps=2,
+                        lockstep=True, root=root)
+    except RankFailedError as failure:
+        assert isinstance(failure.__cause__, spmd.LockstepError)
+        assert "overlapping collective phases" in str(failure.__cause__)
+        native_one = _run(num_ranks, op=op, impl=impl, words=words, reps=1,
+                          lockstep=False, root=root)
+        lockstep_one = _run(num_ranks, op=op, impl=impl, words=words,
+                            reps=1, lockstep=True, root=root)
+        assert _observables(native_one) == _observables(lockstep_one)
+        return
+    assert _observables(native) == _observables(lockstep)
+    # Lockstep never processes *more* events than the per-message schedules.
+    assert lockstep.events_processed <= native.events_processed
+
+
+@pytest.mark.parametrize("impl", ["rbc", "mpi"])
+@pytest.mark.parametrize("op", ["reduce", "allreduce", "scan"])
+def test_lockstep_with_vendor_cost_factors(impl, op):
+    """Vendors with word-cost factors / per-message overheads price equal."""
+    native = _run(9, op=op, impl=impl, words=16, reps=2, lockstep=False,
+                  vendor="intel")
+    lockstep = _run(9, op=op, impl=impl, words=16, reps=2, lockstep=True,
+                    vendor="intel")
+    assert _observables(native) == _observables(lockstep)
+
+
+@pytest.mark.parametrize("op", OPS)
+def test_lockstep_identical_on_reference_core(op):
+    """The fused wake-ups behave identically on both event cores."""
+    fast = _run(8, reference=False, op=op, impl="rbc", words=4, reps=2,
+                lockstep=True)
+    slow = _run(8, reference=True, op=op, impl="rbc", words=4, reps=2,
+                lockstep=True)
+    assert _observables(fast) == _observables(slow)
+    assert fast.events_processed == slow.events_processed
+
+
+def test_lockstep_reduces_event_count():
+    native = _run(16, op="scan", impl="rbc", words=8, reps=4, lockstep=False)
+    lockstep = _run(16, op="scan", impl="rbc", words=8, reps=4, lockstep=True)
+    assert _observables(native) == _observables(lockstep)
+    assert lockstep.events_processed < native.events_processed / 2
+
+
+def test_lockstep_requires_opt_in():
+    """Without the env flag no coordinator is ever attached."""
+
+    def program(env):
+        world_mpi = init_mpi(env, vendor="generic")
+        request = world_mpi.iallreduce(float(env.rank), SUM)
+        yield from env.wait_until(request.test)
+        return getattr(env.transport, "_spmd_coordinator", None)
+
+    result = Cluster(4).run(program)
+    assert all(coordinator is None for coordinator in result.results)
+
+
+def test_lockstep_not_eligible_on_hierarchical_machines():
+    """Shared-NIC / tiered-link models must stay on the native schedules."""
+    params = HierarchicalParams.default()
+
+    def program(env):
+        env.lockstep_collectives = True
+        world_mpi = init_mpi(env, vendor="generic")
+        request = world_mpi.iallreduce(float(env.rank), SUM)
+        yield from env.wait_until(request.test)
+        return (float(request.result()),
+                getattr(env.transport, "_spmd_coordinator", None) is None)
+
+    result = Cluster(8, params).run(program)
+    values = [value for value, _ in result.results]
+    assert values == [sum(range(8))] * 8
+    assert all(no_coordinator for _, no_coordinator in result.results)
+
+
+def test_lockstep_rejects_mismatched_operator():
+    def program(env):
+        env.lockstep_collectives = True
+        world_mpi = init_mpi(env, vendor="generic")
+        op = SUM if env.rank == 0 else (lambda a, b: a + b)
+        request = world_mpi.iallreduce(float(env.rank), op)
+        yield from env.wait_until(request.test)
+
+    with pytest.raises(Exception, match="different reduction operator"):
+        Cluster(2).run(program)
+
+
+def test_lockstep_refuses_overlapping_phase_contention():
+    """Phase overlap on a receive port refuses instead of mispricing.
+
+    At p=7, words=8 the second gather's fastest leaf posts into the root's
+    receive port *before* the first gather's deepest subtree send; the
+    native engine folds receive-port writes in global post order, which
+    eager phase pricing cannot reproduce once the first phase's entry has
+    been committed.  The coordinator's cross-phase port log must detect
+    the contention and raise rather than silently diverge.
+    """
+    with pytest.raises(RankFailedError) as info:
+        _run(7, op="gather", impl="rbc", words=8, reps=2, lockstep=True)
+    assert isinstance(info.value.__cause__, spmd.LockstepError)
+    assert "receive-port contention" in str(info.value.__cause__)
+
+
+def test_coordinator_tracks_generations():
+    """Ranks priced early may start the next repetition before the current
+    phase fully resolves (RBC reuses one tag across repetitions)."""
+
+    def program(env):
+        env.lockstep_collectives = True
+        world_mpi = init_mpi(env, vendor="generic")
+        world_rbc = yield from create_rbc_comm(world_mpi)
+        total = 0.0
+        for _ in range(5):
+            request = rbc.ireduce(world_rbc, float(env.rank + 1), root=0)
+            yield from env.wait_until(request.test)
+            if env.rank == 0:
+                total += float(request.result())
+        return total
+
+    result = Cluster(8).run(program)
+    assert result.results[0] == 5 * sum(range(1, 9))
+    # All generations retired: no phase left behind on the coordinator.
+    # (The coordinator object itself stays attached to the transport.)
+
+
+def test_lockstep_request_interface():
+    def program(env):
+        env.lockstep_collectives = True
+        world_mpi = init_mpi(env, vendor="generic")
+        request = world_mpi.iallreduce(float(env.rank), SUM)
+        assert isinstance(request, spmd.LockstepRequest)
+        value = yield from request.wait()
+        assert request.done
+        return float(value)
+
+    result = Cluster(4).run(program)
+    assert result.results == [6.0] * 4
+
+
+def test_jquick_size_agreement_lockstep_is_bit_identical():
+    from repro.bench.workloads import generate
+    from repro.sorting import JQuickConfig, RbcBackend, jquick
+
+    p, n = 8, 256
+    parts = generate("uniform", n, p, seed=3)
+
+    def program(env, local_data, lockstep):
+        world_mpi = init_mpi(env, vendor="generic")
+        world = yield from create_rbc_comm(world_mpi)
+        config = JQuickConfig(seed=3, lockstep_size_agreement=lockstep)
+        output, _ = yield from jquick(env, RbcBackend(world), local_data,
+                                      config)
+        return output
+
+    runs = {}
+    for lockstep in (False, True):
+        cluster = Cluster(p)
+        runs[lockstep] = cluster.run(
+            program,
+            rank_kwargs=[dict(local_data=parts[r], lockstep=lockstep)
+                         for r in range(p)])
+
+    assert runs[False].total_time == runs[True].total_time
+    assert runs[False].finish_times == runs[True].finish_times
+    for native_out, lockstep_out in zip(runs[False].results,
+                                        runs[True].results):
+        np.testing.assert_array_equal(native_out, lockstep_out)

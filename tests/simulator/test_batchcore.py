@@ -1,0 +1,247 @@
+"""Differential tests for the pluggable event cores.
+
+The engine's observable contract is a total order over events (ascending
+timestamp, insertion order among ties).  :class:`~repro.simulator.batchcore
+.BatchedCore` produces that order with a bucket/calendar queue instead of the
+reference tuple heap; these tests drive both cores over identical workloads —
+hand-written and hypothesis-generated — and require bit-identical execution:
+same step order, same timestamps, same results, same event counts, and the
+same deadlocks.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulator.batchcore import (
+    KIND_ACTION,
+    KIND_CALL,
+    KIND_STEP,
+    BatchedCore,
+    HeapCore,
+)
+from repro.simulator.engine import WAIT_NOTIFY, Engine, Sleep
+from repro.simulator.errors import DeadlockError
+
+# Durations drawn from a tiny float set on purpose: equal sums of equal
+# floats collide exactly, which is what exercises bucket fusion and the
+# tie-order contract.
+DURATIONS = [0.0, 0.5, 1.0, 1.5, 2.5]
+
+
+# ---------------------------------------------------------------------------
+# Sleep argument validation (regression: NaN slipped through `duration < 0`).
+# ---------------------------------------------------------------------------
+
+class TestSleepValidation:
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite and non-negative"):
+            Sleep(float("nan"))
+
+    def test_rejects_positive_infinity(self):
+        with pytest.raises(ValueError, match="finite and non-negative"):
+            Sleep(float("inf"))
+
+    def test_rejects_negative_infinity(self):
+        with pytest.raises(ValueError, match="finite and non-negative"):
+            Sleep(float("-inf"))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="finite and non-negative"):
+            Sleep(-1.0)
+
+    def test_accepts_zero_and_coerces_to_float(self):
+        command = Sleep(0)
+        assert command.duration == 0.0
+        assert isinstance(command.duration, float)
+
+    def test_nan_never_reaches_the_queue(self):
+        engine = Engine()
+
+        def program():
+            yield Sleep(float("nan"))
+
+        proc = engine.add_process(program())
+        with pytest.raises(Exception):
+            engine.run()
+        assert proc.error is not None
+
+
+# ---------------------------------------------------------------------------
+# Core unit behaviour.
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("core_cls", [HeapCore, BatchedCore])
+class TestCoreBasics:
+    def test_empty_core_is_falsy(self, core_cls):
+        assert not core_cls()
+
+    def test_fifo_within_one_timestamp(self, core_cls):
+        order = []
+        core = core_cls()
+        for i in range(5):
+            core.push(1.0, KIND_ACTION, lambda i=i: order.append(i), None)
+        engine = Engine(core=core)
+        engine.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_time_order_across_buckets(self, core_cls):
+        order = []
+        core = core_cls()
+        for time in (3.0, 1.0, 2.0, 1.0, 3.0):
+            core.push(time, KIND_CALL, order.append, time)
+        engine = Engine(core=core)
+        engine.run()
+        assert order == [1.0, 1.0, 2.0, 3.0, 3.0]
+
+    def test_events_snapshot_is_sorted(self, core_cls):
+        core = core_cls()
+        core.push(2.0, KIND_ACTION, None, None)
+        core.push(1.0, KIND_ACTION, None, None)
+        core.push(2.0, KIND_CALL, None, None)
+        snapshot = core.events()
+        assert [event[0] for event in snapshot] == [1.0, 2.0, 2.0]
+        # Within a timestamp, snapshot order is insertion order.
+        assert [event[2] for event in snapshot] == \
+            [KIND_ACTION, KIND_ACTION, KIND_CALL]
+
+
+def test_engine_reference_flag_selects_heap_core():
+    assert isinstance(Engine(reference=True).core, HeapCore)
+    assert isinstance(Engine().core, BatchedCore)
+
+
+def test_charge_batch_fuses_equal_times():
+    engine = Engine()
+
+    def waiter():
+        yield WAIT_NOTIFY
+
+    procs = [engine.add_process(waiter()) for _ in range(4)]
+    engine.schedule_at(100.0, lambda: None)  # keep the queue non-empty
+    engine.run(until=1.0)  # park everyone in WAITING
+    engine.charge_batch([5.0, 5.0, 7.0, 5.0],
+                        [procs[0], procs[1], procs[2], procs[3]])
+    # Three wakes at t=5 share one event; the t=7 wake gets its own
+    # (plus the far-future keep-alive).
+    assert len(engine.core.events()) == 3
+    engine.run()
+    assert all(p.done for p in procs)
+    assert [p.finish_time for p in procs] == [5.0, 5.0, 7.0, 5.0]
+
+
+def test_charge_batch_rejects_past_times():
+    engine = Engine()
+
+    def program():
+        yield Sleep(10.0)
+
+    proc = engine.add_process(program())
+    engine.run()
+    with pytest.raises(ValueError, match="cannot schedule in the past"):
+        engine.charge_batch([5.0], [proc])
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis differential: random mixed workloads, both cores.
+# ---------------------------------------------------------------------------
+
+def _run_workload(scripts, *, reference):
+    """Run one random workload; return its full observable trace.
+
+    ``scripts[pid]`` is a list of actions; the interpreter logs every action
+    with the virtual time it executed at.  Returns (trace, per-proc results,
+    finish times, events processed, outcome) where outcome is either
+    ("done", final_time) or ("deadlock", blocked_pids).
+    """
+    engine = Engine(reference=reference)
+    trace = []
+    procs = []
+    extra_calls = []
+
+    def interpret(pid, script):
+        executed = 0
+        for index, action in enumerate(script):
+            trace.append((engine.now, pid, index, action[0]))
+            kind = action[0]
+            if kind == "sleep":
+                yield Sleep(action[1])
+            elif kind == "wait":
+                yield WAIT_NOTIFY
+            elif kind == "notify":
+                engine.notify(procs[action[1]])
+            elif kind == "call_at":
+                delay, target = action[1]
+                engine.schedule_call_at(
+                    engine.now + delay,
+                    lambda t: (extra_calls.append((engine.now, t)),
+                               engine.notify(procs[t])),
+                    target)
+            elif kind == "batch":
+                pairs = action[1]
+                engine.charge_batch([engine.now + d for d, _ in pairs],
+                                    [procs[t] for _, t in pairs])
+            executed += 1
+        return executed
+
+    for pid, script in enumerate(scripts):
+        procs.append(engine.add_process(interpret(pid, script)))
+
+    try:
+        final = engine.run()
+        outcome = ("done", final)
+    except DeadlockError:
+        outcome = ("deadlock", tuple(p.pid for p in procs if not p.done))
+
+    return (trace, [p.result for p in procs], [p.finish_time for p in procs],
+            engine.events_processed, tuple(extra_calls), outcome)
+
+
+def _scripts(num_procs):
+    duration = st.sampled_from(DURATIONS)
+    target = st.integers(min_value=0, max_value=num_procs - 1)
+    action = st.one_of(
+        st.tuples(st.just("sleep"), duration),
+        st.tuples(st.just("wait"), st.just(0)),
+        st.tuples(st.just("notify"), target),
+        st.tuples(st.just("call_at"), st.tuples(duration, target)),
+        st.tuples(st.just("batch"),
+                  st.lists(st.tuples(duration, target), min_size=1,
+                           max_size=3).map(tuple)),
+    )
+    script = st.lists(action, max_size=8)
+    return st.lists(script, min_size=num_procs, max_size=num_procs)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.integers(min_value=1, max_value=5).flatmap(_scripts))
+def test_random_workloads_identical_across_cores(scripts):
+    batched = _run_workload(scripts, reference=False)
+    reference = _run_workload(scripts, reference=True)
+    assert batched == reference
+    # Sanity: every recorded timestamp is a finite float.
+    for time, *_ in batched[0]:
+        assert math.isfinite(time)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.sampled_from(DURATIONS), min_size=1, max_size=20))
+def test_zero_delay_resume_chains_identical(durations):
+    """Chains of sleeps (many zero-delay) stay in one bucket pass."""
+
+    def chain():
+        for duration in durations:
+            yield Sleep(duration)
+        return sum(durations)
+
+    results = {}
+    for reference in (False, True):
+        engine = Engine(reference=reference)
+        proc = engine.add_process(chain())
+        final = engine.run()
+        results[reference] = (final, proc.result, proc.finish_time,
+                              engine.events_processed)
+    assert results[False] == results[True]
+    assert results[False][0] == sum(durations)
