@@ -1,0 +1,97 @@
+"""Paper-scale gate: one collective at p = 2^15 ranks, the paper's machine size.
+
+The paper evaluates RBC and Janus Quicksort at up to 2^15 cores; every other
+benchmark in this suite downsizes that by orders of magnitude so the full
+sweep stays fast.  This gate runs a *single* collective per operation at the
+full 32768 ranks and holds the simulator to hard resource ceilings:
+
+* **wall-clock** — each operation must finish well under a minute.  The
+  lockstep fast-forward tier (:mod:`repro.core.spmd`) prices whole collective
+  rounds with numpy, so per-rank Python work is O(rounds), not O(p * rounds);
+  losing that tier shows up as a 10x+ blowup here long before the trajectory
+  gate's 2x wall ratio trips.
+* **peak RSS** — the process high-water mark must stay in the hundreds of
+  megabytes.  Lazy mailboxes, pooled messages and affine NIC port pools keep
+  per-rank footprint to the rank generator plus O(1) transport state; any
+  O(p^2) structure (a dense mailbox matrix, per-pair port tables) lands in
+  the tens of gigabytes and fails immediately.
+* **zero materialized mailboxes** — the whole run is priced inside the
+  lockstep contract, so no rank's mailbox is ever touched.  A silent fall
+  back to event-by-event messaging would materialize all 32768.
+
+Runs only with ``REPRO_BENCH_SCALE=paper`` (CI runs it as a dedicated step);
+``check_trajectory.py --scale paper`` compares the archived ``BENCH_*.json``
+files against their committed paper-scale baselines, which also pins
+``simulated_us`` bit-exactly.
+"""
+
+import os
+import resource
+import time
+
+import pytest
+
+from repro.bench.harness import collective_program
+from repro.simulator.cluster import Cluster
+
+#: The paper's machine size: 2^15 ranks.
+NUM_RANKS = 1 << 15
+
+#: Per-operation payload in machine words (moderate size; simulation cost is
+#: dominated by rank count, not payload, and the fast-forward tier prices
+#: both identically).
+WORDS = 16
+
+#: Hard per-operation wall-clock ceiling in seconds.  Measured ~5-7 s per
+#: operation on a development machine; 60 s absorbs slow CI hardware while
+#: still failing an order-of-magnitude regression outright.
+WALL_CEILING_S = 60.0
+
+#: Hard ceiling on the process RSS high-water mark (``ru_maxrss``), in MiB.
+#: Measured ~450 MiB peak for the largest operation; 2 GiB absorbs allocator
+#: and platform variance while any O(p^2) structure (tens of GiB at 2^15
+#: ranks) stays unreachable.
+RSS_CEILING_MIB = 2048
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_BENCH_SCALE") != "paper",
+    reason="paper-scale gate runs only with REPRO_BENCH_SCALE=paper")
+
+
+def _peak_rss_mib() -> float:
+    # Linux reports ru_maxrss in KiB.
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+@pytest.mark.parametrize("operation", ["scan", "bcast", "reduce", "gather"])
+def test_paper_scale(request, operation):
+    start = time.perf_counter()
+    cluster = Cluster(NUM_RANKS)
+    result = cluster.run(collective_program, operation=operation,
+                         impl="rbc", vendor="intel", words=WORDS,
+                         repetitions=1)
+    wall_s = time.perf_counter() - start
+    peak_mib = _peak_rss_mib()
+    materialized = cluster.transport.mailboxes_materialized()
+
+    durations = [d for d in result.results if d is not None]
+    assert len(durations) == NUM_RANKS
+    assert max(durations) > 0.0
+
+    request.node.bench_extra = {
+        "num_ranks": NUM_RANKS,
+        "words": WORDS,
+        "operation": operation,
+        "peak_rss_mib": round(peak_mib, 1),
+        "mailboxes_materialized": materialized,
+    }
+
+    assert wall_s < WALL_CEILING_S, (
+        f"{operation} at p={NUM_RANKS} took {wall_s:.1f} s "
+        f"(ceiling {WALL_CEILING_S:.0f} s) — fast-forward tier regressed?")
+    assert peak_mib < RSS_CEILING_MIB, (
+        f"peak RSS {peak_mib:.0f} MiB exceeds {RSS_CEILING_MIB} MiB — "
+        "an O(p^2) structure crept into the transport?")
+    assert materialized == 0, (
+        f"{materialized} mailboxes materialized — the run left the lockstep "
+        "fast path (or a send bypassed collective pricing)")

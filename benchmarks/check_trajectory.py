@@ -37,7 +37,7 @@ Usage::
 
     python check_trajectory.py [--results DIR] [--baselines DIR]
         [--max-events-ratio 1.25] [--max-wall-ratio 2.0] [--require-all]
-        [--rebaseline]
+        [--rebaseline] [--scale {tiny,small,paper}]
 """
 
 from __future__ import annotations
@@ -111,15 +111,27 @@ def main(argv=None) -> int:
                         help="adopt the fresh results as the new baselines, "
                              "drop orphaned ones and print the old->new "
                              "simulated_us diff")
+    parser.add_argument("--scale", default=None,
+                        choices=["tiny", "small", "paper"],
+                        help="only consider results/baselines recorded at "
+                             "this REPRO_BENCH_SCALE; files of other scales "
+                             "are ignored entirely (CI runs the tiny sweep "
+                             "and the paper-scale gate as separate passes)")
     args = parser.parse_args(argv)
 
     baselines = load_dir(args.baselines)
     fresh = load_dir(args.results)
+    if args.scale is not None:
+        baselines = {name: data for name, data in baselines.items()
+                     if data.get("scale") == args.scale}
+        fresh = {name: data for name, data in fresh.items()
+                 if data.get("scale") == args.scale}
     # State where every file came from, so a run against the wrong --results
     # (or an empty bench_results/ after a clean checkout) is obvious from the
     # output rather than silently reporting "nothing to check".
-    print(f"fresh results: {len(fresh)} file(s) from {args.results}")
-    print(f"baselines:     {len(baselines)} file(s) from {args.baselines}")
+    scale_note = "" if args.scale is None else f" (scale={args.scale})"
+    print(f"fresh results: {len(fresh)} file(s) from {args.results}{scale_note}")
+    print(f"baselines:     {len(baselines)} file(s) from {args.baselines}{scale_note}")
     tests = collect_bench_tests(args.bench_dir)
     if not tests:
         # With zero collected tests every file would look orphaned, and
@@ -132,7 +144,9 @@ def main(argv=None) -> int:
 
     if args.rebaseline:
         return rebaseline(args.results, args.baselines, baselines, fresh, tests)
-    if not baselines:
+    if not baselines and not fresh:
+        # With fresh results present the main loop must still run: each one
+        # is an ungated bench (no committed baseline) and must fail hard.
         print(f"no baselines under {args.baselines}; nothing to check")
         return 0
 

@@ -28,6 +28,7 @@ import cProfile
 import os
 import re
 import time
+import tracemalloc
 
 import pytest
 
@@ -108,10 +109,27 @@ def _phase_splits(profiler: cProfile.Profile) -> dict:
 
 @pytest.fixture(autouse=True)
 def bench_result_json(request):
-    """Write ``BENCH_<test>.json`` with the run's aggregate counters."""
+    """Write ``BENCH_<test>.json`` with the run's aggregate counters.
+
+    Under ``--profile`` the payload additionally records the per-phase
+    wall-clock split and the :mod:`tracemalloc` peak of the benchmark body
+    (``tracemalloc_peak_bytes``), so memory regressions at paper scale are
+    visible from the archived JSON alone.  Both instruments distort
+    wall-clock (tracemalloc alone costs ~3-5x on allocation-heavy runs), so
+    profiled ``wall_clock_s`` values are never compared against unprofiled
+    baselines.
+
+    A benchmark may stash a dict in ``request.node.bench_extra``; its keys
+    are merged into the JSON payload (used e.g. by ``bench_paper_scale`` to
+    record per-operation peak-RSS readings).
+    """
     TELEMETRY.reset()
-    profiler = cProfile.Profile() if request.config.getoption("--profile") \
-        else None
+    profiling = request.config.getoption("--profile")
+    profiler = cProfile.Profile() if profiling else None
+    tracing_started = False
+    if profiling and not tracemalloc.is_tracing():
+        tracemalloc.start()
+        tracing_started = True
     start = time.perf_counter()
     if profiler is not None:
         profiler.enable()
@@ -122,5 +140,12 @@ def bench_result_json(request):
     extra = {"scale": bench_scale()}
     if profiler is not None:
         extra["profile"] = _phase_splits(profiler)
+    if tracing_started:
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        extra["tracemalloc_peak_bytes"] = peak
+    bench_extra = getattr(request.node, "bench_extra", None)
+    if bench_extra:
+        extra.update(bench_extra)
     name = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.name)
     write_bench_json(name, wall_clock_s=wall_clock_s, extra=extra)

@@ -45,6 +45,8 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
+import numpy as np
+
 from .endpoint import TransportEndpoint
 from .machines import (
     allreduce_schedule,
@@ -118,8 +120,72 @@ class Hierarchy:
         return result
 
 
+#: Group size above which :func:`build_hierarchy` switches to the numpy
+#: bulk path.  Small groups stay on the scalar loop (lower constant factors,
+#: and the scalar loop is the semantic reference the bulk path must match).
+_HIERARCHY_VECTOR_MIN = 4096
+
+
+def _dense_first_appearance(keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """``(dense, first_index)``: dense indices in first-appearance order.
+
+    ``dense[i]`` is the dense index of ``keys[i]`` where indices are handed
+    out in order of each key's first appearance (the scalar dict-walk
+    numbering); ``first_index[d]`` is the position in ``keys`` where dense
+    index ``d`` first appears.
+    """
+    _, first, inverse = np.unique(keys, return_index=True, return_inverse=True)
+    order = np.argsort(first, kind="stable")
+    remap = np.empty(len(order), dtype=np.int64)
+    remap[order] = np.arange(len(order))
+    return remap[inverse], first[order]
+
+
+def _group_by(dense: np.ndarray, num_groups: int) -> tuple:
+    """Partition ``arange(len(dense))`` by dense group, ascending within."""
+    by_group = np.argsort(dense, kind="stable")
+    counts = np.bincount(dense, minlength=num_groups)
+    splits = np.cumsum(counts)[:-1]
+    return tuple(tuple(chunk.tolist())
+                 for chunk in np.split(by_group, splits))
+
+
+def _build_hierarchy_vectorised(placement, world_ranks) -> Optional[Hierarchy]:
+    """Numpy bulk construction; None when the placement labels aren't ints.
+
+    Produces the exact structure of the scalar loop in
+    :func:`build_hierarchy` (same dense numbering, same plain-int tuples) —
+    dense indices follow first appearance in group-rank order on both paths.
+    """
+    world = np.asarray(world_ranks)
+    nodes = np.asarray(placement.nodes)
+    islands = np.asarray(placement.islands)
+    if (world.dtype.kind not in "iu" or nodes.dtype.kind not in "iu"
+            or islands.dtype.kind not in "iu"):
+        return None
+    member_nodes = nodes[world]
+    node_of, node_first = _dense_first_appearance(member_nodes)
+    num_nodes = len(node_first)
+    node_members = _group_by(node_of, num_nodes)
+    # Island key of each dense node = island of the node's first member,
+    # then dense island numbering by first appearance in dense-node order.
+    node_island_key = islands[world[node_first]]
+    island_of_node, _ = _dense_first_appearance(node_island_key)
+    island_nodes = _group_by(island_of_node, int(island_of_node.max()) + 1)
+    return Hierarchy(
+        node_members,
+        tuple(node_of.tolist()),
+        island_nodes,
+        tuple(island_of_node.tolist()),
+    )
+
+
 def build_hierarchy(placement, world_ranks) -> Hierarchy:
     """Group the member ``world_ranks`` (indexed by group rank) by node/island."""
+    if len(world_ranks) >= _HIERARCHY_VECTOR_MIN:
+        hierarchy = _build_hierarchy_vectorised(placement, world_ranks)
+        if hierarchy is not None:
+            return hierarchy
     nodes = placement.nodes
     islands = placement.islands
     node_index: dict = {}

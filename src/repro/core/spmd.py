@@ -47,6 +47,27 @@ out of contract.  :func:`lockstep_eligible` additionally
 requires a flat machine (uniform link, no shared-NIC pools), a group of more
 than one rank, and runtime checks (:class:`LockstepError`) reject phase
 shapes whose native port-write order cannot be reproduced.
+
+The fast-forward tier
+---------------------
+On top of per-phase fusion, the dissemination phases (barrier, scan) carry a
+*vectorised* pricer: when every member has joined, a whole round's sender and
+receiver halves are computed as NumPy float64 array expressions whose
+per-element operand order mirrors the scalar mirror exactly — elementwise
+IEEE-754 arithmetic over independent ranks is bit-identical to the per-rank
+Python loops.  The vector pricer only covers the *in-order* receive-port fold
+(the overwhelmingly common case); before committing anything it checks, round
+by round, that every port write would have taken the scalar in-order branch,
+and otherwise falls back to the scalar pricer wholesale — so port state,
+write logs (entries, caps, prune points), statistics, timestamps and result
+values are identical by construction, and the cross-phase overtaking
+machinery above keeps working unchanged.  Scan phases additionally defer
+their prefix resolution to a zero-delay flush event at the join instant, so
+joins landing in one timestamp batch (barrier-separated phases) become
+visible at once and vectorise; the flush costs one engine event per phase
+and resolves at the same virtual time the scalar frontier would have.
+``env.lockstep_fastforward = False`` disables the tier (differential tests
+compare both pricers); :data:`FASTFORWARD_MIN_SIZE` bounds when it engages.
 """
 
 from __future__ import annotations
@@ -71,11 +92,76 @@ __all__ = [
     "lockstep_eligible",
     "join_lockstep",
     "SpmdCoordinator",
+    "FASTFORWARD_MIN_SIZE",
 ]
 
 
 #: Sort key for (post, leave, wire, payload) edge tuples.
 _EDGE_POST = itemgetter(0)
+
+#: Smallest group size the vectorised fast-forward tier engages for.  The
+#: vector pricer is bit-identical at any size, so this is purely a constant-
+#: overhead knob: below it, building the NumPy round expressions costs more
+#: than the scalar loops they replace.
+FASTFORWARD_MIN_SIZE = 2
+
+_ARRAY_UFUNCS: Optional[dict] = None
+_FLOAT_UFUNCS: Optional[dict] = None
+
+
+def _vector_ufuncs() -> tuple[dict, dict]:
+    """Lazily built ``id(op) -> binary ufunc`` maps for the scan pricer.
+
+    Array accumulators vectorise for SUM/PROD/MIN/MAX: their scalar ``fn``
+    already routes through the matching NumPy elementwise operation
+    (``+``/``*`` on ndarrays are ``np.add``/``np.multiply``).  Python-float
+    accumulators vectorise for SUM/PROD only — ``min``/``max`` on floats and
+    ``np.minimum``/``np.maximum`` disagree on signed zeros and NaN
+    propagation, so MIN/MAX scans over plain floats stay scalar.  Keyed by
+    identity: only the canonical operator objects are known-vectorisable.
+    (Imported lazily — :mod:`repro.mpi` pulls in the full MPI layer, which
+    this low-level module must not require at import time.)
+    """
+    global _ARRAY_UFUNCS, _FLOAT_UFUNCS
+    if _ARRAY_UFUNCS is None:
+        from ..mpi.datatypes import MAX, MIN, PROD, SUM
+        _ARRAY_UFUNCS = {id(SUM): np.add, id(PROD): np.multiply,
+                         id(MIN): np.minimum, id(MAX): np.maximum}
+        _FLOAT_UFUNCS = {id(SUM): np.add, id(PROD): np.multiply}
+    return _ARRAY_UFUNCS, _FLOAT_UFUNCS
+
+
+def _scan_vector_plan(op, values) -> Optional[tuple[str, Any]]:
+    """``(mode, ufunc)`` when a scan's values admit matrix folding, else None.
+
+    Eligible shapes: every value the same-(shape, dtype) numeric ndarray
+    (mode ``"array"``) or every value a plain float (mode ``"float"``), with
+    ``op`` in the corresponding known-vectorisable set.
+    """
+    array_ufuncs, float_ufuncs = _vector_ufuncs()
+    first = values[0]
+    if first.__class__ is np.ndarray:
+        if first.ndim == 0 or first.dtype.kind not in "fiu":
+            return None
+        ufunc = array_ufuncs.get(id(op))
+        if ufunc is None:
+            return None
+        shape = first.shape
+        dtype = first.dtype
+        for value in values:
+            if value.__class__ is not np.ndarray or value.shape != shape \
+                    or value.dtype != dtype:
+                return None
+        return "array", ufunc
+    if first.__class__ is float:
+        ufunc = float_ufuncs.get(id(op))
+        if ufunc is None:
+            return None
+        for value in values:
+            if value.__class__ is not float:
+                return None
+        return "float", ufunc
+    return None
 
 
 class LockstepError(RuntimeError):
@@ -210,15 +296,30 @@ class SpmdCoordinator:
                 raise LockstepError(f"unknown lockstep kind: {kind!r}") from None
             phase = factory(ep, op, root, self)
             phase.first_join = ep.env.engine._now
+            phase._gen_key = key
             self._live_first_joins.append(phase.first_join)
             generations.append(phase)
         request = phase.join(ep, value, op)
         if phase.resolved_count == phase.size:
-            self._live_first_joins.remove(phase.first_join)
+            self.retire(phase)
+        return request
+
+    def retire(self, phase) -> None:
+        """Drop a fully resolved generation (idempotent).
+
+        Scalar phases resolve — and retire — inside their last member's
+        ``join``; a scan fast-forward resolves inside its deferred flush
+        event instead and retires itself from there.
+        """
+        if phase._retired:
+            return
+        phase._retired = True
+        self._live_first_joins.remove(phase.first_join)
+        generations = self._phases.get(phase._gen_key)
+        if generations is not None:
             generations.remove(phase)
             if not generations:
-                del self._phases[key]
-        return request
+                del self._phases[phase._gen_key]
 
 
 # ---------------------------------------------------------------------------
@@ -251,11 +352,14 @@ class _PhaseBase:
         self.pmd = ep.per_message_delay
         self.compute_cost = env.params.compute_cost
         affine = ep._affine
+        self.affine = affine
         if affine is not None:
             first, stride = affine
-            self.world = [first + i * stride for i in range(ep.size)]
+            self.world = list(range(first, first + ep.size * stride, stride))
         else:
             self.world = [ep.to_world(i) for i in range(ep.size)]
+        self.fastforward = getattr(env, "lockstep_fastforward", True)
+        self._retired = False
         self.joined: list = [None] * ep.size
         self.values: list = [None] * ep.size
         self.requests: list = [None] * ep.size
@@ -475,6 +579,83 @@ class _PhaseBase:
             entry[5] = cap
         del pending[:]
 
+    # ------------------------------------------------- fast-forward helpers
+
+    def _gather_port_array(self, port_list: list) -> np.ndarray:
+        """This group's slice of a per-world-rank port list, as float64."""
+        affine = self.affine
+        if affine is not None and affine[1] > 0:
+            first, stride = affine
+            return np.array(port_list[first:first + self.size * stride:stride],
+                            dtype=np.float64)
+        return np.fromiter(map(port_list.__getitem__, self.world),
+                           dtype=np.float64, count=self.size)
+
+    def _scatter_port_array(self, port_list: list, values: np.ndarray) -> None:
+        """Write a member-indexed array back into a per-world port list.
+
+        ``ndarray.tolist`` yields the exact Python floats, so the list ends
+        up bit-identical to what the scalar pricer's per-rank stores leave.
+        """
+        affine = self.affine
+        items = values.tolist()
+        if affine is not None and affine[1] > 0:
+            first, stride = affine
+            port_list[first:first + self.size * stride:stride] = items
+        else:
+            for world, item in zip(self.world, items):
+                port_list[world] = item
+
+    def _log_tails(self) -> np.ndarray:
+        """Per-member-port post time of the last log entry (-inf when none).
+
+        The vector pricers stay on the scalar in-order fold exactly when
+        every write they would apply posts at or after this tail (and their
+        own per-round writes stay post-monotone per port); one violation
+        aborts the vector attempt before any state is touched and the phase
+        reruns through the scalar pricer, whose out-of-order re-insertion
+        handles (or honestly refuses) the overtake.
+        """
+        tails = np.full(self.size, -np.inf)
+        logs = self._recv_logs
+        if logs:
+            for index, world in enumerate(self.world):
+                log = logs.get(world)
+                if log:
+                    tails[index] = log[-1][0]
+        return tails
+
+    def _commit_round_logs(self, entries_by_round: list,
+                           first_member: int = 0) -> None:
+        """Append a vector-priced phase's port writes as real log entries.
+
+        ``entries_by_round`` holds per-round ``(offset, posts, leaves, wire,
+        frees, arrivals, caps)`` tuples whose lists are indexed by
+        ``member - offset`` (members below ``offset`` did not receive that
+        round).  Entries, caps, and prune points match what the scalar
+        pricer's ``_recv_side``/``_commit_caps`` would have produced — the
+        append order per port is round-ascending, the prune check runs
+        before each append with the same bound — so cross-phase overtaking
+        keeps working unchanged on top of a vectorised phase.
+        """
+        logs = self._recv_logs
+        world = self.world
+        prune = self._prune
+        for member in range(first_member, self.size):
+            dst = world[member]
+            log = logs.get(dst)
+            if log is None:
+                log = logs[dst] = []
+            for offset, posts, leaves, wire, frees, arrivals, caps \
+                    in entries_by_round:
+                index = member - offset
+                if index < 0:
+                    continue
+                if len(log) >= 24:
+                    prune(log)
+                log.append([posts[index], leaves[index], wire, frees[index],
+                            arrivals[index], caps[index]])
+
     # Tree helpers (vrank rotation for rooted collectives).
 
     def _children(self, rank: int) -> list[int]:
@@ -514,14 +695,165 @@ class _ScanPhase(_PhaseBase):
         # priced sends, consumed by the receivers at rank + distance.
         self.sends: list = [None] * self.size
         self.frontier = 0
+        self._flush_armed = False
 
     def on_join(self, rank: int) -> None:
+        if self._flush_armed:
+            return
+        if self.fastforward and self.frontier == 0 \
+                and self.size >= FASTFORWARD_MIN_SIZE:
+            # Defer the prefix advance to a flush event at this same
+            # instant: joins landing in one timestamp batch (lockstep
+            # phases enter from a common barrier) all become visible before
+            # any pricing runs, so the whole phase vectorises instead of
+            # resolving rank-by-rank as the joins stream in.  The flush
+            # fires before virtual time moves, so every rank still resolves
+            # at the exact time the scalar frontier would have reached it;
+            # the cost is one extra engine event per armed phase.
+            self._flush_armed = True
+            self.engine.schedule_call_at(self.engine._now, self._flush, None)
+            return
+        self._advance()
+
+    def _flush(self, _arg) -> None:
+        self._flush_armed = False
+        if not (self.joined_count == self.size and self.frontier == 0
+                and self._vector_resolve()):
+            self._advance()
+        self._flush_wakes()
+        if self.resolved_count == self.size:
+            self.coordinator.retire(self)
+
+    def _advance(self) -> None:
         # Rank i depends on ranks 0..i-1 only (messages always flow from
         # lower to higher ranks), so the resolved set is always a prefix.
         while self.frontier < self.size and \
                 self.joined[self.frontier] is not None:
             self._resolve(self.frontier)
             self.frontier += 1
+
+    def _vector_resolve(self) -> bool:
+        """Price the whole scan as per-round float64 array expressions.
+
+        Mirrors ``_resolve`` elementwise: the per-member float operand order
+        is identical and member ports are disjoint within a round, so
+        elementwise IEEE-754 array arithmetic reproduces the scalar loops
+        bit for bit.  The accumulator matrix folds ``op(row[r-d], row[r])``
+        for every receiver of round ``d`` at once — sender rows are read
+        before receiver rows are written, matching the scalar's
+        rank-by-rank fold because values only flow from lower to higher
+        ranks within a round.  Returns False — before touching any
+        transport or engine state — when the values do not vectorise or a
+        port write would leave the scalar in-order branch.
+        """
+        size = self.size
+        plan = _scan_vector_plan(self.op, self.values)
+        if plan is None:
+            return False
+        mode, ufunc = plan
+        if mode == "array":
+            matrix = np.stack(self.values)
+            words = int(matrix[0].size)
+        else:
+            matrix = np.array(self.values, dtype=np.float64)
+            words = 1
+        factor = self.factor
+        wire = words if factor == 1.0 else int(round(words * factor))
+        wire_beta = wire * self.beta
+        alpha = self.alpha
+        pmd = self.pmd
+        cost = self.compute_cost(words)
+        transport = self.transport
+        send_free = self._gather_port_array(transport._send_port_free)
+        recv_free = self._gather_port_array(self._recv_free)
+        tails = self._log_tails()
+        resume = np.array(self.joined, dtype=np.float64)
+        pending = np.zeros(size)
+        entries_by_round: list = []
+        for distance in self.rounds:
+            senders = size - distance
+            # Sender half (scalar: local_delay = pending + pmd, then
+            # start = resume + local_delay, max port, + alpha + wire*beta).
+            local_delay = pending[:senders] + pmd
+            start = resume[:senders] + local_delay
+            np.maximum(start, send_free[:senders], out=start)
+            leaves = start + alpha + wire_beta
+            send_free[:senders] = leaves
+            # Receiver half: member m >= distance hears member m - distance.
+            posts = resume[:senders]
+            if np.any(posts < tails[distance:]):
+                return False
+            tails[distance:] = posts
+            frees = recv_free[distance:].tolist()
+            arrival = recv_free[distance:] + wire_beta
+            np.maximum(arrival, leaves, out=arrival)
+            recv_free[distance:] = arrival
+            upd = ufunc(matrix[:senders], matrix[distance:])
+            matrix[distance:] = upd
+            new_pending = np.zeros(size)
+            new_pending[distance:] = cost
+            pending = new_pending
+            new_resume = resume.copy()
+            segment = new_resume[:senders]
+            np.maximum(segment, leaves, out=segment)
+            segment = new_resume[distance:]
+            np.maximum(segment, arrival, out=segment)
+            entries_by_round.append(
+                (distance, posts.tolist(), leaves.tolist(), wire, frees,
+                 arrival.tolist(), new_resume[distance:].tolist()))
+            resume = new_resume
+        # ---- all rounds verified in-order: commit. -----------------------
+        self._scatter_port_array(transport._send_port_free, send_free)
+        self._scatter_port_array(self._recv_free, recv_free)
+        self._commit_round_logs(entries_by_round, first_member=1)
+        stats = self.stats
+        sent_by_rank = stats.per_rank_messages_sent
+        sent_words_by_rank = stats.per_rank_words_sent
+        recvd_by_rank = self._recvd_by_rank
+        recvd_words_by_rank = self._recvd_words_by_rank
+        world = self.world
+        rounds = self.rounds
+        total_sent = 0
+        for member in range(size):
+            nsent = 0
+            nrecv = 0
+            for distance in rounds:
+                if member + distance < size:
+                    nsent += 1
+                if member >= distance:
+                    nrecv += 1
+            dst = world[member]
+            if nsent:
+                sent_by_rank[dst] += nsent
+                sent_words_by_rank[dst] += nsent * wire
+                total_sent += nsent
+            if nrecv:
+                recvd_by_rank[dst] += nrecv
+                recvd_words_by_rank[dst] += nrecv * wire
+        stats.messages_sent += total_sent
+        stats.words_sent += total_sent * wire
+        # ---- results: object/freeze parity with the scalar pricer. -------
+        # Rank 0 never receives, so its accumulator stays the original
+        # value object.  A rank > 0 returns a frozen accumulator iff it
+        # sends again after its last receive (the scalar freezes on such
+        # sends); its last receive is at the largest round <= member, so it
+        # freezes iff the next round still has a peer: member + 2L < size.
+        finish = self._finish
+        times = resume.tolist()
+        finish(0, times[0], self.values[0])
+        if mode == "float":
+            results = matrix.tolist()
+            for member in range(1, size):
+                finish(member, times[member], results[member])
+        else:
+            matrix.flags.writeable = False
+            for member in range(1, size):
+                result = matrix[member]
+                if member + (2 << (member.bit_length() - 1)) >= size:
+                    result = result.copy()
+                finish(member, times[member], result)
+        self.frontier = size
+        return True
 
     def _resolve(self, rank: int) -> None:
         size = self.size
@@ -897,6 +1229,70 @@ class _BarrierPhase(_PhaseBase):
     def on_join(self, rank: int) -> None:
         if self.joined_count < self.size:
             return
+        if self.fastforward and self.size >= FASTFORWARD_MIN_SIZE \
+                and self._vector_resolve():
+            return
+        self._scalar_resolve()
+
+    def _vector_resolve(self) -> bool:
+        """Price every dissemination round as float64 array expressions.
+
+        Same bit-identity argument as the scan's vector pricer, with
+        wire = 0 throughout (``free + 0 * beta`` folds to ``free + 0.0``).
+        Every member sends and receives every round, with wraparound:
+        member ``m`` hears member ``(m - distance) mod size``.  Returns
+        False — before touching any state — when a port write would leave
+        the scalar in-order branch.
+        """
+        size = self.size
+        transport = self.transport
+        send_free = self._gather_port_array(transport._send_port_free)
+        recv_free = self._gather_port_array(self._recv_free)
+        tails = self._log_tails()
+        resume = np.array(self.joined, dtype=np.float64)
+        alpha = self.alpha
+        local_delay = 0.0 + self.pmd  # isend(None): local_delay defaults 0.0
+        rounds = dissemination_rounds(size)
+        index = np.arange(size)
+        entries_by_round: list = []
+        for distance in rounds:
+            start = resume + local_delay
+            np.maximum(start, send_free, out=start)
+            leaves = start + alpha
+            send_free = leaves
+            source = np.roll(index, distance)
+            posts = resume[source]
+            if np.any(posts < tails):
+                return False
+            tails = posts
+            frees = recv_free.tolist()
+            arrival = recv_free + 0.0
+            np.maximum(arrival, leaves[source], out=arrival)
+            recv_free = arrival
+            new_resume = np.maximum(resume, leaves)
+            np.maximum(new_resume, arrival, out=new_resume)
+            entries_by_round.append(
+                (0, posts.tolist(), leaves[source].tolist(), 0, frees,
+                 arrival.tolist(), new_resume.tolist()))
+            resume = new_resume
+        # ---- all rounds verified in-order: commit. -----------------------
+        self._scatter_port_array(transport._send_port_free, send_free)
+        self._scatter_port_array(self._recv_free, recv_free)
+        self._commit_round_logs(entries_by_round)
+        stats = self.stats
+        num_rounds = len(rounds)
+        stats.messages_sent += size * num_rounds
+        sent_by_rank = stats.per_rank_messages_sent
+        recvd_by_rank = self._recvd_by_rank
+        for world in self.world:
+            sent_by_rank[world] += num_rounds
+            recvd_by_rank[world] += num_rounds
+        finish = self._finish
+        for member, time in enumerate(resume.tolist()):
+            finish(member, time, None)
+        return True
+
+    def _scalar_resolve(self) -> None:
         size = self.size
         world = self.world
         alpha = self.alpha

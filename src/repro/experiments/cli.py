@@ -1,4 +1,4 @@
-"""Command-line driver: ``python -m repro.experiments {run,list,show}``.
+"""Command-line driver: ``python -m repro.experiments {run,list,show,compare}``.
 
 * ``run SPEC``  — execute a sweep (spec file path or shipped spec name) with
   parallel workers and the on-disk result cache; writes the aggregate table
@@ -6,6 +6,9 @@
   telemetry file into the output directory.
 * ``list``      — shipped specs with their descriptions.
 * ``show SPEC`` — expand a spec and print its scenario grid without running.
+* ``compare BASELINE CANDIDATE`` — cell-by-cell ratio table between two
+  archived ``<spec>_results.json`` files (time, simulated time, messages per
+  scenario), with an optional ``--fail-above`` CI gate on the time ratio.
 
 ``--set field=value`` (repeatable) overrides a field in every grid, dropping
 a same-named axis — e.g. ``--set num_ranks=16`` downsizes a shipped grid for
@@ -21,7 +24,13 @@ import sys
 from typing import List, Optional, Sequence
 
 from ..bench.harness import write_bench_json
-from .aggregate import aggregate_results, write_csv, write_results_json
+from .aggregate import (
+    aggregate_results,
+    compare_result_sets,
+    load_results_json,
+    write_csv,
+    write_results_json,
+)
 from .cache import ResultCache, code_fingerprint, default_cache_dir
 from .runner import ScenarioResult, run_spec
 from .spec import ExperimentSpec, shipped_spec_names
@@ -139,6 +148,43 @@ def _cmd_run(args) -> int:
     return 1 if run.failed else 0
 
 
+def _cmd_compare(args) -> int:
+    try:
+        baseline = load_results_json(args.baseline)
+        candidate = load_results_json(args.candidate)
+    except (OSError, ValueError, KeyError) as exc:
+        raise SystemExit(str(exc))
+    table = compare_result_sets(
+        baseline, candidate,
+        title=f"compare: {os.path.basename(args.baseline)} -> "
+              f"{os.path.basename(args.candidate)}")
+    print(table.to_text())
+
+    if args.out is not None:
+        os.makedirs(args.out, exist_ok=True)
+        with open(os.path.join(args.out, "compare.txt"), "w") as handle:
+            handle.write(table.to_text() + "\n")
+        with open(os.path.join(args.out, "compare.json"), "w") as handle:
+            handle.write(table.to_json() + "\n")
+        write_csv(table, os.path.join(args.out, "compare.csv"))
+        print(f"\ncomparison written to {args.out}")
+
+    failed = [row for row in table.rows if row["status"] != "ok"]
+    regressed = []
+    if args.fail_above is not None:
+        regressed = [row for row in table.rows
+                     if row.get("time_ms_ratio") is not None
+                     and row["time_ms_ratio"] > args.fail_above]
+        for row in regressed:
+            print(f"REGRESSION {row['scenario_id']}: time ratio "
+                  f"{row['time_ms_ratio']:.3f} > {args.fail_above}",
+                  file=sys.stderr)
+    for row in failed:
+        print(f"UNMATCHED {row['scenario_id']}: {row['status']}",
+              file=sys.stderr)
+    return 1 if (failed or regressed) else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -175,6 +221,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     show_parser.add_argument("spec")
     show_parser.add_argument("--set", action="append", metavar="FIELD=VALUE")
     show_parser.set_defaults(func=_cmd_show)
+
+    compare_parser = commands.add_parser(
+        "compare",
+        help="cell-by-cell ratio table between two <spec>_results.json files")
+    compare_parser.add_argument("baseline",
+                                help="baseline <spec>_results.json")
+    compare_parser.add_argument("candidate",
+                                help="candidate <spec>_results.json")
+    compare_parser.add_argument("--out", default=None,
+                                help="also write compare.{txt,json,csv} "
+                                     "into this directory")
+    compare_parser.add_argument("--fail-above", type=float, default=None,
+                                metavar="RATIO",
+                                help="exit nonzero when any scenario's "
+                                     "time_ms ratio exceeds RATIO")
+    compare_parser.set_defaults(func=_cmd_compare)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -209,11 +209,18 @@ class RecvRequest(Request):
         stream of same-envelope messages through one request object instead
         of allocating a request per message.  Call only when ``test()`` has
         returned True.
+
+        The drained message is provably dead here — matched out of its
+        mailbox, payload extracted, request re-armed — so it is recycled
+        into the transport's free list
+        (:meth:`~repro.simulator.network.Transport.release_message`).
         """
         message = self._message
         self._message = None
         self._status = None
-        return message.payload
+        payload = message.payload
+        self.env.transport.release_message(message)
+        return payload
 
     def get_status(self) -> Optional[Status]:
         # The Status object is built lazily on first demand: most receives

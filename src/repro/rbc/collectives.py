@@ -91,6 +91,14 @@ __all__ = [
 ]
 
 
+#: Per-communicator endpoint-cache bound.  Programs that derive a fresh tag
+#: per collective instance (pipelined schedules, tag-sequenced phases) would
+#: otherwise grow the cache without limit over a long run; 64 comfortably
+#: covers every tag a repetition loop cycles through while keeping the
+#: worst case O(1) memory per communicator.
+_EP_CACHE_MAX = 64
+
+
 def _endpoint(comm: RbcComm, tag: int) -> TransportEndpoint:
     """Endpoint for one collective instance on an RBC communicator.
 
@@ -102,6 +110,8 @@ def _endpoint(comm: RbcComm, tag: int) -> TransportEndpoint:
     Endpoints are immutable, so each communicator caches one per tag —
     repetition loops hit the cache instead of rebuilding the adapter (and
     re-resolving the context/rank translation) on every collective call.
+    The cache is FIFO-bounded at ``_EP_CACHE_MAX`` entries so tag-per-
+    instance traffic cannot grow it without limit.
     """
     try:
         cache = comm._ep_cache
@@ -124,6 +134,8 @@ def _endpoint(comm: RbcComm, tag: int) -> TransportEndpoint:
         world_affine=(None if world_first is None
                       else (world_first, comm._world_stride)),
     )
+    if len(cache) >= _EP_CACHE_MAX:
+        del cache[next(iter(cache))]
     cache[tag] = ep
     return ep
 

@@ -91,6 +91,7 @@ class Cluster:
                  *, placement: Optional[Placement] = None,
                  max_events: int = 200_000_000,
                  mailbox_factory: Optional[Callable[[], Any]] = None,
+                 lazy_mailboxes: Optional[bool] = None,
                  reference_engine: bool = False):
         if num_ranks <= 0:
             raise ValueError("num_ranks must be positive")
@@ -102,6 +103,8 @@ class Cluster:
         self.tracer = Tracer(num_ranks)
         transport_kwargs = {} if mailbox_factory is None \
             else {"mailbox_factory": mailbox_factory}
+        if lazy_mailboxes is not None:
+            transport_kwargs["lazy_mailboxes"] = lazy_mailboxes
         self.transport = Transport(self.engine, num_ranks, self.params,
                                    self.tracer, placement=self.placement,
                                    **transport_kwargs)

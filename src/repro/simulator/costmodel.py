@@ -24,6 +24,8 @@ import math
 from dataclasses import dataclass
 from typing import Optional
 
+import numpy as np
+
 __all__ = [
     "DEFAULT_BCAST_CROSSOVER_WORDS",
     "DEFAULT_ALLREDUCE_CROSSOVER_WORDS",
@@ -86,6 +88,8 @@ class Placement:
         # node's traffic (and node-leader collectives would elect a leader
         # whose island differs from its members'), so it is rejected here —
         # with the first offending rank — rather than mispriced later.
+        if len(self.nodes) >= 4096 and self._validate_vectorised():
+            return
         node_island: dict = {}
         for rank, (node, island) in enumerate(zip(self.nodes, self.islands)):
             seen = node_island.setdefault(node, island)
@@ -94,6 +98,31 @@ class Placement:
                     f"placement is inconsistent: rank {rank} puts node "
                     f"{node!r} on island {island!r}, but earlier ranks put it "
                     f"on island {seen!r} (a node cannot span islands)")
+
+    def _validate_vectorised(self) -> bool:
+        """Node/island consistency in NumPy for paper-scale placements.
+
+        Checks each rank's island against the island of its node's *first*
+        rank — exactly what the scalar dict walk does, including which rank
+        a violation is reported for.  Returns False (caller falls back to
+        the scalar walk) when the ids are not plain integer arrays.
+        """
+        nodes = np.asarray(self.nodes)
+        islands = np.asarray(self.islands)
+        if nodes.dtype.kind not in "iu" or islands.dtype.kind not in "iu":
+            return False
+        _, first_index, inverse = np.unique(nodes, return_index=True,
+                                            return_inverse=True)
+        mismatch = islands != islands[first_index][inverse]
+        if mismatch.any():
+            rank = int(np.argmax(mismatch))
+            seen = self.islands[int(first_index[inverse[rank]])]
+            raise ValueError(
+                f"placement is inconsistent: rank {rank} puts node "
+                f"{self.nodes[rank]!r} on island {self.islands[rank]!r}, but "
+                f"earlier ranks put it on island {seen!r} (a node cannot "
+                f"span islands)")
+        return True
 
     @staticmethod
     def single_node(num_ranks: int) -> "Placement":
@@ -109,8 +138,12 @@ class Placement:
             raise ValueError("ranks_per_node must be positive")
         if nodes_per_island <= 0:
             raise ValueError("nodes_per_island must be positive")
-        nodes = tuple(rank // ranks_per_node for rank in range(num_ranks))
-        islands = tuple(node // nodes_per_island for node in nodes)
+        # Built in NumPy and materialised back to plain-int tuples:
+        # identical contents to the per-rank generator expressions, C speed
+        # at paper scale (p = 2^15).
+        node_array = np.arange(num_ranks) // ranks_per_node
+        nodes = tuple(node_array.tolist())
+        islands = tuple((node_array // nodes_per_island).tolist())
         return Placement(nodes=nodes, islands=islands)
 
     @staticmethod
@@ -124,8 +157,9 @@ class Placement:
         if nodes_per_island is not None and nodes_per_island <= 0:
             raise ValueError("nodes_per_island must be positive")
         span = num_nodes if nodes_per_island is None else nodes_per_island
-        nodes = tuple(rank % num_nodes for rank in range(num_ranks))
-        islands = tuple(node // span for node in nodes)
+        node_array = np.arange(num_ranks) % num_nodes
+        nodes = tuple(node_array.tolist())
+        islands = tuple((node_array // span).tolist())
         return Placement(nodes=nodes, islands=islands)
 
     @property
@@ -139,10 +173,19 @@ class Placement:
         return self.islands[rank]
 
     def num_nodes(self) -> int:
-        return len(set(self.nodes))
+        # Memoised in __dict__ (legal on a frozen dataclass): distinct-count
+        # scans are O(p), and topology-aware schedules consult these per
+        # communicator split.
+        cached = self.__dict__.get("_num_nodes")
+        if cached is None:
+            cached = self.__dict__["_num_nodes"] = len(set(self.nodes))
+        return cached
 
     def num_islands(self) -> int:
-        return len(set(self.islands))
+        cached = self.__dict__.get("_num_islands")
+        if cached is None:
+            cached = self.__dict__["_num_islands"] = len(set(self.islands))
+        return cached
 
     def tier_of(self, src: int, dst: int) -> int:
         """Link tier of a transfer: 0 intra-node, 1 inter-node, 2 inter-island."""

@@ -18,6 +18,17 @@ deques keyed by ``(context, src, tag)``, so exact-envelope matching is O(1)
 and wildcard matching is O(active keys) instead of O(pending messages).
 :class:`LinearScanMailbox` preserves the original O(pending) implementation
 as a reference for differential tests and the transport microbenchmark.
+
+Memory model at scale: per-rank mailboxes are *lazily materialised*
+(:class:`LazyMailboxes`) — a rank's mailbox exists only once a message is
+delivered to it or a receive is posted on it, so a p=2^15 simulation whose
+collectives are priced in lockstep (no per-message traffic at all) allocates
+no mailboxes.  ``lazy_mailboxes=False`` restores the historical dense list;
+differential tests drive both with identical traffic and require identical
+matches and timings.  :class:`Message` objects are pooled on the transport
+(``release_message`` / a free list capped at :data:`MESSAGE_POOL_MAX`), with
+:meth:`~repro.messaging.RecvRequest.take` recycling drained messages
+automatically.
 """
 
 from __future__ import annotations
@@ -43,6 +54,8 @@ __all__ = [
     "SendHandle",
     "IndexedMailbox",
     "LinearScanMailbox",
+    "LazyMailboxes",
+    "MESSAGE_POOL_MAX",
     "Transport",
     "freeze_payload",
     "is_frozen_payload",
@@ -407,9 +420,50 @@ class LinearScanMailbox:
         return min(self._messages, key=lambda m: m.seq)
 
 
+class LazyMailboxes:
+    """Rank -> mailbox map materialised on first touch.
+
+    Drop-in for the dense ``list`` of per-rank mailboxes: indexing creates
+    the rank's mailbox on demand, so ranks that never receive a message (or
+    post a receive) cost nothing.  At p=2^15 the dense list is tens of
+    thousands of dict-backed mailbox objects allocated up front; a lockstep
+    run (no per-message traffic) materialises zero of them.
+
+    An existing mailbox must keep its identity forever —
+    :class:`~repro.messaging.RecvRequest` caches the object — which the
+    backing dict guarantees.  Indexing is one dict probe, the same cost as
+    the dense list index it replaces.
+    """
+
+    __slots__ = ("_boxes", "_factory")
+
+    def __init__(self, factory: Callable[[], Any]):
+        self._boxes: dict = {}
+        self._factory = factory
+
+    def __getitem__(self, rank: int):
+        box = self._boxes.get(rank)
+        if box is None:
+            box = self._boxes[rank] = self._factory()
+        return box
+
+    def peek(self, rank: int):
+        """The rank's mailbox if it was ever materialised, else None."""
+        return self._boxes.get(rank)
+
+    def materialized_count(self) -> int:
+        """How many per-rank mailboxes exist (memory introspection)."""
+        return len(self._boxes)
+
+
 # ---------------------------------------------------------------------------
 # Transport.
 # ---------------------------------------------------------------------------
+
+#: Upper bound of the transport's :class:`Message` free list.  Bounded so a
+#: burst of in-flight traffic cannot pin an unbounded object pool; beyond the
+#: cap released messages are simply garbage as before.
+MESSAGE_POOL_MAX = 4096
 
 class Transport:
     """Routes messages between simulated ranks under a pluggable cost model.
@@ -428,7 +482,8 @@ class Transport:
     def __init__(self, engine: Engine, num_ranks: int, params: CostModel,
                  tracer: Optional[Tracer] = None,
                  placement: Optional[Placement] = None,
-                 mailbox_factory: Callable[[], Any] = IndexedMailbox):
+                 mailbox_factory: Callable[[], Any] = IndexedMailbox,
+                 lazy_mailboxes: bool = True):
         if num_ranks <= 0:
             raise ValueError("num_ranks must be positive")
         self.engine = engine
@@ -441,10 +496,18 @@ class Transport:
                 f"placement covers {self.placement.num_ranks} ranks, "
                 f"but the transport routes {num_ranks}")
         self.tracer = tracer or Tracer(num_ranks)
-        self._mailboxes = [mailbox_factory() for _ in range(num_ranks)]
+        # Lazy (default) or dense per-rank mailboxes; both answer
+        # ``self._mailboxes[dst]``, so every code path below is shared and
+        # the dense mode is the exact historical behaviour.
+        if lazy_mailboxes:
+            self._mailboxes = LazyMailboxes(mailbox_factory)
+        else:
+            self._mailboxes = [mailbox_factory() for _ in range(num_ranks)]
         self._send_port_free = [0.0] * num_ranks
         self._recv_port_free = [0.0] * num_ranks
         self._seq = itertools.count()
+        # Free list of released Message objects (see release_message).
+        self._msg_pool: list = []
         # (alpha, beta) when the model prices every pair identically — lets
         # post_send skip one method call per message; None for hierarchical
         # models (getattr: cost models predating uniform_link keep working).
@@ -464,11 +527,17 @@ class Transport:
                     node_index[node] = len(node_index)
             self._node_of = tuple(node_index[node]
                                   for node in self.placement.nodes)
-            self._nic_send_free = [[0.0] * ports for _ in node_index]
-            self._nic_recv_free = [[0.0] * ports for _ in node_index]
+            # Flat affine pools: node n's ports occupy the slice
+            # [n * ports, (n + 1) * ports) of one list each, instead of one
+            # list per node.  Same port-selection order (earliest free,
+            # lowest index on ties), two allocations total.
+            self._nic_ports = ports
+            self._nic_send_free = [0.0] * (len(node_index) * ports)
+            self._nic_recv_free = [0.0] * (len(node_index) * ports)
             self._tier_link = getattr(self.params, "tier_link", None)
         else:
             self._node_of = None
+            self._nic_ports = 0
             self._nic_send_free = None
             self._nic_recv_free = None
             self._tier_link = None
@@ -567,21 +636,36 @@ class Transport:
             alpha, beta = self._tier_link(tier) if self._tier_link is not None \
                 else self.params.link(src, dst, self.placement)
             node_of = self._node_of
-            sends = nic_send[node_of[src]]
-            port = min(range(len(sends)), key=sends.__getitem__)
-            if sends[port] > start:
-                start = sends[port]
+            ports = self._nic_ports
+            base = node_of[src] * ports
+            port = min(range(base, base + ports), key=nic_send.__getitem__)
+            if nic_send[port] > start:
+                start = nic_send[port]
             leave_sender = start + alpha + words * beta
-            sends[port] = leave_sender
-            recvs = self._nic_recv_free[node_of[dst]]
-            port = min(range(len(recvs)), key=recvs.__getitem__)
+            nic_send[port] = leave_sender
+            recvs = self._nic_recv_free
+            base = node_of[dst] * ports
+            port = min(range(base, base + ports), key=recvs.__getitem__)
             arrival = recvs[port] + words * beta
             if leave_sender > arrival:
                 arrival = leave_sender
             recvs[port] = arrival
 
-        message = Message(next(self._seq), src, dst, tag, context,
-                          payload, words, now, arrival)
+        pool = self._msg_pool
+        if pool:
+            message = pool.pop()
+            message.seq = next(self._seq)
+            message.src = src
+            message.dst = dst
+            message.tag = tag
+            message.context = context
+            message.payload = payload
+            message.words = words
+            message.send_time = now
+            message.arrival_time = arrival
+        else:
+            message = Message(next(self._seq), src, dst, tag, context,
+                              payload, words, now, arrival)
         # Tracer counters, inlined (one send per simulated message — the
         # method call was measurable).
         stats = self.tracer.stats
@@ -646,6 +730,35 @@ class Transport:
 
     def pending_count(self, dst: int) -> int:
         return len(self._mailboxes[dst])
+
+    # ---------------------------------------------------------------- pooling
+
+    def release_message(self, message: Message) -> None:
+        """Return a *dead* message object to the transport's free list.
+
+        Safe only when the caller owns the last reference: the message has
+        been matched out of its mailbox and its payload extracted
+        (:meth:`~repro.messaging.RecvRequest.take` is the canonical call
+        site — the hot drain loops of the sorters' data exchanges).  The
+        payload reference is dropped here so pooled objects never pin
+        application buffers.
+        """
+        message.payload = None
+        message.context = None
+        pool = self._msg_pool
+        if len(pool) < MESSAGE_POOL_MAX:
+            pool.append(message)
+
+    def mailboxes_materialized(self) -> int:
+        """Number of per-rank mailboxes that exist (lazy mode introspection).
+
+        Dense transports report ``num_ranks`` — every mailbox is allocated
+        up front there.
+        """
+        mailboxes = self._mailboxes
+        if isinstance(mailboxes, LazyMailboxes):
+            return mailboxes.materialized_count()
+        return len(mailboxes)
 
     # ------------------------------------------------------------------ misc
 

@@ -179,3 +179,56 @@ def test_stale_fresh_result_fails_with_cleanup_hint(trajectory, dirs, capsys):
     assert trajectory.main(_argv(results, baselines, bench_dir)) == 1
     err = capsys.readouterr().err
     assert "stale fresh result" in err
+
+
+# ---------------------------------------------------------------------------
+# --scale: CI runs the tiny sweep and the paper-scale gate as separate
+# passes, each ignoring the other's files entirely.
+# ---------------------------------------------------------------------------
+
+def test_scale_filter_ignores_other_scales(trajectory, dirs):
+    """A paper-scale fresh result without a baseline must not fail the tiny
+    pass (and vice versa); the --scale filter drops the files outright."""
+    results, baselines, bench_dir = dirs
+    _write_bench_json(results, "test_alpha")
+    _write_bench_json(baselines, "test_alpha")
+    _write_bench_json(results, "test_alpha_extra", scale="paper")
+    # Unfiltered: the paper file has no baseline -> hard failure.
+    assert trajectory.main(_argv(results, baselines, bench_dir)) == 1
+    # Tiny pass: the paper file is invisible.
+    assert trajectory.main(
+        _argv(results, baselines, bench_dir, "--scale", "tiny")) == 0
+    # Paper pass: now only the paper file is checked (and still ungated).
+    assert trajectory.main(
+        _argv(results, baselines, bench_dir, "--scale", "paper")) == 1
+
+
+def test_scale_filter_with_require_all(trajectory, dirs):
+    """--require-all only demands fresh results for baselines of the
+    selected scale."""
+    results, baselines, bench_dir = dirs
+    _write_bench_json(baselines, "test_alpha")                  # tiny
+    _write_bench_json(baselines, "test_alpha_extra", scale="paper")
+    _write_bench_json(results, "test_alpha_extra", scale="paper")
+    assert trajectory.main(
+        _argv(results, baselines, bench_dir,
+              "--scale", "paper", "--require-all")) == 0
+    assert trajectory.main(
+        _argv(results, baselines, bench_dir,
+              "--scale", "tiny", "--require-all")) == 1
+
+
+def test_scale_filtered_rebaseline_only_adopts_that_scale(trajectory, dirs):
+    results, baselines, bench_dir = dirs
+    _write_bench_json(results, "test_alpha")                    # tiny
+    _write_bench_json(results, "test_alpha_extra", scale="paper",
+                      simulated_us=999.0)
+    assert trajectory.main(
+        _argv(results, baselines, bench_dir,
+              "--rebaseline", "--scale", "paper")) == 0
+    assert not os.path.exists(
+        os.path.join(baselines, "BENCH_test_alpha.json"))
+    adopted = os.path.join(baselines, "BENCH_test_alpha_extra.json")
+    assert os.path.exists(adopted)
+    with open(adopted) as handle:
+        assert json.load(handle)["simulated_us"] == 999.0

@@ -449,3 +449,59 @@ def test_nic_machine_runs_collectives_correctly():
     result = Cluster(8, params).run(_collective_program, "allreduce", 0, None)
     expected = [float(i * 8 + sum(range(8))) for i in range(5)]
     assert all(value == expected for value in result.results)
+
+
+# ---------------------------------------------------------------------------
+# Vectorised hierarchy construction (groups >= 4096 members switch to the
+# numpy bulk path; the scalar loop is the semantic reference).
+# ---------------------------------------------------------------------------
+
+def _hierarchies_equal(a, b):
+    return (a.node_members == b.node_members and a.node_of == b.node_of
+            and a.islands == b.islands
+            and a.island_of_node == b.island_of_node
+            and a.nontrivial == b.nontrivial)
+
+
+def test_build_hierarchy_vectorised_matches_scalar():
+    import random
+
+    from repro.collectives import hierarchical as H
+
+    def scalar(placement, world_ranks):
+        threshold = H._HIERARCHY_VECTOR_MIN
+        try:
+            H._HIERARCHY_VECTOR_MIN = 1 << 60
+            return H.build_hierarchy(placement, world_ranks)
+        finally:
+            H._HIERARCHY_VECTOR_MIN = threshold
+
+    rng = random.Random(11)
+    block = Placement.regular(16384, ranks_per_node=16, nodes_per_island=8)
+    cyclic = Placement.cyclic(12000, num_nodes=77, nodes_per_island=9)
+    cases = [
+        (block, range(16384)),                        # full affine world
+        (block, range(5, 5 + 3 * 5000, 3)),           # strided offset range
+        (cyclic, range(12000)),
+        (cyclic, tuple(sorted(rng.sample(range(12000), 8192)))),
+    ]
+    shuffled = list(range(8192))
+    rng.shuffle(shuffled)
+    cases.append((block, tuple(shuffled)))            # non-monotone members
+    for placement, world_ranks in cases:
+        vectorised = H._build_hierarchy_vectorised(placement, world_ranks)
+        assert vectorised is not None
+        reference = scalar(placement, world_ranks)
+        assert _hierarchies_equal(vectorised, reference)
+        assert type(vectorised.node_of[0]) is int
+        assert type(vectorised.node_members[0][0]) is int
+
+
+def test_build_hierarchy_string_labels_fall_back_to_scalar():
+    from repro.collectives.hierarchical import _build_hierarchy_vectorised
+
+    placement = Placement(nodes=tuple(f"n{r // 2}" for r in range(4096)),
+                          islands=tuple("i0" for _ in range(4096)))
+    assert _build_hierarchy_vectorised(placement, range(4096)) is None
+    hierarchy = build_hierarchy(placement, range(4096))  # scalar fallback
+    assert hierarchy.num_nodes == 2048

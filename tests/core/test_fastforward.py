@@ -1,0 +1,162 @@
+"""Differential tests for the lockstep fast-forward tier.
+
+:mod:`repro.core.spmd` carries a second, vectorised pricer for barrier and
+scan phases: instead of advancing a frontier rank by rank, whole collective
+rounds are priced with numpy once every member has joined.  Its contract is
+the same as lockstep's own — *bit-identical or refuse*: with
+``env.lockstep_fastforward`` on or off, every observable of a simulation
+(finish times, results, simulated time, tracer statistics, port logs' effect
+on later phases) must match exactly, and workloads lockstep refuses must be
+refused by both tiers with the same :class:`~repro.core.spmd.LockstepError`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import spmd
+from repro.mpi import init_mpi
+from repro.mpi.datatypes import MAX, MIN, PROD, SUM
+from repro.rbc import collectives as rbc
+from repro.rbc import create_rbc_comm
+from repro.simulator import Cluster
+from repro.simulator.errors import RankFailedError
+
+
+def _observables(result):
+    return (
+        result.total_time,
+        tuple(result.finish_times),
+        tuple(result.results),
+        result.stats.messages_sent,
+        result.stats.words_sent,
+        tuple(result.stats.per_rank_messages_sent),
+        tuple(result.stats.per_rank_messages_received),
+    )
+
+
+def _collective_program(env, *, op, words, reps, fastforward, skew=0.0,
+                        reduce_op=SUM, float_payload=False):
+    """Barrier-separated collectives with optional per-rank join skew."""
+    env.lockstep_collectives = True
+    env.lockstep_fastforward = fastforward
+    world_mpi = init_mpi(env, vendor="generic")
+    world_rbc = yield from create_rbc_comm(world_mpi)
+    if float_payload:
+        payload = float(env.rank + 1)
+    elif words:
+        payload = np.ones(words) * (env.rank + 1)
+    else:
+        payload = np.zeros(0)
+    digests = []
+    for _ in range(reps):
+        yield from rbc.barrier(world_rbc)
+        if skew:
+            # Unequal compute before the join: ranks enter the phase at
+            # genuinely different virtual times, so the vectorised pricer
+            # sees non-uniform resume/port state.
+            yield from env.compute_time(skew * ((env.rank * 7) % 5))
+        if op == "barrier":
+            request = rbc.ibarrier(world_rbc)
+        elif op == "scan":
+            request = rbc.iscan(world_rbc, payload, reduce_op)
+        else:
+            raise AssertionError(op)
+        yield from env.wait_until(request.test)
+        value = request.result()
+        digests.append(None if value is None else float(np.sum(value)))
+    return (env.now, tuple(digests))
+
+
+def _run(num_ranks, **kwargs):
+    return Cluster(num_ranks).run(_collective_program, **kwargs)
+
+
+@pytest.mark.parametrize("op", ["barrier", "scan"])
+@pytest.mark.parametrize("num_ranks", [2, 3, 7, 16, 31, 64])
+def test_fastforward_bit_identical(op, num_ranks):
+    scalar = _run(num_ranks, op=op, words=4, reps=3, fastforward=False)
+    vector = _run(num_ranks, op=op, words=4, reps=3, fastforward=True)
+    assert _observables(scalar) == _observables(vector)
+
+
+@pytest.mark.parametrize("num_ranks", [5, 8, 31, 64])
+def test_fastforward_bit_identical_under_join_skew(num_ranks):
+    """Skewed joins force the out-of-order guard: rounds whose posts would
+    land behind a port log tail must fall back to the scalar frontier with
+    zero mutation, keeping both tiers exactly equal."""
+    for op in ("barrier", "scan"):
+        scalar = _run(num_ranks, op=op, words=2, reps=4, fastforward=False,
+                      skew=0.37)
+        vector = _run(num_ranks, op=op, words=2, reps=4, fastforward=True,
+                      skew=0.37)
+        assert _observables(scalar) == _observables(vector)
+
+
+@pytest.mark.parametrize("reduce_op", [SUM, PROD, MIN, MAX])
+def test_fastforward_scan_operators(reduce_op):
+    """Array scans vectorise per operator; values and timing both match."""
+    scalar = _run(13, op="scan", words=8, reps=2, fastforward=False,
+                  reduce_op=reduce_op)
+    vector = _run(13, op="scan", words=8, reps=2, fastforward=True,
+                  reduce_op=reduce_op)
+    assert _observables(scalar) == _observables(vector)
+
+
+def test_fastforward_float_scan():
+    """Plain-float payloads take the float vector plan (SUM/PROD only)."""
+    for reduce_op in (SUM, PROD):
+        scalar = _run(9, op="scan", words=0, reps=2, fastforward=False,
+                      reduce_op=reduce_op, float_payload=True)
+        vector = _run(9, op="scan", words=0, reps=2, fastforward=True,
+                      reduce_op=reduce_op, float_payload=True)
+        assert _observables(scalar) == _observables(vector)
+
+
+def test_fastforward_scan_results_stay_writable_equivalently():
+    """Ranks whose scalar-path result is a fresh accumulator must not get a
+    frozen (read-only) array from the vector path, and vice versa."""
+
+    def program(env, fastforward):
+        env.lockstep_collectives = True
+        env.lockstep_fastforward = fastforward
+        world_mpi = init_mpi(env, vendor="generic")
+        world_rbc = yield from create_rbc_comm(world_mpi)
+        yield from rbc.barrier(world_rbc)
+        request = rbc.iscan(world_rbc, np.ones(4) * (env.rank + 1))
+        yield from env.wait_until(request.test)
+        value = request.result()
+        return bool(np.asarray(value).flags.writeable)
+
+    for p in (2, 3, 4, 8, 11, 16):
+        scalar = Cluster(p).run(program, fastforward=False)
+        vector = Cluster(p).run(program, fastforward=True)
+        assert scalar.results == vector.results, p
+
+
+def test_fastforward_preserves_lockstep_refusal():
+    """The workload lockstep must refuse (receive-port contention across
+    overlapping gather phases) is refused identically with the fast-forward
+    tier armed — the tier's log entries feed the same contention detector."""
+
+    def program(env, fastforward):
+        env.lockstep_collectives = True
+        env.lockstep_fastforward = fastforward
+        world_mpi = init_mpi(env, vendor="generic")
+        world_rbc = yield from create_rbc_comm(world_mpi)
+        yield from rbc.barrier(world_rbc)
+        for _ in range(2):
+            request = rbc.igather(world_rbc, np.ones(8), root=0)
+            yield from env.wait_until(request.test)
+
+    for fastforward in (False, True):
+        with pytest.raises(RankFailedError) as info:
+            Cluster(7).run(program, fastforward=fastforward)
+        assert isinstance(info.value.__cause__, spmd.LockstepError)
+        assert "receive-port contention" in str(info.value.__cause__)
+
+
+def test_fastforward_never_processes_more_events():
+    """Flush fusion may reduce the event count but must never inflate it."""
+    scalar = _run(32, op="scan", words=4, reps=3, fastforward=False)
+    vector = _run(32, op="scan", words=4, reps=3, fastforward=True)
+    assert vector.events_processed <= scalar.events_processed

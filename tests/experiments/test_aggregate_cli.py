@@ -146,3 +146,106 @@ def test_cli_unknown_spec_name_exits():
         main(["run", "no_such_spec"])
     with pytest.raises(SystemExit, match="field=value"):
         main(["run", "smoke", "--set", "oops"])
+
+
+# ---------------------------------------------------------------------------
+# compare: cell-by-cell ratio tables between two archived result sets.
+# ---------------------------------------------------------------------------
+
+def _archived(scenario_id, durations_us=(1000.0,), messages=10,
+              simulated_us=500.0, error=None):
+    return {
+        "scenario_id": scenario_id,
+        "scenario": {},
+        "durations_us": list(durations_us),
+        "messages": messages,
+        "telemetry": {"simulated_us": simulated_us},
+        "wall_clock_s": 0.1,
+        "error": error,
+        "cached": False,
+    }
+
+
+def test_compare_result_sets_ratios():
+    from repro.experiments.aggregate import compare_result_sets
+
+    baseline = [_archived("aaa"), _archived("bbb", durations_us=(2000.0,))]
+    candidate = [_archived("aaa", durations_us=(2000.0,), messages=20,
+                           simulated_us=250.0),
+                 _archived("bbb", durations_us=(2000.0,))]
+    table = compare_result_sets(baseline, candidate)
+    row_a, row_b = table.rows
+    assert row_a["scenario_id"] == "aaa" and row_a["status"] == "ok"
+    assert row_a["time_ms_base"] == 1.0 and row_a["time_ms_new"] == 2.0
+    assert row_a["time_ms_ratio"] == 2.0
+    assert row_a["simulated_us_ratio"] == 0.5
+    assert row_a["messages_ratio"] == 2.0
+    assert row_b["time_ms_ratio"] == 1.0 and row_b["status"] == "ok"
+
+
+def test_compare_result_sets_flags_mismatches():
+    from repro.experiments.aggregate import compare_result_sets
+
+    baseline = [_archived("only-base"), _archived("both"),
+                _archived("broken", error="boom")]
+    candidate = [_archived("both"), _archived("only-cand"),
+                 _archived("broken")]
+    table = compare_result_sets(baseline, candidate)
+    status = {row["scenario_id"]: row["status"] for row in table.rows}
+    assert status == {"only-base": "missing-candidate", "both": "ok",
+                      "broken": "failed", "only-cand": "missing-baseline"}
+    # Baseline order first, then candidate-only scenarios.
+    assert [row["scenario_id"] for row in table.rows] \
+        == ["only-base", "both", "broken", "only-cand"]
+
+
+def _write_archive(path, entries):
+    with open(path, "w") as handle:
+        json.dump(entries, handle)
+    return str(path)
+
+
+def test_cli_compare_matching_sets(tmp_path, capsys):
+    base = _write_archive(tmp_path / "base.json",
+                          [_archived("aaa"), _archived("bbb")])
+    cand = _write_archive(tmp_path / "cand.json",
+                          [_archived("aaa"), _archived("bbb")])
+    out_dir = str(tmp_path / "cmp")
+    assert main(["compare", base, cand, "--out", out_dir]) == 0
+    out = capsys.readouterr().out
+    assert "aaa" in out and "bbb" in out
+    for artifact in ("compare.txt", "compare.json", "compare.csv"):
+        assert os.path.exists(os.path.join(out_dir, artifact)), artifact
+    with open(os.path.join(out_dir, "compare.csv"), newline="") as handle:
+        rows = list(csv.DictReader(handle))
+    assert len(rows) == 2
+    assert all(float(row["time_ms_ratio"]) == 1.0 for row in rows)
+
+
+def test_cli_compare_fail_above_gate(tmp_path, capsys):
+    base = _write_archive(tmp_path / "base.json", [_archived("aaa")])
+    cand = _write_archive(tmp_path / "cand.json",
+                          [_archived("aaa", durations_us=(3000.0,))])
+    assert main(["compare", base, cand]) == 0
+    capsys.readouterr()
+    assert main(["compare", base, cand, "--fail-above", "1.5"]) == 1
+    err = capsys.readouterr().err
+    assert "REGRESSION" in err and "3.000" in err
+
+
+def test_cli_compare_unmatched_scenarios_exit_nonzero(tmp_path, capsys):
+    base = _write_archive(tmp_path / "base.json", [_archived("aaa")])
+    cand = _write_archive(tmp_path / "cand.json", [_archived("zzz")])
+    assert main(["compare", base, cand]) == 1
+    err = capsys.readouterr().err
+    assert "missing-candidate" in err and "missing-baseline" in err
+
+
+def test_cli_compare_rejects_malformed_archive(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"not": "a list"}))
+    good = _write_archive(tmp_path / "good.json", [_archived("aaa")])
+    with pytest.raises(SystemExit, match="expected a JSON array"):
+        main(["compare", str(bad), good])
+    with pytest.raises(SystemExit):
+        main(["compare", str(tmp_path / "missing.json"), good])

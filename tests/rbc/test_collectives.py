@@ -192,6 +192,29 @@ def test_collective_on_comm_without_membership_raises(run_ranks):
     assert results == ["ok", "ok", "raised", "raised"]
 
 
+def test_endpoint_cache_is_bounded(run_ranks):
+    """Tag-per-instance traffic cannot grow the per-comm endpoint cache
+    without limit; it is FIFO-bounded and still serves repeated tags."""
+    from repro.rbc.collectives import _EP_CACHE_MAX, _endpoint
+
+    def program(env):
+        world = yield from _world(env)
+        for tag in range(3 * _EP_CACHE_MAX):
+            _endpoint(world, tag)
+        assert len(world._ep_cache) == _EP_CACHE_MAX
+        # FIFO: the newest tags survive, the oldest were evicted.
+        newest = 3 * _EP_CACHE_MAX - 1
+        assert newest in world._ep_cache
+        assert 0 not in world._ep_cache
+        # A cached tag is served as the same object (no rebuild).
+        assert _endpoint(world, newest) is world._ep_cache[newest]
+        # Re-requesting an evicted tag still works (rebuilt, re-cached).
+        assert _endpoint(world, 0).tag == 0
+        return len(world._ep_cache)
+
+    assert run_ranks(2, program) == [_EP_CACHE_MAX, _EP_CACHE_MAX]
+
+
 def test_rbc_barrier_synchronises(run_cluster):
     def program(env):
         world = yield from _world(env)

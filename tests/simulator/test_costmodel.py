@@ -364,3 +364,65 @@ def test_machine_preset_lookup():
     assert machine_preset(model) is model  # pass-through
     with pytest.raises(KeyError, match="unknown machine preset"):
         machine_preset("fat-tree")  # underscores, not dashes
+
+
+# ---------------------------------------------------------------------------
+# Vectorised placement paths (>= 4096 ranks switch to numpy bulk code; the
+# scalar loop below the threshold is the semantic reference).
+# ---------------------------------------------------------------------------
+
+def test_large_placement_constructors_match_scalar_reference():
+    for num_ranks, rpn, npi in [(4096, 1, 1), (4097, 32, 2), (8192, 7, 3)]:
+        placement = Placement.regular(num_ranks, ranks_per_node=rpn,
+                                      nodes_per_island=npi)
+        nodes = tuple(r // rpn for r in range(num_ranks))
+        assert placement.nodes == nodes
+        assert placement.islands == tuple(n // npi for n in nodes)
+        # Plain ints, not numpy scalars: downstream code hashes and
+        # serialises these labels.
+        assert type(placement.nodes[0]) is int
+        assert type(placement.islands[-1]) is int
+
+    placement = Placement.cyclic(5000, num_nodes=77, nodes_per_island=9)
+    nodes = tuple(r % 77 for r in range(5000))
+    assert placement.nodes == nodes
+    assert placement.islands == tuple(n // 9 for n in nodes)
+
+
+def test_large_placement_validation_matches_scalar_message():
+    """The numpy validator must report the same first offending rank with
+    the same message as the scalar dict walk."""
+    nodes = [r // 8 for r in range(8192)]
+    islands = [n // 16 for n in nodes]
+    islands[5003] = 999  # contradicts rank 5000's island for node 625
+    with pytest.raises(ValueError, match=r"rank 5003 puts node 625"):
+        Placement(nodes=tuple(nodes), islands=tuple(islands))
+
+    # Same corruption below the threshold exercises the scalar walk; both
+    # must agree on the offending rank.
+    with pytest.raises(ValueError, match=r"rank 50 puts node 6"):
+        small_nodes = tuple(r // 8 for r in range(64))
+        small_islands = list(n // 16 for n in small_nodes)
+        small_islands[50] = 999
+        Placement(nodes=small_nodes, islands=tuple(small_islands))
+
+
+def test_large_placement_non_integer_labels_fall_back_to_scalar_walk():
+    """String node labels cannot take the numpy path; the scalar walk must
+    still validate (and reject) them."""
+    nodes = tuple(f"node{r // 2}" for r in range(4096))
+    islands = list("iA" for _ in range(4096))
+    Placement(nodes=nodes, islands=tuple(islands))  # consistent: fine
+    islands[99] = "iB"
+    with pytest.raises(ValueError, match="rank 99"):
+        Placement(nodes=nodes, islands=tuple(islands))
+
+
+def test_placement_node_island_counts_are_memoised():
+    placement = Placement.regular(4096, ranks_per_node=8, nodes_per_island=4)
+    assert placement.num_nodes() == 512
+    assert placement.num_islands() == 128
+    # Memoised on the frozen dataclass via __dict__, not recomputed.
+    assert placement.__dict__["_num_nodes"] == 512
+    assert placement.__dict__["_num_islands"] == 128
+    assert placement.num_nodes() == 512

@@ -1,0 +1,118 @@
+"""Differential tests for lazy (first-touch) mailboxes.
+
+The transport's default mailbox store materialises a rank's mailbox on first
+use instead of preallocating all ``p`` upfront — at paper scale (p = 2^15)
+collective runs priced entirely in lockstep never touch a single mailbox.
+The contract is purely structural: dense and lazy stores must be observably
+identical in every simulation (same timings, same stats, same results), and
+the number of materialised mailboxes must never exceed the number of ranks
+that actually received a message.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.messaging import wait_all
+from repro.mpi import init_mpi
+from repro.simulator import Cluster
+
+
+def _traffic_program(env, *, out_edges, in_edges):
+    """Send one tagged message along every out-edge; receive every in-edge."""
+    world = init_mpi(env, vendor="generic")
+    sends = [world.isend(np.ones(words) * (env.rank + 1), dest, tag=tag)
+             for dest, tag, words in out_edges]
+    recvs = [world.irecv(source=src, tag=tag) for src, tag, words in in_edges]
+    received = yield from wait_all(env, recvs)
+    yield from wait_all(env, sends)
+    return (env.now, tuple(float(np.sum(value)) for value in received))
+
+
+def _observables(result):
+    return (
+        result.total_time,
+        tuple(result.finish_times),
+        tuple(result.results),
+        result.stats.messages_sent,
+        result.stats.words_sent,
+        tuple(result.stats.per_rank_messages_sent),
+        tuple(result.stats.per_rank_messages_received),
+    )
+
+
+def _run(num_ranks, edges, lazy):
+    out_edges = [[] for _ in range(num_ranks)]
+    in_edges = [[] for _ in range(num_ranks)]
+    for tag, (src, dst, words) in enumerate(edges):
+        out_edges[src].append((dst, tag, words))
+        in_edges[dst].append((src, tag, words))
+    cluster = Cluster(num_ranks, lazy_mailboxes=lazy)
+    result = cluster.run(
+        _traffic_program,
+        rank_kwargs=[dict(out_edges=out_edges[r], in_edges=in_edges[r])
+                     for r in range(num_ranks)])
+    return cluster, result
+
+
+@st.composite
+def _workloads(draw):
+    num_ranks = draw(st.integers(min_value=2, max_value=24))
+    edges = draw(st.lists(
+        st.tuples(st.integers(0, num_ranks - 1),
+                  st.integers(0, num_ranks - 1),
+                  st.integers(0, 16)),
+        min_size=0, max_size=40))
+    # Self-sends are not part of the transport contract under test.
+    edges = [(s, d, w) for s, d, w in edges if s != d]
+    return num_ranks, edges
+
+
+@settings(max_examples=40, deadline=None)
+@given(_workloads())
+def test_lazy_equals_dense(workload):
+    num_ranks, edges = workload
+    _, dense = _run(num_ranks, edges, lazy=False)
+    lazy_cluster, lazy = _run(num_ranks, edges, lazy=True)
+    assert _observables(dense) == _observables(lazy)
+    receivers = {dst for _, dst, _ in edges}
+    assert lazy_cluster.transport.mailboxes_materialized() <= len(receivers)
+
+
+def test_no_traffic_materialises_nothing():
+    cluster = Cluster(8, lazy_mailboxes=True)
+
+    def program(env):
+        yield from env.compute_time(1.0)
+        return env.now
+
+    result = cluster.run(program)
+    assert result.total_time == 1.0
+    assert cluster.transport.mailboxes_materialized() == 0
+
+
+def test_dense_store_materialises_everything_upfront():
+    cluster = Cluster(8, lazy_mailboxes=False)
+    assert cluster.transport.mailboxes_materialized() == 8
+
+
+@pytest.mark.parametrize("lazy", [False, True])
+def test_wildcard_receives_work_on_both_stores(lazy):
+    """ANY_SOURCE matching walks the transport path, not the exact-key fast
+    path — it must behave identically whether or not the mailbox store is
+    materialised on first touch."""
+
+    def program(env):
+        world = init_mpi(env, vendor="generic")
+        if env.rank == 0:
+            values = []
+            for _ in range(world.size - 1):
+                value, status = yield from world.recv(return_status=True)
+                values.append((status.source, float(value)))
+            return tuple(sorted(values))
+        yield from world.send(float(env.rank), dest=0, tag=env.rank)
+        return None
+
+    result = Cluster(5, lazy_mailboxes=lazy).run(program)
+    assert result.results[0] == tuple((r, float(r)) for r in range(1, 5))
