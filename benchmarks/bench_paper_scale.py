@@ -19,6 +19,10 @@ full 32768 ranks and holds the simulator to hard resource ceilings:
   lockstep contract, so no rank's mailbox is ever touched.  A silent fall
   back to event-by-event messaging would materialize all 32768.
 
+``test_paper_scale_jquick`` additionally gates the full sort: Fig. 8's
+n/p = 1 point at p = 2^15 on the cross-rank batched sorting tier
+(:mod:`repro.sorting.batched`), with its own wall/RSS ceilings.
+
 Runs only with ``REPRO_BENCH_SCALE=paper`` (CI runs it as a dedicated step);
 ``check_trajectory.py --scale paper`` compares the archived ``BENCH_*.json``
 files against their committed paper-scale baselines, which also pins
@@ -95,3 +99,54 @@ def test_paper_scale(request, operation):
     assert materialized == 0, (
         f"{materialized} mailboxes materialized — the run left the lockstep "
         "fast path (or a send bypassed collective pricing)")
+
+
+#: JQuick gate ceilings (Fig. 8 point n/p = 1 at the paper's full machine
+#: size).  Measured ~54 s / ~520 MiB with the cross-rank batched sorting
+#: tier; the pre-batched frontier needs several minutes, so losing the tier
+#: fails the wall ceiling outright.
+JQUICK_WALL_CEILING_S = 120.0
+JQUICK_RSS_CEILING_MIB = 4096
+
+
+def test_paper_scale_jquick(request):
+    from repro.bench.fig8_jquick import jquick_program
+    from repro.bench.workloads import generate
+    from repro.sorting import JQuickConfig
+
+    parts = generate("uniform", NUM_RANKS, NUM_RANKS, seed=1000)
+    config = JQuickConfig(seed=17)
+    rank_kwargs = [dict(local_data=parts[rank]) for rank in range(NUM_RANKS)]
+
+    start = time.perf_counter()
+    cluster = Cluster(NUM_RANKS)
+    result = cluster.run(jquick_program, rank_kwargs=rank_kwargs,
+                         backend="rbc", vendor="generic", config=config)
+    wall_s = time.perf_counter() - start
+    peak_mib = _peak_rss_mib()
+    materialized = cluster.transport.mailboxes_materialized()
+
+    durations = [d for d in result.results if d is not None]
+    assert len(durations) == NUM_RANKS
+    assert max(durations) > 0.0
+
+    request.node.bench_extra = {
+        "num_ranks": NUM_RANKS,
+        "n_per_proc": 1,
+        "peak_rss_mib": round(peak_mib, 1),
+        "mailboxes_materialized": materialized,
+    }
+
+    assert wall_s < JQUICK_WALL_CEILING_S, (
+        f"jquick at p={NUM_RANKS}, n/p=1 took {wall_s:.1f} s "
+        f"(ceiling {JQUICK_WALL_CEILING_S:.0f} s) — batched sorting tier "
+        "regressed?")
+    assert peak_mib < JQUICK_RSS_CEILING_MIB, (
+        f"peak RSS {peak_mib:.0f} MiB exceeds {JQUICK_RSS_CEILING_MIB} MiB")
+    # Unlike the pure collectives above, the sort's size-two base cases
+    # exchange point-to-point messages, so a small number of mailboxes do
+    # materialize — but the distributed levels stay inside the lockstep
+    # contract, so the count is O(p), never the dense O(p^2) matrix.
+    assert materialized <= NUM_RANKS, (
+        f"{materialized} mailboxes materialized — distributed levels left "
+        "the lockstep contract")

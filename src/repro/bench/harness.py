@@ -81,18 +81,29 @@ class BenchTelemetry:
     simulated_us: float = 0.0
     events_processed: int = 0
     messages_sent: int = 0
+    message_pool_hits: int = 0
+    message_pool_recycled: int = 0
+    message_pool_drops: int = 0
 
     def reset(self) -> None:
         self.cluster_runs = 0
         self.simulated_us = 0.0
         self.events_processed = 0
         self.messages_sent = 0
+        self.message_pool_hits = 0
+        self.message_pool_recycled = 0
+        self.message_pool_drops = 0
 
     def record(self, result: ClusterResult) -> None:
         self.cluster_runs += 1
         self.simulated_us += result.total_time
         self.events_processed += result.events_processed
         self.messages_sent += result.stats.messages_sent
+        pool = result.message_pool
+        if pool:
+            self.message_pool_hits += pool["message_pool_hits"]
+            self.message_pool_recycled += pool["message_pool_recycled"]
+            self.message_pool_drops += pool["message_pool_drops"]
 
     def merge(self, snapshot: dict) -> None:
         """Fold another telemetry :meth:`snapshot` into this sink.
@@ -106,6 +117,9 @@ class BenchTelemetry:
         self.simulated_us += float(snapshot.get("simulated_us", 0.0))
         self.events_processed += int(snapshot.get("events_processed", 0))
         self.messages_sent += int(snapshot.get("messages_sent", 0))
+        self.message_pool_hits += int(snapshot.get("message_pool_hits", 0))
+        self.message_pool_recycled += int(snapshot.get("message_pool_recycled", 0))
+        self.message_pool_drops += int(snapshot.get("message_pool_drops", 0))
 
     def snapshot(self) -> dict:
         return {
@@ -113,6 +127,9 @@ class BenchTelemetry:
             "simulated_us": self.simulated_us,
             "events_processed": self.events_processed,
             "messages_sent": self.messages_sent,
+            "message_pool_hits": self.message_pool_hits,
+            "message_pool_recycled": self.message_pool_recycled,
+            "message_pool_drops": self.message_pool_drops,
         }
 
 

@@ -28,7 +28,8 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["mix64", "derive_key", "sample_key", "sample_indices"]
+__all__ = ["mix64", "derive_key", "sample_key", "sample_indices",
+           "sample_keys", "sample_indices_rows"]
 
 _MASK64 = 0xFFFFFFFFFFFFFFFF
 _GOLDEN = 0x9E3779B97F4A7C15          # 2^64 / phi, the SplitMix64 increment
@@ -37,6 +38,12 @@ _MIX2 = 0x94D049BB133111EB
 
 #: Draws at or below this size take the scalar path (no array construction).
 _SCALAR_DRAWS = 4
+
+#: Row grids (one stream per rank of a group) at or below this many rows take
+#: the per-row scalar path; above it, the whole grid is hashed as one ragged
+#: ``uint64`` sweep.  Both tiers are bit-identical — this is purely a
+#: constant-overhead knob, same convention as ``_SCALAR_DRAWS``.
+ROWS_SCALAR_CUTOFF = 4
 
 # uint64 constants for the vectorised path (avoids per-call casts).
 _U_GOLDEN = np.uint64(_GOLDEN)
@@ -113,3 +120,64 @@ def sample_indices(key: int, count: int, size: int) -> np.ndarray:
     z = (z ^ (z >> _U27)) * _U_MIX2
     z ^= z >> _U31
     return (z % np.uint64(size)).astype(np.int64)
+
+
+def sample_keys(seed: int, lo: int, hi: int, level: int,
+                ranks) -> np.ndarray:
+    """Vector of :func:`sample_key` over a contiguous batch of ranks.
+
+    Returns a ``uint64`` array with ``out[i] == sample_key(seed, lo, hi,
+    level, ranks[i])`` bit-for-bit: the multilinear combination wraps mod
+    2^64 whether computed on Python ints (scalar) or ``uint64`` lanes
+    (vector), and the SplitMix64 avalanche is elementwise.  ``ranks`` may be
+    any non-negative integer sequence; at or below :data:`ROWS_SCALAR_CUTOFF`
+    rows the scalar helper is looped instead of building array expressions.
+    """
+    ranks = np.asarray(ranks, dtype=np.int64)
+    if ranks.size <= ROWS_SCALAR_CUTOFF:
+        return np.array([sample_key(seed, lo, hi, level, int(rank))
+                         for rank in ranks], dtype=np.uint64)
+    base = (seed * 0x8CB92BA72F3D8DD7
+            + lo * 0xD6E8FEB86659FD93
+            + hi * 0xA3AAC6CB3B6FD391
+            + level * 0xC2B2AE3D27D4EB4F
+            + _GOLDEN) & _MASK64
+    z = np.uint64(base) + ranks.astype(np.uint64) * np.uint64(
+        0x165667B19E3779F9)
+    z = (z ^ (z >> _U30)) * _U_MIX1
+    z = (z ^ (z >> _U27)) * _U_MIX2
+    return z ^ (z >> _U31)
+
+
+def sample_indices_rows(keys, counts, sizes) -> tuple[np.ndarray, np.ndarray]:
+    """Ragged grid of :func:`sample_indices` draws, one row per stream.
+
+    ``keys``, ``counts`` and ``sizes`` are equal-length sequences; row ``i``
+    holds ``sample_indices(keys[i], counts[i], sizes[i])``.  Returns
+    ``(indices, offsets)`` with the rows concatenated into one ``int64``
+    array and ``offsets`` of length ``len(keys) + 1`` delimiting them —
+    row ``i`` is ``indices[offsets[i]:offsets[i + 1]]``.  Rows with a
+    non-positive count or size are empty, exactly like the scalar helper.
+    Bit-identical across the per-row and ragged-sweep tiers.
+    """
+    keys = np.asarray(keys, dtype=np.uint64)
+    counts = np.asarray(counts, dtype=np.int64)
+    sizes = np.asarray(sizes, dtype=np.int64)
+    effective = np.where((counts > 0) & (sizes > 0), counts, 0)
+    offsets = np.zeros(effective.size + 1, dtype=np.int64)
+    np.cumsum(effective, out=offsets[1:])
+    total = int(offsets[-1])
+    if total == 0:
+        return np.empty(0, dtype=np.int64), offsets
+    if keys.size <= ROWS_SCALAR_CUTOFF:
+        rows = [sample_indices(int(keys[i]), int(effective[i]), int(sizes[i]))
+                for i in range(keys.size)]
+        return np.concatenate(rows), offsets
+    row_of = np.repeat(np.arange(effective.size, dtype=np.int64), effective)
+    counters = (np.arange(1, total + 1, dtype=np.int64)
+                - np.repeat(offsets[:-1], effective)).astype(np.uint64)
+    z = keys[row_of] + counters * _U_GOLDEN
+    z = (z ^ (z >> _U30)) * _U_MIX1
+    z = (z ^ (z >> _U27)) * _U_MIX2
+    z ^= z >> _U31
+    return (z % sizes[row_of].astype(np.uint64)).astype(np.int64), offsets

@@ -91,6 +91,8 @@ __all__ = [
     "LockstepRequest",
     "lockstep_eligible",
     "join_lockstep",
+    "join_exchange",
+    "ExchangeEndpoint",
     "SpmdCoordinator",
     "FASTFORWARD_MIN_SIZE",
 ]
@@ -255,7 +257,18 @@ class SpmdCoordinator:
         "scan": lambda *a: _ScanPhase(*a),
         "gather": lambda *a: _GatherPhase(*a),
         "barrier": lambda *a: _BarrierPhase(*a),
+        "exchange": lambda *a: _ExchangePhase(*a),
     }
+
+    @classmethod
+    def register_kind(cls, kind: str, factory) -> None:
+        """Register an externally defined phase kind.
+
+        Used by :mod:`repro.sorting.batched` for the fused jquick level
+        phase, which composes the phase classes of this module but lives
+        with the sorting code that knows the level's structure.
+        """
+        cls._KINDS[kind] = factory
 
     def __init__(self):
         self._phases: dict = {}
@@ -411,11 +424,24 @@ class _PhaseBase:
             raise LockstepError(
                 f"lockstep {self.kind}: rank {rank} joined twice — interleaved "
                 f"collectives on one (context, tag) are not lockstep-safe")
-        self.joined[rank] = self.engine._now
+        return self._join_at(rank, value, self.engine._now, ep.env,
+                             ep.env._proc)
+
+    def _join_at(self, rank: int, value, now: float, env,
+                 proc) -> LockstepRequest:
+        """Record a member's join at virtual time ``now``; run the phase hook.
+
+        ``join`` delegates here with the live engine clock and the member's
+        process.  A fused driver (the jquick level phase) instead feeds a
+        sub-phase directly with the member's *synthetic* join time and
+        ``proc=None``: such members get no wake-up event — the driver reads
+        their finish times and results synchronously from the requests.
+        """
+        self.joined[rank] = now
         self.joined_count += 1
         self.values[rank] = value
-        self.procs[rank] = ep.env._proc
-        request = self.requests[rank] = LockstepRequest(ep.env)
+        self.procs[rank] = proc
+        request = self.requests[rank] = LockstepRequest(env)
         self.on_join(rank)
         self._flush_wakes()
         return request
@@ -426,13 +452,19 @@ class _PhaseBase:
     # --------------------------------------------------------------- plumbing
 
     def _finish(self, rank: int, finish: float, value) -> None:
-        """Mark ``rank`` priced: result ``value``, wake at ``finish``."""
+        """Mark ``rank`` priced: result ``value``, wake at ``finish``.
+
+        Members joined synthetically (``proc=None``, see ``_join_at``) get no
+        wake event; their driver consumes the request fields directly.
+        """
         request = self.requests[rank]
         request.finish_time = finish
         request._value = value
         request._ready = True
         self.resolved_count += 1
-        self._wakes.append((finish, self.procs[rank]))
+        proc = self.procs[rank]
+        if proc is not None:
+            self._wakes.append((finish, proc))
 
     def _flush_wakes(self) -> None:
         wakes = self._wakes
@@ -1339,3 +1371,157 @@ class _BarrierPhase(_PhaseBase):
         stats.messages_sent += nsent
         for rank_ in range(size):
             finish(rank_, resume[rank_], None)
+
+
+# ---------------------------------------------------------------------------
+# Exchange: analytic pricing of an irregular point-to-point data exchange.
+# ---------------------------------------------------------------------------
+
+_INF = float("inf")
+
+
+class ExchangeEndpoint:
+    """Minimal endpoint for :func:`join_exchange`.
+
+    Data-exchange messages are plain point-to-point sends (no vendor word
+    factor, no per-message delay), so the endpoint carries neutral cost
+    parameters; ``context`` must be unique per phase instance — the caller
+    (the jquick batched tier) keys it by the task interval and level, which
+    every member derives identically, so one generation ever exists per key.
+    """
+
+    __slots__ = ("env", "transport", "context", "tag", "rank", "size",
+                 "_affine", "word_cost_factor", "per_message_delay")
+
+    def __init__(self, env, context, tag, rank, size, world_first,
+                 world_stride=1):
+        self.env = env
+        self.transport = env.transport
+        self.context = context
+        self.tag = tag
+        self.rank = rank
+        self.size = size
+        self._affine = (world_first, world_stride)
+        self.word_cost_factor = 1.0
+        self.per_message_delay = 0.0
+
+    def to_world(self, rank: int) -> int:
+        first, stride = self._affine
+        return first + rank * stride
+
+
+def join_exchange(ep, pieces, expected: int, cap_words: int,
+                  charge: bool) -> LockstepRequest:
+    """Enter this rank into an analytic data-exchange phase on ``ep``.
+
+    ``pieces`` lists this rank's outgoing remote messages as ``(dest_member,
+    words)`` in native posting order (self-copies excluded); ``expected`` is
+    the number of remote messages this rank will receive, ``cap_words`` the
+    number of slot words it drains (the local-work charge argument), and
+    ``charge`` whether that drain charges compute.  Must be called at the
+    instant the native code would have posted its sends.  The request
+    completes at the native finish time ``max(drain [+ compute], last send
+    leave)`` with the inbound message count as its result.
+    """
+    transport = ep.transport
+    coordinator = getattr(transport, "_spmd_coordinator", None)
+    if coordinator is None:
+        coordinator = transport._spmd_coordinator = SpmdCoordinator()
+    return coordinator.join(
+        ep, "exchange", (pieces, expected, cap_words, charge), None, 0)
+
+
+class _ExchangePhase(_PhaseBase):
+    """Mirror of the native drain-then-charge-then-wait exchange loop.
+
+    Each member posts its remote sends back-to-back at its join instant
+    (``_send_side`` serialises them on the send port exactly like the native
+    sequential ``isend`` calls), and every send folds into its destination
+    port at the sender's join — which is the native virtual post instant, so
+    the fold order seen by each receive port matches the engine's chronology
+    and the in-order branch of ``_recv_side`` applies (out-of-order inserts
+    can still come from *other* phases overlapping on a port; the shared log
+    machinery handles or honestly refuses those).  A member resolves once it
+    has joined and all ``expected`` inbound messages are folded:
+
+        drain  = max(join, inbound arrivals)
+        finish = max(drain + compute(cap_words) if charge else drain,
+                     max own-send leave)
+
+    which replays the native ``while received < cap: yield window`` loop,
+    the optional ``Blocking(compute(cap))`` charge, and the trailing
+    ``Pending(send_requests)`` wait.  Inbound entries keep an infinite cap
+    until their consumer's drain is known — their arrivals are still
+    re-foldable by out-of-order inserts, and the re-folded value is re-read
+    at resolution — then the drain is committed as the cap.
+    """
+
+    kind = "exchange"
+
+    def __init__(self, ep, op, root, coordinator):
+        super().__init__(ep, op, root, coordinator)
+        size = self.size
+        self.expected: list = [None] * size
+        self.inbound: list = [[] for _ in range(size)]
+        self.max_leave: list = [0.0] * size
+        self.cap_words: list = [0] * size
+        self.charge: list = [False] * size
+
+    def on_join(self, rank: int) -> None:
+        post_time = self.joined[rank]
+        pieces, expected, cap_words, charge = self.values[rank]
+        self.values[rank] = None
+        self.expected[rank] = expected
+        self.cap_words[rank] = cap_words
+        self.charge[rank] = charge
+        pending = self._cap_pending
+        inbound = self.inbound
+        best_leave = 0.0
+        touched = []
+        for dest, words in pieces:
+            wire = self._wire_words(words)
+            leave = self._send_side(rank, post_time, 0.0, wire)
+            self._recv_side(dest, leave, wire, post_time)
+            entry = pending.pop()
+            entry[5] = _INF
+            inbound[dest].append(entry)
+            touched.append(dest)
+            if leave > best_leave:
+                best_leave = leave
+        self.max_leave[rank] = best_leave
+        self._try_resolve(rank)
+        for dest in touched:
+            self._try_resolve(dest)
+
+    def _try_resolve(self, member: int) -> None:
+        expected = self.expected[member]
+        if expected is None:
+            return  # not joined yet
+        request = self.requests[member]
+        if request._ready:
+            return
+        entries = self.inbound[member]
+        arrived = len(entries)
+        if arrived < expected:
+            return
+        if arrived > expected:
+            raise LockstepError(
+                f"lockstep exchange: member {member} expected {expected} "
+                f"inbound message(s) but {arrived} were posted — the "
+                f"participants disagree on the assignment")
+        # Re-read arrivals: out-of-order inserts from overlapping phases may
+        # have re-folded them upward since the send was priced.
+        drain = self.joined[member]
+        for entry in entries:
+            arrival = entry[4]
+            if arrival > drain:
+                drain = arrival
+        for entry in entries:
+            entry[5] = drain
+        finish = drain
+        if self.charge[member]:
+            finish = drain + self.compute_cost(self.cap_words[member])
+        leave = self.max_leave[member]
+        if leave > finish:
+            finish = leave
+        self._finish(member, finish, arrived)

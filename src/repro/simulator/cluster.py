@@ -57,6 +57,9 @@ class ClusterResult:
     total_time: float
     stats: TraceStats
     events_processed: int = 0
+    #: Transport message-pool effectiveness counters
+    #: (:meth:`~repro.simulator.network.Transport.message_pool_stats`).
+    message_pool: Optional[dict] = None
 
     @property
     def max_finish_time(self) -> float:
@@ -92,6 +95,7 @@ class Cluster:
                  max_events: int = 200_000_000,
                  mailbox_factory: Optional[Callable[[], Any]] = None,
                  lazy_mailboxes: Optional[bool] = None,
+                 message_pool_max: Optional[int] = None,
                  reference_engine: bool = False):
         if num_ranks <= 0:
             raise ValueError("num_ranks must be positive")
@@ -105,6 +109,8 @@ class Cluster:
             else {"mailbox_factory": mailbox_factory}
         if lazy_mailboxes is not None:
             transport_kwargs["lazy_mailboxes"] = lazy_mailboxes
+        if message_pool_max is not None:
+            transport_kwargs["message_pool_max"] = message_pool_max
         self.transport = Transport(self.engine, num_ranks, self.params,
                                    self.tracer, placement=self.placement,
                                    **transport_kwargs)
@@ -151,6 +157,7 @@ class Cluster:
             total_time=total_time,
             stats=self.tracer.stats,
             events_processed=self.engine.events_processed,
+            message_pool=self.transport.message_pool_stats(),
         )
         for observer in _run_observers:
             observer(result)
@@ -163,9 +170,11 @@ def run_program(num_ranks: int, program: Callable, *args,
                 rank_args: Optional[Sequence[tuple]] = None,
                 rank_kwargs: Optional[Sequence[dict]] = None,
                 reference_engine: bool = False,
+                message_pool_max: Optional[int] = None,
                 **kwargs) -> ClusterResult:
     """One-shot convenience wrapper around :class:`Cluster`."""
     cluster = Cluster(num_ranks, params, placement=placement,
+                      message_pool_max=message_pool_max,
                       reference_engine=reference_engine)
     return cluster.run(program, *args, rank_args=rank_args,
                        rank_kwargs=rank_kwargs, **kwargs)

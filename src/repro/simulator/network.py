@@ -34,6 +34,7 @@ automatically.
 from __future__ import annotations
 
 import itertools
+import os
 from collections import deque
 from typing import Any, Callable, Optional
 
@@ -460,10 +461,24 @@ class LazyMailboxes:
 # Transport.
 # ---------------------------------------------------------------------------
 
-#: Upper bound of the transport's :class:`Message` free list.  Bounded so a
-#: burst of in-flight traffic cannot pin an unbounded object pool; beyond the
-#: cap released messages are simply garbage as before.
+#: Default upper bound of the transport's :class:`Message` free list.  Bounded
+#: so a burst of in-flight traffic cannot pin an unbounded object pool; beyond
+#: the cap released messages are simply garbage as before.  Each transport
+#: resolves its own cap at construction time — ``message_pool_max`` kwarg,
+#: else the ``REPRO_MESSAGE_POOL_MAX`` environment variable, else this
+#: default — so setting the env var after import still takes effect.
 MESSAGE_POOL_MAX = 4096
+
+
+def _resolve_pool_max(value: Optional[int]) -> int:
+    """Resolve the message-pool cap for one transport (kwarg > env > default)."""
+    if value is None:
+        env = os.environ.get("REPRO_MESSAGE_POOL_MAX")
+        value = int(env) if env else MESSAGE_POOL_MAX
+    value = int(value)
+    if value < 0:
+        raise ValueError(f"message pool cap must be >= 0, got {value}")
+    return value
 
 class Transport:
     """Routes messages between simulated ranks under a pluggable cost model.
@@ -483,7 +498,8 @@ class Transport:
                  tracer: Optional[Tracer] = None,
                  placement: Optional[Placement] = None,
                  mailbox_factory: Callable[[], Any] = IndexedMailbox,
-                 lazy_mailboxes: bool = True):
+                 lazy_mailboxes: bool = True,
+                 message_pool_max: Optional[int] = None):
         if num_ranks <= 0:
             raise ValueError("num_ranks must be positive")
         self.engine = engine
@@ -506,8 +522,13 @@ class Transport:
         self._send_port_free = [0.0] * num_ranks
         self._recv_port_free = [0.0] * num_ranks
         self._seq = itertools.count()
-        # Free list of released Message objects (see release_message).
+        # Free list of released Message objects (see release_message); the
+        # cap is per-transport so tests and paper-scale runs can size it.
         self._msg_pool: list = []
+        self._msg_pool_max = _resolve_pool_max(message_pool_max)
+        self.pool_hits = 0      # sends served from the free list
+        self.pool_recycled = 0  # releases accepted back into the free list
+        self.pool_drops = 0     # releases discarded because the pool was full
         # (alpha, beta) when the model prices every pair identically — lets
         # post_send skip one method call per message; None for hierarchical
         # models (getattr: cost models predating uniform_link keep working).
@@ -654,6 +675,7 @@ class Transport:
         pool = self._msg_pool
         if pool:
             message = pool.pop()
+            self.pool_hits += 1
             message.seq = next(self._seq)
             message.src = src
             message.dst = dst
@@ -746,8 +768,21 @@ class Transport:
         message.payload = None
         message.context = None
         pool = self._msg_pool
-        if len(pool) < MESSAGE_POOL_MAX:
+        if len(pool) < self._msg_pool_max:
             pool.append(message)
+            self.pool_recycled += 1
+        else:
+            self.pool_drops += 1
+
+    def message_pool_stats(self) -> dict:
+        """Free-list effectiveness counters (surfaced by ``--profile`` runs)."""
+        return {
+            "message_pool_max": self._msg_pool_max,
+            "message_pool_hits": self.pool_hits,
+            "message_pool_recycled": self.pool_recycled,
+            "message_pool_drops": self.pool_drops,
+            "message_pool_idle": len(self._msg_pool),
+        }
 
     def mailboxes_materialized(self) -> int:
         """Number of per-rank mailboxes that exist (lazy mode introspection).

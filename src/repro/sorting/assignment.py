@@ -18,10 +18,13 @@ from __future__ import annotations
 
 from typing import NamedTuple, Sequence
 
+import numpy as np
+
 from .intervals import layout_constants
+from .kernels import ROWS_SCALAR_CUTOFF
 
 __all__ = ["OutgoingPiece", "chop_slot_range", "greedy_assignment",
-           "incoming_message_counts"]
+           "greedy_assignment_rows", "incoming_message_counts"]
 
 
 class OutgoingPiece(NamedTuple):
@@ -101,6 +104,111 @@ def greedy_assignment(*, lo: int, total_small: int, small_prefix: int,
         lo + total_small + large_prefix,
         lo + total_small + large_prefix + large_count, n, p)
     return small_pieces, large_pieces
+
+
+def _chop_rows(starts: np.ndarray, ends: np.ndarray, n: int, p: int):
+    """Vectorised :func:`chop_slot_range` over a batch of slot ranges.
+
+    Returns ``(dest, slot_start, length, offsets)``: range ``i``'s pieces are
+    the slice ``[offsets[i], offsets[i + 1])``, in slot order — identical to
+    the scalar chop minus the ``local_start`` bookkeeping.
+    """
+    q, r, boundary = layout_constants(n, p)
+    big = q + 1
+    q_safe = q if q else 1  # q == 0 => every slot is below the boundary
+    num = starts.size
+    first = np.where(starts < boundary, starts // big,
+                     r + np.maximum(starts - boundary, 0) // q_safe)
+    last_slot = ends - 1
+    last = np.where(last_slot < boundary, last_slot // big,
+                    r + np.maximum(last_slot - boundary, 0) // q_safe)
+    counts = np.where(ends > starts, last - first + 1, 0)
+    offsets = np.zeros(num + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    total = int(offsets[num])
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, empty, offsets
+    dest = (np.repeat(first, counts)
+            + np.arange(total, dtype=np.int64)
+            - np.repeat(offsets[:-1], counts))
+    interval_start = dest * q + np.minimum(dest, r)
+    interval_end = interval_start + q + (dest < r)
+    slot_start = np.maximum(np.repeat(starts, counts), interval_start)
+    length = np.minimum(np.repeat(ends, counts), interval_end) - slot_start
+    return dest, slot_start, length, offsets
+
+
+def greedy_assignment_rows(*, lo: int, total_small: int,
+                           small_prefixes: np.ndarray,
+                           small_counts: np.ndarray,
+                           large_prefixes: np.ndarray,
+                           large_counts: np.ndarray,
+                           n: int, p: int):
+    """Vectorised :func:`greedy_assignment` over every rank of one task.
+
+    Array parameters are indexed by the task's group rank; scalars match the
+    per-rank call.  Returns ``(dest, slot_start, length, row_offsets)``:
+    group rank ``g``'s pieces are ``[row_offsets[g], row_offsets[g + 1])``,
+    ordered exactly like the scalar helper's ``small_pieces + large_pieces``
+    flattening (each side in slot order).  ``local_start`` is omitted — the
+    batched tier reshuffles whole groups in one pass and never indexes a
+    per-rank partition buffer.  Below :data:`ROWS_SCALAR_CUTOFF` rows the
+    scalar helper is looped instead.
+    """
+    small_prefixes = np.asarray(small_prefixes, dtype=np.int64)
+    small_counts = np.asarray(small_counts, dtype=np.int64)
+    large_prefixes = np.asarray(large_prefixes, dtype=np.int64)
+    large_counts = np.asarray(large_counts, dtype=np.int64)
+    num_rows = small_counts.size
+    if num_rows <= ROWS_SCALAR_CUTOFF:
+        dest_l: list = []
+        slot_l: list = []
+        len_l: list = []
+        row_offsets = np.zeros(num_rows + 1, dtype=np.int64)
+        for row in range(num_rows):
+            small_pieces, large_pieces = greedy_assignment(
+                lo=lo, total_small=total_small,
+                small_prefix=int(small_prefixes[row]),
+                large_prefix=int(large_prefixes[row]),
+                small_count=int(small_counts[row]),
+                large_count=int(large_counts[row]), n=n, p=p)
+            for piece in small_pieces + large_pieces:
+                dest_l.append(piece.dest)
+                slot_l.append(piece.slot_start)
+                len_l.append(piece.length)
+            row_offsets[row + 1] = len(dest_l)
+        return (np.array(dest_l, dtype=np.int64),
+                np.array(slot_l, dtype=np.int64),
+                np.array(len_l, dtype=np.int64), row_offsets)
+    small_start = lo + small_prefixes
+    large_start = lo + total_small + large_prefixes
+    s_dest, s_slot, s_len, s_offs = _chop_rows(
+        small_start, small_start + small_counts, n, p)
+    l_dest, l_slot, l_len, l_offs = _chop_rows(
+        large_start, large_start + large_counts, n, p)
+    s_counts = np.diff(s_offs)
+    l_counts = np.diff(l_offs)
+    row_offsets = np.zeros(num_rows + 1, dtype=np.int64)
+    np.cumsum(s_counts + l_counts, out=row_offsets[1:])
+    total = int(row_offsets[num_rows])
+    dest = np.empty(total, dtype=np.int64)
+    slot_start = np.empty(total, dtype=np.int64)
+    length = np.empty(total, dtype=np.int64)
+    # Interleave per row: the row's small pieces first, then its larges.
+    s_pos = (np.repeat(row_offsets[:-1], s_counts)
+             + np.arange(s_dest.size, dtype=np.int64)
+             - np.repeat(s_offs[:-1], s_counts))
+    l_pos = (np.repeat(row_offsets[:-1] + s_counts, l_counts)
+             + np.arange(l_dest.size, dtype=np.int64)
+             - np.repeat(l_offs[:-1], l_counts))
+    dest[s_pos] = s_dest
+    dest[l_pos] = l_dest
+    slot_start[s_pos] = s_slot
+    slot_start[l_pos] = l_slot
+    length[s_pos] = s_len
+    length[l_pos] = l_len
+    return dest, slot_start, length, row_offsets
 
 
 def incoming_message_counts(all_pieces: Sequence[Sequence[OutgoingPiece]],

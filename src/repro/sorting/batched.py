@@ -1,0 +1,445 @@
+"""Cross-rank batching of JQuick distributed levels (the paper-scale tier).
+
+At paper scale (p = 2^15) the per-rank Python work of one distributed level —
+a counter-key hash, a handful of sample draws, a partition of a few elements,
+a two-piece greedy assignment — is pure dispatch overhead: every rank of a
+group performs the *same* sequence on different rows.  This module stacks
+those rows: one :class:`LevelBatcher` record per (group, task-interval,
+level) computes the whole group's sampling grid, partition and assignment in
+a few ragged NumPy sweeps (the ``*_rows`` kernels of :mod:`repro.core.rand`,
+:mod:`repro.sorting.kernels` and :mod:`repro.sorting.assignment`), and each
+member fetches its row from the shared result.
+
+The record lives on the simulation's transport (all simulated ranks share one
+interpreter), is created by the first member that reaches the level, and is
+retired once every member has consumed its exchange row (or released it on a
+degenerate split).  Everything a record precomputes before the members'
+arrival — row sizes, sample counts, sample indices — is slot arithmetic, a
+pure function of ``(n, p, lo, hi, level, seed)`` that every member derives
+identically; the data-dependent steps (partition, assignment) run memoised on
+first request, after the whole group has registered its rows, which the
+gather/bcast ordering of pivot selection guarantees.
+
+Bit-identity: every batched kernel is the bit-exact row-stacked form of the
+scalar call it replaces (property-pinned in the kernel modules), and the
+exchange is priced through :func:`repro.core.spmd.join_exchange`, the
+analytic mirror of the native drain loop.  The tier therefore reproduces the
+scalar frontier's results and simulated times exactly; the differential
+suite in ``tests/test_jquick_batched.py`` pins this end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import rand
+from ..core.spmd import (
+    SpmdCoordinator,
+    _BcastPhase,
+    _ExchangePhase,
+    _GatherPhase,
+    _PhaseBase,
+    _ScanPhase,
+)
+from ..mpi.datatypes import SUM
+from ..rbc.comm import RBC_CREATE_OPS
+from .assignment import greedy_assignment_rows
+from .kernels import fused_partition_rows
+from .pivot import median_of_samples, sample_count
+
+__all__ = ["LevelBatcher", "join_jq_level"]
+
+
+class _LevelRecord:
+    """Shared state of one distributed level of one task's group."""
+
+    __slots__ = (
+        "first", "last", "lo", "hi", "level", "size", "n", "p", "config",
+        "row_lo", "row_sizes", "row_offsets", "local_counts",
+        "indices", "index_offsets", "rows", "registered",
+        "buffer", "small_counts", "total_small",
+        "piece_dest", "piece_len", "piece_offsets", "expected",
+        "consumed",
+    )
+
+    def __init__(self, run, first: int, last: int, lo: int, hi: int,
+                 level: int):
+        self.config = run.config
+        self.first = first
+        self.last = last
+        self.lo = lo
+        self.hi = hi
+        self.level = level
+        self.n = run.n
+        self.p = run.p
+        size = self.size = last - first + 1
+        # Slot layout of the group's rows (owner intervals clipped to the
+        # task interval) — same arithmetic as the members' my_lo / my_hi.
+        q, r = run._q, run._r
+        ranks = np.arange(first, last + 1, dtype=np.int64)
+        starts = ranks * q + np.minimum(ranks, r)
+        ends = starts + q + (ranks < r)
+        row_lo = self.row_lo = np.maximum(lo, starts)
+        row_sizes = self.row_sizes = np.minimum(hi, ends) - row_lo
+        offsets = self.row_offsets = np.zeros(size + 1, dtype=np.int64)
+        np.cumsum(row_sizes, out=offsets[1:])
+        # The whole group's sampling grid, in one ragged sweep.  Mirrors the
+        # scalar per-rank expression ``max(1, ceil(sigma * size / total)) if
+        # size else 0`` bit for bit (same float operand order elementwise).
+        total = hi - lo
+        config = run.config
+        sigma = sample_count(config.pivot, size, total / size)
+        self.local_counts = np.where(
+            row_sizes > 0,
+            np.maximum(1, np.ceil(sigma * row_sizes / total)).astype(np.int64),
+            0)
+        keys = rand.sample_keys(config.seed, lo, hi, level, ranks)
+        self.indices, self.index_offsets = rand.sample_indices_rows(
+            keys, self.local_counts, row_sizes)
+        self.rows: list = [None] * size
+        self.registered = 0
+        self.buffer = None
+        self.small_counts = None
+        self.total_small = 0
+        self.piece_dest = None
+        self.piece_len = None
+        self.piece_offsets = None
+        self.expected = None
+        self.consumed = 0
+
+
+class LevelBatcher:
+    """Per-transport registry of the live :class:`_LevelRecord` instances.
+
+    Keys are ``(first, lo, hi, level)`` — unique among simultaneously active
+    levels (task intervals of concurrent tasks are disjoint, and a group
+    retries a degenerate interval at ``level + 1``).  Records are dropped as
+    soon as the last member consumes them, so the registry never grows with
+    the recursion depth.  One batcher serves one run at a time per transport;
+    concurrent sorts on one cluster are not a supported pattern.
+    """
+
+    __slots__ = ("_records",)
+
+    def __init__(self):
+        self._records: dict = {}
+
+    def level(self, run, first: int, last: int, lo: int, hi: int,
+              level: int) -> _LevelRecord:
+        """The group's shared record for this level (created by first caller)."""
+        key = (first, lo, hi, level)
+        record = self._records.get(key)
+        if record is None:
+            record = self._records[key] = _LevelRecord(
+                run, first, last, lo, hi, level)
+        return record
+
+    # ------------------------------------------------------------- member API
+
+    def register(self, record: _LevelRecord, group_rank: int,
+                 data: np.ndarray):
+        """Deposit a member's row; returns its ``(sample_indices, count)``."""
+        if record.rows[group_rank] is None:
+            record.rows[group_rank] = data
+            record.registered += 1
+        offsets = record.index_offsets
+        indices = record.indices[offsets[group_rank]:offsets[group_rank + 1]]
+        return indices, int(record.local_counts[group_rank])
+
+    def partition(self, record: _LevelRecord, group_rank: int,
+                  pivot_value: float, pivot_slot: int,
+                  tie_breaking: bool) -> int:
+        """Group-wide fused partition (memoised); returns the member's
+        small count.
+
+        First called by whichever member leaves the pivot broadcast first; by
+        then every member has registered (registration happens before the
+        sample gather, which completes before the broadcast resolves).
+        """
+        if record.buffer is None:
+            if record.registered != record.size:
+                raise RuntimeError(
+                    f"jquick batched level [{record.lo}, {record.hi}) at "
+                    f"level {record.level}: partition requested with "
+                    f"{record.registered}/{record.size} rows registered")
+            values = np.concatenate(record.rows)
+            if tie_breaking:
+                cuts = np.clip(pivot_slot - record.row_lo, 0,
+                               record.row_sizes)
+            else:
+                cuts = np.zeros(record.size, dtype=np.int64)
+            buffer, small_counts = fused_partition_rows(
+                values, record.row_offsets, cuts, pivot_value)
+            # The buffer *is* the task's slot region [lo, hi) after the
+            # exchange; freeze it so the views handed to child tasks (and
+            # base-case messages sent from them) skip the transport snapshot.
+            buffer.flags.writeable = False
+            record.buffer = buffer
+            record.small_counts = small_counts
+            record.total_small = int(small_counts.sum())
+            record.rows = None
+        return int(record.small_counts[group_rank])
+
+    def assignment(self, record: _LevelRecord) -> None:
+        """Group-wide greedy assignment (memoised).
+
+        Fills the record's piece arrays — rank ``g``'s outgoing pieces are
+        ``piece_dest/piece_len[piece_offsets[g]:piece_offsets[g + 1]]`` in
+        native posting order (small pieces then large pieces, each in slot
+        order) — and ``expected``, the per-member count of inbound remote
+        messages.
+        """
+        if record.piece_offsets is not None:
+            return
+        small_counts = record.small_counts
+        size = record.size
+        small_prefixes = np.zeros(size, dtype=np.int64)
+        np.cumsum(small_counts[:-1], out=small_prefixes[1:])
+        large_counts = record.row_sizes - small_counts
+        large_prefixes = np.zeros(size, dtype=np.int64)
+        np.cumsum(large_counts[:-1], out=large_prefixes[1:])
+        dest, _slot_start, length, offsets = greedy_assignment_rows(
+            lo=record.lo, total_small=record.total_small,
+            small_prefixes=small_prefixes, small_counts=small_counts,
+            large_prefixes=large_prefixes, large_counts=large_counts,
+            n=record.n, p=record.p)
+        record.piece_dest = dest
+        record.piece_len = length
+        record.piece_offsets = offsets
+        src = np.repeat(
+            np.arange(record.first, record.last + 1, dtype=np.int64),
+            np.diff(offsets))
+        remote = dest != src
+        record.expected = np.bincount(dest[remote] - record.first,
+                                      minlength=size)
+
+    def pieces(self, record: _LevelRecord, group_rank: int) -> list:
+        """The member's outgoing remote messages as ``(dest_member, words)``.
+
+        Self-copies are excluded; ``words`` counts the native
+        ``(slot_start, chunk)`` payload.  ``assignment`` must have run.
+        """
+        my_rank = record.first + group_rank
+        begin = int(record.piece_offsets[group_rank])
+        end = int(record.piece_offsets[group_rank + 1])
+        dest = record.piece_dest
+        length = record.piece_len
+        return [(int(dest[i]) - record.first, 1 + int(length[i]))
+                for i in range(begin, end) if dest[i] != my_rank]
+
+    def take_view(self, record: _LevelRecord, group_rank: int) -> np.ndarray:
+        """The member's post-exchange slot region (a frozen view of the
+        group buffer); consumes the member's claim on the record."""
+        lo = record.lo
+        row_lo = int(record.row_lo[group_rank])
+        view = record.buffer[row_lo - lo:
+                             row_lo - lo + int(record.row_sizes[group_rank])]
+        self._consume(record)
+        return view
+
+    def release(self, record: _LevelRecord, group_rank: int) -> None:
+        """Drop a member's claim without an exchange (degenerate split)."""
+        self._consume(record)
+
+    def _consume(self, record: _LevelRecord) -> None:
+        record.consumed += 1
+        if record.consumed == record.size:
+            del self._records[(record.first, record.lo, record.hi,
+                               record.level)]
+
+
+# ---------------------------------------------------------------------------
+# The fused level phase: one lockstep join prices a whole distributed level.
+# ---------------------------------------------------------------------------
+
+def join_jq_level(ep, record: _LevelRecord, create: bool):
+    """Enter this rank into the fused level phase of ``record``'s group.
+
+    Must be called at the instant the member enters the level (where the
+    native frontier would have started the group-communicator creation).
+    ``create`` says whether this level creates a fresh communicator (false on
+    a degenerate retry, which reuses the group's communicator).  The request
+    completes at the member's native end-of-level time with
+    ``(total_small, messages)`` as its result — everything else the member
+    needs (its slot view, the degenerate verdict) derives from those via the
+    batcher.
+    """
+    transport = ep.transport
+    coordinator = getattr(transport, "_spmd_coordinator", None)
+    if coordinator is None:
+        coordinator = transport._spmd_coordinator = SpmdCoordinator()
+    return coordinator.join(ep, "jqlevel", (record, create), None, 0)
+
+
+class _JQLevelPhase(_PhaseBase):
+    """One lockstep join per member prices an entire distributed level.
+
+    The native batched frontier suspends each member several times per
+    level: the communicator-creation charge, the fused sample/partition
+    charge, and the five lockstep joins (sample gather, pivot bcast, count
+    scan, totals bcast, data exchange).  Every one of those resumes carries
+    a full engine wake-up and a generator chain — pure dispatch at paper
+    scale.  This phase collapses them: each member joins once on entering
+    the level, and the last join replays the whole level analytically —
+
+    * the two compute charges are added onto the member's join time (with
+      the tracer updated exactly as ``env.compute`` would);
+    * the five sub-steps run as the *existing* phase classes of
+      :mod:`repro.core.spmd`, driven through ``_join_at`` with synthetic
+      join times — each member enters a sub-phase at its finish time from
+      the previous one, which is precisely when the engine would have
+      resumed it to issue the next call.  Port folds, payload snapshots,
+      tracer counters and float operand order are therefore those of the
+      unfused tier, bit for bit;
+    * the member wakes once, at its native end-of-level time, with
+      ``(total_small, messages)``.
+
+    Sub-phases are never registered with the coordinator (their generation
+    is this phase); the level's own ``first_join`` keeps the receive-port
+    prune bound conservative for every synthetic write, which all post at or
+    after it.  A member's final finish always trails the last join — the
+    gather funnels every join into member 0, whose broadcast feeds every
+    later sub-step — so the wake batch never schedules into the past.
+    """
+
+    kind = "jqlevel"
+
+    def __init__(self, ep, op, root, coordinator):
+        super().__init__(ep, op, root, coordinator)
+        self.ep = ep
+        self.record: _LevelRecord = None
+        self.creates: list = [False] * self.size
+
+    def on_join(self, rank: int) -> None:
+        record, create = self.values[rank]
+        self.values[rank] = None
+        self.record = record
+        self.creates[rank] = create
+        if self.joined_count == self.size:
+            self._resolve_all()
+
+    def _sub(self, factory, op, root):
+        """A sub-phase owned by this level (not coordinator-registered).
+
+        ``_retired`` is pre-set so a scan's deferred-flush retirement is a
+        no-op; the endpoint is reused only for its group shape and neutral
+        cost parameters — data-exchange and RBC-collective messages carry no
+        vendor word factor or per-message delay.
+        """
+        phase = factory(self.ep, op, root, self.coordinator)
+        phase._retired = True
+        phase._gen_key = None
+        phase.first_join = self.first_join
+        return phase
+
+    def _resolve_all(self) -> None:
+        record = self.record
+        config = record.config
+        size = self.size
+        env = self.ep.env
+        batcher = self.transport._jquick_batcher
+        compute_cost = self.compute_cost
+        compute_time = self.stats.compute_time
+        world = self.world
+        charge = config.charge_local_work
+        local_counts = record.local_counts.tolist()
+        row_sizes = record.row_sizes.tolist()
+
+        # Entry times: the communicator-creation charge and the fused
+        # sampling + partitioning charge, added in the order the native
+        # frontier sleeps through them (floats add left to right).
+        create_cost = compute_cost(RBC_CREATE_OPS)
+        times = []
+        joined = self.joined
+        for m in range(size):
+            t = joined[m]
+            w = world[m]
+            if self.creates[m]:
+                compute_time[w] += create_cost
+                t += create_cost
+            if charge:
+                cost = compute_cost(local_counts[m] + row_sizes[m])
+                compute_time[w] += cost
+                t += cost
+            times.append(t)
+
+        # --- 1. sample gather to member 0 --------------------------------
+        offsets = record.index_offsets
+        indices = record.indices
+        rows = record.rows
+        row_lo = record.row_lo
+        gather = self._sub(_GatherPhase, None, 0)
+        for m in range(size):
+            picks = indices[offsets[m]:offsets[m + 1]]
+            row = rows[m]
+            if picks.size:
+                value = (row[picks], row_lo[m] + picks)
+            else:
+                value = (row[:0], picks)
+            gather._join_at(m, value, times[m], env, None)
+
+        # --- 2. pivot broadcast from member 0 ----------------------------
+        pivot = median_of_samples(gather.requests[0]._value)
+        payload = (pivot.value, pivot.slot)
+        bcast = self._sub(_BcastPhase, None, 0)
+        requests = gather.requests
+        for m in range(size):
+            bcast._join_at(m, payload if m == 0 else None,
+                           requests[m].finish_time, env, None)
+        pivot_value = float(payload[0])
+        pivot_slot = int(payload[1])
+
+        # --- 3. group-wide fused partition (host side, no simulated time) -
+        batcher.partition(record, 0, pivot_value, pivot_slot,
+                          config.tie_breaking)
+        small_counts = record.small_counts.tolist()
+
+        # --- 4. prefix scan of the (small, large) counts ------------------
+        scan = self._sub(_ScanPhase, SUM, 0)
+        requests = bcast.requests
+        for m in range(size):
+            counts = np.array(
+                [small_counts[m], row_sizes[m] - small_counts[m]],
+                dtype=np.int64)
+            scan._join_at(m, counts, requests[m].finish_time, env, None)
+        if scan._flush_armed:
+            # The deferred flush the scan armed at its first join fires as a
+            # harmless no-op later; resolve it now, with every join visible,
+            # exactly as the event would have at this same instant.
+            scan._flush(None)
+
+        # --- 5. totals broadcast from the last member ---------------------
+        inclusive = scan.requests[size - 1]._value
+        bcast2 = self._sub(_BcastPhase, None, size - 1)
+        requests = scan.requests
+        for m in range(size):
+            bcast2._join_at(m, inclusive if m == size - 1 else None,
+                            requests[m].finish_time, env, None)
+        total_small = int(inclusive[0])
+
+        requests = bcast2.requests
+        if total_small == 0 or total_small == record.hi - record.lo:
+            # Degenerate split: the level ends at the totals broadcast and
+            # the members retry with fresh samples.
+            for m in range(size):
+                self._finish(m, requests[m].finish_time, (total_small, 0))
+            return
+
+        # --- 6. analytic data exchange ------------------------------------
+        batcher.assignment(record)
+        expected = record.expected
+        exchange = self._sub(_ExchangePhase, None, 0)
+        for m in range(size):
+            exchange._join_at(
+                m,
+                (batcher.pieces(record, m), int(expected[m]), row_sizes[m],
+                 charge),
+                requests[m].finish_time, env, None)
+        requests = exchange.requests
+        for m in range(size):
+            request = requests[m]
+            self._finish(m, request.finish_time, (total_small,
+                                                  request._value))
+
+
+SpmdCoordinator.register_kind("jqlevel", lambda *args: _JQLevelPhase(*args))

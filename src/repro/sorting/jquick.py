@@ -52,12 +52,14 @@ from typing import Optional
 import numpy as np
 
 from ..core import rand
+from ..core.spmd import ExchangeEndpoint
 from ..messaging import RequestSet
 from ..mpi.datatypes import SUM
 from ..rbc.tags import RESERVED_TAG_BASE
 from ..simulator.process import RankEnv
 from .assignment import greedy_assignment
 from .backends import GroupComm, JQuickBackend, NativeMpiBackend, RbcBackend
+from .batched import LevelBatcher, join_jq_level
 from .basecase import (
     BaseCaseTask,
     local_sort_cost,
@@ -71,7 +73,13 @@ from .kernels import fused_partition
 from .pivot import PivotConfig, median_of_samples, sample_count
 from .tasks import Blocking, Pending, Spawn, run_task_scheduler
 
-__all__ = ["JQuickConfig", "JQuickStats", "jquick", "jquick_rbc", "jquick_native_mpi"]
+__all__ = ["JQUICK_BATCH_MIN_RANKS", "JQuickConfig", "JQuickStats", "jquick",
+           "jquick_rbc", "jquick_native_mpi"]
+
+#: Smallest world size at which ``batch_levels=None`` (auto) engages the
+#: cross-rank batched tier: below this the per-record bookkeeping costs more
+#: than the per-rank Python it replaces.
+JQUICK_BATCH_MIN_RANKS = 64
 
 
 # Purposes of the per-task tags (kept disjoint from RBC's reserved tag space).
@@ -120,13 +128,28 @@ class JQuickConfig:
         Price the initial world-level size-agreement allreduce with the SPMD
         lockstep pricer (:mod:`repro.core.spmd`) — every rank reaches it in
         the same phase, so the pricing is bit-identical to the event-by-event
-        schedule with fewer engine events.  The group-level collectives of
-        the recursion are never lockstepped: a janus rank participates in two
-        groups at once and interleaves exchange traffic with them.  Like the
-        fused compute charges, this only applies under the counter sampler —
-        ``sampler="pcg64"`` keeps the historical event-by-event schedule so
-        its telemetry (event counts included) stays bit-identical to the
-        PR 2 snapshot.
+        schedule with fewer engine events.  Outside the batched tier the
+        group-level collectives of the recursion are never lockstepped: a
+        janus rank participates in two groups at once and interleaves
+        exchange traffic with them.  Like the fused compute charges, this
+        only applies under the counter sampler — ``sampler="pcg64"`` keeps
+        the historical event-by-event schedule so its telemetry (event
+        counts included) stays bit-identical to the PR 2 snapshot.
+    batch_levels:
+        Cross-rank batched execution of the distributed levels (the
+        paper-scale tier, :mod:`repro.sorting.batched`): the per-rank
+        sampling / partition / assignment work of a level is stacked into
+        ragged NumPy sweeps over the whole group, the recursion's collectives
+        are priced in SPMD lockstep, and the data exchange analytically.
+        Requires the counter sampler, the RBC backend, a flat machine with a
+        uniform link, and the communicator-bound layout ``n == p`` — one
+        element per rank, the regime of the paper's Fig. 8 — where no janus
+        ranks exist and every split lands on a rank boundary.  ``None``
+        (default) engages the tier automatically when eligible and
+        ``p >= JQUICK_BATCH_MIN_RANKS``; ``True`` demands it (``ValueError``
+        if ineligible); ``False`` keeps the per-rank frontier.  Results,
+        stats (modulo the ``batched_levels`` counter) and simulated times
+        are bit-identical either way.
     """
 
     pivot: PivotConfig = field(default_factory=PivotConfig)
@@ -137,6 +160,7 @@ class JQuickConfig:
     charge_local_work: bool = True
     max_levels: int = 300
     lockstep_size_agreement: bool = True
+    batch_levels: Optional[bool] = None
 
     def __post_init__(self):
         if self.schedule not in ("alternating", "cascaded"):
@@ -158,6 +182,10 @@ class JQuickStats:
     exchange_messages_received: int = 0
     max_exchange_messages_per_step: int = 0
     comm_creations: int = 0
+    #: Distributed levels executed on the cross-rank batched tier.  The only
+    #: stats field allowed to differ between a batched run and its scalar
+    #: reference.
+    batched_levels: int = 0
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
@@ -209,6 +237,9 @@ class _JQuickRun:
         self.base_cases: list[BaseCaseTask] = []
         self.fragments: dict[int, np.ndarray] = {}
         self._counter_sampler = config.sampler == "counter"
+        # Cross-rank batched tier (decided in execute() once n is known).
+        self._batched = False
+        self._batcher: Optional[LevelBatcher] = None
         # Slot-layout constants, filled in by execute() once n is known.
         self._my_start = 0
         self._my_end = 0
@@ -258,12 +289,70 @@ class _JQuickRun:
         self._my_start = self.rank * q + min(self.rank, r)
         self._my_end = self._my_start + (q + 1 if self.rank < r else q)
 
+        self._decide_batched()
+
         if self._my_end > self._my_start:
             coroutines = [self.distributed_task(0, self.n, data, depth=0)]
-            yield from run_task_scheduler(self.env, coroutines)
+            if self._batched:
+                # The batched tier prices the recursion's collectives in SPMD
+                # lockstep: with n == p there are no janus ranks, so every
+                # group's members pass through its collectives in the same
+                # phase and the quiet-ports contract holds (the analytic
+                # exchange folds into the same port logs).
+                saved_lockstep = self.env.lockstep_collectives
+                self.env.lockstep_collectives = True
+                try:
+                    yield from run_task_scheduler(self.env, coroutines)
+                finally:
+                    self.env.lockstep_collectives = saved_lockstep
+            else:
+                yield from run_task_scheduler(self.env, coroutines)
         yield from self.run_base_cases()
         result = self.finalize()
         return result, self.stats
+
+    def _batch_ineligibility(self) -> Optional[str]:
+        """Why the batched tier cannot engage (``None`` when it can)."""
+        if not self._counter_sampler:
+            return "it requires sampler='counter'"
+        if not isinstance(self.backend, RbcBackend):
+            return "it requires the RBC backend"
+        world = self.backend.world
+        if world._world_first is None:
+            return "it requires a rank-affine world communicator"
+        transport = self.env.transport
+        if getattr(transport, "_uniform_link", None) is None or \
+                getattr(transport, "_node_of", None) is not None:
+            return "it requires a flat machine with a uniform link model"
+        if self.n != self.p:
+            return ("it requires the communicator-bound layout n == p "
+                    f"(got n={self.n}, p={self.p})")
+        return None
+
+    def _decide_batched(self) -> None:
+        """Engage the cross-rank batched tier when configured and eligible."""
+        requested = self.config.batch_levels
+        if requested is False:
+            return
+        reason = self._batch_ineligibility()
+        if requested is None:
+            self._batched = reason is None and self.p >= JQUICK_BATCH_MIN_RANKS
+        else:
+            if reason is not None:
+                raise ValueError(f"batch_levels=True is unsupported: {reason}")
+            self._batched = True
+        if self._batched:
+            transport = self.env.transport
+            batcher = getattr(transport, "_jquick_batcher", None)
+            if batcher is None:
+                batcher = transport._jquick_batcher = LevelBatcher()
+            self._batcher = batcher
+            # Endpoint constants of the fused level phase, hoisted out of
+            # the per-level hot path.
+            world = self.backend.world
+            self._world_context = world.mpi_context()
+            self._world_first = world._world_first
+            self._world_stride = world._world_stride
 
     # ------------------------------------------------------- slot arithmetic
 
@@ -309,54 +398,93 @@ class _JQuickRun:
                 self.stats.levels = level + 1
             self.stats.distributed_steps += 1
 
-            if comm_interval != (lo, hi):
-                comm = yield Blocking(self.backend.make_group_comm(first, last))
-                comm_interval = (lo, hi)
-                self.stats.comm_creations += 1
-
             group_rank = self.rank - first
             group_size = span
             my_lo = lo if lo > self._my_start else self._my_start
             my_hi = hi if hi < self._my_end else self._my_end
 
-            # --- 1. pivot selection ------------------------------------------
-            pivot_value, pivot_slot = yield from self._select_pivot(
-                comm, lo, hi, data, my_lo, level, group_rank, group_size,
-                fused_charges)
+            if self._batched:
+                # ---- fused batched level: one lockstep join prices the
+                # whole level (comm-create and compute charges, the five
+                # collective sub-steps, the analytic exchange) and wakes
+                # this member once, at its native end-of-level time.  The
+                # group communicator is never materialised — its creation
+                # charge is priced inside the phase when the interval is
+                # fresh (a degenerate retry reuses the communicator).
+                batched_level = True
+                create = comm_interval != (lo, hi)
+                if create:
+                    comm_interval = (lo, hi)
+                    self.stats.comm_creations += 1
+                record = self._batcher.level(self, first, last, lo, hi, level)
+                self.stats.batched_levels += 1
+                self._batcher.register(record, group_rank, data)
+                # The whole-world group reuses the backend's prebuilt world
+                # channel — no creation charge, mirroring make_group_comm.
+                request = self._join_level(
+                    record, group_rank, group_size,
+                    create and (first > 0 or last < self.p - 1))
+                yield request
+                total_small, messages = request.result()
+                if total_small == 0 or total_small == hi - lo:
+                    self._batcher.release(record, group_rank)
+                    self.stats.degenerate_splits += 1
+                    level += 1
+                    continue
+                buffer = self._batcher.take_view(record, group_rank)
+                split = lo + total_small
+                cut = min(max(split, my_lo), my_hi) - my_lo
+                left_data, right_data = buffer[:cut], buffer[cut:]
+            else:
+                batched_level = False
+                if comm_interval != (lo, hi):
+                    comm = yield Blocking(
+                        self.backend.make_group_comm(first, last))
+                    comm_interval = (lo, hi)
+                    self.stats.comm_creations += 1
 
-            # --- 2. local partitioning ---------------------------------------
-            if charge and not fused_charges:
-                yield Blocking(self.env.compute(data.size))
-            small_vals, large_vals, small_n = fused_partition(
-                data, my_lo, pivot_value, pivot_slot,
-                tie_breaking=config.tie_breaking)
-            counts = np.array([small_n, data.size - small_n], dtype=np.int64)
+                # --- 1. pivot selection --------------------------------------
+                pivot_value, pivot_slot = yield from self._select_pivot(
+                    comm, lo, hi, data, my_lo, level, group_rank, group_size,
+                    fused_charges)
 
-            # --- 3. prefix sums and totals -----------------------------------
-            request = comm.iscan(counts, SUM, tag=self._tag(lo, _PURPOSE_SCAN))
-            yield request
-            inclusive = request.result()
-            small_prefix = int(inclusive[0]) - small_n
-            large_prefix = int(inclusive[1]) - (data.size - small_n)
+                # --- 2. local partitioning -----------------------------------
+                if charge and not fused_charges:
+                    yield Blocking(self.env.compute(data.size))
+                small_vals, large_vals, small_n = fused_partition(
+                    data, my_lo, pivot_value, pivot_slot,
+                    tie_breaking=config.tie_breaking)
+                counts = np.array([small_n, data.size - small_n],
+                                  dtype=np.int64)
 
-            totals_payload = inclusive if group_rank == group_size - 1 else None
-            request = comm.ibcast(totals_payload, root=group_size - 1,
-                                  tag=self._tag(lo, _PURPOSE_TOTAL))
-            yield request
-            total_small = int(request.result()[0])
+                # --- 3. prefix sums and totals -------------------------------
+                request = comm.iscan(counts, SUM,
+                                     tag=self._tag(lo, _PURPOSE_SCAN))
+                yield request
+                inclusive = request.result()
+                small_prefix = int(inclusive[0]) - small_n
+                large_prefix = int(inclusive[1]) - (data.size - small_n)
 
-            if total_small == 0 or total_small == hi - lo:
-                # Degenerate split (pivot was an extreme element): retry the
-                # level with fresh samples; the group stays the same, so the
-                # communicator is reused.
-                self.stats.degenerate_splits += 1
-                level += 1
-                continue
+                totals_payload = (inclusive if group_rank == group_size - 1
+                                  else None)
+                request = comm.ibcast(totals_payload, root=group_size - 1,
+                                      tag=self._tag(lo, _PURPOSE_TOTAL))
+                yield request
+                total_small = int(request.result()[0])
 
-            # --- 4./5. data assignment and exchange ---------------------------
-            left_data, right_data, messages = yield from self._exchange(
-                comm, lo, my_lo, my_hi, total_small, small_prefix,
-                large_prefix, small_vals, large_vals)
+                if total_small == 0 or total_small == hi - lo:
+                    # Degenerate split (pivot was an extreme element): retry
+                    # the level with fresh samples; the group stays the same,
+                    # so the communicator is reused.
+                    self.stats.degenerate_splits += 1
+                    level += 1
+                    continue
+
+                # --- 4./5. data assignment and exchange ----------------------
+                left_data, right_data, messages = yield from self._exchange(
+                    comm, lo, my_lo, my_hi, total_small, small_prefix,
+                    large_prefix, small_vals, large_vals)
+
             self.stats.exchange_messages_received += messages
             if messages > self.stats.max_exchange_messages_per_step:
                 self.stats.max_exchange_messages_per_step = messages
@@ -364,6 +492,20 @@ class _JQuickRun:
             # --- 6. recurse ----------------------------------------------------
             split = lo + total_small
             level += 1
+            if batched_level and \
+                    self._owner(split - 1) == self._owner(split):
+                # Defensive guard, unreachable at n == p (every split lands
+                # on a rank boundary when each rank owns one slot): a janus
+                # rank would serve two groups at once, which the lockstep
+                # contract cannot price.  Drop the whole subtree to the
+                # per-rank frontier — every member of the group takes the
+                # same branch, so the decision is group-consistent.  The
+                # communicator was never materialised on the batched tier,
+                # so the next level must create one.
+                self._batched = False
+                self.env.lockstep_collectives = False
+                comm = None
+                comm_interval = None
             in_left = my_lo < split
             in_right = my_hi > split
 
@@ -400,16 +542,18 @@ class _JQuickRun:
         Returns ``(pivot_value, pivot_slot)``.
         """
         config = self.config
-        total = hi - lo
-        sigma = sample_count(config.pivot, group_size, total / group_size)
         size = data.size
-        local_count = max(1, math.ceil(sigma * size / total)) if size else 0
-
         if self._counter_sampler:
+            total = hi - lo
+            sigma = sample_count(config.pivot, group_size, total / group_size)
+            local_count = max(1, math.ceil(sigma * size / total)) if size else 0
             indices = rand.sample_indices(
                 rand.sample_key(config.seed, lo, hi, level, self.rank),
                 local_count, size)
         else:
+            total = hi - lo
+            sigma = sample_count(config.pivot, group_size, total / group_size)
+            local_count = max(1, math.ceil(sigma * size / total)) if size else 0
             # Generator(PCG64(seed)) draws the exact stream default_rng(seed)
             # would, with less construction overhead — kept verbatim so
             # ``sampler="pcg64"`` runs are bit-identical to the pre-kernel
@@ -518,6 +662,24 @@ class _JQuickRun:
         # base-case message sent from them — skip the transport snapshot.
         buffer.flags.writeable = False
         return buffer[:cut], buffer[cut:], messages
+
+    def _join_level(self, record, group_rank: int, group_size: int,
+                    create: bool):
+        """Enter the fused batched level phase (see :mod:`.batched`).
+
+        The data movement of the level happens inside the group-wide
+        partition (the record's buffer *is* the slot region after the
+        exchange); the phase replays the level's native charge/collective/
+        exchange sequence analytically through the lockstep port machinery
+        and completes this member at its native end-of-level time.
+        """
+        endpoint = ExchangeEndpoint(
+            self.env,
+            ("jql", self._world_context, record.lo, record.hi, record.level),
+            self._tag(record.lo, _PURPOSE_DATA), group_rank, group_size,
+            self._world_first + record.first * self._world_stride,
+            self._world_stride)
+        return join_jq_level(endpoint, record, create)
 
     # -------------------------------------------------------------- base cases
 

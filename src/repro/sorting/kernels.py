@@ -33,9 +33,12 @@ import numpy as np
 
 __all__ = [
     "PARTITION_SCALAR_CUTOFF",
+    "ROWS_SCALAR_CUTOFF",
     "fused_partition",
+    "fused_partition_rows",
     "kway_bucket_split",
     "select_splitters",
+    "select_splitters_rows",
     "cached_log2",
 ]
 
@@ -43,6 +46,11 @@ __all__ = [
 #: (crossover measured by ``benchmarks/bench_kernels.py``: the Python loop
 #: wins below ~24 elements, ufunc dispatch amortises above).
 PARTITION_SCALAR_CUTOFF = 24
+
+#: Row-batched kernels at or below this many rows loop the per-row kernel
+#: instead of building ragged array expressions.  Both tiers are
+#: bit-identical — a pure constant-overhead knob, like the cutoff above.
+ROWS_SCALAR_CUTOFF = 4
 
 _FLOAT64 = np.dtype(np.float64)
 
@@ -104,6 +112,67 @@ def fused_partition(values: np.ndarray, slot_base: int, pivot_value: float,
     return small, large, small.size
 
 
+def fused_partition_rows(values: np.ndarray, offsets: np.ndarray,
+                         cuts: np.ndarray, pivot_value: float):
+    """Row-batched :func:`fused_partition` over a concatenated buffer.
+
+    ``values`` holds the rows of a whole group back to back (row ``i`` is
+    ``values[offsets[i]:offsets[i + 1]]``) and ``cuts[i]`` is row ``i``'s
+    already-clamped tie cut (``0`` everywhere when tie breaking is off).
+    Returns ``(reordered, small_counts)``: ``reordered`` is one fresh buffer
+    laid out as *all rows' smalls in row order, then all rows' larges in row
+    order* — exactly the concatenation of the per-row ``fused_partition``
+    outputs — and ``small_counts[i]`` is row ``i``'s small count.  Element
+    order within every part is preserved, so when the rows are a group's
+    slot-ordered buffers the result is the global slot-region content after
+    the level's exchange.
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    cuts = np.asarray(cuts, dtype=np.int64)
+    size = values.size
+    num_rows = offsets.size - 1
+    if size <= PARTITION_SCALAR_CUTOFF and values.dtype == _FLOAT64:
+        pivot = float(pivot_value)
+        smalls: list = []
+        larges: list = []
+        small_counts = np.empty(num_rows, dtype=np.int64)
+        for row in range(num_rows):
+            part = values[offsets[row]:offsets[row + 1]]
+            small, large, n_small = _scalar_partition(
+                part, int(cuts[row]), pivot)
+            smalls.append(small)
+            larges.append(large)
+            small_counts[row] = n_small
+        reordered = np.concatenate(smalls + larges) if size \
+            else values.copy()
+        return reordered, small_counts
+    starts = offsets[:-1]
+    lengths = np.diff(offsets)
+    mask = values < pivot_value
+    pos = np.arange(size, dtype=np.int64) - np.repeat(starts, lengths)
+    if np.any(cuts != 0):
+        tie = values == pivot_value
+        tie &= pos < np.repeat(cuts, lengths)
+        np.logical_or(mask, tie, out=mask)
+    csum = np.empty(size + 1, dtype=np.int64)
+    csum[0] = 0
+    np.cumsum(mask, out=csum[1:])
+    small_counts = csum[offsets[1:]] - csum[starts]
+    total_small = int(csum[size])
+    within_small = csum[:-1] - np.repeat(csum[starts], lengths)
+    # Destination of a small: smalls of earlier rows + rank among own row's
+    # smalls; of a large: total smalls + larges of earlier rows + rank among
+    # own row's larges (earlier larges = earlier elements - earlier smalls).
+    dest = np.where(
+        mask,
+        np.repeat(csum[starts], lengths) + within_small,
+        total_small + np.repeat(starts - csum[starts], lengths)
+        + (pos - within_small))
+    reordered = np.empty_like(values)
+    reordered[dest] = values
+    return reordered, small_counts
+
+
 # ---------------------------------------------------------------------------
 # k-way bucket split (sample sort's per-level inner loop).
 # ---------------------------------------------------------------------------
@@ -150,6 +219,39 @@ def select_splitters(chunks, k: int, dtype) -> np.ndarray:
     pool = np.sort(parts[0] if len(parts) == 1 else np.concatenate(parts))
     positions = (np.arange(1, k) * pool.size) // k
     return pool[np.minimum(positions, pool.size - 1)]
+
+
+def select_splitters_rows(values: np.ndarray, offsets: np.ndarray, k: int,
+                          dtype) -> tuple[np.ndarray, np.ndarray]:
+    """Row-batched :func:`select_splitters` over a concatenated pool buffer.
+
+    Row ``i`` is the already-gathered sample pool ``values[offsets[i]:
+    offsets[i + 1]]``.  Returns ``(splitters, out_offsets)`` with row ``i``'s
+    ``k - 1`` splitters at ``splitters[out_offsets[i]:out_offsets[i + 1]]``
+    (empty for an empty pool, like the scalar helper).  Value-identical to
+    calling ``select_splitters([row], k, dtype)`` per row: one stable
+    ``lexsort`` sorts every row in place of the per-row ``np.sort``, and the
+    equidistant positions are picked with one 2-D gather.
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    num_rows = offsets.size - 1
+    lengths = np.diff(offsets)
+    out_offsets = np.zeros(num_rows + 1, dtype=np.int64)
+    np.cumsum(np.where(lengths > 0, k - 1, 0), out=out_offsets[1:])
+    if values.size == 0:
+        return np.empty(0, dtype=dtype), out_offsets
+    if num_rows <= ROWS_SCALAR_CUTOFF:
+        rows = [select_splitters([values[offsets[i]:offsets[i + 1]]], k,
+                                 dtype) for i in range(num_rows)]
+        return np.concatenate(rows), out_offsets
+    row_of = np.repeat(np.arange(num_rows, dtype=np.int64), lengths)
+    pool = values[np.lexsort((values, row_of))]
+    rows_nz = np.nonzero(lengths > 0)[0]
+    sizes = lengths[rows_nz, None]
+    positions = (np.arange(1, k, dtype=np.int64)[None, :] * sizes) // k
+    np.minimum(positions, sizes - 1, out=positions)
+    positions += offsets[rows_nz][:, None]
+    return pool[positions.ravel()], out_offsets
 
 
 # ---------------------------------------------------------------------------

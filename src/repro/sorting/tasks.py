@@ -115,6 +115,52 @@ def run_task_scheduler(env: RankEnv, coroutines: Iterable[Generator]):
     order (initial coroutines first, spawned ones appended as they appear).
     """
     entries: List[_Entry] = [_Entry(coroutine=c) for c in coroutines]
+
+    if len(entries) == 1:
+        # Single-chain fast path: a run that never spawns a janus subtask
+        # (always the case in the batched n == p regime) is one coroutine
+        # driven straight — no sweep generator, no window bookkeeping, and
+        # one stack frame less per engine resume.  The directive handling
+        # and the test()-call sequence are identical to the generic loop
+        # below, so request state machines progress exactly the same; on the
+        # first Spawn the entry falls through to the generic scheduler in
+        # the state the sweep would have left it (runnable, spawning entry
+        # resumed first).
+        entry = entries[0]
+        coroutine = entry.coroutine
+        spawned = False
+        while not spawned:
+            try:
+                directive = coroutine.send(entry.send_value)
+            except StopIteration as stop:
+                entry.done = True
+                entry.result = stop.value
+                return [stop.value]
+            entry.send_value = None
+            cls = directive.__class__
+            if cls is Pending:
+                if directive.ready():
+                    continue
+                waiting = directive.ready
+            elif cls is Blocking:
+                entry.send_value = yield from directive.generator
+                continue
+            elif cls is Spawn:
+                entries.append(_Entry(coroutine=directive.coroutine))
+                spawned = True
+                continue
+            else:
+                tester = getattr(directive, "test", None)
+                if tester is None:
+                    raise TypeError(
+                        f"task coroutine yielded {directive!r}; expected "
+                        "Pending, Blocking, Spawn or a testable request")
+                if tester():
+                    continue
+                waiting = tester
+            while not waiting():
+                yield WAIT_NOTIFY
+
     unfinished = len(entries)
 
     def sweep():

@@ -1,0 +1,138 @@
+"""Tier-boundary equivalence of every row-batched kernel.
+
+Each batched kernel of the cross-rank sorting tier carries two
+implementations: a scalar loop at or below a size cutoff and a vectorised
+sweep above it.  The two tiers must be bit-identical — the batched sorting
+levels feed whichever tier the group size selects, and the differential
+contract (batched run == scalar run) only holds if the kernels agree at
+every size.  These tests pin the boundary explicitly: one size below the
+cutoff, the cutoff itself (the last scalar size) and one size above (the
+first vectorised size).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.rand import (
+    ROWS_SCALAR_CUTOFF,
+    sample_indices,
+    sample_indices_rows,
+    sample_key,
+    sample_keys,
+)
+from repro.sorting.assignment import greedy_assignment, greedy_assignment_rows
+from repro.sorting.kernels import (
+    PARTITION_SCALAR_CUTOFF,
+    fused_partition,
+    fused_partition_rows,
+    select_splitters,
+    select_splitters_rows,
+)
+
+BOUNDARY_ROWS = (ROWS_SCALAR_CUTOFF - 1, ROWS_SCALAR_CUTOFF,
+                 ROWS_SCALAR_CUTOFF + 1)
+
+
+@pytest.mark.parametrize("num_rows", BOUNDARY_ROWS)
+def test_sample_keys_matches_scalar_at_boundary(num_rows):
+    ranks = np.arange(3, 3 + num_rows)
+    keys = sample_keys(7, 2, 90, 4, ranks)
+    assert keys.dtype == np.uint64
+    for i, rank in enumerate(ranks):
+        assert int(keys[i]) == sample_key(7, 2, 90, 4, int(rank))
+
+
+@pytest.mark.parametrize("num_rows", BOUNDARY_ROWS)
+def test_sample_indices_rows_matches_scalar_at_boundary(num_rows):
+    rng = np.random.default_rng(num_rows)
+    keys = sample_keys(11, 0, 64, 1, np.arange(num_rows))
+    counts = rng.integers(0, 6, size=num_rows)
+    sizes = rng.integers(0, 40, size=num_rows)
+    indices, offsets = sample_indices_rows(keys, counts, sizes)
+    assert indices.dtype == np.int64
+    assert offsets.size == num_rows + 1
+    for i in range(num_rows):
+        expected = sample_indices(int(keys[i]), int(counts[i]), int(sizes[i]))
+        np.testing.assert_array_equal(indices[offsets[i]:offsets[i + 1]],
+                                      expected)
+
+
+@pytest.mark.parametrize("total",
+                         (PARTITION_SCALAR_CUTOFF - 1,
+                          PARTITION_SCALAR_CUTOFF,
+                          PARTITION_SCALAR_CUTOFF + 1))
+@pytest.mark.parametrize("tie_breaking", (False, True))
+def test_fused_partition_rows_matches_scalar_at_boundary(total, tie_breaking):
+    rng = np.random.default_rng(total)
+    # Duplicate-heavy rows so the tie cut actually decides membership.
+    values = rng.integers(0, 4, size=total).astype(np.float64)
+    offsets = np.array([0, total // 3, total // 2, total], dtype=np.int64)
+    pivot_value = 1.0
+    pivot_slot = total // 2
+    row_lo = offsets[:-1].copy()  # rows laid out back to back in slot order
+    if tie_breaking:
+        cuts = np.clip(pivot_slot - row_lo, 0, np.diff(offsets))
+    else:
+        cuts = np.zeros(offsets.size - 1, dtype=np.int64)
+    reordered, small_counts = fused_partition_rows(values, offsets, cuts,
+                                                   pivot_value)
+    smalls, larges = [], []
+    for row in range(offsets.size - 1):
+        part = values[offsets[row]:offsets[row + 1]]
+        small, large, n_small = fused_partition(
+            part, int(row_lo[row]), pivot_value, pivot_slot,
+            tie_breaking=tie_breaking)
+        assert small_counts[row] == n_small
+        smalls.append(small)
+        larges.append(large)
+    np.testing.assert_array_equal(reordered, np.concatenate(smalls + larges))
+
+
+@pytest.mark.parametrize("num_rows", BOUNDARY_ROWS)
+def test_select_splitters_rows_matches_scalar_at_boundary(num_rows):
+    rng = np.random.default_rng(num_rows)
+    lengths = rng.integers(0, 9, size=num_rows)
+    offsets = np.zeros(num_rows + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    values = rng.random(int(offsets[-1]))
+    k = 4
+    splitters, out_offsets = select_splitters_rows(values, offsets, k,
+                                                   values.dtype)
+    for i in range(num_rows):
+        expected = select_splitters([values[offsets[i]:offsets[i + 1]]], k,
+                                    values.dtype)
+        np.testing.assert_array_equal(
+            splitters[out_offsets[i]:out_offsets[i + 1]], expected)
+
+
+@pytest.mark.parametrize("num_rows", BOUNDARY_ROWS)
+def test_greedy_assignment_rows_matches_scalar_at_boundary(num_rows):
+    rng = np.random.default_rng(num_rows)
+    n = p = 64
+    lo = 8
+    small_counts = rng.integers(0, 3, size=num_rows)
+    large_counts = 1 - np.minimum(small_counts, 1) + rng.integers(
+        0, 2, size=num_rows)
+    small_prefixes = np.zeros(num_rows, dtype=np.int64)
+    np.cumsum(small_counts[:-1], out=small_prefixes[1:])
+    large_prefixes = np.zeros(num_rows, dtype=np.int64)
+    np.cumsum(large_counts[:-1], out=large_prefixes[1:])
+    total_small = int(small_counts.sum())
+    dest, slot_start, length, row_offsets = greedy_assignment_rows(
+        lo=lo, total_small=total_small, small_prefixes=small_prefixes,
+        small_counts=small_counts, large_prefixes=large_prefixes,
+        large_counts=large_counts, n=n, p=p)
+    for row in range(num_rows):
+        small_pieces, large_pieces = greedy_assignment(
+            lo=lo, total_small=total_small,
+            small_prefix=int(small_prefixes[row]),
+            large_prefix=int(large_prefixes[row]),
+            small_count=int(small_counts[row]),
+            large_count=int(large_counts[row]), n=n, p=p)
+        pieces = small_pieces + large_pieces
+        begin, end = int(row_offsets[row]), int(row_offsets[row + 1])
+        assert end - begin == len(pieces)
+        for offset, piece in enumerate(pieces):
+            assert dest[begin + offset] == piece.dest
+            assert slot_start[begin + offset] == piece.slot_start
+            assert length[begin + offset] == piece.length
