@@ -8,9 +8,15 @@ and gates the headline configurations:
   alignment with the node structure — node-leader bcast must win >= 1.5x;
 * ``cyclic-nic`` (round-robin ranks, one shared NIC per node): the
   topology-blind schedules serialise all eight ranks of a node on one port —
-  node-leader bcast and allreduce must win >= 1.5x (measured: >= 4x);
+  node-leader bcast, allreduce and gather must win >= 1.5x (measured: >= 4x);
+* ``block-nic`` (contiguous nodes, one shared NIC per node): the flat
+  dissemination scan's all-spanning rounds fight for the node ports — the
+  segmented node-prefix scan must win >= 1.5x (measured: >= 4x);
 * ``block`` at root 0 is the accidental-alignment sanity case: both schedules
-  produce the same tree, so the times must match almost exactly.
+  produce the same tree, so the times must match almost exactly.  On the
+  non-contiguous ``cyclic-nic`` placement the hierarchical scan falls back
+  to the flat schedule, so its ratio is exactly 1.0 — the contiguity gate at
+  work.
 """
 
 from repro.bench import hier_collectives
@@ -43,12 +49,29 @@ def test_hierarchical_collectives(benchmark, scale):
 
     # Shared-NIC machine with cyclic ranks: the headline gates.
     for operation, words in (("bcast", small), ("allreduce", 4096),
-                             ("barrier", 0)):
+                             ("barrier", 0), ("gather", small)):
         ratio = speedup(machine="cyclic-nic", operation=operation,
                         words=words, root=0)
         assert ratio >= 1.5, (
             f"node-leader {operation} must win >= 1.5x on the shared-NIC "
             f"cyclic machine, got {ratio:.2f}x")
+
+    # Segmented node-prefix scan on the contiguous shared-NIC machine: one
+    # inter-node seam per node instead of log(p) all-spanning rounds.
+    scan_ratio = speedup(machine="block-nic", operation="scan", words=small,
+                         root=0)
+    assert scan_ratio >= 1.5, (
+        f"segmented scan must win >= 1.5x on the shared-NIC block machine, "
+        f"got {scan_ratio:.2f}x")
+
+    # Non-contiguous placement: the hierarchical scan honestly falls back to
+    # the flat schedule (prefix order is not node order), so the ratio is
+    # exactly 1.0 rather than a mispriced "win".
+    fallback = speedup(machine="cyclic-nic", operation="scan", words=small,
+                       root=0)
+    assert abs(fallback - 1.0) < 1e-12, (
+        f"cyclic-nic scan must fall back to the flat schedule, "
+        f"got {fallback:.3f}x")
 
     # The node-leader schedules must never lose to the flat ones (parity is
     # fine) — except the barrier on per-rank-port machines, where the

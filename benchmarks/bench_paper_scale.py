@@ -101,6 +101,54 @@ def test_paper_scale(request, operation):
         "fast path (or a send bypassed collective pricing)")
 
 
+@pytest.mark.parametrize("operation", ["bcast", "scan"])
+def test_paper_scale_hierarchical(request, operation):
+    """Node-leader collectives at p = 2^15 on a non-flat machine.
+
+    Same ceilings as the flat gate, but on the two-tier preset (8 ranks per
+    node, 4096 nodes): the default selection routes bcast to the node-leader
+    tree and scan to the segmented node-prefix scan, and the lockstep tier
+    replays the schedule IR analytically (``hier_*`` phase kinds) with
+    per-edge tiered link prices.  Losing either layer — falling back to
+    event-by-event messaging or to scalar per-member pricing — blows the
+    wall ceiling or materializes mailboxes.
+    """
+    from repro.simulator.costmodel import HierarchicalParams
+
+    params = HierarchicalParams.two_tier(ranks_per_node=8)
+    start = time.perf_counter()
+    cluster = Cluster(NUM_RANKS, params)
+    result = cluster.run(collective_program, operation=operation,
+                         impl="rbc", vendor="intel", words=WORDS,
+                         repetitions=1)
+    wall_s = time.perf_counter() - start
+    peak_mib = _peak_rss_mib()
+    materialized = cluster.transport.mailboxes_materialized()
+
+    durations = [d for d in result.results if d is not None]
+    assert len(durations) == NUM_RANKS
+    assert max(durations) > 0.0
+
+    request.node.bench_extra = {
+        "num_ranks": NUM_RANKS,
+        "words": WORDS,
+        "operation": operation,
+        "machine": "two_tier",
+        "peak_rss_mib": round(peak_mib, 1),
+        "mailboxes_materialized": materialized,
+    }
+
+    assert wall_s < WALL_CEILING_S, (
+        f"hierarchical {operation} at p={NUM_RANKS} took {wall_s:.1f} s "
+        f"(ceiling {WALL_CEILING_S:.0f} s) — hier lockstep tier regressed?")
+    assert peak_mib < RSS_CEILING_MIB, (
+        f"peak RSS {peak_mib:.0f} MiB exceeds {RSS_CEILING_MIB} MiB — "
+        "an O(p^2) structure crept into the tiered transport?")
+    assert materialized == 0, (
+        f"{materialized} mailboxes materialized — the hierarchical run left "
+        "the lockstep fast path")
+
+
 #: JQuick gate ceilings (Fig. 8 point n/p = 1 at the paper's full machine
 #: size).  Measured ~54 s / ~520 MiB with the cross-rank batched sorting
 #: tier; the pre-batched frontier needs several minutes, so losing the tier

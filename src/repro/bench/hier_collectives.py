@@ -2,10 +2,12 @@
 
 All measurements run on the same 2-tier 64-rank machine (8 ranks per node,
 :meth:`~repro.simulator.costmodel.HierarchicalParams.two_tier`) and compare
-the topology-blind schedules (binomial bcast / reduce+bcast allreduce /
-dissemination barrier) against the node-leader schedules of
+the topology-blind schedules (binomial bcast/gather, reduce+bcast allreduce,
+dissemination barrier/scan) against the node-leader schedules of
 :mod:`repro.collectives.hierarchical` — same machine, same placement, same
-payloads, only the communication pattern differs.
+payloads, only the communication pattern differs.  The scan rows double as
+the contiguity-gate demonstration: on the cyclic placement the segmented
+node-prefix scan falls back to the flat schedule (ratio exactly 1.0).
 
 Three machine variants expose the three regimes:
 
@@ -57,6 +59,8 @@ _ALGORITHMS = {
     "bcast": ("binomial", "hierarchical"),
     "allreduce": ("reduce_bcast", "hierarchical"),
     "barrier": ("dissemination", "hierarchical"),
+    "gather": ("binomial", "hierarchical"),
+    "scan": ("dissemination", "hierarchical"),
 }
 
 
@@ -111,6 +115,26 @@ def _collective_program(env, *, operation: str, algorithm: str, words: int,
     elif operation == "barrier":
         yield from rbc_collectives.barrier(rbc, algorithm=algorithm)
         duration = env.now - start
+    elif operation == "gather":
+        value = yield from rbc_collectives.gather(rbc, payload, root,
+                                                 algorithm=algorithm)
+        duration = env.now - start
+        if rank == root:
+            assert all(
+                np.array_equal(np.asarray(part),
+                               np.arange(words, dtype=np.float64) + source)
+                for source, part in enumerate(value)), \
+                f"gather({algorithm}) scrambled contributions at the root"
+        else:
+            assert value is None
+    elif operation == "scan":
+        value = yield from rbc_collectives.scan(rbc, payload,
+                                                algorithm=algorithm)
+        duration = env.now - start
+        expected = (np.arange(words, dtype=np.float64) * (rank + 1)
+                    + sum(range(rank + 1)))
+        assert np.allclose(np.asarray(value), expected), \
+            f"scan({algorithm}) wrong prefix on rank {rank}"
     else:
         raise ValueError(f"unknown operation {operation!r}")
     return duration
@@ -144,6 +168,8 @@ def run(scale: str = "small") -> Table:
     cases += [("bcast", preset["words"][0], 5)]
     cases += [("allreduce", words, 0) for words in preset["words"]]
     cases += [("barrier", 0, 0)]
+    cases += [("gather", words, 0) for words in preset["words"]]
+    cases += [("scan", words, 0) for words in preset["words"]]
 
     for machine in MACHINES:
         params, placement = machines[machine]

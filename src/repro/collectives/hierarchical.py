@@ -29,6 +29,16 @@ endpoint's group ranks — so :class:`~repro.collectives.machines.CollectiveRequ
 drives the composed schedule unchanged, and all forwarding/freezing fast
 paths of the flat schedules apply per phase.
 
+The composition itself is no longer described here: :mod:`repro.collectives.ir`
+builds a typed :class:`~repro.collectives.ir.Schedule` (stage list + value
+routing) from the :class:`Hierarchy`, and :func:`run_schedule` below is the
+scalar *interpreter* of that IR — the same schedule objects drive the SPMD
+lockstep/fast-forward tier in :mod:`repro.core.spmd` bit-identically.  The
+``hier_*_schedule`` generators are thin wrappers that select the schedule
+(falling back to the flat algorithm off hierarchical machines) and hand it to
+the interpreter; they also cover the two operations new to the family,
+node-leader **gather** and the segmented node-prefix **iscan**.
+
 The root of a rooted operation acts as the leader of its own node and island
 (no extra hop into the root's node).  Leader election takes the smallest
 group rank of each node, which handles ragged nodes (a group whose size is
@@ -48,11 +58,14 @@ from typing import Any, Callable, Optional
 import numpy as np
 
 from .endpoint import TransportEndpoint
+from .ir import Schedule, schedule_for, token_op
 from .machines import (
     allreduce_schedule,
     barrier_schedule,
     bcast_schedule,
+    gather_schedule,
     reduce_schedule,
+    scan_schedule,
 )
 
 __all__ = [
@@ -61,10 +74,13 @@ __all__ = [
     "build_hierarchy",
     "hierarchy_of",
     "barrier_hierarchy_of",
+    "run_schedule",
     "hier_bcast_schedule",
     "hier_reduce_schedule",
     "hier_allreduce_schedule",
     "hier_barrier_schedule",
+    "hier_gather_schedule",
+    "hier_scan_schedule",
 ]
 
 
@@ -80,7 +96,8 @@ class Hierarchy:
     """
 
     __slots__ = ("node_members", "node_of", "islands", "island_of_node",
-                 "num_nodes", "num_islands", "nontrivial", "_leaders")
+                 "num_nodes", "num_islands", "nontrivial", "_leaders",
+                 "_schedules", "_contiguous")
 
     def __init__(self, node_members, node_of, islands, island_of_node):
         self.node_members = node_members
@@ -98,6 +115,25 @@ class Hierarchy:
             self.num_islands > 1
             or any(len(members) > 1 for members in node_members))
         self._leaders: dict = {}
+        self._schedules: dict = {}
+        self._contiguous: Optional[bool] = None
+
+    @property
+    def contiguous(self) -> bool:
+        """True when the group's nodes are contiguous rank blocks.
+
+        The segmented node-prefix scan needs every node to own one contiguous
+        slice of group ranks (``node_of`` non-decreasing), so that per-node
+        inclusive scans + a scan over node totals compose into the group
+        prefix.  Block placements are contiguous; cyclic placements are not.
+        """
+        value = self._contiguous
+        if value is None:
+            node_of = self.node_of
+            value = all(node_of[g - 1] <= node_of[g]
+                        for g in range(1, len(node_of)))
+            self._contiguous = value
+        return value
 
     def leaders_for(self, root: int):
         """``(node_leaders, island_leaders)`` for a collective rooted at ``root``.
@@ -310,13 +346,50 @@ class SubgroupEndpoint:
         return self._ep.placement
 
 
-def _subgroup(ep, members, rank: int) -> SubgroupEndpoint:
-    return SubgroupEndpoint(ep, members, members.index(rank))
-
-
 # ---------------------------------------------------------------------------
-# Node-leader schedules.
+# The scalar IR interpreter, and the node-leader schedules as IR wrappers.
 # ---------------------------------------------------------------------------
+
+def run_schedule(ep: TransportEndpoint, schedule: Schedule, value: Any,
+                 op: Optional[Callable[[Any, Any], Any]]):
+    """Interpret one :class:`~repro.collectives.ir.Schedule` on ``ep``.
+
+    Walks the stage list, running each stage this rank participates in as the
+    corresponding flat generator schedule on a :class:`SubgroupEndpoint`, and
+    routes values through the two per-rank registers (``carry``/``prefix``)
+    exactly as the IR prescribes.  The SPMD lockstep driver replays the same
+    stages with the same routing, which is what makes the two tiers
+    bit-identical by construction.
+    """
+    rank = ep.rank
+    carry = value
+    prefix: Any = None
+    stage_op = schedule.reduce_op(op)
+    for stage in schedule.stages:
+        members = stage.members
+        if rank not in members:
+            continue
+        index = members.index(rank)
+        sub = SubgroupEndpoint(ep, members, index)
+        kind = stage.kind
+        if kind == "bcast":
+            payload = carry if stage.src == "carry" else prefix
+            result = yield from bcast_schedule(sub, payload, stage.root)
+            if stage.dst == "carry":
+                carry = result
+            elif index != stage.root:
+                # A seam root's own prefix register is never clobbered by
+                # the payload it forwards.
+                prefix = result
+        elif kind == "reduce":
+            carry = yield from reduce_schedule(sub, carry, stage_op,
+                                               stage.root)
+        elif kind == "gather":
+            carry = yield from gather_schedule(sub, carry, stage.root)
+        else:  # "scan"
+            carry = yield from scan_schedule(sub, carry, op)
+    return schedule.finalize(rank, carry, prefix, op)
+
 
 def hier_bcast_schedule(ep: TransportEndpoint, value: Any, root: int,
                         hierarchy: Optional[Hierarchy] = None):
@@ -325,29 +398,9 @@ def hier_bcast_schedule(ep: TransportEndpoint, value: Any, root: int,
     if h is None:
         result = yield from bcast_schedule(ep, value, root)
         return result
-    rank = ep.rank
-    node_leaders, island_leaders = h.leaders_for(root)
-    my_node = h.node_of[rank]
-    my_island = h.island_of_node[my_node]
-
-    if h.num_islands > 1 and rank == island_leaders[my_island]:
-        sub = _subgroup(ep, island_leaders, rank)
-        value = yield from bcast_schedule(
-            sub, value, h.island_of_node[h.node_of[root]])
-
-    island_nodes = h.islands[my_island]
-    if len(island_nodes) > 1 and rank == node_leaders[my_node]:
-        members = tuple(node_leaders[n] for n in island_nodes)
-        sub = _subgroup(ep, members, rank)
-        value = yield from bcast_schedule(
-            sub, value, members.index(island_leaders[my_island]))
-
-    members = h.node_members[my_node]
-    if len(members) > 1:
-        sub = _subgroup(ep, members, rank)
-        value = yield from bcast_schedule(
-            sub, value, members.index(node_leaders[my_node]))
-    return value
+    result = yield from run_schedule(ep, schedule_for(h, "bcast", root),
+                                     value, None)
+    return result
 
 
 def hier_reduce_schedule(ep: TransportEndpoint, value: Any,
@@ -359,35 +412,9 @@ def hier_reduce_schedule(ep: TransportEndpoint, value: Any,
     if h is None:
         result = yield from reduce_schedule(ep, value, op, root)
         return result
-    rank = ep.rank
-    node_leaders, island_leaders = h.leaders_for(root)
-    my_node = h.node_of[rank]
-    my_island = h.island_of_node[my_node]
-
-    members = h.node_members[my_node]
-    if len(members) > 1:
-        leader = node_leaders[my_node]
-        sub = _subgroup(ep, members, rank)
-        value = yield from reduce_schedule(sub, value, op,
-                                           members.index(leader))
-        if rank != leader:
-            return None
-
-    island_nodes = h.islands[my_island]
-    if len(island_nodes) > 1 and rank == node_leaders[my_node]:
-        members = tuple(node_leaders[n] for n in island_nodes)
-        leader = island_leaders[my_island]
-        sub = _subgroup(ep, members, rank)
-        value = yield from reduce_schedule(sub, value, op,
-                                           members.index(leader))
-        if rank != leader:
-            return None
-
-    if h.num_islands > 1 and rank == island_leaders[my_island]:
-        sub = _subgroup(ep, island_leaders, rank)
-        value = yield from reduce_schedule(
-            sub, value, op, h.island_of_node[h.node_of[root]])
-    return value if rank == root else None
+    result = yield from run_schedule(ep, schedule_for(h, "reduce", root),
+                                     value, op)
+    return result
 
 
 def hier_allreduce_schedule(ep: TransportEndpoint, value: Any,
@@ -398,14 +425,9 @@ def hier_allreduce_schedule(ep: TransportEndpoint, value: Any,
     if h is None:
         result = yield from allreduce_schedule(ep, value, op)
         return result
-    reduced = yield from hier_reduce_schedule(ep, value, op, 0, hierarchy=h)
-    result = yield from hier_bcast_schedule(ep, reduced, 0, hierarchy=h)
+    result = yield from run_schedule(ep, schedule_for(h, "allreduce"),
+                                     value, op)
     return result
-
-
-def _token_op(left: Any, right: Any) -> None:
-    """Reduction operator of the barrier's zero-payload token wave."""
-    return None
 
 
 def hier_barrier_schedule(ep: TransportEndpoint,
@@ -421,6 +443,46 @@ def hier_barrier_schedule(ep: TransportEndpoint,
     if h is None:
         yield from barrier_schedule(ep)
         return None
-    yield from hier_reduce_schedule(ep, None, _token_op, 0, hierarchy=h)
-    yield from hier_bcast_schedule(ep, None, 0, hierarchy=h)
-    return None
+    result = yield from run_schedule(ep, schedule_for(h, "barrier"),
+                                     None, token_op)
+    return result
+
+
+def hier_gather_schedule(ep: TransportEndpoint, value: Any, root: int,
+                         hierarchy: Optional[Hierarchy] = None):
+    """Node-leader gather: node members → node leader → island leader → root.
+
+    Only one (list-valued) message per node crosses the node boundary and one
+    per island crosses the island boundary; the root flattens the nested
+    lists back into group-rank order host-side.  Doubles as gatherv, like the
+    flat schedule.
+    """
+    h = hierarchy if hierarchy is not None else hierarchy_of(ep)
+    if h is None:
+        result = yield from gather_schedule(ep, value, root)
+        return result
+    result = yield from run_schedule(ep, schedule_for(h, "gather", root),
+                                     value, None)
+    return result
+
+
+def hier_scan_schedule(ep: TransportEndpoint, value: Any,
+                       op: Callable[[Any, Any], Any],
+                       hierarchy: Optional[Hierarchy] = None):
+    """Segmented node-prefix inclusive scan.
+
+    Per-node inclusive scans run concurrently, one dissemination scan over
+    the node totals crosses the node boundary, and a two-hop seam broadcast
+    delivers each node's exclusive prefix — ``O(log ranks_per_node +
+    log nodes)`` rounds with one inter-node message per node, against the
+    flat dissemination scan's ``O(log p)`` all-spanning rounds.  Requires a
+    contiguous hierarchy (:attr:`Hierarchy.contiguous`); callers fall back to
+    the flat scan otherwise.
+    """
+    h = hierarchy if hierarchy is not None else hierarchy_of(ep)
+    if h is None or not h.contiguous:
+        result = yield from scan_schedule(ep, value, op)
+        return result
+    result = yield from run_schedule(ep, schedule_for(h, "scan"),
+                                     value, op)
+    return result

@@ -44,9 +44,22 @@ traffic): the coordinator tracks receive-port post times globally across
 phases and raises :class:`LockstepError` instead of diverging silently.
 Interleaving point-to-point traffic with a skewed collective is likewise
 out of contract.  :func:`lockstep_eligible` additionally
-requires a flat machine (uniform link, no shared-NIC pools), a group of more
-than one rank, and runtime checks (:class:`LockstepError`) reject phase
-shapes whose native port-write order cannot be reproduced.
+requires per-rank ports (shared-NIC pools serialise traffic on node-level
+resources the pricer does not mirror), a group of more than one rank, and
+runtime checks (:class:`LockstepError`) reject phase shapes whose native
+port-write order cannot be reproduced.  Machines with *tiered* link prices
+(hierarchical/fat-tree/dragonfly cost models without NIC pools) are priced
+per edge: each mirrored send resolves ``params.link(src, dst, placement)``
+exactly as ``Transport.post_send`` does, so the float expressions stay
+bit-identical to the event engine on non-flat machines too.
+
+Hierarchical collectives run under lockstep through the schedule IR of
+:mod:`repro.collectives.ir`: the ``hier_*`` kinds build the op's
+:class:`~repro.collectives.ir.Schedule` from the endpoint's hierarchy and a
+single generic :class:`_SchedulePhase` replays its stages as compositions of
+the flat phase classes — each member enters a stage at its finish time from
+the previous one, exactly when the scalar interpreter's generator would have
+issued the stage's schedule.
 
 The fast-forward tier
 ---------------------
@@ -205,17 +218,17 @@ def lockstep_eligible(ep) -> bool:
     """True when collectives on ``ep`` may be priced in lockstep.
 
     Requires the program's explicit opt-in (``env.lockstep_collectives``),
-    a flat machine (uniform link on per-rank ports — shared-NIC models
-    serialise traffic on node-level resources the lockstep pricer does not
-    mirror), and a non-trivial group.
+    per-rank ports (shared-NIC models serialise traffic on node-level
+    resources the lockstep pricer does not mirror), and a non-trivial group.
+    Tiered link prices are fine: the phases resolve ``params.link`` per edge
+    exactly as ``Transport.post_send`` does.
     """
     env = ep.env
     if not getattr(env, "lockstep_collectives", False):
         return False
     if ep.size <= 1:
         return False
-    transport = ep.transport
-    return transport._uniform_link is not None and transport._node_of is None
+    return ep.transport._node_of is None
 
 
 def join_lockstep(ep, kind: str, value: Any = None,
@@ -281,8 +294,9 @@ class SpmdCoordinator:
         # priced at its correct insertion point — and verified not to
         # change any already-applied later write — so benign overtakes
         # stay bit-identical and genuinely diverging ones raise instead of
-        # silently mispricing.  Entries are [post, leave, wire,
-        # free_before, arrival, cap]; see ``_PhaseBase._recv_side`` and
+        # silently mispricing.  Entries are [post, leave, transfer,
+        # free_before, arrival, cap, owner phase, run-has-replay flag];
+        # see ``_PhaseBase._recv_side``, ``_PhaseBase._tie_commutes`` and
         # ``_PhaseBase._commit_caps``.
         self._recv_logs: dict = {}
         # First-join times of live (unresolved) phases: every write a live
@@ -348,19 +362,43 @@ class _PhaseBase:
 
     kind = "?"
 
+    #: True on schedule-IR replay phases and the sub-phases they drive.
+    #: Their stages interleave across generations, so a same-instant tie
+    #: against another phase's port write must prove it commutes; flat
+    #: phases post in generation order, which matches the engine's tie
+    #: order (pinned by the differential seed suite).
+    _hier_sub = False
+
     def __init__(self, ep, op, root, coordinator):
         env = ep.env
         transport = ep.transport
+        self.env = env
         self.engine = env.engine
         self.transport = transport
+        self.context = ep.context
+        self.tag = ep.tag
         self.stats = transport.tracer.stats
         self.size = ep.size
         self.root = root
         self.op = op
         link = transport._uniform_link
-        if link is None:  # pragma: no cover - guarded by lockstep_eligible
-            raise LockstepError("lockstep requires a uniform link model")
-        self.alpha, self.beta = link
+        if link is not None:
+            self.alpha, self.beta = link
+            self._tiered = False
+        else:
+            # Tiered link prices on per-rank ports: every mirrored edge
+            # resolves params.link(src, dst, placement) exactly like
+            # post_send's non-NIC branch.  Shared-NIC pools route through
+            # node-level ports the mirror does not model.
+            if transport._node_of is not None:  # pragma: no cover - guarded
+                raise LockstepError(
+                    "lockstep requires per-rank ports (shared-NIC pools are "
+                    "not lockstep-eligible)")
+            self.alpha = self.beta = None
+            self._tiered = True
+        self._link_params = transport.params
+        self._link_placement = transport.placement
+        self._tier_arrays = None
         self.factor = ep.word_cost_factor
         self.pmd = ep.per_message_delay
         self.compute_cost = env.params.compute_cost
@@ -385,12 +423,9 @@ class _PhaseBase:
         self._cap_pending: list = []
         # Coordinator-shared receive-port write logs (see SpmdCoordinator).
         # Posts tied at the same instant are serialised in application
-        # order: for collectives entered from a common time the tied
-        # messages are identical (same leave, same wire words) and every
-        # serialisation yields the same arrival sequence, so this is
-        # bit-identical to the event engine; staggered repeats can tie
-        # *distinct* messages, where the analytic order is a canonical
-        # choice rather than a replay of the engine's queue order.
+        # order; _tie_commutes documents when that is provably (or
+        # empirically) the engine's own tie order and when the phase must
+        # refuse instead.
         self.coordinator = coordinator
         # Hot-path caches (bound once; _recv_side runs per tree edge).
         self._recv_logs = coordinator._recv_logs
@@ -446,6 +481,28 @@ class _PhaseBase:
         self._flush_wakes()
         return request
 
+    def _feed_all(self, times: list, values: list) -> tuple[list, list]:
+        """Feed every member synthetically at once; returns finishes/results.
+
+        Batch counterpart of per-member ``_join_at(..., proc=None)`` calls
+        for drivers that know the whole phase up front (the allreduce
+        composition): one array assignment replaces per-join bookkeeping,
+        and the phase resolves in a single fused pass over a known member
+        order instead of re-testing readiness on every join.  No wake
+        events or request objects are involved — the driver reads the
+        returned ``(finish_times, results)`` lists directly.
+        """
+        self.joined = list(times)
+        self.values = list(values)
+        self.joined_count = self.size
+        self._fed_finish = [0.0] * self.size
+        self._fed_values: list = [None] * self.size
+        self._resolve_fed()
+        return self._fed_finish, self._fed_values
+
+    def _resolve_fed(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
     def on_join(self, rank: int) -> None:  # pragma: no cover - interface
         raise NotImplementedError
 
@@ -477,20 +534,67 @@ class _PhaseBase:
         factor = self.factor
         return words if factor == 1.0 else int(round(words * factor))
 
+    def _edge_link(self, src: int, dst: int) -> tuple:
+        """``(alpha, beta)`` of one group-rank edge on a tiered machine.
+
+        Mirrors ``post_send``'s non-NIC branch: the link is resolved per
+        (world src, world dst) pair through the cost model's placement.
+        """
+        return self._link_params.link(self.world[src], self.world[dst],
+                                      self._link_placement)
+
+    def _sub_phase(self, factory, op, root, ep=None):
+        """A sub-phase owned and driven by this phase, on ``ep``'s group.
+
+        Never coordinator-registered: ``_retired`` is pre-set so a scan's
+        deferred-flush retirement is a no-op, and ``first_join`` is inherited
+        so the receive-port prune bound stays conservative for every
+        synthetic write (they all post at or after it).  ``ep`` defaults to
+        this phase itself, which quacks like an endpoint for its own group
+        (``_StageEndpoint`` narrows it to a stage's members).
+        """
+        phase = factory(self if ep is None else ep, op, root, self.coordinator)
+        phase._retired = True
+        phase._gen_key = None
+        phase.first_join = self.first_join
+        phase._hier_sub = self._hier_sub
+        return phase
+
+    # Endpoint-protocol views: a phase can stand in as the endpoint of its
+    # own group when composing sub-phases (see _sub_phase).
+    @property
+    def word_cost_factor(self) -> float:
+        return self.factor
+
+    @property
+    def per_message_delay(self) -> float:
+        return self.pmd
+
+    @property
+    def _affine(self):
+        return self.affine
+
+    def to_world(self, rank: int) -> int:
+        return self.world[rank]
+
     def _send_side(self, src: int, post_time: float, local_delay: float,
-                   wire: int) -> float:
+                   wire: int, link: Optional[tuple] = None) -> float:
         """Mirror the sender half of ``post_send``; returns the leave time.
 
         ``local_delay`` must already include the per-message delay, exactly
         as ``TransportEndpoint.isend`` folds it in before the transport adds
-        it to ``now``.
+        it to ``now``.  ``link`` carries the per-edge ``(alpha, beta)`` on
+        tiered machines; None selects the uniform link.
         """
         world = self.world[src]
         start = post_time + local_delay
         port_free = self.transport._send_port_free[world]
         if port_free > start:
             start = port_free
-        leave = start + self.alpha + wire * self.beta
+        if link is None:
+            leave = start + self.alpha + wire * self.beta
+        else:
+            leave = start + link[0] + wire * link[1]
         self.transport._send_port_free[world] = leave
         stats = self.stats
         stats.messages_sent += 1
@@ -500,7 +604,7 @@ class _PhaseBase:
         return leave
 
     def _recv_side(self, dst: int, leave: float, wire: int,
-                   post_time: float) -> float:
+                   post_time: float, beta: Optional[float] = None) -> float:
         """Mirror the receiver half of ``post_send``; returns the arrival.
 
         Native receive-port writes fold in chronological *post* order
@@ -511,22 +615,44 @@ class _PhaseBase:
         fold of every already-applied later write is unchanged — raising
         :class:`LockstepError` when the native interleaving cannot be
         reproduced.
+
+        ``beta`` is the message's per-edge link beta on tiered machines
+        (None selects the uniform link).  Log entries store the transfer
+        term ``wire * beta`` — one port can see writes from different link
+        tiers, so the product must travel with the entry for refolds
+        (``free + wire*beta`` and ``free + (wire*beta)`` are the same float
+        expression, so this changes nothing on flat machines).
+
+        Writes posted at *exactly* the same time are a special hazard: the
+        native engine breaks the tie by event insertion order, which one
+        phase's writes reproduce (they are emitted in native post order)
+        but two different phases' writes may not — the interleaving
+        depends on scheduling history the pricer cannot see.  Each entry
+        records its owning phase; ``_tie_commutes`` decides which foreign
+        ties are safe and which must refuse.
         """
         world = self.world[dst]
         logs = self._recv_logs
         log = logs.get(world)
         if log is None:
             log = logs[world] = []
-        beta = self.beta
-        if not log or post_time >= log[-1][0]:
+        transfer = wire * (self.beta if beta is None else beta)
+        hier = self._hier_sub
+        tail = log[-1] if log else None
+        tied = tail is not None and post_time == tail[0]
+        if tail is None or post_time > tail[0] \
+                or (tied and ((not hier and not tail[7])
+                              or self._tie_commutes(log, len(log), post_time,
+                                                    leave, transfer, world))):
             # In native post order: fold onto the live port state.
             recv_free = self._recv_free
             free_before = recv_free[world]
-            arrival = free_before + wire * beta
+            arrival = free_before + transfer
             if leave > arrival:
                 arrival = leave
             recv_free[world] = arrival
-            entry = [post_time, leave, wire, free_before, arrival, None]
+            entry = [post_time, leave, transfer, free_before, arrival, None,
+                     self, hier or (tied and tail[7])]
             if len(log) >= 24:
                 self._prune(log)
             log.append(entry)
@@ -539,16 +665,30 @@ class _PhaseBase:
             index = len(log)
             while index > 0 and log[index - 1][0] > post_time:
                 index -= 1
+            if index > 0 and log[index - 1][0] == post_time \
+                    and (hier or log[index - 1][7]):
+                self._tie_commutes(log, index, post_time, leave, transfer,
+                                   world)
             free_before = log[index][3]
-            arrival = free_before + wire * beta
+            arrival = free_before + transfer
             if leave > arrival:
                 arrival = leave
-            entry = [post_time, leave, wire, free_before, arrival, None]
+            entry = [post_time, leave, transfer, free_before, arrival, None,
+                     self,
+                     hier or (index > 0 and log[index - 1][0] == post_time
+                              and log[index - 1][7])]
+            if hier:
+                # Keep the cumulative run flag true on every tied entry
+                # the new write now precedes.
+                for later in log[index:]:
+                    if later[0] != post_time:
+                        break
+                    later[7] = True
             free = arrival
             changed_to_end = True
             for later in log[index:]:
                 later[3] = free
-                refold = free + later[2] * beta
+                refold = free + later[2]
                 if later[1] > refold:
                     refold = later[1]
                 if refold == later[4]:
@@ -573,6 +713,73 @@ class _PhaseBase:
         self._recvd_by_rank[world] += 1
         self._recvd_words_by_rank[world] += wire
         return arrival
+
+    def _tie_commutes(self, log: list, end: int, post_time: float,
+                      leave: float, transfer: float, world: int) -> bool:
+        """Verify a write tying earlier entries' post time is order-safe.
+
+        ``log[run_start:end]`` is the maximal run of entries posted at
+        exactly ``post_time``.  Three cases are safe outright:
+
+        * every entry in the run belongs to this phase — the emission
+          order *is* the native order;
+        * neither this phase nor any owner in the run is a schedule-IR
+          replay (``_hier_sub``) — flat phases of one coordinator post in
+          generation order per port, which matches the engine's
+          insertion-order tie break (pinned bit-exactly by the flat
+          differential suite, including staggered repeats);
+        * the fold provably commutes — folding the write at the *front*
+          of the run leaves every tied arrival unchanged and yields the
+          same arrival it gets at the *back*; the fold is monotone in the
+          port-free time, so agreement at both extremes covers every
+          position in between.
+
+        A schedule replay interleaves its stages across generations (a
+        later repetition's leaf send can tie an earlier repetition's
+        subtree send), where the engine's tie order depends on event
+        insertion history the pricer cannot see — a non-commuting tie
+        there raises :class:`LockstepError` instead of silently picking
+        an order.  Returns True when the tie is safe, raises otherwise.
+        """
+        run_start = end
+        while run_start > 0 and log[run_start - 1][0] == post_time:
+            run_start -= 1
+        if run_start == end:
+            return True
+        if not self._hier_sub and not log[end - 1][7]:
+            return True
+        if all(log[k][6] is self for k in range(run_start, end)):
+            return True
+        front_free = log[run_start][3]
+        front_arrival = front_free + transfer
+        if leave > front_arrival:
+            front_arrival = leave
+        free = front_arrival
+        commutes = True
+        for k in range(run_start, end):
+            entry = log[k]
+            refold = free + entry[2]
+            if entry[1] > refold:
+                refold = entry[1]
+            if refold != entry[4]:
+                commutes = False
+                break
+            free = refold
+        if commutes:
+            back_free = log[end][3] if end < len(log) \
+                else self._recv_free[world]
+            back_arrival = back_free + transfer
+            if leave > back_arrival:
+                back_arrival = leave
+            commutes = front_arrival == back_arrival
+        if not commutes:
+            raise LockstepError(
+                f"lockstep {self.kind}: receive-port contention on world "
+                f"rank {world} — writes from overlapping collective phases "
+                f"posted at exactly {post_time} and their fold depends on "
+                f"the native tie order; run this workload with lockstep "
+                f"disabled")
+        return True
 
     def _prune(self, log: list) -> None:
         """Drop log entries that can no longer be overtaken.
@@ -623,6 +830,28 @@ class _PhaseBase:
         return np.fromiter(map(port_list.__getitem__, self.world),
                            dtype=np.float64, count=self.size)
 
+    def _vector_ports(self) -> tuple:
+        """Group port slices plus tie state for a vector resolver.
+
+        Returns ``(send_free, recv_free, tails, hazard_tails, resume)``:
+        float64 copies of this group's send/receive port frees, the
+        port-log tail posts with their tie-hazard subset, and the members'
+        join times.  Shared by every round-vectorised phase.
+        """
+        send_free = self._gather_port_array(self.transport._send_port_free)
+        recv_free = self._gather_port_array(self._recv_free)
+        tails, hazard_tails = self._log_tails()
+        resume = np.array(self.joined, dtype=np.float64)
+        return send_free, recv_free, tails, hazard_tails, resume
+
+    def _commit_vector_ports(self, send_free: np.ndarray,
+                             recv_free: np.ndarray, entries_by_round: list,
+                             first_member: int = 0) -> None:
+        """Write a verified vector round-set back: ports, then log entries."""
+        self._scatter_port_array(self.transport._send_port_free, send_free)
+        self._scatter_port_array(self._recv_free, recv_free)
+        self._commit_round_logs(entries_by_round, first_member)
+
     def _scatter_port_array(self, port_list: list, values: np.ndarray) -> None:
         """Write a member-indexed array back into a per-world port list.
 
@@ -638,33 +867,80 @@ class _PhaseBase:
             for world, item in zip(self.world, items):
                 port_list[world] = item
 
-    def _log_tails(self) -> np.ndarray:
-        """Per-member-port post time of the last log entry (-inf when none).
+    def _log_tails(self) -> tuple:
+        """``(tails, hazards)`` per member port, both -inf when no entries.
 
-        The vector pricers stay on the scalar in-order fold exactly when
-        every write they would apply posts at or after this tail (and their
-        own per-round writes stay post-monotone per port); one violation
-        aborts the vector attempt before any state is touched and the phase
+        ``tails`` is the post time of the port's last log entry.  The
+        vector pricers stay on the scalar in-order fold exactly when every
+        write they would apply posts *at or after* this tail and their own
+        per-round writes stay post-monotone per port; one violation aborts
+        the vector attempt before any state is touched and the phase
         reruns through the scalar pricer, whose out-of-order re-insertion
         handles (or honestly refuses) the overtake.
+
+        ``hazards`` repeats the tail post time only where a write tied
+        exactly to it would be order-ambiguous — this phase or an owner in
+        the tail's tied run is a schedule replay (see ``_tie_commutes``).
+        The vector path cannot run the commute proof, so it aborts to the
+        scalar pricer on those ties too; flat-vs-flat ties keep the plain
+        in-order fold, which is the engine's own tie order.
         """
         tails = np.full(self.size, -np.inf)
+        hazards = np.full(self.size, -np.inf)
         logs = self._recv_logs
         if logs:
+            hier = self._hier_sub
             for index, world in enumerate(self.world):
                 log = logs.get(world)
                 if log:
-                    tails[index] = log[-1][0]
-        return tails
+                    tail = log[-1]
+                    tails[index] = tail[0]
+                    if hier or tail[7]:
+                        hazards[index] = tail[0]
+        return tails, hazards
+
+    def _tier_link_arrays(self) -> Optional[tuple]:
+        """``(alphas, betas, node_id, island_id)`` member arrays, or None.
+
+        The vector pricers use these to resolve per-edge link parameters as
+        array lookups: ``tier = 2 if islands differ else 1 if nodes differ
+        else 0`` mirrors ``Placement.tier_of`` elementwise, and indexing the
+        tier-parameter arrays reproduces ``params.link`` exactly (the values
+        are the very same Python floats).  None when the cost model does not
+        expose the three-tier table (``_tiers``) — the caller falls back to
+        the scalar pricer, which goes through ``params.link`` per edge.
+        """
+        cached = self._tier_arrays
+        if cached is not None:
+            return cached or None
+        tiers = getattr(self._link_params, "_tiers", None)
+        if tiers is None:
+            self._tier_arrays = False
+            return None
+        transport = self.transport
+        ids = getattr(transport, "_tier_ids", None)
+        if ids is None:
+            placement = self._link_placement
+            ids = transport._tier_ids = (
+                np.asarray(placement.nodes, dtype=np.intp),
+                np.asarray(placement.islands, dtype=np.intp))
+        world = np.asarray(self.world, dtype=np.intp)
+        cached = self._tier_arrays = (
+            np.array([pair[0] for pair in tiers], dtype=np.float64),
+            np.array([pair[1] for pair in tiers], dtype=np.float64),
+            ids[0][world], ids[1][world])
+        return cached
 
     def _commit_round_logs(self, entries_by_round: list,
                            first_member: int = 0) -> None:
         """Append a vector-priced phase's port writes as real log entries.
 
-        ``entries_by_round`` holds per-round ``(offset, posts, leaves, wire,
-        frees, arrivals, caps)`` tuples whose lists are indexed by
+        ``entries_by_round`` holds per-round ``(offset, posts, leaves,
+        transfer, frees, arrivals, caps)`` tuples whose lists are indexed by
         ``member - offset`` (members below ``offset`` did not receive that
-        round).  Entries, caps, and prune points match what the scalar
+        round); ``transfer`` is the entry's ``wire * beta`` product — one
+        scalar float when the round's edges share a link, else a list.
+        Entries, caps, and prune points match what the scalar
         pricer's ``_recv_side``/``_commit_caps`` would have produced — the
         append order per port is round-ascending, the prune check runs
         before each append with the same bound — so cross-phase overtaking
@@ -673,20 +949,27 @@ class _PhaseBase:
         logs = self._recv_logs
         world = self.world
         prune = self._prune
+        hier = self._hier_sub
         for member in range(first_member, self.size):
             dst = world[member]
             log = logs.get(dst)
             if log is None:
                 log = logs[dst] = []
-            for offset, posts, leaves, wire, frees, arrivals, caps \
+            for offset, posts, leaves, transfer, frees, arrivals, caps \
                     in entries_by_round:
                 index = member - offset
                 if index < 0:
                     continue
                 if len(log) >= 24:
                     prune(log)
-                log.append([posts[index], leaves[index], wire, frees[index],
-                            arrivals[index], caps[index]])
+                post = posts[index]
+                log.append([post, leaves[index],
+                            transfer[index] if transfer.__class__ is list
+                            else transfer,
+                            frees[index], arrivals[index], caps[index],
+                            self,
+                            hier or (bool(log) and log[-1][0] == post
+                                     and log[-1][7])])
 
     # Tree helpers (vrank rotation for rooted collectives).
 
@@ -711,6 +994,16 @@ def _rotated_children(rank: int, root: int, size: int) -> tuple[int, ...]:
 def _rotated_parent(rank: int, root: int, size: int) -> Optional[int]:
     parent = binomial_parent((rank - root) % size)
     return None if parent is None else (parent + root) % size
+
+
+def _edge_tiers(node_src, node_dst, island_src, island_dst) -> np.ndarray:
+    """Per-edge tier indices (0 node, 1 island, 2 machine) for one round.
+
+    Elementwise mirror of ``Placement.tier_of``; shared by every
+    round-vectorised phase on tiered machines.
+    """
+    return np.where(island_src != island_dst, 2,
+                    np.where(node_src != node_dst, 1, 0))
 
 
 # ---------------------------------------------------------------------------
@@ -791,15 +1084,19 @@ class _ScanPhase(_PhaseBase):
             words = 1
         factor = self.factor
         wire = words if factor == 1.0 else int(round(words * factor))
-        wire_beta = wire * self.beta
-        alpha = self.alpha
+        if self._tiered:
+            tier_arrays = self._tier_link_arrays()
+            if tier_arrays is None:
+                return False
+            tier_alphas, tier_betas, node_id, island_id = tier_arrays
+            alpha = wire_beta = None
+        else:
+            wire_beta = wire * self.beta
+            alpha = self.alpha
         pmd = self.pmd
         cost = self.compute_cost(words)
-        transport = self.transport
-        send_free = self._gather_port_array(transport._send_port_free)
-        recv_free = self._gather_port_array(self._recv_free)
-        tails = self._log_tails()
-        resume = np.array(self.joined, dtype=np.float64)
+        send_free, recv_free, tails, hazard_tails, resume = \
+            self._vector_ports()
         pending = np.zeros(size)
         entries_by_round: list = []
         for distance in self.rounds:
@@ -809,15 +1106,26 @@ class _ScanPhase(_PhaseBase):
             local_delay = pending[:senders] + pmd
             start = resume[:senders] + local_delay
             np.maximum(start, send_free[:senders], out=start)
-            leaves = start + alpha + wire_beta
+            if wire_beta is None:
+                # Per-edge links, sender s -> receiver s + distance: the
+                # parameter gathers reproduce params.link value-for-value.
+                tier = _edge_tiers(node_id[:senders], node_id[distance:],
+                                   island_id[:senders], island_id[distance:])
+                e_alpha = tier_alphas[tier]
+                e_wb = wire * tier_betas[tier]
+            else:
+                e_alpha = alpha
+                e_wb = wire_beta
+            leaves = start + e_alpha + e_wb
             send_free[:senders] = leaves
             # Receiver half: member m >= distance hears member m - distance.
             posts = resume[:senders]
-            if np.any(posts < tails[distance:]):
+            if np.any(posts < tails[distance:]) \
+                    or np.any(posts == hazard_tails[distance:]):
                 return False
             tails[distance:] = posts
             frees = recv_free[distance:].tolist()
-            arrival = recv_free[distance:] + wire_beta
+            arrival = recv_free[distance:] + e_wb
             np.maximum(arrival, leaves, out=arrival)
             recv_free[distance:] = arrival
             upd = ufunc(matrix[:senders], matrix[distance:])
@@ -831,37 +1139,34 @@ class _ScanPhase(_PhaseBase):
             segment = new_resume[distance:]
             np.maximum(segment, arrival, out=segment)
             entries_by_round.append(
-                (distance, posts.tolist(), leaves.tolist(), wire, frees,
+                (distance, posts.tolist(), leaves.tolist(),
+                 e_wb if e_wb.__class__ is float else e_wb.tolist(), frees,
                  arrival.tolist(), new_resume[distance:].tolist()))
             resume = new_resume
         # ---- all rounds verified in-order: commit. -----------------------
-        self._scatter_port_array(transport._send_port_free, send_free)
-        self._scatter_port_array(self._recv_free, recv_free)
-        self._commit_round_logs(entries_by_round, first_member=1)
+        self._commit_vector_ports(send_free, recv_free, entries_by_round,
+                                  first_member=1)
         stats = self.stats
         sent_by_rank = stats.per_rank_messages_sent
         sent_words_by_rank = stats.per_rank_words_sent
         recvd_by_rank = self._recvd_by_rank
         recvd_words_by_rank = self._recvd_words_by_rank
-        world = self.world
-        rounds = self.rounds
+        # Round d is sent by members [0, size-d) and heard by [d, size).
+        member_idx = np.arange(size)[:, None]
+        rounds_arr = np.asarray(self.rounds)
+        nsent = (member_idx < size - rounds_arr).sum(axis=1).tolist()
+        nrecv = (member_idx >= rounds_arr).sum(axis=1).tolist()
         total_sent = 0
-        for member in range(size):
-            nsent = 0
-            nrecv = 0
-            for distance in rounds:
-                if member + distance < size:
-                    nsent += 1
-                if member >= distance:
-                    nrecv += 1
-            dst = world[member]
-            if nsent:
-                sent_by_rank[dst] += nsent
-                sent_words_by_rank[dst] += nsent * wire
-                total_sent += nsent
-            if nrecv:
-                recvd_by_rank[dst] += nrecv
-                recvd_words_by_rank[dst] += nrecv * wire
+        for member, dst in enumerate(self.world):
+            ns = nsent[member]
+            nr = nrecv[member]
+            if ns:
+                sent_by_rank[dst] += ns
+                sent_words_by_rank[dst] += ns * wire
+                total_sent += ns
+            if nr:
+                recvd_by_rank[dst] += nr
+                recvd_words_by_rank[dst] += nr * wire
         stats.messages_sent += total_sent
         stats.words_sent += total_sent * wire
         # ---- results: object/freeze parity with the scalar pricer. -------
@@ -892,6 +1197,7 @@ class _ScanPhase(_PhaseBase):
         op = self.op
         pmd = self.pmd
         factor = self.factor
+        tiered = self._tiered
         alpha = self.alpha
         beta = self.beta
         world_rank = self.world[rank]
@@ -918,6 +1224,8 @@ class _ScanPhase(_PhaseBase):
                 wire = words if factor == 1.0 else int(round(words * factor))
                 # Sender half of post_send inlined (same float operand
                 # order as _send_side).
+                if tiered:
+                    alpha, beta = self._edge_link(rank, rank + distance)
                 local_delay = pending_delay + pmd
                 start = resume + local_delay
                 port_free = send_free[world_rank]
@@ -927,12 +1235,12 @@ class _ScanPhase(_PhaseBase):
                 send_free[world_rank] = leave
                 nsent += 1
                 wsent += wire
-                my_sends[distance] = (leave, wire, acc, resume)
+                my_sends[distance] = (leave, wire, acc, resume, beta)
             pending_delay = 0.0
             if rank - distance >= 0:
-                s_leave, s_wire, s_value, s_post = \
+                s_leave, s_wire, s_value, s_post, s_beta = \
                     sends[rank - distance][distance]
-                arrival = recv_side(rank, s_leave, s_wire, s_post)
+                arrival = recv_side(rank, s_leave, s_wire, s_post, s_beta)
                 pending_delay = compute_cost(payload_words(s_value))
                 acc = op(s_value, acc)
             if leave is not None or arrival is not None:
@@ -968,6 +1276,110 @@ class _BcastPhase(_PhaseBase):
         if rank == self.root or self.arrivals[rank] is not None:
             self._cascade(rank)
 
+    def _resolve_fed(self) -> None:
+        """Every member is joined: one fused top-down walk from the root.
+
+        Parents price before children — the only ordering the per-port
+        write sequences depend on — with the sender half of ``post_send``
+        inlined (same float operand order as ``_send_side``) and the
+        in-order untied receive fold applied without the ``_recv_side``
+        call; tied or out-of-order folds take the full logged path.
+        """
+        size = self.size
+        root = self.root
+        joined = self.joined
+        world = self.world
+        alpha = self.alpha
+        beta = self.beta
+        pmd = self.pmd
+        tiered = self._tiered
+        hier = self._hier_sub
+        fed_finish = self._fed_finish
+        fed_values = self._fed_values
+        logs = self._recv_logs
+        recv_free = self._recv_free
+        recv_side = self._recv_side
+        commit_caps = self._commit_caps
+        recvd = self._recvd_by_rank
+        recvd_words = self._recvd_words_by_rank
+        send_free = self.transport._send_port_free
+        stats = self.stats
+        sent_by_rank = stats.per_rank_messages_sent
+        sent_words_by_rank = stats.per_rank_words_sent
+        children_of = self._children
+        arrivals = self.arrivals
+        root_value = self.values[root]
+        if isinstance(root_value, np.ndarray) and \
+                not is_frozen_payload(root_value):
+            wire_value = freeze_payload(root_value.copy())
+        else:
+            wire_value = root_value
+        self.wire_value = wire_value
+        wire = self.wire_words_cached = self._wire_words(
+            payload_words(wire_value))
+        nsent = 0
+        wsent = 0
+        stack = [root]
+        while stack:
+            rank = stack.pop()
+            entry = joined[rank]
+            if rank != root:
+                arrival = arrivals[rank][0]
+                if arrival > entry:
+                    entry = arrival
+            finish = entry
+            src = world[rank]
+            for child in children_of(rank):
+                start = entry + pmd
+                port_free = send_free[src]
+                if port_free > start:
+                    start = port_free
+                if tiered:
+                    link = self._edge_link(rank, child)
+                    leave = start + link[0] + wire * link[1]
+                    ebeta = link[1]
+                else:
+                    leave = start + alpha + wire * beta
+                    ebeta = beta
+                send_free[src] = leave
+                nsent += 1
+                wsent += wire
+                sent_by_rank[src] += 1
+                sent_words_by_rank[src] += wire
+                dst = world[child]
+                log = logs.get(dst)
+                if log is None:
+                    log = logs[dst] = []
+                tail = log[-1] if log else None
+                if tail is None or entry > tail[0]:
+                    # In-order untied: the in-order branch of
+                    # ``_recv_side``, verbatim; the arrival is consumed
+                    # verbatim as the child's entry floor, so cap = arrival.
+                    transfer = wire * ebeta
+                    free_before = recv_free[dst]
+                    arrival = free_before + transfer
+                    if leave > arrival:
+                        arrival = leave
+                    recv_free[dst] = arrival
+                    row = [entry, leave, transfer, free_before, arrival,
+                           arrival, self, hier]
+                    if len(log) >= 24:
+                        self._prune(log)
+                    log.append(row)
+                    recvd[dst] += 1
+                    recvd_words[dst] += wire
+                else:
+                    arrival = recv_side(child, leave, wire, entry, ebeta)
+                    commit_caps(arrival)
+                arrivals[child] = (arrival, entry)
+                if leave > finish:
+                    finish = leave
+                stack.append(child)
+            fed_finish[rank] = finish
+            fed_values[rank] = root_value if rank == root else wire_value
+        stats.messages_sent += nsent
+        stats.words_sent += wsent
+
     def _cascade(self, rank: int) -> None:
         stack = [rank]
         while stack:
@@ -997,8 +1409,13 @@ class _BcastPhase(_PhaseBase):
                 self.wire_words_cached = self._wire_words(
                     payload_words(self.wire_value))
             wire = self.wire_words_cached
-            leave = self._send_side(rank, entry, self.pmd, wire)
-            arrival = self._recv_side(child, leave, wire, entry)
+            if self._tiered:
+                link = self._edge_link(rank, child)
+                leave = self._send_side(rank, entry, self.pmd, wire, link)
+                arrival = self._recv_side(child, leave, wire, entry, link[1])
+            else:
+                leave = self._send_side(rank, entry, self.pmd, wire)
+                arrival = self._recv_side(child, leave, wire, entry)
             # The arrival is consumed verbatim as the child's entry floor,
             # so it admits no growth: cap = arrival.
             self._commit_caps(arrival)
@@ -1034,6 +1451,121 @@ class _TreeUpPhase(_PhaseBase):
     def on_join(self, rank: int) -> None:
         self._cascade_up(rank)
 
+    def _resolve_fed(self) -> None:
+        """All members known up front: one fused bottom-up pass.
+
+        A binomial child always carries a larger vrank than its parent, so
+        descending vrank order is a topological order of the tree — every
+        rank is priced after all of its children, exactly as the per-join
+        cascade would have, with identical per-port write sequences (each
+        resolve touches only its own ports).  The sender half of
+        ``post_send`` is inlined with the exact float operand order of
+        ``_send_side``, and the in-order untied receive fold bypasses the
+        ``_recv_side`` call (this pass dominates the composed-allreduce
+        gate); tied or out-of-order folds take the full logged path.
+        """
+        size = self.size
+        root = self.root
+        joined = self.joined
+        up_send = self.up_send
+        world = self.world
+        alpha = self.alpha
+        beta = self.beta
+        factor = self.factor
+        tiered = self._tiered
+        hier = self._hier_sub
+        fed_finish = self._fed_finish
+        fed_values = self._fed_values
+        logs = self._recv_logs
+        recv_free = self._recv_free
+        recv_side = self._recv_side
+        cap_pending = self._cap_pending
+        recvd = self._recvd_by_rank
+        recvd_words = self._recvd_words_by_rank
+        send_free = self.transport._send_port_free
+        stats = self.stats
+        sent_by_rank = stats.per_rank_messages_sent
+        sent_words_by_rank = stats.per_rank_words_sent
+        children_of = self._children
+        up_payload = self._up_payload
+        nsent = 0
+        wsent = 0
+        for vrank in range(size - 1, -1, -1):
+            rank = vrank if root == 0 else (vrank + root) % size
+            children = children_of(rank)
+            entry = joined[rank]
+            if children:
+                edges = [up_send[child] for child in children]
+                if len(edges) > 1:
+                    edges.sort(key=_EDGE_POST)
+                rows = None
+                dst = world[rank]
+                log = logs.get(dst)
+                if log is None:
+                    log = logs[dst] = []
+                for post_time, leave, wire, _payload, ebeta in edges:
+                    tail = log[-1] if log else None
+                    if tail is None or post_time > tail[0]:
+                        # In-order untied: the in-order branch of
+                        # ``_recv_side``, verbatim.
+                        transfer = wire * ebeta
+                        free_before = recv_free[dst]
+                        arrival = free_before + transfer
+                        if leave > arrival:
+                            arrival = leave
+                        recv_free[dst] = arrival
+                        row = [post_time, leave, transfer, free_before,
+                               arrival, None, self, hier]
+                        if len(log) >= 24:
+                            self._prune(log)
+                        log.append(row)
+                        recvd[dst] += 1
+                        recvd_words[dst] += wire
+                        if rows is None:
+                            rows = [row]
+                        else:
+                            rows.append(row)
+                    else:
+                        arrival = recv_side(rank, leave, wire, post_time,
+                                            ebeta)
+                    if arrival > entry:
+                        entry = arrival
+                # Only the max of (join, arrivals) is committed downstream.
+                if rows is not None:
+                    for row in rows:
+                        row[5] = entry
+                if cap_pending:
+                    for row in cap_pending:
+                        row[5] = entry
+                    del cap_pending[:]
+            if vrank == 0:
+                fed_finish[rank] = entry
+                fed_values[rank] = self._root_result(rank, children)
+                continue
+            payload, local_delay, words = up_payload(rank, children)
+            wire = words if factor == 1.0 else int(round(words * factor))
+            src = world[rank]
+            start = entry + local_delay
+            port_free = send_free[src]
+            if port_free > start:
+                start = port_free
+            if tiered:
+                link = self._edge_link(rank, self._parent(rank))
+                leave = start + link[0] + wire * link[1]
+                ebeta = link[1]
+            else:
+                leave = start + alpha + wire * beta
+                ebeta = beta
+            send_free[src] = leave
+            nsent += 1
+            wsent += wire
+            sent_by_rank[src] += 1
+            sent_words_by_rank[src] += wire
+            up_send[rank] = (entry, leave, wire, payload, ebeta)
+            fed_finish[rank] = leave
+        stats.messages_sent += nsent
+        stats.words_sent += wsent
+
     def _cascade_up(self, rank: int) -> None:
         stack = [rank]
         while stack:
@@ -1060,8 +1592,8 @@ class _TreeUpPhase(_PhaseBase):
         if children:
             edges = sorted((self.up_send[child] for child in children),
                            key=_EDGE_POST)
-            for post_time, leave, wire, _payload in edges:
-                arrival = self._recv_side(rank, leave, wire, post_time)
+            for post_time, leave, wire, _payload, beta in edges:
+                arrival = self._recv_side(rank, leave, wire, post_time, beta)
                 if arrival > entry:
                     entry = arrival
         # Only the max of (join, arrivals) is committed downstream.
@@ -1069,53 +1601,78 @@ class _TreeUpPhase(_PhaseBase):
         return entry
 
     def _resolve(self, rank: int, children: list[int]) -> None:
-        raise NotImplementedError  # pragma: no cover - interface
+        """Price one member on the live path: entry, up-send, finish.
+
+        The op-specific payload semantics live in ``_up_payload`` /
+        ``_root_result``, shared with the fused ``_resolve_fed`` pass.
+        """
+        entry = self._entry_time(rank, children)
+        parent = self._parent(rank)
+        if parent is None:
+            self._finish(rank, entry, self._root_result(rank, children))
+            return
+        payload, local_delay, words = self._up_payload(rank, children)
+        wire = self._wire_words(words)
+        link = self._edge_link(rank, parent) if self._tiered else None
+        leave = self._send_side(rank, entry, local_delay, wire, link)
+        self.up_send[rank] = (entry, leave, wire, payload,
+                              self.beta if link is None else link[1])
+        self._finish(rank, leave, None)
+
+    def _up_payload(self, rank: int,
+                    children: list[int]) -> tuple:  # pragma: no cover
+        """(payload, local send delay, payload words) of the up-tree send."""
+        raise NotImplementedError
+
+    def _root_result(self, rank: int,
+                     children: list[int]):  # pragma: no cover - interface
+        raise NotImplementedError
 
 
 class _ReducePhase(_TreeUpPhase):
     kind = "reduce"
 
-    def _resolve(self, rank: int, children: list[int]) -> None:
-        entry = self._entry_time(rank, children)
+    def _up_payload(self, rank: int, children: list[int]) -> tuple:
         value = self.values[rank]
         contributed = value
         combine_delay = 0.0
+        op = self.op
+        up_send = self.up_send
+        compute_cost = self.compute_cost
         for child in children:
-            contribution = self.up_send[child][3]
-            combine_delay += self.compute_cost(payload_words(contribution))
-            value = self.op(value, contribution)
-        parent = self._parent(rank)
-        if parent is None:
-            self._finish(rank, entry, value)
-            return
+            contribution = up_send[child][3]
+            combine_delay += compute_cost(payload_words(contribution))
+            value = op(value, contribution)
         if value is not contributed:
             value = freeze_payload(value)
-        wire = self._wire_words(payload_words(value))
-        leave = self._send_side(rank, entry, combine_delay + self.pmd, wire)
-        self.up_send[rank] = (entry, leave, wire, value)
-        self._finish(rank, leave, None)
+        return value, combine_delay + self.pmd, payload_words(value)
+
+    def _root_result(self, rank: int, children: list[int]):
+        # The root consumes the combined value locally; its combine delay is
+        # not on any send path, so only the entry time gates its finish.
+        value = self.values[rank]
+        op = self.op
+        up_send = self.up_send
+        for child in children:
+            value = op(value, up_send[child][3])
+        return value
 
 
 class _GatherPhase(_TreeUpPhase):
     kind = "gather"
 
-    def _resolve(self, rank: int, children: list[int]) -> None:
-        entry = self._entry_time(rank, children)
+    def _up_payload(self, rank: int, children: list[int]) -> tuple:
         # Native payload is a list of (group_rank, value) pairs; only its
         # word count matters for pricing, and only the root materialises the
         # final list.  payload_words(list of pairs) = sum(1 + words(value)).
         words = 1 + payload_words(self.values[rank])
+        up_send = self.up_send
         for child in children:
-            words += self.up_send[child][3]
-        parent = self._parent(rank)
-        if parent is None:
-            result = list(self.values)
-            self._finish(rank, entry, result)
-            return
-        wire = self._wire_words(words)
-        leave = self._send_side(rank, entry, self.pmd, wire)
-        self.up_send[rank] = (entry, leave, wire, words)
-        self._finish(rank, leave, None)
+            words += up_send[child][3]
+        return words, self.pmd, words
+
+    def _root_result(self, rank: int, children: list[int]):
+        return list(self.values)
 
 
 # ---------------------------------------------------------------------------
@@ -1123,11 +1680,23 @@ class _GatherPhase(_TreeUpPhase):
 # ---------------------------------------------------------------------------
 
 class _AllreducePhase(_PhaseBase):
+    """Reduce to vrank 0 then bcast, composed from the tree phase classes.
+
+    The halves are fed *synthetically* (``_feed_all``): every member enters
+    the reduce at its real join time and the bcast at the instant its
+    reduce part ended — the root's entry time, a non-root's up-send leave —
+    exactly when the native state machine would have posted the next half's
+    schedule.  Per-port write sequences equal the historical inlined pass:
+    each send port is written only by its own rank's resolve (children in
+    tree order) and each receive port folds its children sorted by post
+    time, so the composition is bit-identical to pricing both halves in
+    one loop.
+    """
+
     kind = "allreduce"
 
     def __init__(self, ep, op, root, coordinator):
         super().__init__(ep, op, 0, coordinator)
-        self.up_send: list = [None] * self.size
 
     def on_join(self, rank: int) -> None:
         # The bcast half needs every rank's reduce completion, and the
@@ -1139,116 +1708,21 @@ class _AllreducePhase(_PhaseBase):
 
     def _resolve_all(self) -> None:
         size = self.size
-        joined = self.joined
-        values = self.values
-        up_send = self.up_send
-        world = self.world
-        alpha = self.alpha
-        beta = self.beta
-        pmd = self.pmd
-        factor = self.factor
-        op = self.op
-        compute_cost = self.compute_cost
-        send_free = self.transport._send_port_free
-        stats = self.stats
-        sent_by_rank = stats.per_rank_messages_sent
-        sent_words_by_rank = stats.per_rank_words_sent
-        recv_side = self._recv_side
-        commit_caps = self._commit_caps
-        nsent = 0
-        wsent = 0
-        # --- reduce half (bottom-up over vranks, root 0). ---------------
-        # A binomial child always carries a larger vrank than its parent, so
-        # descending rank order is a topological order of the tree: one pass
-        # prices every rank after all of its children.  The sender half of
-        # ``post_send`` is inlined with the exact float operand order of
-        # ``_send_side`` (this pass dominates the allreduce gate); receives
-        # go through ``_recv_side`` for the cross-phase port log.
-        reduce_done = [0.0] * size   # rank -> time its reduce part ends
-        reduced = None
-        for rank in range(size - 1, -1, -1):
-            children = binomial_children(rank, size)
-            entry = joined[rank]
-            value = values[rank]
-            contributed = value
-            combine_delay = 0.0
-            if children:
-                edges = sorted((up_send[child] for child in children),
-                               key=_EDGE_POST)
-                for post_time, leave, wire, _payload in edges:
-                    arrival = recv_side(rank, leave, wire, post_time)
-                    if arrival > entry:
-                        entry = arrival
-                commit_caps(entry)
-                for child in children:
-                    contribution = up_send[child][3]
-                    combine_delay += compute_cost(payload_words(contribution))
-                    value = op(value, contribution)
-            if rank == 0:
-                reduce_done[0] = entry
-                reduced = value
-            else:
-                if value is not contributed:
-                    value = freeze_payload(value)
-                words = payload_words(value)
-                wire = words if factor == 1.0 else int(round(words * factor))
-                local_delay = combine_delay + pmd
-                src = world[rank]
-                start = entry + local_delay
-                port_free = send_free[src]
-                if port_free > start:
-                    start = port_free
-                leave = start + alpha + wire * beta
-                send_free[src] = leave
-                nsent += 1
-                wsent += wire
-                sent_by_rank[src] += 1
-                sent_words_by_rank[src] += wire
-                up_send[rank] = (entry, leave, wire, value)
-                reduce_done[rank] = leave
-        # --- bcast half (top-down over vranks, root 0). ------------------
-        if isinstance(reduced, np.ndarray) and not is_frozen_payload(reduced):
-            wire_value = freeze_payload(reduced.copy())
-        else:
-            wire_value = reduced
-        words = payload_words(wire_value)
-        wire = words if factor == 1.0 else int(round(words * factor))
-        arrivals: list = [None] * size
-        stack = [0]
+        reduce_phase = self._sub_phase(_ReducePhase, self.op, 0)
+        reduce_finish, reduce_values = reduce_phase._feed_all(
+            self.joined, self.values)
+        bcast_phase = self._sub_phase(_BcastPhase, None, 0)
+        bcast_finish, bcast_values = bcast_phase._feed_all(
+            reduce_finish, [reduce_values[0]] + [None] * (size - 1))
+        # Wake in the historical top-down order (root, then reverse-DFS):
+        # simultaneous finishes share one engine event whose intra-batch
+        # order is insertion order.
         finish = self._finish
+        stack = [0]
         while stack:
-            rank = stack.pop()
-            if rank == 0:
-                entry = reduce_done[0]
-                result = reduced
-            else:
-                entry = reduce_done[rank]
-                arrival = arrivals[rank]
-                if arrival > entry:
-                    entry = arrival
-                result = wire_value
-            done = entry
-            src = world[rank]
-            for child in binomial_children(rank, size):
-                start = entry + pmd
-                port_free = send_free[src]
-                if port_free > start:
-                    start = port_free
-                leave = start + alpha + wire * beta
-                send_free[src] = leave
-                nsent += 1
-                wsent += wire
-                sent_by_rank[src] += 1
-                sent_words_by_rank[src] += wire
-                arrival = recv_side(child, leave, wire, entry)
-                arrivals[child] = arrival
-                commit_caps(arrival)
-                if leave > done:
-                    done = leave
-                stack.append(child)
-            finish(rank, done, result)
-        stats.messages_sent += nsent
-        stats.words_sent += wsent
+            member = stack.pop()
+            finish(member, bcast_finish[member], bcast_values[member])
+            stack.extend(binomial_children(member, size))
 
 
 # ---------------------------------------------------------------------------
@@ -1277,12 +1751,16 @@ class _BarrierPhase(_PhaseBase):
         the scalar in-order branch.
         """
         size = self.size
-        transport = self.transport
-        send_free = self._gather_port_array(transport._send_port_free)
-        recv_free = self._gather_port_array(self._recv_free)
-        tails = self._log_tails()
-        resume = np.array(self.joined, dtype=np.float64)
-        alpha = self.alpha
+        if self._tiered:
+            tier_arrays = self._tier_link_arrays()
+            if tier_arrays is None:
+                return False
+            tier_alphas, _tier_betas, node_id, island_id = tier_arrays
+            alpha = None
+        else:
+            alpha = self.alpha
+        send_free, recv_free, tails, hazard_tails, resume = \
+            self._vector_ports()
         local_delay = 0.0 + self.pmd  # isend(None): local_delay defaults 0.0
         rounds = dissemination_rounds(size)
         index = np.arange(size)
@@ -1290,11 +1768,18 @@ class _BarrierPhase(_PhaseBase):
         for distance in rounds:
             start = resume + local_delay
             np.maximum(start, send_free, out=start)
-            leaves = start + alpha
+            if alpha is None:
+                # Per-edge alphas, member m -> (m + distance) mod size; the
+                # zero-word transfer term folds away bit-exactly.
+                tier = _edge_tiers(node_id, np.roll(node_id, -distance),
+                                   island_id, np.roll(island_id, -distance))
+                leaves = start + tier_alphas[tier]
+            else:
+                leaves = start + alpha
             send_free = leaves
             source = np.roll(index, distance)
             posts = resume[source]
-            if np.any(posts < tails):
+            if np.any(posts < tails) or np.any(posts == hazard_tails):
                 return False
             tails = posts
             frees = recv_free.tolist()
@@ -1304,13 +1789,11 @@ class _BarrierPhase(_PhaseBase):
             new_resume = np.maximum(resume, leaves)
             np.maximum(new_resume, arrival, out=new_resume)
             entries_by_round.append(
-                (0, posts.tolist(), leaves[source].tolist(), 0, frees,
+                (0, posts.tolist(), leaves[source].tolist(), 0.0, frees,
                  arrival.tolist(), new_resume.tolist()))
             resume = new_resume
         # ---- all rounds verified in-order: commit. -----------------------
-        self._scatter_port_array(transport._send_port_free, send_free)
-        self._scatter_port_array(self._recv_free, recv_free)
-        self._commit_round_logs(entries_by_round)
+        self._commit_vector_ports(send_free, recv_free, entries_by_round)
         stats = self.stats
         num_rounds = len(rounds)
         stats.messages_sent += size * num_rounds
@@ -1327,6 +1810,7 @@ class _BarrierPhase(_PhaseBase):
     def _scalar_resolve(self) -> None:
         size = self.size
         world = self.world
+        tiered = self._tiered
         alpha = self.alpha
         send_free = self.transport._send_port_free
         stats = self.stats
@@ -1350,6 +1834,11 @@ class _BarrierPhase(_PhaseBase):
                 port_free = send_free[src]
                 if port_free > start:
                     start = port_free
+                if tiered:
+                    dest = rank_ + distance
+                    if dest >= size:
+                        dest -= size
+                    alpha = self._edge_link(rank_, dest)[0]
                 leave = start + alpha
                 send_free[src] = leave
                 nsent += 1
@@ -1360,7 +1849,8 @@ class _BarrierPhase(_PhaseBase):
                 source = rank_ - distance
                 if source < 0:
                     source += size
-                arrival = recv_side(rank_, leaves[source], 0, posts[source])
+                arrival = recv_side(rank_, leaves[source], 0, posts[source],
+                                    0.0 if tiered else None)
                 new_resume = resume[rank_]
                 if leaves[rank_] > new_resume:
                     new_resume = leaves[rank_]
@@ -1478,10 +1968,13 @@ class _ExchangePhase(_PhaseBase):
         inbound = self.inbound
         best_leave = 0.0
         touched = []
+        tiered = self._tiered
         for dest, words in pieces:
             wire = self._wire_words(words)
-            leave = self._send_side(rank, post_time, 0.0, wire)
-            self._recv_side(dest, leave, wire, post_time)
+            link = self._edge_link(rank, dest) if tiered else None
+            leave = self._send_side(rank, post_time, 0.0, wire, link)
+            self._recv_side(dest, leave, wire, post_time,
+                            None if link is None else link[1])
             entry = pending.pop()
             entry[5] = _INF
             inbound[dest].append(entry)
@@ -1525,3 +2018,235 @@ class _ExchangePhase(_PhaseBase):
         if leave > finish:
             finish = leave
         self._finish(member, finish, arrived)
+
+
+# ---------------------------------------------------------------------------
+# Hierarchical collectives: one generic phase replaying the schedule IR.
+# ---------------------------------------------------------------------------
+
+class _StageEndpoint:
+    """Endpoint view of one IR stage's members, for ``_sub_phase``.
+
+    Narrows a parent phase's group to a stage's participants: member ``i``
+    of the sub-phase is world rank ``world[i]``.  Cost parameters are
+    inherited from the parent phase (they were endpoint-agreed at join).
+    """
+
+    __slots__ = ("env", "transport", "context", "tag", "rank", "size",
+                 "_affine", "word_cost_factor", "per_message_delay", "_world")
+
+    def __init__(self, parent, world):
+        self.env = parent.env
+        self.transport = parent.transport
+        self.context = parent.context
+        self.tag = parent.tag
+        self.rank = 0
+        self.size = len(world)
+        self._affine = None
+        self.word_cost_factor = parent.factor
+        self.per_message_delay = parent.pmd
+        self._world = world
+
+    def to_world(self, member: int) -> int:
+        return self._world[member]
+
+
+class _SchedulePhase(_PhaseBase):
+    """Lockstep replay of a schedule-IR program (the ``hier_*`` kinds).
+
+    The generic sibling of :class:`_AllreducePhase`'s two-stage composition:
+    each IR stage becomes one flat sub-phase over the stage's members, fed
+    synthetically with every member's finish time from the previous stage it
+    participated in — exactly the instant the scalar interpreter
+    (:func:`repro.collectives.hierarchical.run_schedule`) would have issued
+    the stage's flat schedule.  Value routing follows the IR's
+    carry/prefix register model verbatim, and
+    :meth:`~repro.collectives.ir.Schedule.finalize` assembles the results,
+    so both executors are bit-identical by construction.
+
+    Members advance *eagerly*: a member is fed to its next stage the moment
+    its previous stage prices it, so the sub-phases resolve incrementally
+    exactly as they do under real joins.  That preserves the flat phases'
+    invariant — every finish computed during an engine event is at or after
+    that event's time — which matters for back-to-back repetitions, where a
+    fast member (a reduce leaf, the first node's scan prefix) must wake at
+    a finish time that predates slower members' joins; deferring the whole
+    program to the last join would try to schedule those wakes in the past.
+    Scan stages keep their deferred vectorised fast-forward: a fed sub-scan
+    arms its flush event, and the parent schedules a drain event right
+    behind it to harvest the vectorised finishes and continue the cascade.
+    """
+
+    _hier_sub = True
+
+    def __init__(self, ep, op, root, coordinator, schedule):
+        super().__init__(ep, op, root, coordinator)
+        self.kind = f"hier_{schedule.op_name}"
+        if schedule.size != self.size:
+            raise LockstepError(
+                f"lockstep {self.kind}: schedule built for group size "
+                f"{schedule.size}, phase opened with {self.size}")
+        self.schedule = schedule
+        stages = schedule.stages
+        # member -> [(stage index, member index within the stage), ...] in
+        # stage order: the member's personal program through the IR.
+        plan: list = [[] for _ in range(self.size)]
+        for s, stage in enumerate(stages):
+            for i, g in enumerate(stage.members):
+                plan[g].append((s, i))
+        self._plan = plan
+        self._pos = [0] * self.size
+        self._times: list = [None] * self.size
+        self._carry: list = [None] * self.size
+        self._prefix: list = [None] * self.size
+        self._stage_phases: list = [None] * len(stages)
+        self._stage_harvested: list = [None] * len(stages)
+        self._drain_pending = [False] * len(stages)
+
+    def on_join(self, rank: int) -> None:
+        self._times[rank] = self.joined[rank]
+        self._carry[rank] = self.values[rank]
+        self._run([rank])
+
+    def _stage_phase(self, s: int):
+        phase = self._stage_phases[s]
+        if phase is None:
+            stage = self.schedule.stages[s]
+            world = self.world
+            ep = _StageEndpoint(self, [world[g] for g in stage.members])
+            kind = stage.kind
+            if kind == "bcast":
+                phase = self._sub_phase(_BcastPhase, None, stage.root, ep)
+            elif kind == "scan":
+                phase = self._sub_phase(_ScanPhase, self.op, 0, ep)
+            elif kind == "reduce":
+                phase = self._sub_phase(
+                    _ReducePhase, self.schedule.reduce_op(self.op),
+                    stage.root, ep)
+            else:
+                phase = self._sub_phase(_GatherPhase, None, stage.root, ep)
+            self._stage_phases[s] = phase
+            self._stage_harvested[s] = [False] * len(stage.members)
+        return phase
+
+    def _run(self, worklist: list) -> None:
+        """Drain the cascade: feed ready members, harvest, repeat."""
+        schedule = self.schedule
+        stages = schedule.stages
+        env = self.env
+        op = self.op
+        plan = self._plan
+        pos = self._pos
+        times = self._times
+        carry = self._carry
+        prefix = self._prefix
+        while worklist:
+            g = worklist.pop()
+            steps = plan[g]
+            at = pos[g]
+            if at == len(steps):
+                self._finish(g, times[g],
+                             schedule.finalize(g, carry[g], prefix[g], op))
+                continue
+            s, i = steps[at]
+            stage = stages[s]
+            phase = self._stage_phase(s)
+            if stage.kind == "bcast":
+                value = None
+                if i == stage.root:
+                    value = (carry if stage.src == "carry" else prefix)[g]
+            else:
+                value = carry[g]
+            phase._join_at(i, value, times[g], env, None)
+            if stage.kind == "scan" and phase._flush_armed:
+                # The sub-scan deferred its vectorised flush to an engine
+                # event at this instant; harvest right behind it.  Same-time
+                # joins still pending in the queue were scheduled earlier,
+                # so they all feed before the flush fires and the whole
+                # stage vectorises.
+                if not self._drain_pending[s]:
+                    self._drain_pending[s] = True
+                    self.engine.schedule_call_at(
+                        self.engine._now, self._drain, s)
+                continue
+            self._harvest(s, worklist)
+
+    def _harvest(self, s: int, worklist: list) -> None:
+        """Advance every member the stage's sub-phase has newly priced."""
+        phase = self._stage_phases[s]
+        if phase.resolved_count == 0:
+            return
+        stage = self.schedule.stages[s]
+        harvested = self._stage_harvested[s]
+        requests = phase.requests
+        to_prefix = stage.kind == "bcast" and stage.dst == "prefix"
+        root = stage.root
+        times = self._times
+        carry = self._carry
+        prefix = self._prefix
+        pos = self._pos
+        for i, g in enumerate(stage.members):
+            if harvested[i]:
+                continue
+            request = requests[i]
+            if request is None or not request._ready:
+                continue
+            harvested[i] = True
+            times[g] = request.finish_time
+            if to_prefix:
+                # Prefix delivery: the stage root's registers survive (its
+                # carry is already its final scan value).
+                if i != root:
+                    prefix[g] = request._value
+            else:
+                carry[g] = request._value
+            pos[g] += 1
+            worklist.append(g)
+
+    def _drain(self, s: int) -> None:
+        """Engine-event continuation behind a sub-scan's deferred flush."""
+        self._drain_pending[s] = False
+        worklist: list = []
+        self._harvest(s, worklist)
+        self._run(worklist)
+        self._flush_wakes()
+        if self.resolved_count == self.size:
+            self.coordinator.retire(self)
+
+
+def _hier_phase(ep, op, root, coordinator, op_name: str):
+    """Factory of the ``hier_*`` kinds: build the schedule from ``ep``'s
+    hierarchy.
+
+    Imported lazily: this low-level module must not pull the collectives
+    package at import time (its init imports the scalar tier, which imports
+    this module).  Raises :class:`LockstepError` — the honest-refusal
+    contract — when the endpoint has no hierarchy or the op's structural
+    requirement (contiguity, for scan) does not hold; callers fall back to
+    the flat kinds.
+    """
+    from ..collectives.hierarchical import hierarchy_of
+    from ..collectives.ir import schedule_for
+    hierarchy = hierarchy_of(ep)
+    if hierarchy is None:
+        raise LockstepError(
+            f"hier_{op_name}: the endpoint's placement has no hierarchy — "
+            f"use the flat {op_name!r} kind")
+    if op_name == "scan" and not hierarchy.contiguous:
+        raise LockstepError(
+            "hier_scan requires a contiguous hierarchy (node blocks in "
+            "group-rank order)")
+    return _SchedulePhase(ep, op, root, coordinator,
+                          schedule_for(hierarchy, op_name, root))
+
+
+def _register_hier_kinds() -> None:
+    for op_name in ("bcast", "reduce", "allreduce", "barrier", "gather",
+                    "scan"):
+        SpmdCoordinator.register_kind(
+            f"hier_{op_name}",
+            lambda ep, op, root, coordinator, _op_name=op_name:
+                _hier_phase(ep, op, root, coordinator, _op_name))
+
+
+_register_hier_kinds()

@@ -18,7 +18,9 @@ from ..collectives.hierarchical import (
     hier_allreduce_schedule,
     hier_barrier_schedule,
     hier_bcast_schedule,
+    hier_gather_schedule,
     hier_reduce_schedule,
+    hier_scan_schedule,
     hierarchy_of,
 )
 from ..collectives.large import reduce_scatter_ring_schedule, scatter_schedule
@@ -245,12 +247,14 @@ class MpiCommunicator:
         """The group's node/island hierarchy, when this vendor exploits it.
 
         Production MPIs are node-aware (``VendorModel.node_aware``); for them
-        bcast/reduce/allreduce/barrier run the node-leader schedules of
-        :mod:`repro.collectives.hierarchical` whenever the machine prices
-        links non-uniformly and the group spans several nodes.  On flat
-        machines :func:`hierarchy_of` returns None without touching any
-        cache, so the historical topology-blind path is taken bit-identically
-        — and topology-blind vendors never leave it.
+        bcast/reduce/allreduce/gather/scan/barrier run the node-leader
+        schedules of :mod:`repro.collectives.hierarchical` whenever the
+        machine prices links non-uniformly and the group spans several nodes.
+        Under lockstep the same schedule IR is replayed analytically by the
+        ``hier_*`` phase kinds of :mod:`repro.core.spmd`.  On flat machines
+        :func:`hierarchy_of` returns None without touching any cache, so the
+        historical topology-blind path is taken bit-identically — and
+        topology-blind vendors never leave it.
         """
         if not self.vendor.node_aware:
             return None
@@ -262,6 +266,8 @@ class MpiCommunicator:
         ep = self._collective_endpoint("bcast")
         hierarchy = self._hierarchy(ep)
         if hierarchy is not None:
+            if _lockstep_eligible(ep):
+                return _spmd.join_lockstep(ep, "hier_bcast", value, None, root)
             return CollectiveRequest(
                 self._env, hier_bcast_schedule(ep, value, root, hierarchy))
         if _lockstep_eligible(ep):
@@ -272,6 +278,8 @@ class MpiCommunicator:
         ep = self._collective_endpoint("reduce")
         hierarchy = self._hierarchy(ep)
         if hierarchy is not None:
+            if _lockstep_eligible(ep):
+                return _spmd.join_lockstep(ep, "hier_reduce", value, op, root)
             return CollectiveRequest(
                 self._env, hier_reduce_schedule(ep, value, op, root, hierarchy))
         if _lockstep_eligible(ep):
@@ -282,6 +290,8 @@ class MpiCommunicator:
         ep = self._collective_endpoint("allreduce")
         hierarchy = self._hierarchy(ep)
         if hierarchy is not None:
+            if _lockstep_eligible(ep):
+                return _spmd.join_lockstep(ep, "hier_allreduce", value, op)
             return CollectiveRequest(
                 self._env, hier_allreduce_schedule(ep, value, op, hierarchy))
         if _lockstep_eligible(ep):
@@ -290,6 +300,14 @@ class MpiCommunicator:
 
     def iscan(self, value: Any, op=SUM) -> CollectiveRequest:
         ep = self._collective_endpoint("scan")
+        hierarchy = self._hierarchy(ep)
+        # The segmented-prefix schedule needs node-contiguous groups; ragged
+        # groups keep the topology-blind dissemination scan.
+        if hierarchy is not None and hierarchy.contiguous:
+            if _lockstep_eligible(ep):
+                return _spmd.join_lockstep(ep, "hier_scan", value, op)
+            return CollectiveRequest(
+                self._env, hier_scan_schedule(ep, value, op, hierarchy))
         if _lockstep_eligible(ep):
             return _spmd.join_lockstep(ep, "scan", value, op)
         return CollectiveRequest(self._env, scan_schedule(ep, value, op))
@@ -300,6 +318,12 @@ class MpiCommunicator:
 
     def igather(self, value: Any, root: int = 0) -> CollectiveRequest:
         ep = self._collective_endpoint("gather")
+        hierarchy = self._hierarchy(ep)
+        if hierarchy is not None:
+            if _lockstep_eligible(ep):
+                return _spmd.join_lockstep(ep, "hier_gather", value, None, root)
+            return CollectiveRequest(
+                self._env, hier_gather_schedule(ep, value, root, hierarchy))
         if _lockstep_eligible(ep):
             return _spmd.join_lockstep(ep, "gather", value, None, root)
         return CollectiveRequest(self._env, gather_schedule(ep, value, root))

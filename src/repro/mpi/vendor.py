@@ -68,9 +68,13 @@ class VendorModel:
         (node-leader schedules on machines with a non-trivial placement).
         Real production MPIs are node-aware — SMP-optimised trees have been
         standard for decades — so modelling them topology-blind would flatter
-        RBC on hierarchical machines.  On *flat* machines the flag is inert:
-        the schedule-selection predicate never fires there, so the historical
-        flat code path is taken bit-identically.
+        RBC on hierarchical machines.  Node-aware vendors run the schedule-IR
+        paths for bcast/reduce/allreduce/gather and — on node-contiguous
+        groups — the segmented-prefix scan; under lockstep the same IR is
+        priced analytically by the ``hier_*`` phase kinds.  On *flat*
+        machines the flag is inert: the schedule-selection predicate never
+        fires there, so the historical flat code path is taken
+        bit-identically.
     """
 
     name: str

@@ -13,11 +13,12 @@ gather, gatherv, barrier and their nonblocking variants) this module also
 provides exscan, allreduce, allgather, alltoallv, scatter(v), allgatherv and
 reduce_scatter, which the sorting algorithms and benchmarks use.
 
-Broadcast, reduce, allreduce and barrier accept an ``algorithm`` argument
-selecting between the small-input binomial-tree/dissemination algorithms, the
-large-input algorithms of :mod:`repro.collectives.large` (scatter-allgather
-or pipelined broadcast, ring allreduce) and the topology-aware node-leader
-schedules of :mod:`repro.collectives.hierarchical`; ``algorithm="auto"``
+Broadcast, reduce, allreduce, barrier, scan, gather and gatherv accept an
+``algorithm`` argument selecting between the small-input binomial-tree/
+dissemination algorithms, the large-input algorithms of
+:mod:`repro.collectives.large` (scatter-allgather or pipelined broadcast,
+ring allreduce) and the topology-aware node-leader schedules of
+:mod:`repro.collectives.hierarchical`; ``algorithm="auto"``
 applies the crossover heuristic.  The default (``algorithm=None``) picks the
 node-leader schedule whenever the executing machine's cost model exposes a
 non-trivial placement (several nodes, tiered link prices) and stays on the
@@ -26,6 +27,14 @@ historical flat path — bit-identically — otherwise.  An *explicit*
 placement it falls back to the equivalent flat schedule rather than raising.
 This is the "easy to extend ... e.g., for large input sizes" extension point
 the paper describes in Section V-D.
+
+Every default path additionally fuses into the SPMD lockstep tier of
+:mod:`repro.core.spmd` when the program opted in
+(``env.lockstep_collectives``) and the endpoint is eligible: flat schedules
+through the per-op phase kinds, hierarchical schedules through the
+``hier_*`` kinds that replay the op's schedule IR
+(:mod:`repro.collectives.ir`) — same simulated times bit for bit, far fewer
+engine events.
 
 The simulated native-MPI layer (:mod:`repro.mpi.comm`) applies the same
 node-leader schedules for vendors whose model declares
@@ -43,7 +52,9 @@ from ..collectives.hierarchical import (
     barrier_hierarchy_of,
     hier_allreduce_schedule,
     hier_barrier_schedule,
+    hier_gather_schedule,
     hier_reduce_schedule,
+    hier_scan_schedule,
     hierarchy_of,
 )
 from ..collectives.large import (
@@ -182,8 +193,9 @@ def ibcast(comm: RbcComm, value: Any, root: int = 0,
     bit-identically).
     """
     ep = _endpoint(comm, _tags.BCAST_TAG if tag is None else tag)
-    if algorithm is None and _lockstep_eligible(ep) and hierarchy_of(ep) is None:
-        return _lockstep(comm, ep, "bcast", value, None, root)
+    if algorithm is None and _lockstep_eligible(ep):
+        kind = "bcast" if hierarchy_of(ep) is None else "hier_bcast"
+        return _lockstep(comm, ep, kind, value, None, root)
     return _request(comm, dispatch_bcast_schedule(ep, value, root, algorithm,
                                                   segment_words))
 
@@ -215,6 +227,9 @@ def ireduce(comm: RbcComm, value: Any, op=None, root: int = 0,
     if algorithm is None:
         hierarchy = hierarchy_of(ep)
         if hierarchy is not None:
+            if _lockstep_eligible(ep):
+                return _lockstep(comm, ep, "hier_reduce", value, op or SUM,
+                                 root)
             return _request(comm, hier_reduce_schedule(ep, value, op or SUM,
                                                        root, hierarchy))
         if _lockstep_eligible(ep):
@@ -241,17 +256,42 @@ def reduce(comm: RbcComm, value: Any, op=None, root: int = 0,
 # Prefix reductions.
 # ---------------------------------------------------------------------------
 
-def iscan(comm: RbcComm, value: Any, op=None, tag: Optional[int] = None) -> RbcRequest:
-    """``rbc::Iscan``: nonblocking inclusive prefix reduction."""
+def iscan(comm: RbcComm, value: Any, op=None, tag: Optional[int] = None, *,
+          algorithm: Optional[str] = None) -> RbcRequest:
+    """``rbc::Iscan``: nonblocking inclusive prefix reduction.
+
+    ``algorithm`` is ``"dissemination"`` (the flat ``log p``-round pattern),
+    ``"hierarchical"`` (the segmented node-prefix scan: per-node scans, one
+    scan over node totals, one seam message per node) or None — the default,
+    which picks the segmented scan on machines with a non-trivial
+    *contiguous* placement (node blocks in rank order; the segmented
+    recombination needs it) and the dissemination scan everywhere else.
+    """
     ep = _endpoint(comm, _tags.SCAN_TAG if tag is None else tag)
-    if _lockstep_eligible(ep):
-        return _lockstep(comm, ep, "scan", value, op or SUM)
+    if algorithm is None:
+        hierarchy = hierarchy_of(ep)
+        if hierarchy is not None and hierarchy.contiguous:
+            if _lockstep_eligible(ep):
+                return _lockstep(comm, ep, "hier_scan", value, op or SUM)
+            return _request(comm, hier_scan_schedule(ep, value, op or SUM,
+                                                     hierarchy))
+        if _lockstep_eligible(ep):
+            return _lockstep(comm, ep, "scan", value, op or SUM)
+        algorithm = "dissemination"
+    if algorithm == "hierarchical":
+        return _request(comm, hier_scan_schedule(ep, value, op or SUM))
+    if algorithm != "dissemination":
+        raise ValueError(
+            f"unknown scan algorithm {algorithm!r}; expected one of "
+            "'dissemination', 'hierarchical'")
     return _request(comm, scan_schedule(ep, value, op or SUM))
 
 
-def scan(comm: RbcComm, value: Any, op=None, tag: Optional[int] = None):
+def scan(comm: RbcComm, value: Any, op=None, tag: Optional[int] = None, *,
+         algorithm: Optional[str] = None):
     """``rbc::Scan`` (generator): blocking inclusive prefix reduction."""
-    result = yield from iscan(comm, value, op, tag).wait()
+    result = yield from iscan(comm, value, op, tag,
+                              algorithm=algorithm).wait()
     return result
 
 
@@ -271,33 +311,64 @@ def exscan(comm: RbcComm, value: Any, op=None, tag: Optional[int] = None):
 # Gather / Gatherv.
 # ---------------------------------------------------------------------------
 
-def igather(comm: RbcComm, value: Any, root: int = 0,
-            tag: Optional[int] = None) -> RbcRequest:
-    """``rbc::Igather``: nonblocking gather; root receives a list ordered by rank."""
-    ep = _endpoint(comm, _tags.GATHER_TAG if tag is None else tag)
-    if _lockstep_eligible(ep):
-        return _lockstep(comm, ep, "gather", value, None, root)
+def _dispatch_gather(comm: RbcComm, ep, value: Any, root: int,
+                     algorithm: Optional[str]) -> RbcRequest:
+    """Shared gather/gatherv dispatch (both are size-agnostic here)."""
+    if algorithm is None:
+        hierarchy = hierarchy_of(ep)
+        if hierarchy is not None:
+            if _lockstep_eligible(ep):
+                return _lockstep(comm, ep, "hier_gather", value, None, root)
+            return _request(comm, hier_gather_schedule(ep, value, root,
+                                                       hierarchy))
+        if _lockstep_eligible(ep):
+            return _lockstep(comm, ep, "gather", value, None, root)
+        algorithm = "binomial"
+    if algorithm == "hierarchical":
+        return _request(comm, hier_gather_schedule(ep, value, root))
+    if algorithm != "binomial":
+        raise ValueError(
+            f"unknown gather algorithm {algorithm!r}; expected one of "
+            "'binomial', 'hierarchical'")
     return _request(comm, gather_schedule(ep, value, root))
 
 
-def gather(comm: RbcComm, value: Any, root: int = 0, tag: Optional[int] = None):
+def igather(comm: RbcComm, value: Any, root: int = 0,
+            tag: Optional[int] = None, *,
+            algorithm: Optional[str] = None) -> RbcRequest:
+    """``rbc::Igather``: nonblocking gather; root receives a list ordered by rank.
+
+    ``algorithm`` is ``"binomial"`` (topology-blind tree), ``"hierarchical"``
+    (node members -> node leader -> island leader -> root, one inter-node
+    message per node) or None — the default, which picks the node-leader
+    funnel on machines with a non-trivial placement and the binomial tree
+    (bit-identically) everywhere else.
+    """
+    ep = _endpoint(comm, _tags.GATHER_TAG if tag is None else tag)
+    return _dispatch_gather(comm, ep, value, root, algorithm)
+
+
+def gather(comm: RbcComm, value: Any, root: int = 0, tag: Optional[int] = None,
+           *, algorithm: Optional[str] = None):
     """``rbc::Gather`` (generator): blocking gather."""
-    result = yield from igather(comm, value, root, tag).wait()
+    result = yield from igather(comm, value, root, tag,
+                                algorithm=algorithm).wait()
     return result
 
 
 def igatherv(comm: RbcComm, value: Any, root: int = 0,
-             tag: Optional[int] = None) -> RbcRequest:
+             tag: Optional[int] = None, *,
+             algorithm: Optional[str] = None) -> RbcRequest:
     """``rbc::Igatherv``: like igather but contributions may differ in size."""
     ep = _endpoint(comm, _tags.GATHERV_TAG if tag is None else tag)
-    if _lockstep_eligible(ep):
-        return _lockstep(comm, ep, "gather", value, None, root)
-    return _request(comm, gather_schedule(ep, value, root))
+    return _dispatch_gather(comm, ep, value, root, algorithm)
 
 
-def gatherv(comm: RbcComm, value: Any, root: int = 0, tag: Optional[int] = None):
+def gatherv(comm: RbcComm, value: Any, root: int = 0, tag: Optional[int] = None,
+            *, algorithm: Optional[str] = None):
     """``rbc::Gatherv`` (generator): blocking variable-size gather."""
-    result = yield from igatherv(comm, value, root, tag).wait()
+    result = yield from igatherv(comm, value, root, tag,
+                                 algorithm=algorithm).wait()
     return result
 
 
@@ -326,6 +397,8 @@ def ibarrier(comm: RbcComm, tag: Optional[int] = None, *,
             return _lockstep(comm, ep, "barrier")
         algorithm = "dissemination"
     if algorithm == "hierarchical":
+        if _lockstep_eligible(ep) and hierarchy_of(ep) is not None:
+            return _lockstep(comm, ep, "hier_barrier")
         return _request(comm, hier_barrier_schedule(ep))
     if algorithm != "dissemination":
         raise ValueError(
@@ -361,6 +434,8 @@ def iallreduce(comm: RbcComm, value: Any, op=None, tag: Optional[int] = None,
     if algorithm is None:
         hierarchy = hierarchy_of(ep)
         if hierarchy is not None:
+            if _lockstep_eligible(ep):
+                return _lockstep(comm, ep, "hier_allreduce", value, op or SUM)
             return _request(comm, hier_allreduce_schedule(ep, value, op or SUM,
                                                           hierarchy))
         if _lockstep_eligible(ep):

@@ -321,16 +321,12 @@ class _JQLevelPhase(_PhaseBase):
     def _sub(self, factory, op, root):
         """A sub-phase owned by this level (not coordinator-registered).
 
-        ``_retired`` is pre-set so a scan's deferred-flush retirement is a
-        no-op; the endpoint is reused only for its group shape and neutral
-        cost parameters — data-exchange and RBC-collective messages carry no
-        vendor word factor or per-message delay.
+        Delegates to the base class's ``_sub_phase``; the endpoint is reused
+        only for its group shape and neutral cost parameters — data-exchange
+        and RBC-collective messages carry no vendor word factor or
+        per-message delay.
         """
-        phase = factory(self.ep, op, root, self.coordinator)
-        phase._retired = True
-        phase._gen_key = None
-        phase.first_join = self.first_join
-        return phase
+        return self._sub_phase(factory, op, root, self.ep)
 
     def _resolve_all(self) -> None:
         record = self.record

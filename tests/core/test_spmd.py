@@ -21,6 +21,10 @@ from repro.simulator import Cluster
 from repro.simulator.costmodel import HierarchicalParams
 from repro.simulator.errors import RankFailedError
 
+#: Lockstep phase kinds this module covers differentially (scanned by
+#: ``benchmarks/check_lockstep_registry.py``).
+COVERS_KINDS = ("bcast", "reduce", "allreduce", "scan", "gather", "barrier")
+
 OPS = ("bcast", "reduce", "scan", "gather", "allreduce", "barrier")
 
 
@@ -168,9 +172,30 @@ def test_lockstep_requires_opt_in():
     assert all(coordinator is None for coordinator in result.results)
 
 
-def test_lockstep_not_eligible_on_hierarchical_machines():
-    """Shared-NIC / tiered-link models must stay on the native schedules."""
+def test_lockstep_eligible_on_tiered_per_rank_port_machines():
+    """Tiered link prices are priced per edge; results match the native run."""
     params = HierarchicalParams.default()
+
+    def program(env, lockstep):
+        if lockstep:
+            env.lockstep_collectives = True
+        world_mpi = init_mpi(env, vendor="generic")
+        request = world_mpi.iallreduce(float(env.rank), SUM)
+        yield from env.wait_until(request.test)
+        return (float(request.result()), env.now,
+                getattr(env.transport, "_spmd_coordinator", None) is not None)
+
+    fused = Cluster(8, params).run(lambda env: program(env, True))
+    native = Cluster(8, params).run(lambda env: program(env, False))
+    assert [r[:2] for r in fused.results] == [r[:2] for r in native.results]
+    assert all(used for _, _, used in fused.results)
+    assert fused.events_processed < native.events_processed
+
+
+def test_lockstep_not_eligible_on_shared_nic_machines():
+    """Shared-NIC pools serialise on node ports the pricer does not mirror."""
+    params = HierarchicalParams.supermuc_like(ranks_per_node=4,
+                                              ports_per_node=1)
 
     def program(env):
         env.lockstep_collectives = True

@@ -22,6 +22,11 @@ from repro.simulator import Cluster
 from repro.sorting import JQuickConfig, RbcBackend, jquick
 from repro.sorting.jquick import JQUICK_BATCH_MIN_RANKS
 
+#: Lockstep phase kinds this module covers differentially (scanned by
+#: ``benchmarks/check_lockstep_registry.py``): the fused jquick level phase
+#: and the analytic data-exchange phase it drives.
+COVERS_KINDS = ("jqlevel", "exchange")
+
 P = JQUICK_BATCH_MIN_RANKS  # smallest auto-engaged group: every level batched
 
 
