@@ -84,15 +84,27 @@ class BenchTelemetry:
     message_pool_hits: int = 0
     message_pool_recycled: int = 0
     message_pool_drops: int = 0
+    #: Tier attribution: how many collective phases each execution tier
+    #: priced (scalar state machines, lockstep analytic, analytic
+    #: fast-forward, batched jquick levels), plus the honest-refusal and
+    #: fallback counts — folded from every run's ``result.obs`` snapshot.
+    scalar_collectives: int = 0
+    phases_lockstep: int = 0
+    phases_fastforward: int = 0
+    phases_batched: int = 0
+    lockstep_refusals: int = 0
+    fastforward_fallbacks: int = 0
+
+    _INT_FIELDS = ("cluster_runs", "events_processed", "messages_sent",
+                   "message_pool_hits", "message_pool_recycled",
+                   "message_pool_drops", "scalar_collectives",
+                   "phases_lockstep", "phases_fastforward", "phases_batched",
+                   "lockstep_refusals", "fastforward_fallbacks")
 
     def reset(self) -> None:
-        self.cluster_runs = 0
         self.simulated_us = 0.0
-        self.events_processed = 0
-        self.messages_sent = 0
-        self.message_pool_hits = 0
-        self.message_pool_recycled = 0
-        self.message_pool_drops = 0
+        for name in self._INT_FIELDS:
+            setattr(self, name, 0)
 
     def record(self, result: ClusterResult) -> None:
         self.cluster_runs += 1
@@ -104,6 +116,14 @@ class BenchTelemetry:
             self.message_pool_hits += pool["message_pool_hits"]
             self.message_pool_recycled += pool["message_pool_recycled"]
             self.message_pool_drops += pool["message_pool_drops"]
+        obs = result.obs
+        if obs:
+            self.scalar_collectives += obs.get("scalar_collectives", 0)
+            self.phases_lockstep += obs.get("phases_lockstep", 0)
+            self.phases_fastforward += obs.get("phases_fastforward", 0)
+            self.phases_batched += obs.get("phases_batched", 0)
+            self.lockstep_refusals += obs.get("lockstep_refusals", 0)
+            self.fastforward_fallbacks += obs.get("fastforward_fallbacks", 0)
 
     def merge(self, snapshot: dict) -> None:
         """Fold another telemetry :meth:`snapshot` into this sink.
@@ -113,24 +133,16 @@ class BenchTelemetry:
         snapshots keeps the ``BENCH_*.json`` trajectory complete for
         parallel sweeps.
         """
-        self.cluster_runs += int(snapshot.get("cluster_runs", 0))
         self.simulated_us += float(snapshot.get("simulated_us", 0.0))
-        self.events_processed += int(snapshot.get("events_processed", 0))
-        self.messages_sent += int(snapshot.get("messages_sent", 0))
-        self.message_pool_hits += int(snapshot.get("message_pool_hits", 0))
-        self.message_pool_recycled += int(snapshot.get("message_pool_recycled", 0))
-        self.message_pool_drops += int(snapshot.get("message_pool_drops", 0))
+        for name in self._INT_FIELDS:
+            setattr(self, name,
+                    getattr(self, name) + int(snapshot.get(name, 0)))
 
     def snapshot(self) -> dict:
-        return {
-            "cluster_runs": self.cluster_runs,
-            "simulated_us": self.simulated_us,
-            "events_processed": self.events_processed,
-            "messages_sent": self.messages_sent,
-            "message_pool_hits": self.message_pool_hits,
-            "message_pool_recycled": self.message_pool_recycled,
-            "message_pool_drops": self.message_pool_drops,
-        }
+        payload = {"simulated_us": self.simulated_us}
+        for name in self._INT_FIELDS:
+            payload[name] = getattr(self, name)
+        return payload
 
 
 #: Global telemetry sink of the benchmark harness; observes every cluster run.
@@ -171,10 +183,15 @@ def write_bench_json(name: str, *, wall_clock_s: float,
 def run_rank_durations(num_ranks: int, program: Callable, *args,
                        params: Optional[CostModel] = None,
                        placement: Optional[Placement] = None,
+                       trace=None,
                        rank_kwargs=None, **kwargs) -> tuple[float, ClusterResult]:
     """Run ``program`` (which returns a per-rank duration in µs); return
-    (max duration over ranks, full cluster result)."""
-    cluster = Cluster(num_ranks, params, placement=placement)
+    (max duration over ranks, full cluster result).
+
+    ``trace=True`` records a structured :mod:`repro.obs` trace; the
+    recorder is returned on ``result.trace``.
+    """
+    cluster = Cluster(num_ranks, params, placement=placement, trace=trace)
     result = cluster.run(program, *args, rank_kwargs=rank_kwargs, **kwargs)
     durations = [d for d in result.results if d is not None]
     return (max(durations) if durations else 0.0), result

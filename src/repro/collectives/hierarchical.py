@@ -362,6 +362,10 @@ def run_schedule(ep: TransportEndpoint, schedule: Schedule, value: Any,
     bit-identical by construction.
     """
     rank = ep.rank
+    obs = ep.transport._obs
+    if obs is not None:
+        obs.events.append((ep.env.engine._now, ep.env.rank, "ir",
+                           schedule.ir_token()))
     carry = value
     prefix: Any = None
     stage_op = schedule.reduce_op(op)

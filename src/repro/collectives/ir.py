@@ -108,6 +108,17 @@ class Schedule:
         """The operator a ``"reduce"`` stage applies for group operator ``op``."""
         return token_op if self.token else op
 
+    def ir_token(self) -> str:
+        """Compact identifier of this schedule's stage composition.
+
+        E.g. a hierarchical allreduce over 3 stages reads
+        ``"allreduce/p64:reduce+reduce+bcast"``.  Observability labels
+        (traced spans, timelines) carry it so a run shows *which* IR
+        program priced a phase, not just the op name.
+        """
+        stages = "+".join(stage.kind for stage in self.stages)
+        return f"{self.op_name}/p{self.size}:{stages}"
+
     def finalize(self, rank: int, carry: Any, prefix: Any,
                  op: Optional[Callable]) -> Any:
         """Assemble ``rank``'s return value from its registers (host-side)."""

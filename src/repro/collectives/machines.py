@@ -52,7 +52,8 @@ class CollectiveRequest(Request):
     whenever ``test()`` finds all current data dependencies satisfied.
     """
 
-    __slots__ = ("env", "_gen", "_pending", "_done", "_value")
+    __slots__ = ("env", "_gen", "_pending", "_done", "_value",
+                 "_obs", "_obs_t0", "_obs_label")
 
     def __init__(self, env, schedule):
         self.env = env
@@ -62,6 +63,23 @@ class CollectiveRequest(Request):
         self._pending: Optional[Any] = None
         self._done = False
         self._value: Any = None
+        # Tier attribution: this request IS the scalar tier.  The counter
+        # is always on (one integer add per collective); the span fields
+        # are populated only when the run is traced, and must be set
+        # before the eager first state below — it can already complete.
+        transport = getattr(env, "transport", None)
+        obs = None
+        if transport is not None:
+            transport.scalar_collectives += 1
+            obs = transport._obs
+        self._obs = obs
+        if obs is not None:
+            self._obs_t0 = env.engine._now
+            code = getattr(schedule, "gi_code", None)
+            label = code.co_name if code is not None else "collective"
+            if label.endswith("_schedule"):
+                label = label[: -len("_schedule")]
+            self._obs_label = label
         # Execute the first state eagerly so communication starts immediately.
         self.test()
 
@@ -85,6 +103,12 @@ class CollectiveRequest(Request):
                 self._value = stop.value
                 self._done = True
                 self._pending = None
+                obs = self._obs
+                if obs is not None:
+                    env = self.env
+                    obs.spans.append(
+                        (env.rank, self._obs_t0, env.engine._now,
+                         "collective", self._obs_label + "@scalar"))
                 return True
             if nxt:
                 pending = self._pending = (

@@ -97,6 +97,7 @@ from ..collectives.topology import (
     dissemination_rounds,
 )
 from ..messaging import Request
+from ..simulator.errors import RankFailedError
 from ..simulator.network import freeze_payload, is_frozen_payload, payload_words
 
 __all__ = [
@@ -261,7 +262,8 @@ class SpmdCoordinator:
     join, before any member wakes.
     """
 
-    __slots__ = ("_phases", "_recv_logs", "_live_first_joins")
+    __slots__ = ("_phases", "_recv_logs", "_live_first_joins",
+                 "tier_phases", "refusals", "fastforward_fallbacks")
 
     _KINDS = {
         "bcast": lambda *a: _BcastPhase(*a),
@@ -305,8 +307,42 @@ class SpmdCoordinator:
         # min(now, *live_first_joins) bounds how far back a port log can
         # still be overtaken, and older entries are pruned.
         self._live_first_joins: list = []
+        # Always-on tier-attribution counters, surfaced through
+        # ClusterResult.obs: how many phases each execution tier priced
+        # (counted at retirement, once per real phase — driver-owned
+        # sub-phases never retire), how many joins the lockstep tier
+        # refused (LockstepError), and how many armed fast-forwards fell
+        # back to the scalar lockstep pricer.
+        self.tier_phases: dict = {}
+        self.refusals = 0
+        self.fastforward_fallbacks = 0
 
     def join(self, ep, kind: str, value, op, root) -> LockstepRequest:
+        try:
+            return self._join(ep, kind, value, op, root)
+        except LockstepError as exc:
+            self.record_refusal(
+                exc, ep.transport, ep.env.engine._now, ep.env.rank,
+                f"{kind} p={ep.size} root={root}: {exc}")
+            raise
+
+    def record_refusal(self, exc: LockstepError, transport, now: float,
+                       rank: int, shape: str) -> None:
+        """Count a refusal once and, when tracing, record its phase shape.
+
+        One ``LockstepError`` can unwind through several recording sites
+        (a fused driver resolving a sub-phase inside a join); the marker
+        attribute keeps the count and the trace event single.
+        """
+        if getattr(exc, "_obs_recorded", False):
+            return
+        exc._obs_recorded = True
+        self.refusals += 1
+        obs = transport._obs
+        if obs is not None:
+            obs.events.append((now, rank, "refusal", shape))
+
+    def _join(self, ep, kind: str, value, op, root) -> LockstepRequest:
         key = (ep.context, ep.tag, kind, root)
         generations = self._phases.get(key)
         if generations is None:
@@ -341,6 +377,8 @@ class SpmdCoordinator:
         if phase._retired:
             return
         phase._retired = True
+        tier = phase.tier
+        self.tier_phases[tier] = self.tier_phases.get(tier, 0) + 1
         self._live_first_joins.remove(phase.first_join)
         generations = self._phases.get(phase._gen_key)
         if generations is not None:
@@ -361,6 +399,12 @@ class _PhaseBase:
     """
 
     kind = "?"
+
+    #: Execution tier this phase's pricing ran on, for the retirement
+    #: counters and traced span labels.  The vectorised pricers overwrite
+    #: it with "fastforward" on commit; the batched sorting tier's fused
+    #: level phase declares "batched".
+    tier = "lockstep"
 
     #: True on schedule-IR replay phases and the sub-phases they drive.
     #: Their stages interleave across generations, so a same-instant tie
@@ -411,7 +455,16 @@ class _PhaseBase:
             self.world = [ep.to_world(i) for i in range(ep.size)]
         self.fastforward = getattr(env, "lockstep_fastforward", True)
         self._retired = False
+        # Observability: spans are emitted from _finish when a recorder is
+        # installed (Cluster(trace=...)); driver-owned sub-phases get
+        # _obs nulled by _sub_phase so only the outer phase's span counts.
+        # _span_starts aliases `joined` — drivers that charge per-member
+        # entry work (the jquick level phase) rebind it to the
+        # post-charge start times for a granular decomposition.
+        self._obs = transport._obs
+        self.obs_label = self.kind
         self.joined: list = [None] * ep.size
+        self._span_starts = self.joined
         self.values: list = [None] * ep.size
         self.requests: list = [None] * ep.size
         self.procs: list = [None] * ep.size
@@ -519,6 +572,12 @@ class _PhaseBase:
         request._value = value
         request._ready = True
         self.resolved_count += 1
+        obs = self._obs
+        if obs is not None:
+            start = self._span_starts[rank]
+            obs.spans.append((self.world[rank],
+                              finish if start is None else start, finish,
+                              "collective", f"{self.obs_label}@{self.tier}"))
         proc = self.procs[rank]
         if proc is not None:
             self._wakes.append((finish, proc))
@@ -558,7 +617,16 @@ class _PhaseBase:
         phase._gen_key = None
         phase.first_join = self.first_join
         phase._hier_sub = self._hier_sub
+        # The driving phase's _finish emits the member spans; a sub-phase
+        # emitting too would double-cover the same window.
+        phase._obs = None
         return phase
+
+    def _record_refusal(self, exc: LockstepError) -> None:
+        """Refusal bookkeeping for raises outside a join (engine events)."""
+        self.coordinator.record_refusal(
+            exc, self.transport, self.engine._now, self.world[0],
+            f"{self.kind} p={self.size}: {exc}")
 
     # Endpoint-protocol views: a phase can stand in as the endpoint of its
     # own group when composing sub-phases (see _sub_phase).
@@ -1036,15 +1104,48 @@ class _ScanPhase(_PhaseBase):
             # at the exact time the scalar frontier would have reached it;
             # the cost is one extra engine event per armed phase.
             self._flush_armed = True
-            self.engine.schedule_call_at(self.engine._now, self._flush, None)
+            self.engine.schedule_call_at(self.engine._now, self._flush_event,
+                                         None)
             return
         self._advance()
 
+    def _flush_event(self, _arg) -> None:
+        """Engine-event entry of :meth:`_flush`.
+
+        A refusal raised here unwinds through ``Engine.run`` directly —
+        no rank generator is on the stack to wrap it — so this shim
+        restores the honest-refusal contract (``RankFailedError`` with
+        the :class:`LockstepError` as ``__cause__``) that every
+        join-path refusal already satisfies via ``Engine._step``.
+        Drivers that resolve an armed flush synchronously (the jquick
+        level phase) keep calling :meth:`_flush`: their raise is wrapped
+        by ``_step`` like any other in-generator failure.
+        """
+        try:
+            self._flush(None)
+        except LockstepError as exc:
+            raise RankFailedError(self.world[0], exc) from exc
+
     def _flush(self, _arg) -> None:
         self._flush_armed = False
-        if not (self.joined_count == self.size and self.frontier == 0
-                and self._vector_resolve()):
-            self._advance()
+        try:
+            if self.joined_count == self.size and self.frontier == 0:
+                if not self._vector_resolve():
+                    # An armed fast-forward declined (non-vectorisable
+                    # values or an out-of-order port write): scalar
+                    # lockstep pricing takes over.
+                    self.coordinator.fastforward_fallbacks += 1
+                    obs = self._obs
+                    if obs is not None:
+                        obs.events.append(
+                            (self.engine._now, self.world[0], "fallback",
+                             f"{self.kind} p={self.size}"))
+                    self._advance()
+            else:
+                self._advance()
+        except LockstepError as exc:
+            self._record_refusal(exc)
+            raise
         self._flush_wakes()
         if self.resolved_count == self.size:
             self.coordinator.retire(self)
@@ -1144,6 +1245,7 @@ class _ScanPhase(_PhaseBase):
                  arrival.tolist(), new_resume[distance:].tolist()))
             resume = new_resume
         # ---- all rounds verified in-order: commit. -----------------------
+        self.tier = "fastforward"
         self._commit_vector_ports(send_free, recv_free, entries_by_round,
                                   first_member=1)
         stats = self.stats
@@ -1735,9 +1837,14 @@ class _BarrierPhase(_PhaseBase):
     def on_join(self, rank: int) -> None:
         if self.joined_count < self.size:
             return
-        if self.fastforward and self.size >= FASTFORWARD_MIN_SIZE \
-                and self._vector_resolve():
-            return
+        if self.fastforward and self.size >= FASTFORWARD_MIN_SIZE:
+            if self._vector_resolve():
+                return
+            self.coordinator.fastforward_fallbacks += 1
+            obs = self._obs
+            if obs is not None:
+                obs.events.append((self.engine._now, self.world[0],
+                                   "fallback", f"{self.kind} p={self.size}"))
         self._scalar_resolve()
 
     def _vector_resolve(self) -> bool:
@@ -1793,6 +1900,7 @@ class _BarrierPhase(_PhaseBase):
                  arrival.tolist(), new_resume.tolist()))
             resume = new_resume
         # ---- all rounds verified in-order: commit. -----------------------
+        self.tier = "fastforward"
         self._commit_vector_ports(send_free, recv_free, entries_by_round)
         stats = self.stats
         num_rounds = len(rounds)
@@ -2082,6 +2190,9 @@ class _SchedulePhase(_PhaseBase):
     def __init__(self, ep, op, root, coordinator, schedule):
         super().__init__(ep, op, root, coordinator)
         self.kind = f"hier_{schedule.op_name}"
+        # Traced spans carry the schedule-IR token so a timeline shows
+        # *which* stage composition priced the phase, not just the op.
+        self.obs_label = schedule.ir_token()
         if schedule.size != self.size:
             raise LockstepError(
                 f"lockstep {self.kind}: schedule built for group size "
@@ -2207,8 +2318,15 @@ class _SchedulePhase(_PhaseBase):
         """Engine-event continuation behind a sub-scan's deferred flush."""
         self._drain_pending[s] = False
         worklist: list = []
-        self._harvest(s, worklist)
-        self._run(worklist)
+        try:
+            self._harvest(s, worklist)
+            self._run(worklist)
+        except LockstepError as exc:
+            # Engine-event context (scheduled behind a sub-scan's flush):
+            # record and wrap like _flush_event does, honouring the
+            # honest-refusal contract.
+            self._record_refusal(exc)
+            raise RankFailedError(self.world[0], exc) from exc
         self._flush_wakes()
         if self.resolved_count == self.size:
             self.coordinator.retire(self)

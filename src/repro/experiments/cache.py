@@ -81,6 +81,12 @@ class ResultCache:
         return os.path.join(self.root, self.fingerprint,
                             f"{scenario.scenario_id}.json")
 
+    def trace_path_for(self, scenario: Scenario) -> str:
+        """Where ``run --trace`` persists the scenario's structured trace
+        (``repro.obs`` JSONL), next to the cached result."""
+        return os.path.join(self.root, self.fingerprint,
+                            f"{scenario.scenario_id}.trace.jsonl")
+
     def get(self, scenario: Scenario) -> Optional["ScenarioResult"]:
         """The stored result of ``scenario`` (marked ``cached``), or None."""
         from .runner import ScenarioResult

@@ -85,8 +85,34 @@ def _cmd_show(args) -> int:
     print(f"{spec.name}: {len(scenarios)} scenario(s)")
     if spec.description:
         print(spec.description)
+    cache = ResultCache(args.cache_dir) if args.trace else None
+    missing = 0
     for index, scenario in enumerate(scenarios):
         print(f"[{index + 1:>3}] {scenario.scenario_id}  {scenario.describe()}")
+        if cache is None:
+            continue
+        missing += _show_trace(cache, scenario)
+    if missing:
+        print(f"\n{missing} scenario(s) have no trace artifact — run "
+              f"`python -m repro.experiments run {args.spec} --trace` "
+              "first (artifacts are invalidated by any repro code change)")
+    return 0
+
+
+def _show_trace(cache: ResultCache, scenario) -> int:
+    """Print the cached scenario's critical-path summary; 1 when missing."""
+    from ..obs import critical_path, load_jsonl
+    path = cache.trace_path_for(scenario)
+    if not os.path.exists(path):
+        print("      no trace artifact cached")
+        return 1
+    report = critical_path(load_jsonl(path))
+    percentages = report.percentages()
+    breakdown = "  ".join(
+        f"{category} {share:5.1f}%"
+        for category, share in sorted(percentages.items(),
+                                      key=lambda item: -item[1]))
+    print(f"      critical path {report.total:.4f} us: {breakdown}")
     return 0
 
 
@@ -97,6 +123,9 @@ def _cmd_run(args) -> int:
         else os.path.join(os.getcwd(), "bench_results", "experiments", spec.name)
     os.makedirs(out_dir, exist_ok=True)
 
+    if args.trace and args.no_cache:
+        raise SystemExit("--trace persists its artifacts into the result "
+                         "cache; drop --no-cache to use it")
     cache = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir)
@@ -115,7 +144,7 @@ def _cmd_run(args) -> int:
             print(result.error, file=sys.stderr)
 
     run = run_spec(spec, workers=args.workers, cache=cache,
-                   force=args.force, progress=progress)
+                   force=args.force, progress=progress, trace=args.trace)
 
     table = aggregate_results(
         run.results,
@@ -209,6 +238,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     run_parser.add_argument("--set", action="append", metavar="FIELD=VALUE",
                             help="override a field in every grid (repeatable; "
                                  "drops a same-named axis)")
+    run_parser.add_argument("--trace", action="store_true",
+                            help="record a structured repro.obs trace per "
+                                 "fresh scenario (first repetition) and "
+                                 "persist it next to the cached result; "
+                                 "inspect with `show --trace` or "
+                                 "`python -m repro.obs`")
     run_parser.add_argument("--verbose", action="store_true",
                             help="print failure tracebacks as they happen")
     run_parser.set_defaults(func=_cmd_run)
@@ -220,6 +255,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "show", help="expand a spec and print its scenarios without running")
     show_parser.add_argument("spec")
     show_parser.add_argument("--set", action="append", metavar="FIELD=VALUE")
+    show_parser.add_argument("--trace", action="store_true",
+                            help="print each scenario's cached critical-path "
+                                 "summary (needs artifacts from a prior "
+                                 "`run --trace`)")
+    show_parser.add_argument("--cache-dir", default=None,
+                            help=f"result cache root (default {default_cache_dir()})")
     show_parser.set_defaults(func=_cmd_show)
 
     compare_parser = commands.add_parser(

@@ -20,6 +20,7 @@ wrappers use: expand, run, collect, aggregate telemetry.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -33,6 +34,7 @@ from ..bench.harness import (
     run_rank_durations,
 )
 from ..simulator.cluster import add_run_observer, remove_run_observer
+from ..simulator.trace import Tracer
 from .cache import ResultCache
 from .spec import ExperimentSpec, Scenario
 
@@ -58,6 +60,11 @@ class ScenarioResult:
     wall_clock_s: float = 0.0
     error: Optional[str] = None
     cached: bool = False
+    #: Structured trace of the first repetition (``repro.obs`` JSONL text)
+    #: when the scenario ran with ``trace=True``; the sweep driver persists
+    #: it next to the cached result and clears this field, so it never
+    #: lands in the result cache itself.
+    trace_jsonl: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -76,7 +83,7 @@ class ScenarioResult:
         return self.measurement().mean_ms
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "scenario_id": self.scenario.scenario_id,
             "scenario": self.scenario.canonical(),
             "durations_us": list(self.durations_us),
@@ -86,6 +93,9 @@ class ScenarioResult:
             "error": self.error,
             "cached": self.cached,
         }
+        if self.trace_jsonl is not None:
+            payload["trace_jsonl"] = self.trace_jsonl
+        return payload
 
     @classmethod
     def from_dict(cls, data: dict, scenario: Optional[Scenario] = None) -> "ScenarioResult":
@@ -99,6 +109,7 @@ class ScenarioResult:
             wall_clock_s=float(data.get("wall_clock_s", 0.0)),
             error=data.get("error"),
             cached=bool(data.get("cached", False)),
+            trace_jsonl=data.get("trace_jsonl"),
         )
 
 
@@ -106,20 +117,22 @@ class ScenarioResult:
 # Single-scenario execution.
 # ---------------------------------------------------------------------------
 
-def _collective_reps(scenario: Scenario, params, placement):
+def _collective_reps(scenario: Scenario, params, placement, sink):
     samples, messages = [], 0
-    for _rep in range(scenario.repetitions):
+    for rep in range(scenario.repetitions):
         duration, result = run_rank_durations(
             scenario.num_ranks, collective_program,
             params=params, placement=placement,
+            trace=(sink.trace_first and rep == 0),
             operation=scenario.operation, impl=scenario.impl,
             vendor=scenario.vendor, words=scenario.words)
         samples.append(duration)
         messages = max(messages, result.stats.messages_sent)
+        sink.absorb(result)
     return samples, messages
 
 
-def _jquick_reps(scenario: Scenario, params, placement):
+def _jquick_reps(scenario: Scenario, params, placement, sink):
     # Imported lazily: sorting pulls in the whole algorithm stack, which
     # pure collective sweeps (and their worker processes) never need.
     from ..bench.fig8_jquick import jquick_program
@@ -140,30 +153,72 @@ def _jquick_reps(scenario: Scenario, params, placement):
         duration, result = run_rank_durations(
             p, jquick_program, params=params, placement=placement,
             rank_kwargs=rank_kwargs,
+            trace=(sink.trace_first and rep == 0),
             backend=scenario.impl, vendor=scenario.vendor, config=config)
         samples.append(duration)
         messages = max(messages, result.stats.messages_sent)
+        sink.absorb(result)
     return samples, messages
 
 
-def execute_scenario(scenario: Scenario) -> ScenarioResult:
-    """Run one scenario in this process; never raises for scenario errors."""
+class _ScenarioSink:
+    """Per-scenario aggregation: merged trace stats + the first-rep trace.
+
+    Tracing only the first repetition bounds artifact size (repetitions of
+    one scenario differ only in seed); recording is proven non-perturbing,
+    so the traced repetition's timing is bit-identical to the others'.
+    """
+
+    def __init__(self, num_ranks: int, trace_first: bool):
+        self.tracer = Tracer(num_ranks)
+        self.trace_first = trace_first
+        self.trace = None
+
+    def absorb(self, result) -> None:
+        self.tracer.merge(result.stats)
+        if result.trace is not None and self.trace is None:
+            self.trace = result.trace
+
+    def trace_jsonl(self) -> Optional[str]:
+        if self.trace is None:
+            return None
+        import io
+
+        from ..obs import dump_jsonl
+        buffer = io.StringIO()
+        dump_jsonl(self.trace, buffer)
+        return buffer.getvalue()
+
+
+def execute_scenario(scenario: Scenario, *, trace: bool = False) -> ScenarioResult:
+    """Run one scenario in this process; never raises for scenario errors.
+
+    ``trace=True`` additionally records a structured :mod:`repro.obs` trace
+    of the first repetition and returns its JSONL text on
+    ``result.trace_jsonl``.
+    """
     telemetry = BenchTelemetry()
     add_run_observer(telemetry.record)
+    sink = _ScenarioSink(scenario.num_ranks, trace)
     start = time.perf_counter()
     try:
         scenario.validate()
         params, placement = scenario.resolve_machine()
         if scenario.kind == "collective":
-            samples, messages = _collective_reps(scenario, params, placement)
+            samples, messages = _collective_reps(scenario, params, placement,
+                                                 sink)
         else:
-            samples, messages = _jquick_reps(scenario, params, placement)
+            samples, messages = _jquick_reps(scenario, params, placement,
+                                             sink)
+        snapshot = telemetry.snapshot()
+        snapshot["trace_stats"] = sink.tracer.stats.as_dict()
         return ScenarioResult(
             scenario=scenario,
             durations_us=tuple(samples),
             messages=messages,
-            telemetry=telemetry.snapshot(),
+            telemetry=snapshot,
             wall_clock_s=time.perf_counter() - start,
+            trace_jsonl=sink.trace_jsonl(),
         )
     except Exception:
         return ScenarioResult(
@@ -182,9 +237,12 @@ def _worker(scenario_dict: dict) -> dict:
     Construction is deliberately unvalidated — :func:`execute_scenario`
     validates inside its try block, so an invalid scenario comes back as a
     captured per-scenario failure (matching the serial path) instead of an
-    exception that aborts the whole pool.
+    exception that aborts the whole pool.  The ``__trace__`` key (popped
+    before construction) threads the sweep's trace flag through the one
+    picklable argument ``imap`` gives us.
     """
-    return execute_scenario(Scenario(**scenario_dict)).to_dict()
+    trace = bool(scenario_dict.pop("__trace__", False))
+    return execute_scenario(Scenario(**scenario_dict), trace=trace).to_dict()
 
 
 # ---------------------------------------------------------------------------
@@ -194,6 +252,7 @@ def _worker(scenario_dict: dict) -> dict:
 def run_scenarios(scenarios: Sequence[Scenario], *, workers: int = 1,
                   cache: Optional[ResultCache] = None, force: bool = False,
                   progress: Optional[Callable[[ScenarioResult], None]] = None,
+                  trace: bool = False,
                   ) -> Iterator[ScenarioResult]:
     """Yield one :class:`ScenarioResult` per scenario, in submission order.
 
@@ -201,8 +260,13 @@ def run_scenarios(scenarios: Sequence[Scenario], *, workers: int = 1,
     them anyway); fresh successful results are written back.  ``workers > 1``
     executes uncached scenarios on a process pool; cached hits are yielded
     without touching the pool.  ``progress`` is invoked with every result as
-    it is finalised (before it is yielded).
+    it is finalised (before it is yielded).  ``trace=True`` records a
+    structured trace per fresh scenario and persists it as JSONL next to the
+    cached result (:meth:`ResultCache.trace_path_for`); it requires a cache.
     """
+    if trace and cache is None:
+        raise ValueError("trace=True needs a result cache to persist the "
+                         "trace artifacts into")
     cached_results: dict = {}
     pending: List[Scenario] = []
     for scenario in scenarios:
@@ -217,6 +281,14 @@ def run_scenarios(scenarios: Sequence[Scenario], *, workers: int = 1,
             # In-process runs were already counted by the cluster-run
             # observer; subprocess counters only exist in this snapshot.
             TELEMETRY.merge(result.telemetry)
+        if result.trace_jsonl is not None and cache is not None:
+            path = cache.trace_path_for(result.scenario)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w") as handle:
+                handle.write(result.trace_jsonl)
+            # The artifact now lives on disk; don't duplicate the blob
+            # inside the cached result JSON.
+            result.trace_jsonl = None
         if cache is not None and result.ok and not result.cached:
             cache.put(result)
         if progress is not None:
@@ -225,7 +297,9 @@ def run_scenarios(scenarios: Sequence[Scenario], *, workers: int = 1,
 
     if workers > 1 and len(pending) > 1:
         with multiprocessing.Pool(processes=min(workers, len(pending))) as pool:
-            fresh_iter = iter(pool.imap(_worker, [s.canonical() for s in pending]))
+            payloads = [dict(s.canonical(), __trace__=trace) if trace
+                        else s.canonical() for s in pending]
+            fresh_iter = iter(pool.imap(_worker, payloads))
             pending_iter = iter(pending)
             for scenario in scenarios:
                 hit = cached_results.get(scenario.scenario_id)
@@ -245,7 +319,7 @@ def run_scenarios(scenarios: Sequence[Scenario], *, workers: int = 1,
             if hit is not None:
                 yield finalise(hit, from_subprocess=False)
             else:
-                yield finalise(execute_scenario(scenario),
+                yield finalise(execute_scenario(scenario, trace=trace),
                                from_subprocess=False)
 
 
@@ -286,10 +360,12 @@ class ExperimentRun:
 def run_spec(spec: ExperimentSpec, *, workers: int = 1,
              cache: Optional[ResultCache] = None, force: bool = False,
              progress: Optional[Callable[[ScenarioResult], None]] = None,
+             trace: bool = False,
              ) -> ExperimentRun:
     """Expand ``spec`` and run every scenario; returns the collected run."""
     start = time.perf_counter()
     results = list(run_scenarios(spec.scenarios(), workers=workers,
-                                 cache=cache, force=force, progress=progress))
+                                 cache=cache, force=force, progress=progress,
+                                 trace=trace))
     return ExperimentRun(spec=spec, results=results,
                          wall_clock_s=time.perf_counter() - start)

@@ -1,0 +1,172 @@
+"""Trace exporters: Chrome-trace/Perfetto JSON and a compact JSONL format.
+
+Two renderings of a finalized :class:`~repro.obs.spans.TraceRecorder`:
+
+* :func:`to_chrome_trace` / :func:`write_chrome_trace` — the Trace Event
+  Format consumed by ``chrome://tracing`` and https://ui.perfetto.dev.
+  One trace-viewer *thread* per simulated rank, timestamps in simulated
+  microseconds (the simulator's native unit, which happens to be the
+  format's native unit too).  Spans become complete (``X``) slices,
+  messages become a wire slice on the sender plus a flow arrow
+  (``s``/``f``) from sender to destination mailbox, and point events
+  become instants.
+
+* :func:`write_jsonl` / :func:`load_jsonl` — one JSON object per line,
+  header first, for programmatic use (the experiments runner persists
+  this next to cache entries; ``python -m repro.obs`` reads it back).
+  The loader is the exact inverse of the writer: a recorder survives a
+  round trip bit-identically (floats are serialized via ``repr`` and
+  therefore round-trip exactly).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from typing import Optional, Union
+
+from .spans import TraceRecorder
+
+__all__ = [
+    "JSONL_SCHEMA",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "dump_jsonl",
+    "write_jsonl",
+    "load_jsonl",
+    "loads_jsonl",
+]
+
+#: Schema identifier carried in the JSONL header line.
+JSONL_SCHEMA = "repro-trace/v1"
+
+
+# --------------------------------------------------------------------------
+# Chrome trace / Perfetto.
+# --------------------------------------------------------------------------
+
+def to_chrome_trace(trace: TraceRecorder) -> dict:
+    """Render ``trace`` as a Trace Event Format object (JSON-serializable).
+
+    The recorder must be finalized (``trace.finalize(...)`` — the cluster
+    does this automatically for ``Cluster(trace=...)`` runs).
+    """
+    if not trace.finalized:
+        raise ValueError("trace is not finalized; run it through a cluster "
+                         "or call finalize() first")
+    events: list[dict] = []
+    # Name the per-rank rows once so viewers sort them numerically.
+    for rank in range(trace.num_ranks):
+        events.append({"ph": "M", "pid": 0, "tid": rank,
+                       "name": "thread_name",
+                       "args": {"name": f"rank {rank}"}})
+    for rank, t0, t1, category, label in trace.spans:
+        events.append({"ph": "X", "pid": 0, "tid": rank, "ts": t0,
+                       "dur": t1 - t0, "name": label, "cat": category})
+    for index, (src, dst, post, local_delay, start, leave, arrival,
+                words) in enumerate(trace.edges):
+        # Wire occupancy on the sender row; the queueing prelude
+        # (post + local_delay .. start) is visible as the gap before it.
+        events.append({"ph": "X", "pid": 0, "tid": src, "ts": start,
+                       "dur": leave - start, "name": f"-> {dst}",
+                       "cat": "message",
+                       "args": {"words": words, "post": post,
+                                "local_delay": local_delay,
+                                "arrival": arrival}})
+        events.append({"ph": "s", "pid": 0, "tid": src, "ts": leave,
+                       "id": index, "name": "msg", "cat": "message"})
+        events.append({"ph": "f", "pid": 0, "tid": dst, "ts": arrival,
+                       "id": index, "name": "msg", "cat": "message",
+                       "bp": "e"})
+    for time, rank, kind, label in trace.events:
+        events.append({"ph": "i", "pid": 0, "tid": rank, "ts": time,
+                       "s": "t", "name": f"{kind}: {label}", "cat": kind})
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": JSONL_SCHEMA,
+            "num_ranks": trace.num_ranks,
+            "total_time": trace.total_time,
+            "counters": trace.counters,
+        },
+    }
+
+
+def write_chrome_trace(trace: TraceRecorder, path: Union[str, os.PathLike]) -> None:
+    """Write the Chrome-trace rendering of ``trace`` to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_chrome_trace(trace), fh)
+
+
+# --------------------------------------------------------------------------
+# Compact JSONL.
+# --------------------------------------------------------------------------
+
+def dump_jsonl(trace: TraceRecorder, fh: io.TextIOBase) -> None:
+    """Write ``trace`` to an open text stream, one JSON object per line."""
+    if not trace.finalized:
+        raise ValueError("trace is not finalized; run it through a cluster "
+                         "or call finalize() first")
+    header = {
+        "schema": JSONL_SCHEMA,
+        "num_ranks": trace.num_ranks,
+        "total_time": trace.total_time,
+        "finish_times": trace.finish_times,
+        "counters": trace.counters,
+    }
+    write = fh.write
+    write(json.dumps(header) + "\n")
+    for rank, t0, t1, category, label in trace.spans:
+        write(json.dumps({"t": "span", "rank": rank, "t0": t0, "t1": t1,
+                          "cat": category, "label": label}) + "\n")
+    for src, dst, post, local_delay, start, leave, arrival, words in trace.edges:
+        write(json.dumps({"t": "edge", "src": src, "dst": dst, "post": post,
+                          "ld": local_delay, "start": start, "leave": leave,
+                          "arrival": arrival, "words": words}) + "\n")
+    for time, rank, kind, label in trace.events:
+        write(json.dumps({"t": "event", "time": time, "rank": rank,
+                          "kind": kind, "label": label}) + "\n")
+
+
+def write_jsonl(trace: TraceRecorder, path: Union[str, os.PathLike]) -> None:
+    """Write the JSONL rendering of ``trace`` to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        dump_jsonl(trace, fh)
+
+
+def loads_jsonl(text: str) -> TraceRecorder:
+    """Parse a JSONL trace from a string; inverse of :func:`dump_jsonl`."""
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise ValueError("empty trace file")
+    header = json.loads(lines[0])
+    if header.get("schema") != JSONL_SCHEMA:
+        raise ValueError(f"not a {JSONL_SCHEMA} trace: "
+                         f"schema={header.get('schema')!r}")
+    trace = TraceRecorder(int(header["num_ranks"]))
+    for line in lines[1:]:
+        obj = json.loads(line)
+        kind = obj.get("t")
+        if kind == "span":
+            trace.spans.append((obj["rank"], obj["t0"], obj["t1"],
+                                obj["cat"], obj["label"]))
+        elif kind == "edge":
+            trace.edges.append((obj["src"], obj["dst"], obj["post"],
+                                obj["ld"], obj["start"], obj["leave"],
+                                obj["arrival"], obj["words"]))
+        elif kind == "event":
+            trace.events.append((obj["time"], obj["rank"], obj["kind"],
+                                 obj["label"]))
+        else:
+            raise ValueError(f"unknown trace record type: {kind!r}")
+    trace.finalize(header["total_time"], header["finish_times"],
+                   header.get("counters") or {})
+    return trace
+
+
+def load_jsonl(path: Union[str, os.PathLike]) -> TraceRecorder:
+    """Load a trace previously written by :func:`write_jsonl`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return loads_jsonl(fh.read())

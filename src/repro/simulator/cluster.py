@@ -60,6 +60,15 @@ class ClusterResult:
     #: Transport message-pool effectiveness counters
     #: (:meth:`~repro.simulator.network.Transport.message_pool_stats`).
     message_pool: Optional[dict] = None
+    #: Unified observability snapshot: tier-attribution counters (phases
+    #: priced per execution tier, lockstep refusals, fast-forward
+    #: fallbacks, scalar collectives), message-pool hit rates, and lazy
+    #: mailbox materialisation — one flat dict, always populated by
+    #: :meth:`Cluster.run`.
+    obs: Optional[dict] = None
+    #: The structured trace recorder when the run was started with
+    #: ``trace=...`` (a finalized :class:`repro.obs.TraceRecorder`).
+    trace: Optional[Any] = None
 
     @property
     def max_finish_time(self) -> float:
@@ -96,7 +105,8 @@ class Cluster:
                  mailbox_factory: Optional[Callable[[], Any]] = None,
                  lazy_mailboxes: Optional[bool] = None,
                  message_pool_max: Optional[int] = None,
-                 reference_engine: bool = False):
+                 reference_engine: bool = False,
+                 trace: Any = None):
         if num_ranks <= 0:
             raise ValueError("num_ranks must be positive")
         self.num_ranks = num_ranks
@@ -118,7 +128,44 @@ class Cluster:
             RankEnv(rank, num_ranks, self.engine, self.transport)
             for rank in range(num_ranks)
         ]
+        # Opt-in structured tracing: trace=True builds a fresh recorder,
+        # or pass a repro.obs.TraceRecorder instance directly.  The
+        # recorder is installed on the engine and transport; every other
+        # emit site (SPMD phases, batched tier, scalar collectives, RBC
+        # comm creation) reads it from there.
+        if trace is True:
+            from repro.obs import TraceRecorder
+            trace = TraceRecorder(num_ranks)
+        self.trace = trace or None
+        if self.trace is not None:
+            if self.trace.num_ranks == 0:
+                self.trace.num_ranks = num_ranks
+            self.engine._obs = self.trace
+            self.transport._obs = self.trace
         self._ran = False
+
+    def _obs_snapshot(self) -> dict:
+        """Unified tier-attribution + resource counters for this run."""
+        transport = self.transport
+        snapshot = {
+            "scalar_collectives": transport.scalar_collectives,
+            "phases_lockstep": 0,
+            "phases_fastforward": 0,
+            "phases_batched": 0,
+            "lockstep_refusals": 0,
+            "fastforward_fallbacks": 0,
+            "mailboxes_materialized": transport.mailboxes_materialized(),
+        }
+        coordinator = getattr(transport, "_spmd_coordinator", None)
+        if coordinator is not None:
+            for tier, count in coordinator.tier_phases.items():
+                snapshot[f"phases_{tier}"] = \
+                    snapshot.get(f"phases_{tier}", 0) + count
+            snapshot["lockstep_refusals"] = coordinator.refusals
+            snapshot["fastforward_fallbacks"] = \
+                coordinator.fastforward_fallbacks
+        snapshot.update(transport.message_pool_stats())
+        return snapshot
 
     def run(self, program: Callable, *args,
             rank_args: Optional[Sequence[tuple]] = None,
@@ -151,6 +198,9 @@ class Cluster:
         results = [p.result for p in procs]
         finish_times = [p.finish_time if p.finish_time is not None else total_time
                         for p in procs]
+        obs = self._obs_snapshot()
+        if self.trace is not None:
+            self.trace.finalize(total_time, finish_times, obs)
         result = ClusterResult(
             results=results,
             finish_times=finish_times,
@@ -158,6 +208,8 @@ class Cluster:
             stats=self.tracer.stats,
             events_processed=self.engine.events_processed,
             message_pool=self.transport.message_pool_stats(),
+            obs=obs,
+            trace=self.trace,
         )
         for observer in _run_observers:
             observer(result)
@@ -171,10 +223,12 @@ def run_program(num_ranks: int, program: Callable, *args,
                 rank_kwargs: Optional[Sequence[dict]] = None,
                 reference_engine: bool = False,
                 message_pool_max: Optional[int] = None,
+                trace: Any = None,
                 **kwargs) -> ClusterResult:
     """One-shot convenience wrapper around :class:`Cluster`."""
     cluster = Cluster(num_ranks, params, placement=placement,
                       message_pool_max=message_pool_max,
-                      reference_engine=reference_engine)
+                      reference_engine=reference_engine,
+                      trace=trace)
     return cluster.run(program, *args, rank_args=rank_args,
                        rank_kwargs=rank_kwargs, **kwargs)

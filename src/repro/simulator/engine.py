@@ -172,6 +172,10 @@ class Engine:
         self._max_events = max_events
         self._max_time = max_time
         self._reference = reference
+        # Optional observability sink (repro.obs.TraceRecorder), installed
+        # by Cluster(trace=...).  Every emit site guards on `is not None`
+        # so the off path costs one predicate.
+        self._obs = None
 
     # ------------------------------------------------------------------ time
 
@@ -322,7 +326,20 @@ class Engine:
                 proc.state = SimProcess.WAITING
         elif isinstance(command, Sleep):
             proc.state = SimProcess.SLEEPING
-            self._core.push(self._now + command.duration, KIND_STEP, proc, None)
+            duration = command.duration
+            obs = self._obs
+            if obs is not None and duration > 0.0:
+                if obs.suppress_compute != proc.pid:
+                    # pid == rank for cluster runs (procs added in rank
+                    # order).
+                    obs.spans.append((proc.pid, self._now,
+                                      self._now + duration,
+                                      "compute", "compute"))
+                else:
+                    # The yielding site emitted its own categorized span
+                    # for this charge (e.g. comm_create).
+                    obs.suppress_compute = -1
+            self._core.push(self._now + duration, KIND_STEP, proc, None)
         else:
             raise TypeError(
                 f"process {proc.pid} yielded {command!r}; expected a Command"

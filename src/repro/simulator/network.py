@@ -567,6 +567,13 @@ class Transport:
         # affine world map or member tuple; the placement is fixed per
         # transport, so it is not part of the key).
         self._hierarchy_cache: dict = {}
+        # Optional observability sink (repro.obs.TraceRecorder), installed
+        # by Cluster(trace=...); post_send appends one message edge per
+        # send when it is set.
+        self._obs = None
+        # Always-on tier-attribution counter: collectives priced by the
+        # scalar state machines (CollectiveRequest) on this transport.
+        self.scalar_collectives = 0
         # Callbacks used to wake rank processes; installed by the cluster.
         self._notify_hooks: list[Optional[Any]] = [None] * num_ranks
         # Pre-bound callbacks for the engine's allocation-free scheduled
@@ -671,6 +678,11 @@ class Transport:
             if leave_sender > arrival:
                 arrival = leave_sender
             recvs[port] = arrival
+
+        obs = self._obs
+        if obs is not None:
+            obs.edges.append((src, dst, now, local_delay, start,
+                              leave_sender, arrival, words))
 
         pool = self._msg_pool
         if pool:

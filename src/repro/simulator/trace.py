@@ -29,12 +29,28 @@ class TraceStats:
     def total_words(self) -> int:
         return self.words_sent
 
+    def max_words_sent(self) -> int:
+        return max(self.per_rank_words_sent, default=0)
+
+    def max_words_received(self) -> int:
+        return max(self.per_rank_words_received, default=0)
+
+    def total_compute_time(self) -> float:
+        return sum(self.compute_time)
+
+    def max_compute_time(self) -> float:
+        return max(self.compute_time, default=0.0)
+
     def as_dict(self) -> dict:
         return {
             "messages_sent": self.messages_sent,
             "words_sent": self.words_sent,
             "max_messages_received": self.max_messages_received(),
             "max_messages_sent": self.max_messages_sent(),
+            "max_words_sent": self.max_words_sent(),
+            "max_words_received": self.max_words_received(),
+            "total_compute_time": self.total_compute_time(),
+            "max_compute_time": self.max_compute_time(),
         }
 
 
@@ -72,3 +88,25 @@ class Tracer:
 
     def record_compute(self, rank: int, duration: float) -> None:
         self.stats.compute_time[rank] += duration
+
+    def merge(self, other) -> None:
+        """Fold ``other``'s counters into this tracer, elementwise.
+
+        ``other`` is a :class:`Tracer` or a bare :class:`TraceStats` (as a
+        :class:`~repro.simulator.cluster.ClusterResult` carries).  Per-rank
+        lists are padded to the longer length so tracers from clusters of
+        different sizes still merge; mirrors ``BenchTelemetry.merge``.
+        """
+        mine = self.stats
+        theirs = other.stats if isinstance(other, Tracer) else other
+        mine.messages_sent += theirs.messages_sent
+        mine.words_sent += theirs.words_sent
+        for name in ("per_rank_messages_sent", "per_rank_messages_received",
+                     "per_rank_words_sent", "per_rank_words_received",
+                     "compute_time"):
+            dst = getattr(mine, name)
+            src = getattr(theirs, name)
+            if len(src) > len(dst):
+                dst.extend([0] * (len(src) - len(dst)))
+            for index, value in enumerate(src):
+                dst[index] += value

@@ -303,6 +303,7 @@ class _JQLevelPhase(_PhaseBase):
     """
 
     kind = "jqlevel"
+    tier = "batched"
 
     def __init__(self, ep, op, root, coordinator):
         super().__init__(ep, op, root, coordinator)
@@ -347,17 +348,28 @@ class _JQLevelPhase(_PhaseBase):
         create_cost = compute_cost(RBC_CREATE_OPS)
         times = []
         joined = self.joined
+        obs = self._obs
         for m in range(size):
             t = joined[m]
             w = world[m]
             if self.creates[m]:
                 compute_time[w] += create_cost
+                if obs is not None and create_cost > 0:
+                    obs.spans.append((w, t, t + create_cost,
+                                      "comm_create", "jq_group_comm"))
                 t += create_cost
             if charge:
                 cost = compute_cost(local_counts[m] + row_sizes[m])
                 compute_time[w] += cost
+                if obs is not None and cost > 0:
+                    obs.spans.append((w, t, t + cost, "compute",
+                                      "jq_sample_partition"))
                 t += cost
             times.append(t)
+        # The level's collective span starts after the entry charges, so a
+        # traced timeline shows creation/partition work separately from
+        # the five fused collective sub-steps.
+        self._span_starts = times
 
         # --- 1. sample gather to member 0 --------------------------------
         offsets = record.index_offsets

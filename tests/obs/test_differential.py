@@ -1,0 +1,149 @@
+"""The observability layer's hard contract: recording perturbs nothing.
+
+Every tier of the execution stack — scalar state machines, SPMD lockstep
+analytic pricing, analytic fast-forward and the batched jquick level tier —
+must produce bit-identical ``simulated_us``, event counts, message counts
+and per-rank finish times whether a :class:`repro.obs.TraceRecorder` is
+attached or not.  The critical-path analyzer's makespan must telescope to
+the run's total time *exactly* (no float re-summation), and the honest
+lockstep refusal must fire at the same virtual time traced and untraced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import collective_program
+from repro.mpi import init_mpi
+from repro.obs import critical_path, format_report
+from repro.rbc import create_rbc_comm
+from repro.simulator import Cluster
+from repro.simulator.costmodel import HierarchicalParams
+from repro.simulator.errors import RankFailedError
+from repro.sorting import JQuickConfig, RbcBackend, jquick
+from repro.sorting.jquick import JQUICK_BATCH_MIN_RANKS
+
+
+def _assert_bit_identical(off, on):
+    assert off.total_time == on.total_time
+    assert off.events_processed == on.events_processed
+    assert off.stats.messages_sent == on.stats.messages_sent
+    assert off.stats.words_sent == on.stats.words_sent
+    assert off.finish_times == on.finish_times
+    assert off.trace is None and on.trace is not None
+
+
+def _assert_critpath_exact(result):
+    report = critical_path(result.trace)
+    assert report.complete
+    # Exact equality is the contract: the walk telescopes total_time minus
+    # the final cursor instead of summing segment durations.
+    assert report.total == result.total_time
+    assert sum(report.grouped_totals().values()) == pytest.approx(report.total)
+    assert format_report(report)  # renders without error
+    return report
+
+
+def _run_collective(trace, *, lockstep, repetitions=1, sync_each=False):
+    cluster = Cluster(16, HierarchicalParams.two_tier(ranks_per_node=4),
+                      trace=trace)
+    return cluster.run(collective_program, operation="scan", impl="rbc",
+                       vendor="generic", words=8, repetitions=repetitions,
+                       lockstep=lockstep, sync_each=sync_each)
+
+
+def test_scalar_tier_bit_identical():
+    off = _run_collective(None, lockstep=False)
+    on = _run_collective(True, lockstep=False)
+    _assert_bit_identical(off, on)
+    assert on.obs["scalar_collectives"] > 0
+    assert on.obs["phases_lockstep"] == 0
+    report = _assert_critpath_exact(on)
+    assert "comm" in report.grouped_totals()
+    # The scalar tier runs real sends, so the trace carries message edges
+    # and the comm-creation charge appears as its own category.
+    assert len(on.trace.edges) > 0
+    assert any(span[3] == "comm_create" for span in on.trace.spans)
+
+
+def test_lockstep_and_fastforward_tiers_bit_identical():
+    off = _run_collective(None, lockstep=True)
+    on = _run_collective(True, lockstep=True)
+    _assert_bit_identical(off, on)
+    # The harness barrier fast-forwards, the timed scan prices in lockstep.
+    assert on.obs["phases_lockstep"] > 0
+    assert on.obs["phases_fastforward"] > 0
+    assert on.obs["scalar_collectives"] == 0
+    _assert_critpath_exact(on)
+    labels = {span[4] for span in on.trace.spans}
+    assert any(label.endswith("@lockstep") for label in labels)
+
+
+def test_batched_jquick_tier_bit_identical():
+    p = JQUICK_BATCH_MIN_RANKS
+    rng = np.random.default_rng(5)
+    values = rng.integers(0, 1000, size=p).astype(np.float64)
+
+    def program(env, *, local_data, config):
+        world_mpi = init_mpi(env)
+        world_rbc = yield from create_rbc_comm(world_mpi)
+        output, stats = yield from jquick(env, RbcBackend(world_rbc),
+                                          local_data, config)
+        return env.now, output, stats.as_dict()
+
+    def run(trace):
+        parts = [values[rank:rank + 1].copy() for rank in range(p)]
+        cluster = Cluster(p, trace=trace)
+        return cluster.run(program,
+                           config=JQuickConfig(seed=17, batch_levels=True),
+                           rank_kwargs=[dict(local_data=part)
+                                        for part in parts])
+
+    off = run(None)
+    on = run(True)
+    _assert_bit_identical(off, on)
+    for rank in range(p):
+        assert off.results[rank][0] == on.results[rank][0]
+        assert np.array_equal(off.results[rank][1], on.results[rank][1])
+    assert on.obs["phases_batched"] > 0
+    _assert_critpath_exact(on)
+    labels = {span[4] for span in on.trace.spans}
+    assert "jqlevel@batched" in labels
+
+
+def test_honest_refusal_bit_identical_and_recorded():
+    """A lockstep refusal fires at the same time traced and untraced, is
+    counted once, and leaves a refusal event in the trace."""
+
+    def run(trace):
+        cluster = Cluster(16, HierarchicalParams.two_tier(ranks_per_node=4),
+                          trace=trace)
+        with pytest.raises(RankFailedError) as info:
+            cluster.run(collective_program, operation="scan", impl="rbc",
+                        vendor="generic", words=8, repetitions=3,
+                        lockstep=True, sync_each=True)
+        return info.value, cluster
+
+    error_off, cluster_off = run(None)
+    error_on, cluster_on = run(True)
+    assert str(error_off) == str(error_on)
+    assert cluster_off.engine._now == cluster_on.engine._now
+    assert cluster_on._obs_snapshot()["lockstep_refusals"] == 1
+    refusals = [event for event in cluster_on.trace.events
+                if event[2] == "refusal"]
+    assert len(refusals) == 1
+
+
+def test_trace_spans_cover_all_categories_once():
+    """No double coverage: comm-create charges appear as ``comm_create``
+    spans only, never additionally as the engine's generic compute span."""
+    result = _run_collective(True, lockstep=False)
+    creates = [span for span in result.trace.spans
+               if span[3] == "comm_create"]
+    computes = [span for span in result.trace.spans
+                if span[3] == "compute"]
+    assert creates
+    create_intervals = {(span[0], span[1], span[2]) for span in creates}
+    for span in computes:
+        assert (span[0], span[1], span[2]) not in create_intervals

@@ -1,0 +1,120 @@
+"""Exporter round-trip and CLI contracts for :mod:`repro.obs`."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.harness import collective_program
+from repro.obs import (
+    JSONL_SCHEMA,
+    TraceRecorder,
+    critical_path,
+    dump_jsonl,
+    load_jsonl,
+    loads_jsonl,
+    to_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.__main__ import main as obs_main
+from repro.simulator import Cluster
+
+finite = st.floats(allow_nan=False, allow_infinity=False, width=64)
+times = finite.filter(lambda value: value >= 0.0)
+words = st.integers(min_value=0, max_value=1 << 40)
+labels = st.text(min_size=0, max_size=20)
+
+
+@st.composite
+def traces(draw):
+    num_ranks = draw(st.integers(min_value=1, max_value=8))
+    rank = st.integers(min_value=0, max_value=num_ranks - 1)
+    trace = TraceRecorder(num_ranks)
+    for _ in range(draw(st.integers(min_value=0, max_value=6))):
+        t0 = draw(times)
+        trace.spans.append((draw(rank), t0, t0 + draw(times),
+                            draw(st.sampled_from(("compute", "collective",
+                                                  "comm_create"))),
+                            draw(labels)))
+    for _ in range(draw(st.integers(min_value=0, max_value=6))):
+        post = draw(times)
+        start = post + draw(times)
+        leave = start + draw(times)
+        trace.edges.append((draw(rank), draw(rank), post, draw(times),
+                            start, leave, leave + draw(times), draw(words)))
+    for _ in range(draw(st.integers(min_value=0, max_value=4))):
+        trace.events.append((draw(times), draw(rank),
+                             draw(st.sampled_from(("ir", "refusal",
+                                                   "fallback"))),
+                             draw(labels)))
+    trace.finalize(draw(times),
+                   [draw(times) for _ in range(num_ranks)],
+                   {"scalar_collectives": draw(st.integers(0, 99))})
+    return trace
+
+
+@settings(max_examples=60, deadline=None)
+@given(traces())
+def test_jsonl_round_trip_exact(trace):
+    buffer = io.StringIO()
+    dump_jsonl(trace, buffer)
+    back = loads_jsonl(buffer.getvalue())
+    assert back.num_ranks == trace.num_ranks
+    assert back.spans == trace.spans
+    assert back.edges == trace.edges
+    assert back.events == trace.events
+    assert back.total_time == trace.total_time
+    assert back.finish_times == trace.finish_times
+    assert back.counters == trace.counters
+
+
+def test_loads_jsonl_rejects_garbage():
+    with pytest.raises(ValueError):
+        loads_jsonl("")
+    with pytest.raises(ValueError):
+        loads_jsonl('{"schema": "something-else/v9"}')
+    good_header = json.dumps({"schema": JSONL_SCHEMA, "num_ranks": 1,
+                              "total_time": 0.0, "finish_times": [0.0],
+                              "counters": {}})
+    with pytest.raises(ValueError):
+        loads_jsonl(good_header + '\n{"t": "mystery"}')
+
+
+def _traced_run():
+    cluster = Cluster(8, trace=True)
+    return cluster.run(collective_program, operation="bcast", impl="rbc",
+                       vendor="generic", words=16, lockstep=False)
+
+
+def test_chrome_trace_structure():
+    result = _traced_run()
+    payload = to_chrome_trace(result.trace)
+    events = payload["traceEvents"]
+    phases = {event["ph"] for event in events}
+    assert "X" in phases          # spans and edge wire slices
+    assert {"s", "f"} <= phases   # flow arrows for message edges
+    assert "M" in phases          # per-rank thread names
+    json.dumps(payload)           # fully serialisable
+
+
+def test_cli_timeline_critpath_summary(tmp_path, capsys):
+    result = _traced_run()
+    trace_path = tmp_path / "run.trace.jsonl"
+    write_jsonl(result.trace, str(trace_path))
+
+    assert obs_main(["summary", str(trace_path)]) == 0
+    assert obs_main(["critpath", str(trace_path)]) == 0
+    out_path = tmp_path / "run.chrome.json"
+    assert obs_main(["timeline", str(trace_path), "-o", str(out_path)]) == 0
+    output = capsys.readouterr().out
+    assert "critical path" in output.lower() or "total" in output.lower()
+    with open(out_path) as handle:
+        assert json.load(handle)["traceEvents"]
+
+    # Reloading the artifact reproduces the exact makespan.
+    reloaded = load_jsonl(str(trace_path))
+    assert critical_path(reloaded).total == result.total_time
